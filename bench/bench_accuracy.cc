@@ -1,0 +1,101 @@
+// Reproduces Tables 2-5 of the paper: q-error quantiles of every estimator on
+// the WISDM / TWI / HIGGS single-table workloads and the IMDB join workload.
+// Pass a dataset name (wisdm|twi|higgs|imdb) to run a single table.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "util/stopwatch.h"
+
+namespace iam::bench {
+namespace {
+
+void RunSingleTable(const std::string& dataset, const char* table_id) {
+  std::printf("\n### Table %s: estimation errors on %s (synthetic)\n",
+              table_id, dataset.c_str());
+  const data::Table table = MakeDataset(dataset);
+
+  Rng rng(kDataSeed + 77);
+  query::WorkloadOptions wopts;
+  wopts.num_queries = kTestQueries;
+  const auto test = query::GenerateEvaluatedWorkload(table, wopts, rng);
+  wopts.num_queries = kTrainQueries;
+  const auto train = query::GenerateEvaluatedWorkload(table, wopts, rng);
+
+  // IAM first: its size also calibrates the Sampling baseline (the paper
+  // matches Sampling's space budget to IAM's).
+  auto iam = MakeTrainedEstimator("iam", table, train, 0);
+  const size_t iam_bytes = iam->SizeBytes();
+
+  PrintErrorHeader();
+  for (const std::string& name : SingleTableEstimators()) {
+    Stopwatch watch;
+    std::unique_ptr<estimator::Estimator> est;
+    estimator::Estimator* target = nullptr;
+    if (name == "iam") {
+      target = iam.get();
+    } else {
+      est = MakeTrainedEstimator(name, table, train, iam_bytes);
+      target = est.get();
+    }
+    const double build_s = watch.ElapsedSeconds();
+    watch.Restart();
+    const ErrorReport report = EvaluateErrors(*target, test,
+                                              table.num_rows());
+    PrintErrorRow(name, report);
+    std::fprintf(stderr, "  [%s: build %.1fs, eval %.1fs]\n", name.c_str(),
+                 build_s, watch.ElapsedSeconds());
+  }
+}
+
+void RunImdb() {
+  std::printf("\n### Table 5: estimation errors on IMDB (synthetic joins)\n");
+  const ImdbBundle imdb = MakeImdb();
+
+  // Workload over the join distribution; ground truth on the materialized
+  // join. AR estimators train on exact-weight join samples (NeuroCard's
+  // recipe), everything else trains on the same sample table.
+  Rng rng(kDataSeed + 99);
+  const join::ExactWeightSampler sampler(imdb.schema);
+  const data::Table join_sample = sampler.Sample(20000, rng);
+
+  query::WorkloadOptions wopts;
+  wopts.num_queries = kTestQueries;
+  wopts.column_prob = 0.45;
+  const auto test =
+      query::GenerateEvaluatedWorkload(imdb.joined, wopts, rng);
+  wopts.num_queries = kTrainQueries;
+  auto train = query::GenerateEvaluatedWorkload(join_sample, wopts, rng);
+
+  auto iam = MakeTrainedEstimator("iam", join_sample, train, 0);
+  const size_t iam_bytes = iam->SizeBytes();
+
+  PrintErrorHeader();
+  for (const std::string& name : JoinEstimators()) {
+    std::unique_ptr<estimator::Estimator> est;
+    estimator::Estimator* target = nullptr;
+    if (name == "iam") {
+      target = iam.get();
+    } else {
+      est = MakeTrainedEstimator(name, join_sample, train, iam_bytes);
+      target = est.get();
+    }
+    const ErrorReport report =
+        EvaluateErrors(*target, test, imdb.joined.num_rows());
+    PrintErrorRow(name, report);
+  }
+}
+
+}  // namespace
+}  // namespace iam::bench
+
+int main(int argc, char** argv) {
+  const std::string only = argc > 1 ? argv[1] : "";
+  if (only.empty() || only == "wisdm") iam::bench::RunSingleTable("wisdm", "2");
+  if (only.empty() || only == "twi") iam::bench::RunSingleTable("twi", "3");
+  if (only.empty() || only == "higgs") iam::bench::RunSingleTable("higgs", "4");
+  if (only.empty() || only == "imdb") iam::bench::RunImdb();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Extension bench (the paper's future work): approximate COUNT / SUM / AVG
+// through the unbiased progressive sampler, against exact answers, on the
+// TWI and HIGGS workloads.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace iam::bench {
+namespace {
+
+void Run(const std::string& dataset, int target_col) {
+  const data::Table table = MakeDataset(dataset);
+  Rng rng(kDataSeed + 1203);
+  query::WorkloadOptions wopts;
+  wopts.num_queries = 60;
+  const auto test = query::GenerateEvaluatedWorkload(table, wopts, rng);
+
+  core::ArEstimatorOptions opts = BenchIamOptions();
+  core::ArDensityEstimator iam(table, opts);
+  iam.Train();
+
+  // Relative-error quantiles for AVG and the q-error for COUNT.
+  std::vector<double> avg_rel, count_q;
+  size_t usable = 0;
+  for (size_t i = 0; i < test.queries.size(); ++i) {
+    // Exact aggregate by scan.
+    double exact_sum = 0.0;
+    size_t exact_count = 0;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      bool match = true;
+      for (const query::Predicate& p : test.queries[i].predicates) {
+        if (!p.Matches(table.value(r, p.column))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        exact_sum += table.value(r, target_col);
+        ++exact_count;
+      }
+    }
+    if (exact_count < 50) continue;  // AVG undefined-ish on tiny groups
+    ++usable;
+    const double exact_avg = exact_sum / static_cast<double>(exact_count);
+
+    const auto agg = iam.EstimateAggregate(test.queries[i], target_col);
+    avg_rel.push_back(std::abs(agg.avg - exact_avg) /
+                      std::max(std::abs(exact_avg), 1e-9));
+    count_q.push_back(query::QError(
+        static_cast<double>(exact_count) / table.num_rows(),
+        agg.selectivity, table.num_rows()));
+  }
+
+  const ErrorReport avg_report = MakeErrorReport(avg_rel);
+  const ErrorReport count_report = MakeErrorReport(count_q);
+  std::printf(
+      "\n### Future-work extension: AQP aggregates on %s (target '%s', %zu "
+      "queries)\n",
+      dataset.c_str(), table.column(target_col).name.c_str(), usable);
+  std::printf("AVG relative error: median=%.3g p95=%.3g max=%.3g\n",
+              avg_report.median, avg_report.p95, avg_report.max);
+  std::printf("COUNT q-error:      median=%.3g p95=%.3g max=%.3g\n",
+              count_report.median, count_report.p95, count_report.max);
+}
+
+}  // namespace
+}  // namespace iam::bench
+
+int main(int argc, char** argv) {
+  const std::string only = argc > 1 ? argv[1] : "";
+  if (only.empty() || only == "twi") iam::bench::Run("twi", 1);
+  if (only.empty() || only == "higgs") iam::bench::Run("higgs", 0);
+  return 0;
+}

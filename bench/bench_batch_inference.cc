@@ -1,0 +1,58 @@
+// Reproduces Table 7: inference time with batch query processing on IMDB
+// (ms per query at batch sizes 1 / 64 / 128) for MSCN, Neurocard and IAM.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/stopwatch.h"
+
+namespace iam::bench {
+namespace {
+
+void Run() {
+  std::printf("\n### Table 7: batch inference on IMDB (ms per query)\n");
+  const ImdbBundle imdb = MakeImdb();
+  Rng rng(kDataSeed + 305);
+  const join::ExactWeightSampler sampler(imdb.schema);
+  const data::Table join_sample = sampler.Sample(20000, rng);
+
+  query::WorkloadOptions wopts;
+  wopts.num_queries = 128;
+  wopts.column_prob = 0.45;
+  const auto test = query::GenerateEvaluatedWorkload(join_sample, wopts, rng);
+  wopts.num_queries = 300;
+  const auto train = query::GenerateEvaluatedWorkload(join_sample, wopts, rng);
+
+  const std::vector<int> batch_sizes = {1, 64, 128};
+  std::printf("%-10s %12s %12s %12s\n", "estimator", "batch=1", "batch=64",
+              "batch=128");
+
+  const std::vector<std::string> names = {"mscn", "neurocard", "iam"};
+  for (const std::string& name : names) {
+    auto est = MakeTrainedEstimator(name, join_sample, train, 0);
+    std::printf("%-10s", name.c_str());
+    for (int batch : batch_sizes) {
+      Stopwatch watch;
+      size_t processed = 0;
+      for (size_t begin = 0; begin + batch <= test.queries.size();
+           begin += batch) {
+        est->EstimateBatch(
+            {test.queries.data() + begin, static_cast<size_t>(batch)});
+        processed += batch;
+      }
+      const double ms = watch.ElapsedMillis() / static_cast<double>(processed);
+      std::printf(" %12.3f", ms);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace iam::bench
+
+int main() {
+  iam::bench::Run();
+  return 0;
+}

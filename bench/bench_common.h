@@ -1,0 +1,68 @@
+#ifndef IAM_BENCH_BENCH_COMMON_H_
+#define IAM_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ar_density_estimator.h"
+#include "core/presets.h"
+#include "data/table.h"
+#include "estimator/estimator.h"
+#include "join/star_schema.h"
+#include "query/workload.h"
+#include "util/quantiles.h"
+
+namespace iam::bench {
+
+// Row counts scaled ~100x down from the paper's datasets so every experiment
+// runs on a single CPU core; see DESIGN.md §4 and EXPERIMENTS.md.
+inline constexpr size_t kWisdmRows = 48000;   // paper: 4.8e6
+inline constexpr size_t kTwiRows = 50000;     // paper: 1.9e7
+inline constexpr size_t kHiggsRows = 40000;   // paper: 1.1e7
+inline constexpr size_t kImdbTitles = 1200;   // join of ~1e5 rows
+inline constexpr uint64_t kDataSeed = 20220329;  // EDBT 2022 :-)
+
+// Workload sizes (paper: 2K test + 10K training queries).
+inline constexpr int kTestQueries = 150;
+inline constexpr int kTrainQueries = 800;
+
+// Builds one of the single-table datasets: "wisdm", "twi", "higgs".
+data::Table MakeDataset(const std::string& name);
+
+// The IMDB-like star schema plus its materialized join (ground truth).
+struct ImdbBundle {
+  join::StarSchema schema;
+  data::Table joined;
+};
+ImdbBundle MakeImdb();
+
+// Paper-faithful estimator configurations at bench scale.
+core::ArEstimatorOptions BenchIamOptions();
+core::ArEstimatorOptions BenchNeurocardOptions();
+
+// Builds and trains one estimator by name: sampling, postgres, mhist,
+// bayesnet, kde, mscn, neurocard, iam. `train` supplies the query-driven
+// training pairs (mscn, kde tuning); pass an empty workload to skip them.
+// `iam_size_bytes` sizes the Sampling baseline to IAM's space budget as the
+// paper does; pass 0 to default to 0.5%.
+std::unique_ptr<estimator::Estimator> MakeTrainedEstimator(
+    const std::string& name, const data::Table& table,
+    const query::EvaluatedWorkload& train, size_t iam_size_bytes);
+
+// Estimator sets used by the paper's tables.
+std::vector<std::string> SingleTableEstimators();
+std::vector<std::string> JoinEstimators();
+
+// Prints one table row: name + five-number q-error summary.
+void PrintErrorRow(const std::string& name, const ErrorReport& report);
+void PrintErrorHeader();
+
+// Runs the workload through the estimator and reports q-errors.
+ErrorReport EvaluateErrors(estimator::Estimator& est,
+                           const query::EvaluatedWorkload& workload,
+                           size_t num_rows);
+
+}  // namespace iam::bench
+
+#endif  // IAM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,48 @@
+// Reproduces Figure 7 (accuracy versus number of GMM components) and
+// Table 12 (IAM model size versus number of components).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace iam::bench {
+namespace {
+
+void Run(const std::string& dataset) {
+  const data::Table table = MakeDataset(dataset);
+  Rng rng(kDataSeed + 808);
+  query::WorkloadOptions wopts;
+  wopts.num_queries = 60;
+  const auto test = query::GenerateEvaluatedWorkload(table, wopts, rng);
+
+  std::printf(
+      "\n### Figure 7 / Table 12: varying GMM components on %s\n"
+      "%-6s %10s %10s %10s %12s\n",
+      dataset.c_str(), "K", "median", "95th", "max", "size MB");
+  for (int k : {1, 30, 70}) {
+    core::ArEstimatorOptions opts = BenchIamOptions();
+    opts.epochs = 4;  // sweep budget
+    opts.max_train_rows = 12000;
+    opts.reducer_components = k;
+    core::ArDensityEstimator est(table, opts);
+    est.Train();
+    const ErrorReport report = EvaluateErrors(est, test, table.num_rows());
+    std::printf("%-6d %10.3g %10.3g %10.3g %12.3f\n", k, report.median,
+                report.p95, report.max,
+                static_cast<double>(est.SizeBytes()) / (1024.0 * 1024.0));
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace iam::bench
+
+int main(int argc, char** argv) {
+  const std::string only = argc > 1 ? argv[1] : "";
+  for (const std::string& dataset : {"wisdm", "twi", "higgs"}) {
+    if (only.empty() || only == dataset) iam::bench::Run(dataset);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Tables 9-11: IAM's GMM(30) against the alternative domain
+// reducers — equi-depth histogram, spline histogram, UMM — at 30 / 100 / 1000
+// components, on WISDM, TWI and HIGGS (median / 95th / max q-error and
+// estimation time).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "util/stopwatch.h"
+
+namespace iam::bench {
+namespace {
+
+struct Variant {
+  std::string label;
+  core::ReducerKind kind;
+  int components;
+};
+
+void Run(const std::string& dataset, const char* table_id) {
+  std::printf("\n### Table %s: domain reducing methods on %s\n", table_id,
+              dataset.c_str());
+  const data::Table table = MakeDataset(dataset);
+  Rng rng(kDataSeed + 707);
+  query::WorkloadOptions wopts;
+  wopts.num_queries = 40;
+  const auto test = query::GenerateEvaluatedWorkload(table, wopts, rng);
+
+  const std::vector<Variant> variants = {
+      {"GMM (30)", core::ReducerKind::kGmm, 30},
+      {"Laplace (30)", core::ReducerKind::kLaplace, 30},
+      {"Hist (30)", core::ReducerKind::kEquiDepth, 30},
+      {"Hist (100)", core::ReducerKind::kEquiDepth, 100},
+      {"Hist (1000)", core::ReducerKind::kEquiDepth, 1000},
+      {"Spline (30)", core::ReducerKind::kSpline, 30},
+      {"Spline (100)", core::ReducerKind::kSpline, 100},
+      {"Spline (1000)", core::ReducerKind::kSpline, 1000},
+      {"UMM (30)", core::ReducerKind::kUmm, 30},
+      {"UMM (100)", core::ReducerKind::kUmm, 100},
+      {"UMM (1000)", core::ReducerKind::kUmm, 1000},
+  };
+
+  std::printf("%-14s %10s %10s %10s %12s\n", "method", "median", "95th",
+              "max", "est ms");
+  for (const Variant& v : variants) {
+    core::ArEstimatorOptions opts = BenchIamOptions();
+    opts.epochs = 4;  // sweep budget
+    opts.max_train_rows = 12000;
+    opts.reducer_kind = v.kind;
+    opts.reducer_components = v.components;
+    core::ArDensityEstimator est(table, opts);
+    est.Train();
+
+    std::vector<double> errors;
+    Stopwatch watch;
+    for (size_t i = 0; i < test.queries.size(); ++i) {
+      const double estimate = est.Estimate(test.queries[i]);
+      errors.push_back(query::QError(test.true_selectivities[i], estimate,
+                                     table.num_rows()));
+    }
+    const double ms =
+        watch.ElapsedMillis() / static_cast<double>(test.queries.size());
+    const ErrorReport report = MakeErrorReport(errors);
+    std::printf("%-14s %10.3g %10.3g %10.3g %12.2f\n", v.label.c_str(),
+                report.median, report.p95, report.max, ms);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace iam::bench
+
+int main(int argc, char** argv) {
+  const std::string only = argc > 1 ? argv[1] : "";
+  if (only.empty() || only == "wisdm") iam::bench::Run("wisdm", "9");
+  if (only.empty() || only == "twi") iam::bench::Run("twi", "10");
+  if (only.empty() || only == "higgs") iam::bench::Run("higgs", "11");
+  return 0;
+}

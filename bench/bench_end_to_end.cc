@@ -1,0 +1,99 @@
+// Reproduces Figure 5: end-to-end query execution time on the IMDB star
+// schema when the mini cost-based optimizer (the stand-in for the paper's
+// modified Postgres) takes its sub-plan selectivities from each estimator.
+// Also reports plan-choice agreement with the oracle.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "optimizer/mini_optimizer.h"
+#include "util/stopwatch.h"
+
+namespace iam::bench {
+namespace {
+
+void Run() {
+  std::printf("\n### Figure 5: end-to-end time on IMDB (mini optimizer)\n");
+  // A larger star than the accuracy runs and lighter filters: execution must
+  // be dominated by join work for plan quality to show up in wall time.
+  ImdbBundle imdb;
+  imdb.schema = join::MakeSynImdb(4 * kImdbTitles, kDataSeed + 3);
+  Rng rng(kDataSeed + 404);
+  const join::ExactWeightSampler sampler(imdb.schema);
+  const data::Table join_sample = sampler.Sample(20000, rng);
+
+  query::WorkloadOptions wopts;
+  wopts.num_queries = 500;
+  const auto train = query::GenerateEvaluatedWorkload(join_sample, wopts, rng);
+
+  const auto workload = optimizer::GenerateJoinWorkload(
+      imdb.schema, 40, rng, /*predicate_prob=*/0.25);
+  optimizer::Catalog catalog(imdb.schema);
+  optimizer::OracleProvider oracle(imdb.schema);
+
+  // Precompute oracle plans for agreement reporting.
+  std::vector<optimizer::Plan> oracle_plans;
+  for (const auto& jq : workload) {
+    oracle_plans.push_back(optimizer::ChoosePlan(catalog, oracle, jq));
+  }
+
+  std::printf("%-10s %16s %16s %14s\n", "estimator", "exec total (ms)",
+              "ms per query", "plan=oracle");
+
+  auto run_provider = [&](const std::string& name,
+                          optimizer::SelectivityProvider& provider) {
+    // Optimize all queries first (plan choice), then measure pure execution.
+    std::vector<optimizer::Plan> plans;
+    for (const auto& jq : workload) {
+      plans.push_back(optimizer::ChoosePlan(catalog, provider, jq));
+    }
+    int agree = 0;
+    for (size_t i = 0; i < plans.size(); ++i) {
+      agree += plans[i].order == oracle_plans[i].order ? 1 : 0;
+    }
+    // Warm-up pass (page/cache effects), then the timed pass.
+    for (size_t i = 0; i < workload.size(); ++i) {
+      optimizer::ExecutePlan(imdb.schema, workload[i], plans[i].order);
+    }
+    Stopwatch watch;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      optimizer::ExecutePlan(imdb.schema, workload[i], plans[i].order);
+    }
+    const double total = watch.ElapsedMillis();
+    std::printf("%-10s %16.1f %16.2f %13.0f%%\n", name.c_str(), total,
+                total / static_cast<double>(workload.size()),
+                100.0 * agree / static_cast<double>(workload.size()));
+    std::fflush(stdout);
+  };
+
+  run_provider("oracle", oracle);
+  for (const std::string& name : JoinEstimators()) {
+    auto est = MakeTrainedEstimator(name, join_sample, train, 0);
+    optimizer::JoinEstimatorProvider provider(imdb.schema, est.get());
+    run_provider(name, provider);
+  }
+
+  // Worst-case reference: always pick the reverse of the oracle's plan.
+  {
+    Stopwatch watch;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      std::vector<int> order = oracle_plans[i].order;
+      std::reverse(order.begin(), order.end());
+      optimizer::ExecutePlan(imdb.schema, workload[i], order);
+    }
+    const double total = watch.ElapsedMillis();
+    std::printf("%-10s %16.1f %16.2f %14s\n", "anti-plan", total,
+                total / static_cast<double>(workload.size()), "-");
+  }
+}
+
+}  // namespace
+}  // namespace iam::bench
+
+int main() {
+  iam::bench::Run();
+  return 0;
+}

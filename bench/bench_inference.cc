@@ -1,0 +1,54 @@
+// Reproduces Figure 4: single-query inference latency of every estimator on
+// each dataset (ms/query, averaged over the test workload).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "util/stopwatch.h"
+
+namespace iam::bench {
+namespace {
+
+void Run(const std::string& dataset) {
+  const data::Table table = MakeDataset(dataset);
+  Rng rng(kDataSeed + 177);
+  query::WorkloadOptions wopts;
+  wopts.num_queries = 20;
+  const auto test = query::GenerateEvaluatedWorkload(table, wopts, rng);
+  wopts.num_queries = 400;  // enough for mscn/kde fitting
+  const auto train = query::GenerateEvaluatedWorkload(table, wopts, rng);
+
+  auto iam = MakeTrainedEstimator("iam", table, train, 0);
+  const size_t iam_bytes = iam->SizeBytes();
+
+  std::printf("\n### Figure 4: inference time on %s (ms per query)\n",
+              dataset.c_str());
+  for (const std::string& name : SingleTableEstimators()) {
+    std::unique_ptr<estimator::Estimator> est;
+    estimator::Estimator* target = name == "iam" ? iam.get() : nullptr;
+    if (target == nullptr) {
+      est = MakeTrainedEstimator(name, table, train, iam_bytes);
+      target = est.get();
+    }
+    // Warm up, then time.
+    target->Estimate(test.queries[0]);
+    Stopwatch watch;
+    for (const auto& q : test.queries) target->Estimate(q);
+    const double ms = watch.ElapsedMillis() /
+                      static_cast<double>(test.queries.size());
+    std::printf("%-10s %10.3f ms/query\n", name.c_str(), ms);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace iam::bench
+
+int main(int argc, char** argv) {
+  const std::string only = argc > 1 ? argv[1] : "";
+  for (const std::string& dataset : {"wisdm", "twi", "higgs"}) {
+    if (only.empty() || only == dataset) iam::bench::Run(dataset);
+  }
+  return 0;
+}

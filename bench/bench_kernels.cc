@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark) of the numeric kernels everything else
+// is built on: dense linear forward/backward, ResMADE conditionals, GMM
+// assignment and range masses. Useful when tuning the substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "ar/resmade.h"
+#include "gmm/gmm1d.h"
+#include "nn/matrix.h"
+#include "util/random.h"
+
+namespace iam {
+namespace {
+
+void BM_LinearForward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int in = 256, out = 256;
+  Rng rng(1);
+  nn::Matrix x(batch, in), w(out, in), y;
+  for (size_t i = 0; i < x.size(); ++i) x.data()[i] = (float)rng.Gaussian();
+  for (size_t i = 0; i < w.size(); ++i) w.data()[i] = (float)rng.Gaussian();
+  std::vector<float> bias(out, 0.1f);
+  for (auto _ : state) {
+    nn::LinearForward(x, w, bias, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * batch * in * out);
+}
+BENCHMARK(BM_LinearForward)->Arg(64)->Arg(256);
+
+void BM_LinearBackward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int in = 256, out = 256;
+  Rng rng(2);
+  nn::Matrix x(batch, in), w(out, in), dy(batch, out), dx, dw(out, in);
+  for (size_t i = 0; i < x.size(); ++i) x.data()[i] = (float)rng.Gaussian();
+  for (size_t i = 0; i < w.size(); ++i) w.data()[i] = (float)rng.Gaussian();
+  for (size_t i = 0; i < dy.size(); ++i) dy.data()[i] = (float)rng.Gaussian();
+  std::vector<float> dbias(out, 0.0f);
+  for (auto _ : state) {
+    dw.Zero();
+    nn::LinearBackward(x, w, dy, dx, dw, dbias);
+    benchmark::DoNotOptimize(dw.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4LL * batch * in * out);
+}
+BENCHMARK(BM_LinearBackward)->Arg(64)->Arg(256);
+
+void BM_ResMadeConditional(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  ar::ResMadeConfig config;
+  ar::ResMade made({30, 18, 30, 30, 51}, config, 3);
+  std::vector<std::vector<int>> inputs(batch, {5, 7, 2, 0, 0});
+  nn::Matrix probs;
+  for (auto _ : state) {
+    made.ConditionalDistribution(inputs, 3, probs);
+    benchmark::DoNotOptimize(probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ResMadeConditional)->Arg(64)->Arg(256);
+
+void BM_GmmAssign(benchmark::State& state) {
+  gmm::Gmm1D gmm(30);
+  Rng rng(4);
+  std::vector<double> data(10000);
+  for (double& x : data) x = rng.Gaussian(0.0, 5.0);
+  gmm.InitFromData(data, rng);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gmm.Assign(data[i++ % data.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GmmAssign);
+
+void BM_RangeMassMonteCarlo(benchmark::State& state) {
+  gmm::Gmm1D gmm(30);
+  Rng rng(5);
+  std::vector<double> data(10000);
+  for (double& x : data) x = rng.Gaussian(0.0, 5.0);
+  gmm.InitFromData(data, rng);
+  gmm::ComponentSampleIndex index(gmm, 10000, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.RangeMass(-2.0, 3.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RangeMassMonteCarlo);
+
+void BM_GmmSgdStep(benchmark::State& state) {
+  gmm::Gmm1D gmm(30);
+  Rng rng(6);
+  std::vector<double> data(512);
+  for (double& x : data) x = rng.Gaussian(0.0, 5.0);
+  gmm.InitFromData(data, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gmm.SgdStep(data));
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_GmmSgdStep);
+
+}  // namespace
+}  // namespace iam
+
+BENCHMARK_MAIN();

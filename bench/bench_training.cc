@@ -1,0 +1,80 @@
+// Reproduces Figure 6 (max q-error versus training epoch) and Table 8
+// (training time of the learned estimators on IMDB).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "util/stopwatch.h"
+
+namespace iam::bench {
+namespace {
+
+void TrainingCurve(const std::string& dataset) {
+  data::Table table;
+  if (dataset == "imdb") {
+    const ImdbBundle imdb = MakeImdb();
+    Rng rng(kDataSeed + 6);
+    const join::ExactWeightSampler sampler(imdb.schema);
+    table = sampler.Sample(20000, rng);
+  } else {
+    table = MakeDataset(dataset);
+  }
+  Rng rng(kDataSeed + 505);
+  query::WorkloadOptions wopts;
+  wopts.num_queries = 30;
+  const auto test = query::GenerateEvaluatedWorkload(table, wopts, rng);
+
+  core::ArEstimatorOptions opts = BenchIamOptions();
+  core::ArDensityEstimator iam(table, opts);
+  std::printf("\n### Figure 6: IAM max q-error vs epoch on %s\n",
+              dataset.c_str());
+  std::printf("%-6s %12s %12s %12s\n", "epoch", "epoch s", "ar loss",
+              "max qerror");
+  for (int epoch = 1; epoch <= opts.epochs; ++epoch) {
+    Stopwatch watch;
+    const double loss = iam.TrainEpoch();
+    const double secs = watch.ElapsedSeconds();
+    const ErrorReport report = EvaluateErrors(iam, test, table.num_rows());
+    std::printf("%-6d %12.2f %12.4f %12.3g\n", epoch, secs, loss, report.max);
+    std::fflush(stdout);
+  }
+}
+
+void TrainingTime() {
+  std::printf("\n### Table 8: training time on IMDB (seconds)\n");
+  const ImdbBundle imdb = MakeImdb();
+  Rng rng(kDataSeed + 606);
+  const join::ExactWeightSampler sampler(imdb.schema);
+  const data::Table join_sample = sampler.Sample(20000, rng);
+  query::WorkloadOptions wopts;
+  wopts.num_queries = kTrainQueries;
+  Stopwatch workload_watch;
+  const auto train = query::GenerateEvaluatedWorkload(join_sample, wopts, rng);
+  const double workload_secs = workload_watch.ElapsedSeconds();
+
+  const std::vector<std::string> names = {"mscn", "neurocard", "iam"};
+  for (const std::string& name : names) {
+    Stopwatch watch;
+    auto est = MakeTrainedEstimator(name, join_sample, train, 0);
+    double secs = watch.ElapsedSeconds();
+    if (name == "mscn") {
+      // Query-driven training also pays for executing the training workload.
+      secs += workload_secs;
+    }
+    std::printf("%-10s %10.1f s\n", name.c_str(), secs);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace iam::bench
+
+int main(int argc, char** argv) {
+  const std::string only = argc > 1 ? argv[1] : "";
+  for (const std::string& dataset : {"wisdm", "twi", "higgs", "imdb"}) {
+    if (only.empty() || only == dataset) iam::bench::TrainingCurve(dataset);
+  }
+  if (only.empty() || only == "table8") iam::bench::TrainingTime();
+  return 0;
+}

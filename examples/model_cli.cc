@@ -1,0 +1,106 @@
+// Command-line workflow around persisted models:
+//
+//   model_cli train <data.csv> <model.iam> [categorical_col,...]
+//   model_cli estimate <model.iam> "<predicates>"
+//   model_cli demo                       # self-contained end-to-end demo
+//
+// Predicates use the SQL-style grammar of query::ParsePredicates, e.g.
+//   model_cli estimate twi.iam "latitude BETWEEN 35 AND 45 AND longitude <= -100"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ar_density_estimator.h"
+#include "core/presets.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "query/parser.h"
+
+namespace {
+
+int Train(const std::string& csv_path, const std::string& model_path,
+          const std::string& categorical_csv) {
+  std::vector<std::string> categorical;
+  std::stringstream ss(categorical_csv);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (!name.empty()) categorical.push_back(name);
+  }
+  auto table = iam::data::ReadCsv(csv_path, categorical);
+  if (!table.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu rows x %d cols\n", table->num_rows(),
+              table->num_columns());
+  iam::core::ArDensityEstimator model(*table, iam::core::IamDefaults(30));
+  model.Train();
+  const iam::Status saved = model.Save(model_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("model written to %s (%.1f KB)\n", model_path.c_str(),
+              model.SizeBytes() / 1024.0);
+  return 0;
+}
+
+int Estimate(const std::string& model_path, const std::string& predicate) {
+  auto model = iam::core::ArDensityEstimator::Load(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  const iam::data::Table schema = (*model)->SchemaTable();
+  auto query = iam::query::ParsePredicates(schema, predicate);
+  if (!query.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("selectivity = %.6g\n", (*model)->Estimate(*query));
+  return 0;
+}
+
+int Demo() {
+  namespace fs = std::filesystem;
+  const std::string csv = (fs::temp_directory_path() / "cli_twi.csv").string();
+  const std::string model =
+      (fs::temp_directory_path() / "cli_twi.iam").string();
+  const iam::data::Table twi = iam::data::MakeSynTwi(20000, 99);
+  if (!iam::data::WriteCsv(twi, csv).ok()) return 1;
+  std::printf("== train ==\n");
+  if (Train(csv, model, "") != 0) return 1;
+  std::printf("== estimate ==\n");
+  const int rc = Estimate(
+      model, "latitude BETWEEN 35 AND 45 AND longitude <= -100");
+  std::remove(csv.c_str());
+  std::remove(model.c_str());
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "demo") == 0) return Demo();
+  if (argc >= 4 && std::strcmp(argv[1], "train") == 0) {
+    return Train(argv[2], argv[3], argc >= 5 ? argv[4] : "");
+  }
+  if (argc >= 4 && std::strcmp(argv[1], "estimate") == 0) {
+    return Estimate(argv[2], argv[3]);
+  }
+  if (argc == 1) return Demo();  // default: run the demo end to end
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s train <data.csv> <model.iam> [cat_col,...]\n"
+               "  %s estimate <model.iam> \"<predicates>\"\n"
+               "  %s demo\n",
+               argv[0], argv[0], argv[0]);
+  return 2;
+}

@@ -1,0 +1,65 @@
+// Query-optimizer scenario (the paper's Figure 5 mechanism): the mini
+// cost-based optimizer plans star joins with selectivities supplied by IAM,
+// by a Postgres-style AVI estimator, and by the exact oracle; the demo shows
+// the chosen join orders and the real intermediate-result sizes each plan
+// materializes.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/ar_density_estimator.h"
+#include "estimator/postgres1d.h"
+#include "join/star_schema.h"
+#include "optimizer/mini_optimizer.h"
+
+int main() {
+  using namespace iam;
+
+  // A small IMDB-like star: title ⋈ movie_info ⋈ cast_info.
+  const join::StarSchema schema = join::MakeSynImdb(800, /*seed=*/3);
+  std::printf("star schema: title=%zu rows, movie_info=%zu, cast_info=%zu, "
+              "|join|=%.0f\n\n",
+              schema.dim.num_rows(), schema.facts[0].num_rows(),
+              schema.facts[1].num_rows(), join::JoinCardinality(schema));
+
+  // Train IAM on exact-weight join samples (NeuroCard's recipe, Section 3).
+  Rng rng(17);
+  const join::ExactWeightSampler sampler(schema);
+  const data::Table join_sample = sampler.Sample(15000, rng);
+  core::ArEstimatorOptions opts = core::IamDefaults(30);
+  opts.epochs = 6;
+  core::ArDensityEstimator iam(join_sample, opts);
+  iam.Train();
+
+  estimator::Postgres1DEstimator postgres(
+      join_sample, estimator::Postgres1DEstimator::Options{});
+
+  optimizer::Catalog catalog(schema);
+  optimizer::OracleProvider oracle(schema);
+  optimizer::JoinEstimatorProvider iam_provider(schema, &iam);
+  optimizer::JoinEstimatorProvider pg_provider(schema, &postgres);
+
+  const auto workload = optimizer::GenerateJoinWorkload(schema, 5, rng);
+  const char* table_names[] = {"title", "movie_info", "cast_info"};
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    std::printf("query %zu:\n", i + 1);
+    for (auto* provider :
+         {static_cast<optimizer::SelectivityProvider*>(&oracle),
+          static_cast<optimizer::SelectivityProvider*>(&iam_provider),
+          static_cast<optimizer::SelectivityProvider*>(&pg_provider)}) {
+      const optimizer::Plan plan =
+          optimizer::ChoosePlan(catalog, *provider, workload[i]);
+      const optimizer::ExecutionResult result =
+          optimizer::ExecutePlan(schema, workload[i], plan.order);
+      std::printf("  %-9s order = %s ⋈ %s ⋈ %s | intermediate rows = %.0f, "
+                  "output rows = %.0f\n",
+                  provider->name().c_str(), table_names[plan.order[0]],
+                  table_names[plan.order[1]], table_names[plan.order[2]],
+                  result.intermediate_rows, result.output_rows);
+    }
+  }
+  std::printf("\nbetter selectivities -> smaller intermediates -> faster "
+              "execution (the paper's Figure 5 effect).\n");
+  return 0;
+}

@@ -1,0 +1,394 @@
+#include "ar/resmade.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+#include "util/serialize.h"
+
+namespace iam::ar {
+namespace {
+
+// Hidden-unit degree assignment: cyclic over [1, n-1]. Identical for every
+// layer so equal-width layers share degrees and residual additions are valid.
+int HiddenDegree(int unit, int num_columns) {
+  const int span = std::max(1, num_columns - 1);
+  return 1 + (unit % span);
+}
+
+}  // namespace
+
+ResMade::ResMade(std::vector<int> domain_sizes, ResMadeConfig config,
+                 uint64_t seed)
+    : domains_(std::move(domain_sizes)),
+      config_(std::move(config)),
+      init_rng_(seed),
+      output_([&] {
+        // Placeholder; the real output layer is built below once the input
+        // and output widths are known. MaskedLinear has no default ctor, so
+        // construct a 1x1 layer here and move-assign later is not possible
+        // (no assignment); instead compute widths first via a lambda chain.
+        return nn::MaskedLinear(1, 1, init_rng_);
+      }()) {
+  const int n = num_columns();
+  IAM_CHECK_MSG(n >= 2, "ResMade requires at least two columns");
+  for (int d : domains_) IAM_CHECK(d >= 1);
+
+  // --- Input/output layout. -------------------------------------------------
+  encodings_.resize(n);
+  embeddings_.resize(n);
+  int in_off = 0;
+  int out_off = 0;
+  for (int c = 0; c < n; ++c) {
+    ColumnEncoding& enc = encodings_[c];
+    const int classes = domains_[c] + 1;  // + wildcard token
+    enc.one_hot = classes <= config_.one_hot_max_domain;
+    enc.width = enc.one_hot ? classes : config_.embedding_dim;
+    enc.input_offset = in_off;
+    enc.logit_offset = out_off;
+    in_off += enc.width;
+    out_off += domains_[c];
+    if (!enc.one_hot) {
+      embeddings_[c] = nn::Parameter(classes, config_.embedding_dim);
+      const double bound = 1.0 / std::sqrt(config_.embedding_dim);
+      for (int r = 0; r < classes; ++r) {
+        for (int k = 0; k < config_.embedding_dim; ++k) {
+          embeddings_[c].value.at(r, k) =
+              static_cast<float>(init_rng_.Uniform(-bound, bound));
+        }
+      }
+    }
+  }
+  input_width_ = in_off;
+  output_width_ = out_off;
+
+  // --- Hidden stack with MADE masks. ---------------------------------------
+  // Degree of every input unit in column block c is c+1 (1-based).
+  std::vector<int> input_degree(input_width_);
+  for (int c = 0; c < n; ++c) {
+    for (int j = 0; j < encodings_[c].width; ++j) {
+      input_degree[encodings_[c].input_offset + j] = c + 1;
+    }
+  }
+
+  int prev_width = input_width_;
+  std::vector<int> prev_degree = input_degree;
+  for (int layer = 0; layer < static_cast<int>(config_.hidden_sizes.size());
+       ++layer) {
+    const int width = config_.hidden_sizes[layer];
+    hidden_.emplace_back(prev_width, width, init_rng_);
+    nn::Matrix mask(width, prev_width);
+    std::vector<int> degree(width);
+    for (int k = 0; k < width; ++k) {
+      degree[k] = HiddenDegree(k, n);
+      for (int j = 0; j < prev_width; ++j) {
+        mask.at(k, j) = degree[k] >= prev_degree[j] ? 1.0f : 0.0f;
+      }
+    }
+    hidden_.back().SetMask(std::move(mask));
+    residual_flags_.push_back(config_.residual && prev_width == width &&
+                              layer > 0);
+    prev_width = width;
+    prev_degree = std::move(degree);
+  }
+
+  // --- Output layer: logits block c may read hidden degree <= c. -----------
+  output_ = [&] {
+    nn::MaskedLinear out(prev_width, output_width_, init_rng_);
+    nn::Matrix mask(output_width_, prev_width);
+    for (int c = 0; c < n; ++c) {
+      for (int j = 0; j < domains_[c]; ++j) {
+        const int row = encodings_[c].logit_offset + j;
+        for (int k = 0; k < prev_width; ++k) {
+          mask.at(row, k) = prev_degree[k] <= c ? 1.0f : 0.0f;
+        }
+      }
+    }
+    out.SetMask(std::move(mask));
+    return out;
+  }();
+
+  pre_act_.resize(hidden_.size());
+  act_.resize(hidden_.size());
+}
+
+void ResMade::RegisterParameters(nn::Adam& adam) {
+  for (int c = 0; c < num_columns(); ++c) {
+    if (!encodings_[c].one_hot) adam.Register(&embeddings_[c]);
+  }
+  for (nn::MaskedLinear& layer : hidden_) {
+    adam.Register(&layer.weight());
+    adam.Register(&layer.bias());
+  }
+  adam.Register(&output_.weight());
+  adam.Register(&output_.bias());
+}
+
+void ResMade::EncodeInput(const std::vector<std::vector<int>>& batch,
+                          nn::Matrix& x) const {
+  const int b = static_cast<int>(batch.size());
+  x.Resize(b, input_width_);
+  x.Zero();
+  for (int r = 0; r < b; ++r) {
+    IAM_DCHECK(static_cast<int>(batch[r].size()) == num_columns());
+    float* row = x.row(r);
+    for (int c = 0; c < num_columns(); ++c) {
+      const ColumnEncoding& enc = encodings_[c];
+      const int value = batch[r][c];
+      IAM_DCHECK(value >= 0 && value <= domains_[c]);
+      if (enc.one_hot) {
+        row[enc.input_offset + value] = 1.0f;
+      } else {
+        const float* emb = embeddings_[c].value.row(value);
+        float* dst = row + enc.input_offset;
+        for (int k = 0; k < enc.width; ++k) dst[k] = emb[k];
+      }
+    }
+  }
+}
+
+void ResMade::Forward(const nn::Matrix& x, bool training) {
+  const nn::Matrix* current = &x;
+  for (size_t i = 0; i < hidden_.size(); ++i) {
+    hidden_[i].Forward(*current, pre_act_[i]);
+    ReluForward(pre_act_[i], act_[i]);
+    if (residual_flags_[i]) {
+      IAM_DCHECK(act_[i].size() == current->size());
+      float* a = act_[i].data();
+      const float* prev = current->data();
+      for (size_t k = 0; k < act_[i].size(); ++k) a[k] += prev[k];
+    }
+    current = &act_[i];
+  }
+  output_.Forward(*current, logits_);
+  (void)training;
+}
+
+double ResMade::TrainStep(const std::vector<std::vector<int>>& batch,
+                          nn::Adam& adam, Rng& rng) {
+  IAM_CHECK(!batch.empty());
+  const int b = static_cast<int>(batch.size());
+  const int n = num_columns();
+
+  adam.ZeroGrad();
+
+  // Wildcard-skipping: randomly replace input values by the wildcard token.
+  // Targets are always the original values.
+  encoded_cache_ = batch;
+  for (auto& row : encoded_cache_) {
+    for (int c = 0; c < n; ++c) {
+      if (rng.Uniform() < config_.wildcard_prob) {
+        row[c] = wildcard_token(c);
+      }
+    }
+  }
+
+  EncodeInput(encoded_cache_, input_cache_);
+  Forward(input_cache_, /*training=*/true);
+
+  // Softmax cross-entropy per column block; gradient written into dlogits.
+  nn::Matrix dlogits(b, output_width_);
+  double total_loss = 0.0;
+  std::vector<double> scratch;
+  for (int r = 0; r < b; ++r) {
+    const float* lrow = logits_.row(r);
+    float* grow = dlogits.row(r);
+    for (int c = 0; c < n; ++c) {
+      const int off = encodings_[c].logit_offset;
+      const int dom = domains_[c];
+      scratch.assign(lrow + off, lrow + off + dom);
+      SoftmaxInPlace(scratch);
+      const int target = batch[r][c];
+      IAM_DCHECK(target >= 0 && target < dom);
+      total_loss += -std::log(std::max(scratch[target], 1e-12));
+      const float scale = 1.0f / static_cast<float>(b);
+      for (int j = 0; j < dom; ++j) {
+        grow[off + j] = static_cast<float>(scratch[j]) * scale;
+      }
+      grow[off + target] -= scale;
+    }
+  }
+
+  // Backward through the stack.
+  nn::Matrix d_act;
+  nn::Matrix d_pre;
+  nn::Matrix d_prev;
+  const nn::Matrix& last =
+      hidden_.empty() ? input_cache_ : act_[hidden_.size() - 1];
+  output_.Backward(last, dlogits, d_act);
+
+  for (int i = static_cast<int>(hidden_.size()) - 1; i >= 0; --i) {
+    const nn::Matrix& layer_input = i == 0 ? input_cache_ : act_[i - 1];
+    ReluBackward(pre_act_[i], d_act, d_pre);
+    hidden_[i].Backward(layer_input, d_pre, d_prev);
+    if (residual_flags_[i]) {
+      // Skip connection routes d_act straight to the layer input as well.
+      float* dp = d_prev.data();
+      const float* da = d_act.data();
+      for (size_t k = 0; k < d_prev.size(); ++k) dp[k] += da[k];
+    }
+    d_act = std::move(d_prev);
+    d_prev = nn::Matrix();
+  }
+
+  // d_act now holds the gradient w.r.t. the encoded input: scatter into
+  // embedding tables.
+  for (int c = 0; c < n; ++c) {
+    const ColumnEncoding& enc = encodings_[c];
+    if (enc.one_hot) continue;
+    for (int r = 0; r < b; ++r) {
+      const int value = encoded_cache_[r][c];
+      float* grad = embeddings_[c].grad.row(value);
+      const float* src = d_act.row(r) + enc.input_offset;
+      for (int k = 0; k < enc.width; ++k) grad[k] += src[k];
+    }
+  }
+
+  adam.Step();
+  return total_loss / static_cast<double>(b);
+}
+
+void ResMade::ConditionalDistribution(
+    const std::vector<std::vector<int>>& inputs, int col, nn::Matrix& probs) {
+  IAM_CHECK(col >= 0 && col < num_columns());
+  EncodeInput(inputs, input_cache_);
+
+  // Hidden stack only; the output layer is evaluated just for `col`'s logits
+  // block, which keeps progressive sampling cheap when other columns have
+  // large domains (factorized sub-columns can have thousands of logits).
+  const nn::Matrix* current = &input_cache_;
+  for (size_t i = 0; i < hidden_.size(); ++i) {
+    hidden_[i].Forward(*current, pre_act_[i]);
+    ReluForward(pre_act_[i], act_[i]);
+    if (residual_flags_[i]) {
+      float* a = act_[i].data();
+      const float* prev = current->data();
+      for (size_t k = 0; k < act_[i].size(); ++k) a[k] += prev[k];
+    }
+    current = &act_[i];
+  }
+
+  const int b = static_cast<int>(inputs.size());
+  const int dom = domains_[col];
+  const int off = encodings_[col].logit_offset;
+  const int hidden_width = current->cols();
+  const nn::Matrix& w = output_.weight().value;
+  const nn::Matrix& bias = output_.bias().value;
+  probs.Resize(b, dom);
+  std::vector<double> scratch(dom);
+  for (int r = 0; r < b; ++r) {
+    const float* h = current->row(r);
+    for (int j = 0; j < dom; ++j) {
+      const float* wrow = w.row(off + j);
+      float acc = bias.at(0, off + j);
+      for (int k = 0; k < hidden_width; ++k) acc += h[k] * wrow[k];
+      scratch[j] = acc;
+    }
+    SoftmaxInPlace(scratch);
+    float* prow = probs.row(r);
+    for (int j = 0; j < dom; ++j) prow[j] = static_cast<float>(scratch[j]);
+  }
+}
+
+double ResMade::LogProb(const std::vector<int>& tuple) {
+  IAM_CHECK(static_cast<int>(tuple.size()) == num_columns());
+  std::vector<std::vector<int>> batch = {tuple};
+  EncodeInput(batch, input_cache_);
+  Forward(input_cache_, /*training=*/false);
+  double log_prob = 0.0;
+  std::vector<double> scratch;
+  const float* lrow = logits_.row(0);
+  for (int c = 0; c < num_columns(); ++c) {
+    const int off = encodings_[c].logit_offset;
+    const int dom = domains_[c];
+    scratch.assign(lrow + off, lrow + off + dom);
+    SoftmaxInPlace(scratch);
+    log_prob += std::log(std::max(scratch[tuple[c]], 1e-300));
+  }
+  return log_prob;
+}
+
+namespace {
+
+void WriteMatrix(std::ostream& out, const nn::Matrix& m) {
+  WritePod<int32_t>(out, m.rows());
+  WritePod<int32_t>(out, m.cols());
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+Status ReadMatrixInto(std::istream& in, nn::Matrix& m) {
+  int32_t rows = 0, cols = 0;
+  IAM_RETURN_IF_ERROR(ReadPod(in, &rows));
+  IAM_RETURN_IF_ERROR(ReadPod(in, &cols));
+  if (rows != m.rows() || cols != m.cols()) {
+    return Status::IoError("matrix shape mismatch in model blob");
+  }
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(float)));
+  if (!in) return Status::IoError("truncated matrix in model blob");
+  return Status::Ok();
+}
+
+}  // namespace
+
+void ResMade::Serialize(std::ostream& out) const {
+  WriteVector(out, domains_);
+  WriteVector(out, config_.hidden_sizes);
+  WritePod<uint8_t>(out, config_.residual ? 1 : 0);
+  WritePod<double>(out, config_.wildcard_prob);
+  WritePod<int32_t>(out, config_.one_hot_max_domain);
+  WritePod<int32_t>(out, config_.embedding_dim);
+
+  for (int c = 0; c < num_columns(); ++c) {
+    if (!encodings_[c].one_hot) WriteMatrix(out, embeddings_[c].value);
+  }
+  for (const nn::MaskedLinear& layer : hidden_) {
+    WriteMatrix(out, layer.weight().value);
+    WriteMatrix(out, layer.bias().value);
+  }
+  WriteMatrix(out, output_.weight().value);
+  WriteMatrix(out, output_.bias().value);
+}
+
+Result<std::unique_ptr<ResMade>> ResMade::Deserialize(std::istream& in) {
+  std::vector<int> domains;
+  ResMadeConfig config;
+  uint8_t residual = 1;
+  IAM_RETURN_IF_ERROR(ReadVector(in, &domains));
+  IAM_RETURN_IF_ERROR(ReadVector(in, &config.hidden_sizes));
+  IAM_RETURN_IF_ERROR(ReadPod(in, &residual));
+  IAM_RETURN_IF_ERROR(ReadPod(in, &config.wildcard_prob));
+  IAM_RETURN_IF_ERROR(ReadPod(in, &config.one_hot_max_domain));
+  IAM_RETURN_IF_ERROR(ReadPod(in, &config.embedding_dim));
+  config.residual = residual != 0;
+  if (domains.size() < 2 || config.hidden_sizes.empty()) {
+    return Status::IoError("inconsistent ResMade blob");
+  }
+
+  auto made = std::make_unique<ResMade>(domains, config, /*seed=*/0);
+  for (int c = 0; c < made->num_columns(); ++c) {
+    if (!made->encodings_[c].one_hot) {
+      IAM_RETURN_IF_ERROR(ReadMatrixInto(in, made->embeddings_[c].value));
+    }
+  }
+  for (nn::MaskedLinear& layer : made->hidden_) {
+    IAM_RETURN_IF_ERROR(ReadMatrixInto(in, layer.weight().value));
+    IAM_RETURN_IF_ERROR(ReadMatrixInto(in, layer.bias().value));
+  }
+  IAM_RETURN_IF_ERROR(ReadMatrixInto(in, made->output_.weight().value));
+  IAM_RETURN_IF_ERROR(ReadMatrixInto(in, made->output_.bias().value));
+  return made;
+}
+
+size_t ResMade::ParameterCount() const {
+  size_t count = 0;
+  for (int c = 0; c < num_columns(); ++c) {
+    if (!encodings_[c].one_hot) count += embeddings_[c].size();
+  }
+  for (const nn::MaskedLinear& layer : hidden_) count += layer.ParameterCount();
+  count += output_.ParameterCount();
+  return count;
+}
+
+}  // namespace iam::ar

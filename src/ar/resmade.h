@@ -1,0 +1,123 @@
+#ifndef IAM_AR_RESMADE_H_
+#define IAM_AR_RESMADE_H_
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "nn/adam.h"
+#include "util/status.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "util/random.h"
+
+namespace iam::ar {
+
+// Configuration of the ResMADE autoregressive density model. Defaults follow
+// the paper (Section 6.1.2): four hidden layers of 256-128-128-256 units,
+// residual connections between equal-width layers, wildcard-skipping inputs.
+struct ResMadeConfig {
+  std::vector<int> hidden_sizes = {256, 128, 128, 256};
+  bool residual = true;
+  // Per-column probability of replacing the input value with the wildcard
+  // token during training (Naru's wildcard skipping).
+  double wildcard_prob = 0.25;
+  // Columns whose (domain size + 1) exceeds this threshold are fed through a
+  // learned embedding instead of a one-hot block.
+  int one_hot_max_domain = 96;
+  int embedding_dim = 32;
+};
+
+// MADE (Germain et al.) with residual connections, specialized for tabular
+// autoregressive likelihoods: given encoded tuples (one integer per column),
+// a single forward pass produces, for every column i, the logits of
+// P(A_i | A_1..A_{i-1}) under the left-to-right column order.
+//
+// All masks use deterministic cyclic hidden degrees, identical across
+// equal-width layers, so residual additions preserve the autoregressive
+// property.
+class ResMade {
+ public:
+  ResMade(std::vector<int> domain_sizes, ResMadeConfig config, uint64_t seed);
+
+  ResMade(const ResMade&) = delete;
+  ResMade& operator=(const ResMade&) = delete;
+
+  int num_columns() const { return static_cast<int>(domains_.size()); }
+  int domain_size(int col) const { return domains_[col]; }
+  // The wildcard token is one past the last real value of the column.
+  int wildcard_token(int col) const { return domains_[col]; }
+
+  // Registers every trainable parameter with the optimizer.
+  void RegisterParameters(nn::Adam& adam);
+
+  // One SGD step on a mini-batch of encoded tuples. Wildcard masking is
+  // applied internally with `rng`. Returns the mean cross-entropy (nats per
+  // tuple). The caller's optimizer must have this model's parameters
+  // registered; gradients are zeroed at entry and the step is applied.
+  double TrainStep(const std::vector<std::vector<int>>& batch, nn::Adam& adam,
+                   Rng& rng);
+
+  // Evaluates the conditional distribution of `col` for each input row.
+  // inputs[r][c] must be a valid value or the wildcard token; only columns
+  // before `col` influence the result. Writes probs as [batch, D_col].
+  void ConditionalDistribution(const std::vector<std::vector<int>>& inputs,
+                               int col, nn::Matrix& probs);
+
+  // log \hat P(tuple) = sum_i log \hat P(t_i | t_<i). For tests/examples.
+  double LogProb(const std::vector<int>& tuple);
+
+  size_t ParameterCount() const;
+  size_t SizeBytes() const { return ParameterCount() * sizeof(float); }
+
+  // Model persistence: architecture + parameter values (optimizer moments
+  // are not preserved; reload for inference or fine-tuning from scratch).
+  void Serialize(std::ostream& out) const;
+  static Result<std::unique_ptr<ResMade>> Deserialize(std::istream& in);
+
+ private:
+  struct ColumnEncoding {
+    bool one_hot;
+    int width;        // block width in the input vector
+    int input_offset; // starting index of the block
+    int logit_offset; // starting index of the logits block in the output
+  };
+
+  // Builds the input matrix [batch, input_width_] from encoded values,
+  // optionally applying wildcard masking. Remembers embedding lookups for
+  // the backward pass.
+  void EncodeInput(const std::vector<std::vector<int>>& batch,
+                   nn::Matrix& x) const;
+
+  // Shared forward pass; fills activation caches when `training` is true.
+  void Forward(const nn::Matrix& x, bool training);
+
+  std::vector<int> domains_;
+  ResMadeConfig config_;
+  Rng init_rng_;
+
+  std::vector<ColumnEncoding> encodings_;
+  int input_width_ = 0;
+  int output_width_ = 0;
+
+  // Embedding tables; empty Parameter for one-hot columns.
+  std::vector<nn::Parameter> embeddings_;  // [D_c + 1, embedding_dim]
+
+  std::vector<nn::MaskedLinear> hidden_;
+  std::vector<bool> residual_flags_;  // hidden_[i] adds its input when true
+  nn::MaskedLinear output_;
+
+  // Forward caches (training) / scratch (inference).
+  std::vector<nn::Matrix> pre_act_;   // z_i per hidden layer
+  std::vector<nn::Matrix> act_;       // a_i per hidden layer (post residual)
+  nn::Matrix input_cache_;
+  nn::Matrix logits_;
+  // Last encoded batch (for embedding backward).
+  std::vector<std::vector<int>> encoded_cache_;
+};
+
+}  // namespace iam::ar
+
+#endif  // IAM_AR_RESMADE_H_

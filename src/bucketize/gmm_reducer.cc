@@ -1,0 +1,33 @@
+#include "bucketize/gmm_reducer.h"
+
+#include "util/serialize.h"
+
+namespace iam::bucketize {
+
+GmmReducer::GmmReducer(gmm::Gmm1D gmm, int samples_per_component, bool exact,
+                       uint64_t seed)
+    : gmm_(std::move(gmm)),
+      samples_per_component_(samples_per_component),
+      exact_(exact) {
+  if (!exact_) RefreshSamples(seed);
+}
+
+void GmmReducer::RefreshSamples(uint64_t seed) {
+  if (exact_) return;
+  Rng rng(seed);
+  samples_.emplace(gmm_, samples_per_component_, rng);
+}
+
+std::vector<double> GmmReducer::RangeMass(double lo, double hi) const {
+  if (exact_) return gmm::ExactRangeMass(gmm_, lo, hi);
+  return samples_->RangeMass(lo, hi);
+}
+
+void GmmReducer::Serialize(std::ostream& out) const {
+  WriteString(out, "gmm");
+  WritePod<int32_t>(out, samples_per_component_);
+  WritePod<uint8_t>(out, exact_ ? 1 : 0);
+  gmm_.Serialize(out);
+}
+
+}  // namespace iam::bucketize

@@ -1,0 +1,56 @@
+#ifndef IAM_BUCKETIZE_GMM_REDUCER_H_
+#define IAM_BUCKETIZE_GMM_REDUCER_H_
+
+#include <memory>
+#include <optional>
+
+#include "bucketize/domain_reducer.h"
+#include "gmm/gmm1d.h"
+
+namespace iam::bucketize {
+
+// DomainReducer adapter over a trained 1-D GMM. RangeMass uses the paper's
+// Monte-Carlo estimate (S samples per component, drawn once and reused across
+// queries) unless `exact` is requested, in which case the normal CDF is
+// evaluated directly — the exact mode exists for verification and the
+// "impact of GMM sample number" ablation.
+class GmmReducer : public DomainReducer {
+ public:
+  GmmReducer(gmm::Gmm1D gmm, int samples_per_component, bool exact,
+             uint64_t seed);
+
+  std::string name() const override { return "gmm"; }
+  int num_buckets() const override { return gmm_.num_components(); }
+  int Assign(double x) const override { return gmm_.Assign(x); }
+  std::vector<double> RangeMass(double lo, double hi) const override;
+  size_t SizeBytes() const override { return gmm_.SizeBytes(); }
+  double RepresentativeValue(int bucket, double lo, double hi) const override {
+    return gmm_.ComponentTruncatedMean(bucket, lo, hi);
+  }
+
+  const gmm::Gmm1D& gmm() const { return gmm_; }
+  // Mutable access for joint training; call RefreshSamples afterwards so the
+  // Monte-Carlo range masses match the updated parameters.
+  gmm::Gmm1D& mutable_gmm() { return gmm_; }
+
+  // Rebuilds the Monte-Carlo sample index (after further GMM training).
+  void RefreshSamples(uint64_t seed);
+
+  void Serialize(std::ostream& out) const override;
+
+  bool trainable() const override { return true; }
+  double TrainStep(std::span<const double> batch) override {
+    return gmm_.SgdStep(batch);
+  }
+  void PostEpoch(uint64_t seed) override { RefreshSamples(seed); }
+
+ private:
+  gmm::Gmm1D gmm_;
+  int samples_per_component_;
+  bool exact_;
+  std::optional<gmm::ComponentSampleIndex> samples_;
+};
+
+}  // namespace iam::bucketize
+
+#endif  // IAM_BUCKETIZE_GMM_REDUCER_H_

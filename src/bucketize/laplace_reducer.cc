@@ -1,0 +1,26 @@
+#include "bucketize/laplace_reducer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/serialize.h"
+
+namespace iam::bucketize {
+
+void LaplaceReducer::Serialize(std::ostream& out) const {
+  WriteString(out, "laplace");
+  const int k = mixture_.num_components();
+  std::vector<double> logits(k), locations(k), scales(k);
+  for (int j = 0; j < k; ++j) {
+    // Reconstructible parameterization: normalized weights re-enter as
+    // log-weights, which softmax maps back to the same distribution.
+    logits[j] = std::log(std::max(mixture_.weight(j), 1e-300));
+    locations[j] = mixture_.location(j);
+    scales[j] = mixture_.scale(j);
+  }
+  WriteVector(out, logits);
+  WriteVector(out, locations);
+  WriteVector(out, scales);
+}
+
+}  // namespace iam::bucketize

@@ -1,0 +1,52 @@
+#ifndef IAM_BUCKETIZE_LAPLACE_REDUCER_H_
+#define IAM_BUCKETIZE_LAPLACE_REDUCER_H_
+
+#include "bucketize/domain_reducer.h"
+#include "gmm/laplace.h"
+
+namespace iam::bucketize {
+
+// DomainReducer over a 1-D Laplace mixture — the paper's "other mixture
+// models" future work. Range masses use the closed-form Laplace CDF (no
+// Monte-Carlo needed), and the mixture trains jointly with the AR model via
+// the same SGD hooks as the GMM.
+class LaplaceReducer : public DomainReducer {
+ public:
+  explicit LaplaceReducer(gmm::LaplaceMixture1D mixture)
+      : mixture_(std::move(mixture)) {}
+
+  std::string name() const override { return "laplace"; }
+  int num_buckets() const override { return mixture_.num_components(); }
+  int Assign(double x) const override { return mixture_.Assign(x); }
+
+  std::vector<double> RangeMass(double lo, double hi) const override {
+    std::vector<double> mass(mixture_.num_components());
+    for (int k = 0; k < mixture_.num_components(); ++k) {
+      mass[k] = mixture_.ComponentIntervalMass(k, lo, hi);
+    }
+    return mass;
+  }
+
+  double RepresentativeValue(int bucket, double lo, double hi) const override {
+    return mixture_.ComponentTruncatedMean(bucket, lo, hi);
+  }
+
+  size_t SizeBytes() const override { return mixture_.SizeBytes(); }
+
+  void Serialize(std::ostream& out) const override;
+
+  bool trainable() const override { return true; }
+  double TrainStep(std::span<const double> batch) override {
+    return mixture_.SgdStep(batch);
+  }
+
+  const gmm::LaplaceMixture1D& mixture() const { return mixture_; }
+  gmm::LaplaceMixture1D& mutable_mixture() { return mixture_; }
+
+ private:
+  gmm::LaplaceMixture1D mixture_;
+};
+
+}  // namespace iam::bucketize
+
+#endif  // IAM_BUCKETIZE_LAPLACE_REDUCER_H_

@@ -1,0 +1,722 @@
+#include "core/ar_density_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <fstream>
+
+#include "bucketize/laplace_reducer.h"
+#include "gmm/laplace.h"
+#include "gmm/vbgm.h"
+#include "util/serialize.h"
+#include "util/math_util.h"
+
+namespace iam::core {
+namespace {
+
+// Sums probs[first..last] (inclusive) from a float probability row.
+double RangeSum(const float* probs, int first, int last) {
+  double sum = 0.0;
+  for (int j = first; j <= last; ++j) sum += probs[j];
+  return sum;
+}
+
+// Samples an index in [first, last] proportional to probs[j], given the
+// precomputed sum. `u` is uniform in [0, 1).
+int SampleInRange(const float* probs, int first, int last, double sum,
+                  double u) {
+  const double target = u * sum;
+  double acc = 0.0;
+  int last_positive = -1;
+  for (int j = first; j <= last; ++j) {
+    if (probs[j] <= 0.0f) continue;
+    acc += probs[j];
+    last_positive = j;
+    if (acc >= target) return j;
+  }
+  return last_positive;
+}
+
+}  // namespace
+
+ArDensityEstimator::ArDensityEstimator(const data::Table& table,
+                                       ArEstimatorOptions options)
+    : options_(std::move(options)),
+      table_rows_(table.num_rows()),
+      rng_(options_.seed) {
+  IAM_CHECK(table.num_rows() > 0);
+  IAM_CHECK(table.num_columns() >= 2);
+  for (int c = 0; c < table.num_columns(); ++c) {
+    column_names_.push_back(table.column(c).name);
+    column_types_.push_back(table.column(c).type);
+  }
+  BuildColumns(table);
+  BuildTrainingSample(table);
+  EncodeStaticColumns();
+
+  std::vector<int> domains(model_col_owner_.size());
+  for (size_t m = 0; m < model_col_owner_.size(); ++m) {
+    const TableColumn& col = columns_[model_col_owner_[m]];
+    switch (col.kind) {
+      case TableColumn::Kind::kRaw:
+        domains[m] = col.dict.size();
+        break;
+      case TableColumn::Kind::kReduced:
+        domains[m] = col.reducer->num_buckets();
+        break;
+      case TableColumn::Kind::kFactorized:
+        domains[m] = model_col_role_[m] == 0
+                         ? (col.dict.size() + col.factor_base - 1) /
+                               col.factor_base
+                         : col.factor_base;
+        break;
+    }
+    IAM_CHECK(domains[m] >= 1);
+  }
+  made_ = std::make_unique<ar::ResMade>(std::move(domains), options_.made,
+                                        options_.seed ^ 0xabcdef12u);
+  nn::Adam::Options adam_opts;
+  adam_opts.learning_rate = options_.learning_rate;
+  adam_ = nn::Adam(adam_opts);
+  made_->RegisterParameters(adam_);
+}
+
+ArDensityEstimator::~ArDensityEstimator() = default;
+
+void ArDensityEstimator::BuildColumns(const data::Table& table) {
+  columns_.resize(table.num_columns());
+  Rng reducer_rng(options_.seed ^ 0x5eed5eedu);
+
+  // Autoregressive order: identity unless the caller supplied a permutation.
+  std::vector<int> order = options_.column_order;
+  if (order.empty()) {
+    order.resize(table.num_columns());
+    std::iota(order.begin(), order.end(), 0);
+  }
+  IAM_CHECK(static_cast<int>(order.size()) == table.num_columns());
+  {
+    std::vector<bool> seen(order.size(), false);
+    for (int c : order) {
+      IAM_CHECK(c >= 0 && c < table.num_columns() && !seen[c]);
+      seen[c] = true;
+    }
+  }
+
+  for (int c : order) {
+    TableColumn& col = columns_[c];
+    const auto& values = table.column(c).values;
+    col.dict = data::ValueDictionary::Build(values);
+    const size_t distinct = col.dict.size();
+    const bool large = distinct > options_.large_domain_threshold;
+    const bool continuous =
+        table.column(c).type == data::ColumnType::kContinuous;
+
+    if (large && continuous && options_.use_domain_reduction) {
+      col.kind = TableColumn::Kind::kReduced;
+      switch (options_.reducer_kind) {
+        case ReducerKind::kGmm: {
+          gmm::Gmm1D gmm(1);
+          if (options_.reducer_components <= 0) {
+            gmm::VbgmOptions vb;
+            gmm = FitVbgm(values, vb, reducer_rng).gmm;
+          } else {
+            gmm = gmm::Gmm1D(options_.reducer_components);
+            gmm.InitFromData(values, reducer_rng);
+            gmm.set_learning_rate(options_.gmm_learning_rate);
+          }
+          col.reducer = std::make_unique<bucketize::GmmReducer>(
+              std::move(gmm), options_.gmm_samples_per_component,
+              options_.exact_range_mass, options_.seed ^ (0x9000 + c));
+          break;
+        }
+        case ReducerKind::kEquiDepth:
+          col.reducer = bucketize::MakeEquiDepthReducer(
+              values, options_.reducer_components);
+          break;
+        case ReducerKind::kSpline:
+          col.reducer =
+              bucketize::MakeSplineReducer(values, options_.reducer_components);
+          break;
+        case ReducerKind::kUmm:
+          col.reducer = bucketize::MakeUmmReducer(
+              values, options_.reducer_components, reducer_rng);
+          break;
+        case ReducerKind::kLaplace: {
+          gmm::LaplaceMixture1D mixture(
+              std::max(1, options_.reducer_components));
+          mixture.InitFromData(values, reducer_rng);
+          mixture.set_learning_rate(options_.gmm_learning_rate);
+          col.reducer = std::make_unique<bucketize::LaplaceReducer>(
+              std::move(mixture));
+          break;
+        }
+      }
+    } else if (large) {
+      // NeuroCard column factorization: code -> (code / base, code % base).
+      col.kind = TableColumn::Kind::kFactorized;
+      col.factor_base = 1 << options_.factor_bits;
+      if (static_cast<int>(distinct) <= col.factor_base) {
+        // Fits a single sub-column after all.
+        col.kind = TableColumn::Kind::kRaw;
+      }
+    } else {
+      col.kind = TableColumn::Kind::kRaw;
+    }
+
+    col.first_model_col = static_cast<int>(model_col_owner_.size());
+    col.num_model_cols = col.kind == TableColumn::Kind::kFactorized ? 2 : 1;
+    for (int role = 0; role < col.num_model_cols; ++role) {
+      model_col_owner_.push_back(c);
+      model_col_role_.push_back(role);
+    }
+  }
+}
+
+void ArDensityEstimator::BuildTrainingSample(const data::Table& table) {
+  const size_t n = table.num_rows();
+  std::vector<size_t> rows;
+  if (n > options_.max_train_rows) {
+    rows = rng_.SampleWithoutReplacement(n, options_.max_train_rows);
+  } else {
+    rows.resize(n);
+    std::iota(rows.begin(), rows.end(), size_t{0});
+  }
+  train_rows_ = rows.size();
+  train_values_.assign(table.num_columns(), {});
+  for (int c = 0; c < table.num_columns(); ++c) {
+    train_values_[c].reserve(train_rows_);
+    for (size_t r : rows) train_values_[c].push_back(table.value(r, c));
+  }
+}
+
+void ArDensityEstimator::EncodeStaticColumns() {
+  encoded_.assign(train_rows_,
+                  std::vector<int>(model_col_owner_.size(), 0));
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const TableColumn& col = columns_[c];
+    const int m = col.first_model_col;
+    switch (col.kind) {
+      case TableColumn::Kind::kRaw:
+        for (size_t r = 0; r < train_rows_; ++r) {
+          const int code = col.dict.Encode(train_values_[c][r]);
+          IAM_CHECK(code >= 0);
+          encoded_[r][m] = code;
+        }
+        break;
+      case TableColumn::Kind::kFactorized:
+        for (size_t r = 0; r < train_rows_; ++r) {
+          const int code = col.dict.Encode(train_values_[c][r]);
+          IAM_CHECK(code >= 0);
+          encoded_[r][m] = code / col.factor_base;
+          encoded_[r][m + 1] = code % col.factor_base;
+        }
+        break;
+      case TableColumn::Kind::kReduced:
+        // Mixture-model assignments move during joint training and are
+        // re-encoded per batch; static reducers are encoded once here.
+        if (!col.reducer->trainable()) {
+          for (size_t r = 0; r < train_rows_; ++r) {
+            encoded_[r][m] = col.reducer->Assign(train_values_[c][r]);
+          }
+        }
+        break;
+    }
+  }
+}
+
+void ArDensityEstimator::RefreshReducerSamples() {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c].kind != TableColumn::Kind::kReduced) continue;
+    columns_[c].reducer->PostEpoch(options_.seed ^ (0x7777 + c) ^
+                                   static_cast<uint64_t>(adam_.step_count()));
+  }
+}
+
+double ArDensityEstimator::TrainEpoch() {
+  std::vector<size_t> order(train_rows_);
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng_.Shuffle(order);
+
+  const int batch_size = options_.batch_size;
+  std::vector<std::vector<int>> batch;
+  std::vector<double> gmm_batch;
+  double loss_sum = 0.0;
+  size_t batches = 0;
+
+  for (size_t begin = 0; begin < train_rows_; begin += batch_size) {
+    const size_t end = std::min(train_rows_, begin + batch_size);
+
+    // Joint step 1: advance each trainable mixture on this batch and
+    // re-encode its column (Equation 6's loss_GMM terms; the argmax
+    // assignment of Equation 5).
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      TableColumn& col = columns_[c];
+      if (col.kind != TableColumn::Kind::kReduced ||
+          !col.reducer->trainable()) {
+        continue;
+      }
+      gmm_batch.clear();
+      for (size_t i = begin; i < end; ++i) {
+        gmm_batch.push_back(train_values_[c][order[i]]);
+      }
+      for (int pass = 0; pass < options_.gmm_sgd_passes; ++pass) {
+        col.reducer->TrainStep(gmm_batch);
+      }
+      const int m = col.first_model_col;
+      for (size_t i = begin; i < end; ++i) {
+        encoded_[order[i]][m] =
+            col.reducer->Assign(train_values_[c][order[i]]);
+      }
+    }
+
+    // Joint step 2: AR cross-entropy on the (re-)encoded tuples.
+    batch.clear();
+    for (size_t i = begin; i < end; ++i) batch.push_back(encoded_[order[i]]);
+    loss_sum += made_->TrainStep(batch, adam_, rng_);
+    ++batches;
+  }
+
+  RefreshReducerSamples();
+  last_epoch_loss_ = batches > 0 ? loss_sum / static_cast<double>(batches)
+                                 : 0.0;
+  return last_epoch_loss_;
+}
+
+void ArDensityEstimator::Train() {
+  for (int e = 0; e < options_.epochs; ++e) TrainEpoch();
+}
+
+std::string ArDensityEstimator::name() const {
+  if (!options_.display_name.empty()) return options_.display_name;
+  return options_.use_domain_reduction ? "iam" : "neurocard";
+}
+
+std::vector<ArDensityEstimator::Constraint>
+ArDensityEstimator::BuildConstraints(const query::Query& q) const {
+  // Merge predicates per table column into one interval.
+  std::vector<double> lo(columns_.size(),
+                         -std::numeric_limits<double>::infinity());
+  std::vector<double> hi(columns_.size(),
+                         std::numeric_limits<double>::infinity());
+  std::vector<bool> touched(columns_.size(), false);
+  for (const query::Predicate& p : q.predicates) {
+    IAM_CHECK(p.column >= 0 && p.column < static_cast<int>(columns_.size()));
+    lo[p.column] = std::max(lo[p.column], p.lo);
+    hi[p.column] = std::min(hi[p.column], p.hi);
+    touched[p.column] = true;
+  }
+
+  std::vector<Constraint> constraints(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (!touched[c]) continue;
+    Constraint& con = constraints[c];
+    con.active = true;
+    con.range_lo = lo[c];
+    con.range_hi = hi[c];
+    const TableColumn& col = columns_[c];
+    if (hi[c] < lo[c]) {
+      con.impossible = true;
+      continue;
+    }
+    switch (col.kind) {
+      case TableColumn::Kind::kRaw:
+      case TableColumn::Kind::kFactorized: {
+        const auto range = col.dict.EncodeRange(lo[c], hi[c]);
+        if (range.empty()) {
+          con.impossible = true;
+        } else {
+          con.code_lo = range.first;
+          con.code_hi = range.last;
+        }
+        break;
+      }
+      case TableColumn::Kind::kReduced: {
+        // Query construction rule (Section 5.1): R'_i = Dom(A'_i); the range
+        // enters through the bias-correction vector \hat P_GMM(R_i).
+        con.mass = col.reducer->RangeMass(lo[c], hi[c]);
+        double total = 0.0;
+        for (double m : con.mass) total += m;
+        if (total <= 0.0) con.impossible = true;
+        break;
+      }
+    }
+  }
+  return constraints;
+}
+
+double ArDensityEstimator::Estimate(const query::Query& q) {
+  return EstimateBatch({&q, 1})[0];
+}
+
+ArDensityEstimator::SamplingRun ArDensityEstimator::RunProgressiveSampling(
+    std::span<const query::Query> qs, int force_active_col) {
+  const int num_model_cols = static_cast<int>(model_col_owner_.size());
+  const int sp = options_.progressive_samples;
+  const size_t nq = qs.size();
+
+  std::vector<std::vector<Constraint>> constraints;
+  constraints.reserve(nq);
+  std::vector<bool> dead_query(nq, false);
+  for (size_t i = 0; i < nq; ++i) {
+    constraints.push_back(BuildConstraints(qs[i]));
+    if (force_active_col >= 0 &&
+        !constraints.back()[force_active_col].active) {
+      Constraint& con = constraints.back()[force_active_col];
+      con.active = true;
+      con.range_lo = -std::numeric_limits<double>::infinity();
+      con.range_hi = std::numeric_limits<double>::infinity();
+      const TableColumn& col = columns_[force_active_col];
+      if (col.kind == TableColumn::Kind::kReduced) {
+        con.mass = col.reducer->RangeMass(con.range_lo, con.range_hi);
+      } else {
+        con.code_lo = 0;
+        con.code_hi = col.dict.size() - 1;
+      }
+    }
+    for (const Constraint& con : constraints.back()) {
+      if (con.impossible) dead_query[i] = true;
+    }
+  }
+
+  // Sample state: nq * sp rows; every value starts as the wildcard token
+  // (unqueried columns are skipped entirely — wildcard skipping).
+  std::vector<std::vector<int>> samples(
+      nq * sp, std::vector<int>(num_model_cols, 0));
+  for (int m = 0; m < num_model_cols; ++m) {
+    const int wildcard = made_->wildcard_token(m);
+    for (auto& row : samples) row[m] = wildcard;
+  }
+  std::vector<double> weights(nq * sp, 1.0);
+
+  std::vector<std::vector<int>> gather;   // sub-batch inputs
+  std::vector<size_t> gather_rows;        // their global row ids
+
+  for (int m = 0; m < num_model_cols; ++m) {
+    const int owner = model_col_owner_[m];
+    const int role = model_col_role_[m];
+    const TableColumn& col = columns_[owner];
+
+    // Collect live rows whose query constrains this column.
+    gather.clear();
+    gather_rows.clear();
+    for (size_t qi = 0; qi < nq; ++qi) {
+      if (dead_query[qi]) continue;
+      const Constraint& con = constraints[qi][owner];
+      if (!con.active) continue;
+      for (int s = 0; s < sp; ++s) {
+        const size_t row = qi * sp + s;
+        if (weights[row] <= 0.0) continue;
+        gather_rows.push_back(row);
+        gather.push_back(samples[row]);
+      }
+    }
+    if (gather.empty()) continue;
+
+    made_->ConditionalDistribution(gather, m, probs_);
+
+    const int base = col.factor_base;
+    const int max_code = col.dict.size() - 1;
+    for (size_t g = 0; g < gather_rows.size(); ++g) {
+      const size_t row = gather_rows[g];
+      const size_t qi = row / sp;
+      const Constraint& con = constraints[qi][owner];
+      const float* prow = probs_.row(static_cast<int>(g));
+      double mass = 0.0;
+      int sampled = -1;
+
+      if (col.kind == TableColumn::Kind::kReduced) {
+        // IAM's bias-corrected step: multiply the AR conditional over
+        // component ids by \hat P_GMM(R_i), record the inner product, draw
+        // the next coordinate from the normalized product (Section 5.2).
+        const int dom = static_cast<int>(con.mass.size());
+        for (int j = 0; j < dom; ++j) {
+          mass += static_cast<double>(prow[j]) * con.mass[j];
+        }
+        if (mass > 0.0) {
+          if (options_.biased_sampling) {
+            // Ablation: vanilla progressive sampling ignores the range mass
+            // when drawing the coordinate (biased; Theorem 5.1's foil).
+            double psum = 0.0;
+            for (int j = 0; j < dom; ++j) psum += prow[j];
+            sampled = SampleInRange(prow, 0, dom - 1, psum, rng_.Uniform());
+          } else {
+            const double target = rng_.Uniform() * mass;
+            double acc = 0.0;
+            for (int j = 0; j < dom; ++j) {
+              const double w = static_cast<double>(prow[j]) * con.mass[j];
+              if (w <= 0.0) continue;
+              acc += w;
+              sampled = j;
+              if (acc >= target) break;
+            }
+          }
+        }
+      } else {
+        // Vanilla progressive sampling over a contiguous code range.
+        int first = con.code_lo;
+        int last = con.code_hi;
+        if (col.kind == TableColumn::Kind::kFactorized) {
+          if (role == 0) {
+            first = con.code_lo / base;
+            last = con.code_hi / base;
+          } else {
+            // Low sub-column: bounds depend on the sampled high sub-column.
+            const int h = samples[row][m - 1];
+            first = h == con.code_lo / base ? con.code_lo % base : 0;
+            last = h == con.code_hi / base ? con.code_hi % base : base - 1;
+            if (h == max_code / base) {
+              last = std::min(last, max_code % base);
+            }
+          }
+        }
+        if (first <= last) {
+          mass = RangeSum(prow, first, last);
+          if (mass > 0.0) {
+            sampled = SampleInRange(prow, first, last, mass, rng_.Uniform());
+          }
+        }
+      }
+
+      if (sampled < 0 || mass <= 0.0) {
+        weights[row] = 0.0;
+        // Leave the wildcard in place; the row is skipped from now on.
+        continue;
+      }
+      weights[row] *= mass;
+      samples[row][m] = sampled;
+    }
+  }
+
+  SamplingRun run;
+  run.constraints = std::move(constraints);
+  run.dead_query = std::move(dead_query);
+  run.samples = std::move(samples);
+  run.weights = std::move(weights);
+  return run;
+}
+
+std::vector<double> ArDensityEstimator::EstimateBatch(
+    std::span<const query::Query> qs) {
+  const SamplingRun run = RunProgressiveSampling(qs, /*force_active_col=*/-1);
+  const int sp = options_.progressive_samples;
+  std::vector<double> estimates(qs.size(), 0.0);
+  for (size_t qi = 0; qi < qs.size(); ++qi) {
+    if (run.dead_query[qi]) continue;
+    double total = 0.0;
+    for (int s = 0; s < sp; ++s) total += run.weights[qi * sp + s];
+    estimates[qi] = Clamp(total / sp, 0.0, 1.0);
+  }
+  return estimates;
+}
+
+ArDensityEstimator::AggregateResult ArDensityEstimator::EstimateAggregate(
+    const query::Query& q, int target_col) {
+  IAM_CHECK(target_col >= 0 &&
+            target_col < static_cast<int>(columns_.size()));
+  AggregateResult result;
+  const SamplingRun run = RunProgressiveSampling({&q, 1}, target_col);
+  if (run.dead_query[0]) return result;
+
+  const TableColumn& col = columns_[target_col];
+  const Constraint& con = run.constraints[0][target_col];
+  const int m = col.first_model_col;
+  const int sp = options_.progressive_samples;
+
+  double weight_sum = 0.0;
+  double weighted_value_sum = 0.0;
+  for (int s = 0; s < sp; ++s) {
+    const double w = run.weights[s];
+    if (w <= 0.0) continue;
+    double value = 0.0;
+    switch (col.kind) {
+      case TableColumn::Kind::kRaw:
+        value = col.dict.Decode(run.samples[s][m]);
+        break;
+      case TableColumn::Kind::kFactorized: {
+        const int code = run.samples[s][m] * col.factor_base +
+                         run.samples[s][m + 1];
+        value = col.dict.Decode(code);
+        break;
+      }
+      case TableColumn::Kind::kReduced:
+        value = col.reducer->RepresentativeValue(run.samples[s][m],
+                                                 con.range_lo, con.range_hi);
+        break;
+    }
+    weight_sum += w;
+    weighted_value_sum += w * value;
+  }
+
+  result.selectivity = Clamp(weight_sum / sp, 0.0, 1.0);
+  result.count = result.selectivity * static_cast<double>(table_rows_);
+  // mean(w * v) is unbiased for E[A * 1q]; scale by |T| for the SUM.
+  result.sum =
+      weighted_value_sum / sp * static_cast<double>(table_rows_);
+  result.avg = weight_sum > 0.0 ? weighted_value_sum / weight_sum : 0.0;
+  return result;
+}
+
+namespace {
+constexpr char kModelMagic[] = "IAMMODEL1";
+}  // namespace
+
+Status ArDensityEstimator::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  WriteString(out, kModelMagic);
+  WriteString(out, options_.display_name);
+  WritePod<uint8_t>(out, options_.use_domain_reduction ? 1 : 0);
+  WritePod<uint8_t>(out, options_.biased_sampling ? 1 : 0);
+  WritePod<int32_t>(out, options_.progressive_samples);
+  WritePod<uint64_t>(out, options_.seed);
+  WritePod<uint64_t>(out, table_rows_);
+
+  WritePod<uint32_t>(out, static_cast<uint32_t>(columns_.size()));
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    WriteString(out, c < column_names_.size() ? column_names_[c] : "");
+    WritePod<uint8_t>(out, c < column_types_.size() &&
+                                   column_types_[c] ==
+                                       data::ColumnType::kCategorical
+                               ? 1
+                               : 0);
+  }
+  for (const TableColumn& col : columns_) {
+    WritePod<uint8_t>(out, static_cast<uint8_t>(col.kind));
+    WritePod<int32_t>(out, col.factor_base);
+    WritePod<int32_t>(out, col.first_model_col);
+    WritePod<int32_t>(out, col.num_model_cols);
+    col.dict.Serialize(out);
+    const uint8_t has_reducer = col.reducer != nullptr ? 1 : 0;
+    WritePod<uint8_t>(out, has_reducer);
+    if (has_reducer) col.reducer->Serialize(out);
+  }
+  WriteVector(out, model_col_owner_);
+  WriteVector(out, model_col_role_);
+  made_->Serialize(out);
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<ArDensityEstimator>> ArDensityEstimator::Load(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string magic;
+  IAM_RETURN_IF_ERROR(ReadString(in, &magic));
+  if (magic != kModelMagic) return Status::IoError("not an IAM model file");
+
+  std::unique_ptr<ArDensityEstimator> est(new ArDensityEstimator());
+  uint8_t use_reduction = 0, biased = 0;
+  IAM_RETURN_IF_ERROR(ReadString(in, &est->options_.display_name));
+  IAM_RETURN_IF_ERROR(ReadPod(in, &use_reduction));
+  IAM_RETURN_IF_ERROR(ReadPod(in, &biased));
+  IAM_RETURN_IF_ERROR(ReadPod(in, &est->options_.progressive_samples));
+  IAM_RETURN_IF_ERROR(ReadPod(in, &est->options_.seed));
+  IAM_RETURN_IF_ERROR(ReadPod(in, &est->table_rows_));
+  est->options_.use_domain_reduction = use_reduction != 0;
+  est->options_.biased_sampling = biased != 0;
+  est->rng_ = Rng(est->options_.seed ^ 0x10adull);
+
+  uint32_t num_columns = 0;
+  IAM_RETURN_IF_ERROR(ReadPod(in, &num_columns));
+  if (num_columns == 0 || num_columns > 4096) {
+    return Status::IoError("implausible column count");
+  }
+  est->columns_.resize(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    std::string name;
+    uint8_t categorical = 0;
+    IAM_RETURN_IF_ERROR(ReadString(in, &name));
+    IAM_RETURN_IF_ERROR(ReadPod(in, &categorical));
+    est->column_names_.push_back(std::move(name));
+    est->column_types_.push_back(categorical != 0
+                                     ? data::ColumnType::kCategorical
+                                     : data::ColumnType::kContinuous);
+  }
+  for (TableColumn& col : est->columns_) {
+    uint8_t kind = 0, has_reducer = 0;
+    IAM_RETURN_IF_ERROR(ReadPod(in, &kind));
+    if (kind > 2) return Status::IoError("bad column kind");
+    col.kind = static_cast<TableColumn::Kind>(kind);
+    IAM_RETURN_IF_ERROR(ReadPod(in, &col.factor_base));
+    IAM_RETURN_IF_ERROR(ReadPod(in, &col.first_model_col));
+    IAM_RETURN_IF_ERROR(ReadPod(in, &col.num_model_cols));
+    Result<data::ValueDictionary> dict =
+        data::ValueDictionary::Deserialize(in);
+    if (!dict.ok()) return dict.status();
+    col.dict = std::move(dict.value());
+    IAM_RETURN_IF_ERROR(ReadPod(in, &has_reducer));
+    if (has_reducer != 0) {
+      auto reducer = bucketize::DomainReducer::Deserialize(in);
+      if (!reducer.ok()) return reducer.status();
+      col.reducer = std::move(reducer.value());
+    }
+    if (col.kind == TableColumn::Kind::kReduced && col.reducer == nullptr) {
+      return Status::IoError("reduced column missing its reducer");
+    }
+  }
+  IAM_RETURN_IF_ERROR(ReadVector(in, &est->model_col_owner_));
+  IAM_RETURN_IF_ERROR(ReadVector(in, &est->model_col_role_));
+  if (est->model_col_owner_.size() != est->model_col_role_.size() ||
+      est->model_col_owner_.empty()) {
+    return Status::IoError("inconsistent model column mapping");
+  }
+  auto made = ar::ResMade::Deserialize(in);
+  if (!made.ok()) return made.status();
+  est->made_ = std::move(made.value());
+  if (est->made_->num_columns() !=
+      static_cast<int>(est->model_col_owner_.size())) {
+    return Status::IoError("AR model does not match the column mapping");
+  }
+  return est;
+}
+
+data::Table ArDensityEstimator::SchemaTable() const {
+  data::Table schema("schema");
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    data::Column col;
+    col.name = c < column_names_.size() ? column_names_[c] : "";
+    col.type = c < column_types_.size() ? column_types_[c]
+                                        : data::ColumnType::kContinuous;
+    schema.AddColumn(std::move(col));
+  }
+  return schema;
+}
+
+size_t ArDensityEstimator::SizeBytes() const {
+  size_t bytes = made_->SizeBytes();
+  for (const TableColumn& col : columns_) {
+    if (col.kind == TableColumn::Kind::kReduced) {
+      bytes += col.reducer->SizeBytes();
+    }
+  }
+  return bytes;
+}
+
+int ArDensityEstimator::num_model_columns() const {
+  return static_cast<int>(model_col_owner_.size());
+}
+
+int ArDensityEstimator::ReducedDomainSize(int table_col) const {
+  const TableColumn& col = columns_[table_col];
+  return col.kind == TableColumn::Kind::kReduced ? col.reducer->num_buckets()
+                                                 : col.dict.size();
+}
+
+bool ArDensityEstimator::IsReduced(int table_col) const {
+  return columns_[table_col].kind == TableColumn::Kind::kReduced;
+}
+
+std::optional<double> ArDensityEstimator::GmmNll(int table_col) const {
+  const TableColumn& col = columns_[table_col];
+  if (col.kind != TableColumn::Kind::kReduced ||
+      options_.reducer_kind != ReducerKind::kGmm) {
+    return std::nullopt;
+  }
+  const auto* reducer =
+      static_cast<const bucketize::GmmReducer*>(col.reducer.get());
+  return reducer->gmm().MeanNegLogLikelihood(train_values_[table_col]);
+}
+
+}  // namespace iam::core

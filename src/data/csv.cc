@@ -1,0 +1,90 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace iam::data {
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << ',';
+    out << table.column(c).name;
+  }
+  out << '\n';
+  char buf[64];
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ',';
+      const double v = table.value(r, c);
+      if (table.column(c).type == ColumnType::kCategorical) {
+        std::snprintf(buf, sizeof(buf), "%ld", static_cast<long>(v));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+      }
+      out << buf;
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<Table> ReadCsv(const std::string& path,
+                      const std::vector<std::string>& categorical_columns) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::IoError("empty file " + path);
+
+  Table table(path);
+  std::vector<Column> columns;
+  {
+    std::stringstream header(line);
+    std::string name;
+    while (std::getline(header, name, ',')) {
+      Column col;
+      col.name = name;
+      col.type = ColumnType::kContinuous;
+      for (const std::string& cat : categorical_columns) {
+        if (cat == name) col.type = ColumnType::kCategorical;
+      }
+      columns.push_back(std::move(col));
+    }
+  }
+  if (columns.empty()) return Status::IoError("no header in " + path);
+
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream row(line);
+    std::string cell;
+    size_t c = 0;
+    while (std::getline(row, cell, ',')) {
+      if (c >= columns.size()) {
+        return Status::IoError("too many cells at line " +
+                               std::to_string(line_no));
+      }
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        return Status::IoError("non-numeric cell at line " +
+                               std::to_string(line_no));
+      }
+      columns[c].values.push_back(v);
+      ++c;
+    }
+    if (c != columns.size()) {
+      return Status::IoError("too few cells at line " +
+                             std::to_string(line_no));
+    }
+  }
+  for (Column& col : columns) table.AddColumn(std::move(col));
+  IAM_RETURN_IF_ERROR(table.Validate());
+  return table;
+}
+
+}  // namespace iam::data

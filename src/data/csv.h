@@ -1,0 +1,23 @@
+#ifndef IAM_DATA_CSV_H_
+#define IAM_DATA_CSV_H_
+
+#include <string>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace iam::data {
+
+// Writes the table as a header + numeric rows. Categorical codes are written
+// as integers.
+Status WriteCsv(const Table& table, const std::string& path);
+
+// Loads a numeric CSV produced by WriteCsv (or any all-numeric CSV with a
+// header row). Column types: a column is categorical iff its name appears in
+// `categorical_columns` (comma-free names only).
+Result<Table> ReadCsv(const std::string& path,
+                      const std::vector<std::string>& categorical_columns);
+
+}  // namespace iam::data
+
+#endif  // IAM_DATA_CSV_H_

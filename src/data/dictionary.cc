@@ -1,0 +1,53 @@
+#include "data/dictionary.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+#include "util/serialize.h"
+
+namespace iam::data {
+
+ValueDictionary ValueDictionary::Build(std::span<const double> values) {
+  ValueDictionary dict;
+  dict.sorted_.assign(values.begin(), values.end());
+  std::sort(dict.sorted_.begin(), dict.sorted_.end());
+  dict.sorted_.erase(std::unique(dict.sorted_.begin(), dict.sorted_.end()),
+                     dict.sorted_.end());
+  return dict;
+}
+
+int ValueDictionary::Encode(double value) const {
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), value);
+  if (it == sorted_.end() || *it != value) return -1;
+  return static_cast<int>(it - sorted_.begin());
+}
+
+ValueDictionary::CodeRange ValueDictionary::EncodeRange(double lo,
+                                                        double hi) const {
+  CodeRange range;
+  const auto first = std::lower_bound(sorted_.begin(), sorted_.end(), lo);
+  const auto last = std::upper_bound(sorted_.begin(), sorted_.end(), hi);
+  range.first = static_cast<int>(first - sorted_.begin());
+  range.last = static_cast<int>(last - sorted_.begin()) - 1;
+  return range;
+}
+
+void ValueDictionary::Serialize(std::ostream& out) const {
+  WriteVector(out, sorted_);
+}
+
+Result<ValueDictionary> ValueDictionary::Deserialize(std::istream& in) {
+  ValueDictionary dict;
+  IAM_RETURN_IF_ERROR(ReadVector(in, &dict.sorted_));
+  if (!std::is_sorted(dict.sorted_.begin(), dict.sorted_.end())) {
+    return Status::IoError("dictionary blob not sorted");
+  }
+  return dict;
+}
+
+double ValueDictionary::Decode(int code) const {
+  IAM_CHECK(code >= 0 && code < size());
+  return sorted_[code];
+}
+
+}  // namespace iam::data

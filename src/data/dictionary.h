@@ -1,0 +1,48 @@
+#ifndef IAM_DATA_DICTIONARY_H_
+#define IAM_DATA_DICTIONARY_H_
+
+#include <istream>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iam::data {
+
+// Order-preserving ordinal encoding of a column: distinct values sorted
+// ascending, value -> rank. This is the paper's encoding strategy
+// (Section 3): domain values map to [0, |A_i|) keeping the original order,
+// so range predicates on values become range predicates on codes.
+class ValueDictionary {
+ public:
+  static ValueDictionary Build(std::span<const double> values);
+
+  int size() const { return static_cast<int>(sorted_.size()); }
+
+  // Exact code of a value present in the dictionary; -1 when absent.
+  int Encode(double value) const;
+
+  // Codes of the values within [lo, hi]: inclusive code interval
+  // [first, last]; first > last means the range is empty.
+  struct CodeRange {
+    int first = 0;
+    int last = -1;
+    bool empty() const { return first > last; }
+  };
+  CodeRange EncodeRange(double lo, double hi) const;
+
+  double Decode(int code) const;
+
+  size_t SizeBytes() const { return sorted_.size() * sizeof(double); }
+
+  void Serialize(std::ostream& out) const;
+  static Result<ValueDictionary> Deserialize(std::istream& in);
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace iam::data
+
+#endif  // IAM_DATA_DICTIONARY_H_

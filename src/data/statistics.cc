@@ -1,0 +1,151 @@
+#include "data/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/macros.h"
+#include "util/math_util.h"
+
+namespace iam::data {
+namespace {
+
+// Rank transform: value -> bin index in [0, bins).
+std::vector<int> RankBins(std::span<const double> xs, int bins) {
+  const size_t n = xs.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<int> bin(n);
+  for (size_t rank = 0; rank < n; ++rank) {
+    bin[order[rank]] = static_cast<int>(
+        std::min<size_t>(bins - 1, rank * bins / n));
+  }
+  return bin;
+}
+
+// Jacobi eigenvalue iteration for a small dense symmetric matrix (row-major
+// n x n). Returns the eigenvalues; ample precision for NCIE's entropy.
+std::vector<double> SymmetricEigenvalues(std::vector<double> a, int n) {
+  auto at = [&](int r, int c) -> double& { return a[r * n + c]; };
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += at(p, q) * at(p, q);
+    }
+    if (off < 1e-18) break;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = at(p, q);
+        if (std::abs(apq) < 1e-15) continue;
+        const double theta = (at(q, q) - at(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int k = 0; k < n; ++k) {
+          const double akp = at(k, p);
+          const double akq = at(k, q);
+          at(k, p) = c * akp - s * akq;
+          at(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = at(p, k);
+          const double aqk = at(q, k);
+          at(p, k) = c * apk - s * aqk;
+          at(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+  std::vector<double> eigenvalues(n);
+  for (int i = 0; i < n; ++i) eigenvalues[i] = at(i, i);
+  return eigenvalues;
+}
+
+}  // namespace
+
+double NonlinearCorrelation(std::span<const double> xs,
+                            std::span<const double> ys) {
+  IAM_CHECK(xs.size() == ys.size());
+  const size_t n = xs.size();
+  if (n < 4) return 0.0;
+  // Cube-root bin count keeps the MI estimator's positive bias
+  // (~(bins-1)^2 / 2n) negligible at the sample sizes we use.
+  const int bins = std::max(
+      2, static_cast<int>(std::floor(std::cbrt(static_cast<double>(n)))));
+  const std::vector<int> bx = RankBins(xs, bins);
+  const std::vector<int> by = RankBins(ys, bins);
+
+  std::vector<double> joint(static_cast<size_t>(bins) * bins, 0.0);
+  std::vector<double> px(bins, 0.0), py(bins, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    joint[static_cast<size_t>(bx[i]) * bins + by[i]] += 1.0;
+    px[bx[i]] += 1.0;
+    py[by[i]] += 1.0;
+  }
+  double mi = 0.0;
+  const double dn = static_cast<double>(n);
+  for (int i = 0; i < bins; ++i) {
+    for (int j = 0; j < bins; ++j) {
+      const double pij = joint[static_cast<size_t>(i) * bins + j] / dn;
+      if (pij <= 0.0) continue;
+      mi += pij * std::log(pij / (px[i] / dn * py[j] / dn));
+    }
+  }
+  // Normalize by log(bins); clamp against estimation noise.
+  return Clamp(mi / std::log(static_cast<double>(bins)), 0.0, 1.0);
+}
+
+DatasetStats ComputeDatasetStats(const Table& table, Rng& rng,
+                                 size_t max_rows) {
+  DatasetStats stats;
+  const int n = table.num_columns();
+  IAM_CHECK(n >= 1);
+  const size_t total = table.num_rows();
+  std::vector<size_t> rows;
+  if (total > max_rows) {
+    rows = rng.SampleWithoutReplacement(total, max_rows);
+  } else {
+    rows.resize(total);
+    std::iota(rows.begin(), rows.end(), size_t{0});
+  }
+  stats.rows = rows.size();
+
+  std::vector<std::vector<double>> cols(n);
+  for (int c = 0; c < n; ++c) {
+    cols[c].reserve(rows.size());
+    for (size_t r : rows) cols[c].push_back(table.value(r, c));
+  }
+
+  // Nonlinear correlation matrix (1 on the diagonal).
+  std::vector<double> r(static_cast<size_t>(n) * n, 0.0);
+  for (int a = 0; a < n; ++a) {
+    r[static_cast<size_t>(a) * n + a] = 1.0;
+    for (int b = a + 1; b < n; ++b) {
+      const double ncc = NonlinearCorrelation(cols[a], cols[b]);
+      r[static_cast<size_t>(a) * n + b] = ncc;
+      r[static_cast<size_t>(b) * n + a] = ncc;
+    }
+  }
+  const std::vector<double> eig = SymmetricEigenvalues(std::move(r), n);
+  double entropy = 0.0;
+  for (double lambda : eig) {
+    const double p = lambda / static_cast<double>(n);
+    if (p > 1e-12) entropy -= p * std::log(p) / std::log(double(n) > 1 ? n : 2);
+  }
+  stats.ncie = entropy;
+
+  double skew = 0.0;
+  int continuous = 0;
+  for (int c = 0; c < n; ++c) {
+    if (table.column(c).type != ColumnType::kContinuous) continue;
+    skew += std::abs(Skewness(cols[c]));
+    ++continuous;
+  }
+  stats.mean_abs_skewness = continuous > 0 ? skew / continuous : 0.0;
+  return stats;
+}
+
+}  // namespace iam::data

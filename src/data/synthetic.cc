@@ -1,0 +1,196 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace iam::data {
+namespace {
+
+// Zipf-like weights w_i ∝ 1/(i+1)^s, normalized.
+std::vector<double> ZipfWeights(int n, double s) {
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    total += w[i];
+  }
+  for (double& x : w) x /= total;
+  return w;
+}
+
+}  // namespace
+
+Table MakeSynWisdm(size_t rows, uint64_t seed) {
+  constexpr int kSubjects = 51;
+  constexpr int kActivities = 18;
+  Rng rng(seed);
+
+  // Per-(subject, activity) sensor signature, built additively from a
+  // per-subject offset and a per-activity offset plus a small interaction
+  // term. The additive structure gives strong *pairwise* correlation between
+  // each categorical attribute and the sensor axes (as in the real WISDM),
+  // while the interaction keeps the joint distribution beyond tree models.
+  double subject_offset[kSubjects][3];
+  double activity_offset[kActivities][3];
+  double subject_scale[kSubjects];
+  double activity_scale[kActivities];
+  for (int s = 0; s < kSubjects; ++s) {
+    for (int axis = 0; axis < 3; ++axis) {
+      subject_offset[s][axis] = rng.Uniform(-7.0, 7.0);
+    }
+    subject_scale[s] = rng.Uniform(0.6, 1.6);
+  }
+  for (int a = 0; a < kActivities; ++a) {
+    for (int axis = 0; axis < 3; ++axis) {
+      activity_offset[a][axis] = rng.Uniform(-5.0, 5.0);
+    }
+    activity_scale[a] = rng.Uniform(0.5, 1.5);
+  }
+
+  struct Signature {
+    double mean[2][3];
+    double scale[2][3];
+    double mode_weight;  // weight of mode 0
+  };
+  std::vector<Signature> signatures(kSubjects * kActivities);
+  for (int s = 0; s < kSubjects; ++s) {
+    for (int a = 0; a < kActivities; ++a) {
+      Signature& sig = signatures[s * kActivities + a];
+      sig.mode_weight = rng.Uniform(0.3, 0.9);
+      for (int m = 0; m < 2; ++m) {
+        for (int axis = 0; axis < 3; ++axis) {
+          sig.mean[m][axis] = subject_offset[s][axis] +
+                              activity_offset[a][axis] +
+                              rng.Uniform(-1.5, 1.5) + (m == 1 ? 2.0 : 0.0);
+          sig.scale[m][axis] =
+              subject_scale[s] * activity_scale[a] * rng.Uniform(0.5, 1.5);
+        }
+      }
+    }
+  }
+
+  const std::vector<double> subject_weights = ZipfWeights(kSubjects, 0.7);
+  const std::vector<double> activity_weights = ZipfWeights(kActivities, 0.5);
+
+  Column subject{"subject_id", ColumnType::kCategorical, {}};
+  Column activity{"activity_code", ColumnType::kCategorical, {}};
+  Column x{"x", ColumnType::kContinuous, {}};
+  Column y{"y", ColumnType::kContinuous, {}};
+  Column z{"z", ColumnType::kContinuous, {}};
+  subject.values.reserve(rows);
+  activity.values.reserve(rows);
+  x.values.reserve(rows);
+  y.values.reserve(rows);
+  z.values.reserve(rows);
+
+  for (size_t r = 0; r < rows; ++r) {
+    const int s = static_cast<int>(rng.Categorical(subject_weights));
+    const int a = static_cast<int>(rng.Categorical(activity_weights));
+    const Signature& sig = signatures[s * kActivities + a];
+    const int mode = rng.Uniform() < sig.mode_weight ? 0 : 1;
+    // Occasional heavy-tail burst (sensor spikes) gives positive skew.
+    const double burst = rng.Uniform() < 0.03 ? 5.0 : 1.0;
+    double axes[3];
+    for (int axis = 0; axis < 3; ++axis) {
+      axes[axis] = rng.Gaussian(sig.mean[mode][axis],
+                                sig.scale[mode][axis] * burst);
+    }
+    subject.values.push_back(s);
+    activity.values.push_back(a);
+    x.values.push_back(axes[0]);
+    y.values.push_back(axes[1]);
+    z.values.push_back(axes[2]);
+  }
+
+  Table table("synwisdm");
+  table.AddColumn(std::move(subject));
+  table.AddColumn(std::move(activity));
+  table.AddColumn(std::move(x));
+  table.AddColumn(std::move(y));
+  table.AddColumn(std::move(z));
+  return table;
+}
+
+Table MakeSynTwi(size_t rows, uint64_t seed) {
+  constexpr int kClusters = 40;
+  Rng rng(seed);
+
+  struct City {
+    double lat, lon;
+    double sig_lat, sig_lon;
+    double rho;  // lat-lon correlation inside the cluster
+  };
+  std::vector<City> cities(kClusters);
+  for (auto& city : cities) {
+    city.lat = rng.Uniform(25.0, 49.0);
+    city.lon = rng.Uniform(-124.0, -67.0);
+    city.sig_lat = rng.Uniform(0.05, 0.8);
+    city.sig_lon = rng.Uniform(0.05, 1.0);
+    city.rho = rng.Uniform(-0.9, 0.9);
+  }
+  const std::vector<double> weights = ZipfWeights(kClusters, 1.0);
+
+  Column lat{"latitude", ColumnType::kContinuous, {}};
+  Column lon{"longitude", ColumnType::kContinuous, {}};
+  lat.values.reserve(rows);
+  lon.values.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const City& city = cities[rng.Categorical(weights)];
+    const double u = rng.Gaussian();
+    const double v = rng.Gaussian();
+    lat.values.push_back(city.lat + city.sig_lat * u);
+    lon.values.push_back(city.lon +
+                         city.sig_lon *
+                             (city.rho * u +
+                              std::sqrt(1.0 - city.rho * city.rho) * v));
+  }
+
+  Table table("syntwi");
+  table.AddColumn(std::move(lat));
+  table.AddColumn(std::move(lon));
+  return table;
+}
+
+Table MakeSynHiggs(size_t rows, uint64_t seed) {
+  constexpr int kFeatures = 7;
+  static const char* kNames[kFeatures] = {"m_jj",  "m_jjj",  "m_lv", "m_jlv",
+                                          "m_bb",  "m_wbb",  "m_wwbb"};
+  Rng rng(seed);
+
+  // Per-feature lognormal shape; a weak shared factor induces mild
+  // correlation (the real HIGGS has NCIE 0.67 — weak).
+  double sigma[kFeatures];
+  double mu[kFeatures];
+  for (int f = 0; f < kFeatures; ++f) {
+    sigma[f] = rng.Uniform(0.9, 1.6);
+    mu[f] = rng.Uniform(-0.5, 0.8);
+  }
+
+  std::vector<Column> cols(kFeatures);
+  for (int f = 0; f < kFeatures; ++f) {
+    cols[f].name = kNames[f];
+    cols[f].type = ColumnType::kContinuous;
+    cols[f].values.reserve(rows);
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    const double shared = 0.25 * rng.Gaussian();
+    for (int f = 0; f < kFeatures; ++f) {
+      // Mixture: bulk lognormal + a rare far tail for extreme skew.
+      double value;
+      if (rng.Uniform() < 0.02) {
+        value = std::exp(mu[f] + sigma[f] * (3.0 + std::abs(rng.Gaussian())));
+      } else {
+        value = std::exp(mu[f] + sigma[f] * rng.Gaussian() + shared);
+      }
+      cols[f].values.push_back(value);
+    }
+  }
+
+  Table table("synhiggs");
+  for (auto& col : cols) table.AddColumn(std::move(col));
+  return table;
+}
+
+}  // namespace iam::data

@@ -1,0 +1,32 @@
+#ifndef IAM_DATA_SYNTHETIC_H_
+#define IAM_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+
+namespace iam::data {
+
+// Synthetic stand-ins for the paper's datasets (Section 6.1.1). The real
+// datasets are not redistributable in this environment; each generator
+// reproduces the statistical regime the paper relies on (see DESIGN.md §4):
+// attribute types and counts, correlation strength, skewness, and continuous
+// domains whose size is on the order of the row count.
+
+// WISDM analogue: subject_id (categorical, 51), activity_code (categorical,
+// 18), x/y/z accelerometer values (continuous). Strong cat→cont correlation
+// (each subject/activity pair has its own sensor signature), moderate skew.
+Table MakeSynWisdm(size_t rows, uint64_t seed);
+
+// TWI analogue: latitude/longitude of geo-tagged posts — a mixture of ~40
+// anisotropic city clusters over a US-like bounding box. Strong lat↔lon
+// correlation, multi-modal.
+Table MakeSynTwi(size_t rows, uint64_t seed);
+
+// HIGGS analogue: 7 continuous heavy-tailed (lognormal-mixture) physics-like
+// features; weak pairwise correlation, extreme positive skew.
+Table MakeSynHiggs(size_t rows, uint64_t seed);
+
+}  // namespace iam::data
+
+#endif  // IAM_DATA_SYNTHETIC_H_

@@ -1,0 +1,54 @@
+#include "data/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace iam::data {
+
+void Table::AddColumn(Column column) {
+  columns_.push_back(std::move(column));
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return -1;
+}
+
+size_t Table::DistinctCount(int col) const {
+  const auto& values = columns_[col].values;
+  std::vector<double> sorted(values);
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return sorted.size();
+}
+
+std::pair<double, double> Table::ColumnRange(int col) const {
+  const auto& values = columns_[col].values;
+  IAM_CHECK(!values.empty());
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  return {*lo, *hi};
+}
+
+Status Table::Validate() const {
+  if (columns_.empty()) return Status::Ok();
+  const size_t rows = columns_[0].size();
+  for (const Column& c : columns_) {
+    if (c.size() != rows) {
+      return Status::FailedPrecondition("column '" + c.name +
+                                        "' has mismatched length");
+    }
+    if (c.type == ColumnType::kCategorical) {
+      for (double v : c.values) {
+        if (v < 0 || v != static_cast<double>(static_cast<long>(v))) {
+          return Status::FailedPrecondition(
+              "categorical column '" + c.name + "' has non-integral code");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace iam::data

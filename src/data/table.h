@@ -1,0 +1,77 @@
+#ifndef IAM_DATA_TABLE_H_
+#define IAM_DATA_TABLE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace iam::data {
+
+enum class ColumnType {
+  kCategorical,  // small discrete domain; values are codes 0..domain-1
+  kContinuous,   // real-valued, potentially |T| distinct values
+};
+
+// A column of an in-memory relation. Values are stored as doubles for both
+// types — categorical codes are integral doubles — which keeps the predicate
+// and scan machinery uniform.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kContinuous;
+  std::vector<double> values;
+
+  size_t size() const { return values.size(); }
+};
+
+// Columnar in-memory relation.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // All columns must end up with the same length; checked by Validate().
+  void AddColumn(Column column);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  const Column& column(int i) const {
+    IAM_DCHECK(i >= 0 && i < num_columns());
+    return columns_[i];
+  }
+  Column& mutable_column(int i) {
+    IAM_DCHECK(i >= 0 && i < num_columns());
+    return columns_[i];
+  }
+
+  // Column index by name; -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+
+  double value(size_t row, int col) const {
+    return columns_[col].values[row];
+  }
+
+  // Number of distinct values in a column (computed fresh; cache upstream if
+  // called in a loop).
+  size_t DistinctCount(int col) const;
+
+  // Min/max of a column. Requires a non-empty table.
+  std::pair<double, double> ColumnRange(int col) const;
+
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace iam::data
+
+#endif  // IAM_DATA_TABLE_H_

@@ -1,0 +1,228 @@
+#include "estimator/bayesnet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace iam::estimator {
+namespace {
+
+// Assigns x to its bin given ascending edges (size bins+1); clamps outside
+// values into the first/last bin.
+int BinOf(const std::vector<double>& edges, double x) {
+  const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+  long idx = (it - edges.begin()) - 1;
+  idx = std::clamp<long>(idx, 0, static_cast<long>(edges.size()) - 2);
+  return static_cast<int>(idx);
+}
+
+}  // namespace
+
+BayesNetEstimator::BayesNetEstimator(const data::Table& table,
+                                     const Options& options) {
+  num_columns_ = table.num_columns();
+  const size_t n = table.num_rows();
+  IAM_CHECK(n > 0);
+  nodes_.resize(num_columns_);
+
+  // --- Discretize: equi-depth edges per column. -----------------------------
+  std::vector<std::vector<int>> binned(num_columns_);
+  for (int c = 0; c < num_columns_; ++c) {
+    std::vector<double> sorted = table.column(c).values;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double>& edges = nodes_[c].edges;
+    edges.push_back(sorted.front());
+    for (int b = 1; b < options.max_bins; ++b) {
+      const size_t idx = static_cast<size_t>(
+          static_cast<double>(b) / options.max_bins *
+          static_cast<double>(n - 1));
+      edges.push_back(sorted[idx]);
+    }
+    edges.push_back(std::nextafter(sorted.back(),
+                                   std::numeric_limits<double>::infinity()));
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    IAM_CHECK(edges.size() >= 2);
+
+    binned[c].resize(n);
+    for (size_t r = 0; r < n; ++r) {
+      binned[c][r] = BinOf(edges, table.value(r, c));
+    }
+  }
+
+  auto bins_of = [&](int c) {
+    return static_cast<int>(nodes_[c].edges.size()) - 1;
+  };
+
+  // --- Marginals and per-bin distinct counts. --------------------------------
+  for (int c = 0; c < num_columns_; ++c) {
+    nodes_[c].marginal.assign(bins_of(c), 0.0);
+    for (size_t r = 0; r < n; ++r) nodes_[c].marginal[binned[c][r]] += 1.0;
+    for (double& p : nodes_[c].marginal) p /= static_cast<double>(n);
+
+    nodes_[c].distinct.assign(bins_of(c), 0.0);
+    std::vector<double> sorted = table.column(c).values;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (double v : sorted) {
+      nodes_[c].distinct[BinOf(nodes_[c].edges, v)] += 1.0;
+    }
+  }
+
+  // --- Pairwise mutual information. ------------------------------------------
+  std::vector<std::vector<double>> mi(num_columns_,
+                                      std::vector<double>(num_columns_, 0.0));
+  std::vector<double> joint;
+  for (int a = 0; a < num_columns_; ++a) {
+    for (int b = a + 1; b < num_columns_; ++b) {
+      const int ba = bins_of(a);
+      const int bb = bins_of(b);
+      joint.assign(static_cast<size_t>(ba) * bb, 0.0);
+      for (size_t r = 0; r < n; ++r) {
+        joint[static_cast<size_t>(binned[a][r]) * bb + binned[b][r]] += 1.0;
+      }
+      double info = 0.0;
+      for (int i = 0; i < ba; ++i) {
+        for (int j = 0; j < bb; ++j) {
+          const double pij = joint[static_cast<size_t>(i) * bb + j] /
+                             static_cast<double>(n);
+          if (pij <= 0.0) continue;
+          info += pij * std::log(pij / (nodes_[a].marginal[i] *
+                                        nodes_[b].marginal[j]));
+        }
+      }
+      mi[a][b] = mi[b][a] = info;
+    }
+  }
+
+  // --- Maximum spanning tree (Prim), rooted at column 0. ---------------------
+  parents_.assign(num_columns_, -1);
+  children_.assign(num_columns_, {});
+  std::vector<bool> in_tree(num_columns_, false);
+  std::vector<double> best_weight(num_columns_,
+                                  -std::numeric_limits<double>::infinity());
+  std::vector<int> best_parent(num_columns_, -1);
+  in_tree[0] = true;
+  for (int c = 1; c < num_columns_; ++c) {
+    best_weight[c] = mi[0][c];
+    best_parent[c] = 0;
+  }
+  for (int added = 1; added < num_columns_; ++added) {
+    int pick = -1;
+    for (int c = 0; c < num_columns_; ++c) {
+      if (!in_tree[c] && (pick < 0 || best_weight[c] > best_weight[pick])) {
+        pick = c;
+      }
+    }
+    IAM_CHECK(pick >= 0);
+    in_tree[pick] = true;
+    parents_[pick] = best_parent[pick];
+    children_[best_parent[pick]].push_back(pick);
+    for (int c = 0; c < num_columns_; ++c) {
+      if (!in_tree[c] && mi[pick][c] > best_weight[c]) {
+        best_weight[c] = mi[pick][c];
+        best_parent[c] = pick;
+      }
+    }
+  }
+  root_ = 0;
+
+  // --- CPTs. ------------------------------------------------------------------
+  for (int c = 0; c < num_columns_; ++c) {
+    if (parents_[c] < 0) continue;
+    const int p = parents_[c];
+    const int bc = bins_of(c);
+    const int bp = bins_of(p);
+    std::vector<double>& cpt = nodes_[c].cpt;
+    cpt.assign(static_cast<size_t>(bp) * bc, options.laplace);
+    for (size_t r = 0; r < n; ++r) {
+      cpt[static_cast<size_t>(binned[p][r]) * bc + binned[c][r]] += 1.0;
+    }
+    for (int pb = 0; pb < bp; ++pb) {
+      double total = 0.0;
+      for (int b = 0; b < bc; ++b) total += cpt[static_cast<size_t>(pb) * bc + b];
+      for (int b = 0; b < bc; ++b) cpt[static_cast<size_t>(pb) * bc + b] /= total;
+    }
+  }
+}
+
+std::vector<double> BayesNetEstimator::BinOverlap(
+    int col, const query::Query& q) const {
+  const auto& edges = nodes_[col].edges;
+  const int bins = static_cast<int>(edges.size()) - 1;
+  std::vector<double> overlap(bins, 1.0);
+  for (const query::Predicate& p : q.predicates) {
+    if (p.column != col) continue;
+    for (int b = 0; b < bins; ++b) {
+      const double bl = edges[b];
+      const double bh = edges[b + 1];
+      const double lo = std::max(p.lo, bl);
+      const double hi = std::min(p.hi, bh);
+      double frac = 0.0;
+      if (hi >= lo) {
+        if (hi == lo) {
+          // Point predicate: one distinct slot out of the bin's distinct
+          // values (uniform-spread over distinct values, as in MHIST).
+          frac = 1.0 / std::max(1.0, nodes_[col].distinct[b]);
+        } else if (bh > bl) {
+          frac = std::min(1.0, (hi - lo) / (bh - bl));
+        } else {
+          frac = 1.0;
+        }
+      }
+      overlap[b] *= frac;
+    }
+  }
+  return overlap;
+}
+
+std::vector<double> BayesNetEstimator::Message(int node,
+                                               const query::Query& q) const {
+  const std::vector<double> alpha = BinOverlap(node, q);
+  const int bins = static_cast<int>(alpha.size());
+
+  // Product of messages from this node's children, per own bin.
+  std::vector<double> sub(bins, 1.0);
+  for (int child : children_[node]) {
+    const std::vector<double> m = Message(child, q);
+    for (int b = 0; b < bins; ++b) sub[b] *= m[b];
+  }
+
+  const int parent = parents_[node];
+  if (parent < 0) {
+    // Root: contract against the marginal and return a singleton.
+    double total = 0.0;
+    for (int b = 0; b < bins; ++b) {
+      total += alpha[b] * sub[b] * nodes_[node].marginal[b];
+    }
+    return {total};
+  }
+
+  const int parent_bins = static_cast<int>(nodes_[parent].edges.size()) - 1;
+  std::vector<double> out(parent_bins, 0.0);
+  const std::vector<double>& cpt = nodes_[node].cpt;
+  for (int pb = 0; pb < parent_bins; ++pb) {
+    double acc = 0.0;
+    for (int b = 0; b < bins; ++b) {
+      acc += cpt[static_cast<size_t>(pb) * bins + b] * alpha[b] * sub[b];
+    }
+    out[pb] = acc;
+  }
+  return out;
+}
+
+double BayesNetEstimator::Estimate(const query::Query& q) {
+  const std::vector<double> result = Message(root_, q);
+  IAM_CHECK(result.size() == 1);
+  return std::clamp(result[0], 0.0, 1.0);
+}
+
+size_t BayesNetEstimator::SizeBytes() const {
+  size_t bytes = 0;
+  for (const NodeStats& node : nodes_) {
+    bytes += (node.edges.size() + node.marginal.size() + node.cpt.size()) *
+             sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace iam::estimator

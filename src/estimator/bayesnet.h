@@ -1,0 +1,60 @@
+#ifndef IAM_ESTIMATOR_BAYESNET_H_
+#define IAM_ESTIMATOR_BAYESNET_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "estimator/estimator.h"
+
+namespace iam::estimator {
+
+// Chow-Liu tree Bayesian network (the paper's BayesNet baseline): columns are
+// discretized into equi-depth bins, the maximum-mutual-information spanning
+// tree is learned, and range queries are answered exactly on the tree by
+// message passing, with boundary bins weighted by their uniform-spread
+// overlap with the predicate (the discretization loss the paper observes at
+// the max-error tail).
+class BayesNetEstimator : public Estimator {
+ public:
+  struct Options {
+    int max_bins = 64;
+    double laplace = 0.01;  // CPT smoothing
+  };
+
+  BayesNetEstimator(const data::Table& table, const Options& options);
+
+  std::string name() const override { return "bayesnet"; }
+  double Estimate(const query::Query& q) override;
+  size_t SizeBytes() const override;
+
+  // Parent of each column in the learned tree (-1 for the root). Exposed for
+  // tests.
+  const std::vector<int>& parents() const { return parents_; }
+
+ private:
+  struct NodeStats {
+    std::vector<double> edges;     // bin boundaries, size bins+1
+    std::vector<double> marginal;  // P(bin), size bins
+    std::vector<double> distinct;  // distinct values per bin, size bins
+    // cpt[parent_bin * bins + bin] = P(bin | parent_bin); empty for root.
+    std::vector<double> cpt;
+  };
+
+  // Per-bin fraction of mass that satisfies the predicate (1.0 with no
+  // predicate on the column).
+  std::vector<double> BinOverlap(int col, const query::Query& q) const;
+
+  // Message from `node` to its parent: for each parent bin, the expected
+  // product of indicators in node's subtree.
+  std::vector<double> Message(int node, const query::Query& q) const;
+
+  int num_columns_ = 0;
+  std::vector<NodeStats> nodes_;
+  std::vector<int> parents_;
+  std::vector<std::vector<int>> children_;
+  int root_ = 0;
+};
+
+}  // namespace iam::estimator
+
+#endif  // IAM_ESTIMATOR_BAYESNET_H_

@@ -1,0 +1,39 @@
+#include "estimator/estimator.h"
+
+#include <algorithm>
+
+#include "util/math_util.h"
+
+namespace iam::estimator {
+
+std::vector<double> Estimator::EstimateBatch(
+    std::span<const query::Query> qs) {
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const query::Query& q : qs) out.push_back(Estimate(q));
+  return out;
+}
+
+double EstimateDisjunction(Estimator& est, const query::Query& a,
+                           const query::Query& b) {
+  // Build a AND b: concatenate predicates, intersecting same-column pairs.
+  query::Query both = a;
+  for (const query::Predicate& pb : b.predicates) {
+    bool merged = false;
+    for (query::Predicate& pa : both.predicates) {
+      if (pa.column == pb.column) {
+        pa.lo = std::max(pa.lo, pb.lo);
+        pa.hi = std::min(pa.hi, pb.hi);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) both.predicates.push_back(pb);
+  }
+  const double sa = est.Estimate(a);
+  const double sb = est.Estimate(b);
+  const double sab = est.Estimate(both);
+  return Clamp(sa + sb - sab, 0.0, 1.0);
+}
+
+}  // namespace iam::estimator

@@ -1,0 +1,41 @@
+#ifndef IAM_ESTIMATOR_ESTIMATOR_H_
+#define IAM_ESTIMATOR_ESTIMATOR_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace iam::estimator {
+
+// Common interface of every selectivity estimator in the evaluation
+// (Section 6.1.2). Estimate() returns a selectivity in [0, 1]; callers apply
+// the paper's 1/|T| floor inside the q-error metric.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  virtual std::string name() const = 0;
+
+  // Estimated selectivity of a conjunctive query. Non-const because several
+  // estimators draw Monte-Carlo samples from an internal RNG.
+  virtual double Estimate(const query::Query& q) = 0;
+
+  // Batched inference; the default processes queries one by one. The AR
+  // estimators override this to share forward passes (Table 7).
+  virtual std::vector<double> EstimateBatch(std::span<const query::Query> qs);
+
+  // Storage footprint of the trained model (Tables 6 and 12).
+  virtual size_t SizeBytes() const = 0;
+};
+
+// Estimates a two-term disjunction R_a OR R_b via inclusion-exclusion
+// (Section 2.1): sel(a) + sel(b) - sel(a AND b). Predicates on the same
+// column are intersected for the conjunction term.
+double EstimateDisjunction(Estimator& est, const query::Query& a,
+                           const query::Query& b);
+
+}  // namespace iam::estimator
+
+#endif  // IAM_ESTIMATOR_ESTIMATOR_H_

@@ -1,0 +1,81 @@
+#include "estimator/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace iam::estimator {
+
+KdeEstimator::KdeEstimator(const data::Table& table, const Options& options) {
+  num_columns_ = table.num_columns();
+  const size_t n = table.num_rows();
+  IAM_CHECK(n > 0);
+
+  Rng rng(options.seed);
+  const size_t m = std::min(options.sample_size, n);
+  const std::vector<size_t> rows = rng.SampleWithoutReplacement(n, m);
+  num_centers_ = rows.size();
+  centers_.reserve(num_centers_ * num_columns_);
+  for (size_t r : rows) {
+    for (int c = 0; c < num_columns_; ++c) {
+      centers_.push_back(table.value(r, c));
+    }
+  }
+
+  // Scott's rule: h_d = sigma_d * m^(-1/(d+4)).
+  bandwidth_.resize(num_columns_);
+  const double exponent =
+      -1.0 / (static_cast<double>(num_columns_) + 4.0);
+  const double m_factor = std::pow(static_cast<double>(num_centers_), exponent);
+  for (int c = 0; c < num_columns_; ++c) {
+    const MeanVar mv = ComputeMeanVar(table.column(c).values);
+    const double sigma = std::sqrt(std::max(mv.variance, 1e-12));
+    bandwidth_[c] = std::max(1e-9, sigma * m_factor);
+  }
+}
+
+double KdeEstimator::Estimate(const query::Query& q) {
+  if (num_centers_ == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < num_centers_; ++i) {
+    const double* center = centers_.data() + i * num_columns_;
+    double contrib = 1.0;
+    for (const query::Predicate& p : q.predicates) {
+      const double h = bandwidth_[p.column] * bandwidth_scale_;
+      const double x = center[p.column];
+      const double mass = NormalCdf(p.hi, x, h) - NormalCdf(p.lo, x, h);
+      contrib *= mass;
+      if (contrib <= 0.0) break;
+    }
+    total += contrib;
+  }
+  return Clamp(total / static_cast<double>(num_centers_), 0.0, 1.0);
+}
+
+void KdeEstimator::TuneBandwidth(std::span<const query::Query> queries,
+                                 std::span<const double> truths,
+                                 size_t num_rows) {
+  IAM_CHECK(queries.size() == truths.size());
+  static const double kScales[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+  double best_scale = bandwidth_scale_;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (double scale : kScales) {
+    bandwidth_scale_ = scale;
+    double err = 0.0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      err += query::QError(truths[i], Estimate(queries[i]), num_rows);
+    }
+    if (err < best_err) {
+      best_err = err;
+      best_scale = scale;
+    }
+  }
+  bandwidth_scale_ = best_scale;
+}
+
+size_t KdeEstimator::SizeBytes() const {
+  return (centers_.size() + bandwidth_.size() + 1) * sizeof(double);
+}
+
+}  // namespace iam::estimator

@@ -1,0 +1,47 @@
+#ifndef IAM_ESTIMATOR_KDE_H_
+#define IAM_ESTIMATOR_KDE_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "estimator/estimator.h"
+#include "util/random.h"
+
+namespace iam::estimator {
+
+// Gaussian kernel density estimator (Heimel et al. / Kiefer et al.): a
+// uniform sample of rows acts as kernel centers; the selectivity of a
+// hyper-rectangle is the average over centers of the product of per-dimension
+// normal-CDF differences. Bandwidths follow Scott's rule; optionally a few
+// multiplicative bandwidth refinement steps on a training workload mimic the
+// query-feedback tuning of the original system.
+class KdeEstimator : public Estimator {
+ public:
+  struct Options {
+    size_t sample_size = 2000;
+    uint64_t seed = 11;
+  };
+
+  KdeEstimator(const data::Table& table, const Options& options);
+
+  std::string name() const override { return "kde"; }
+  double Estimate(const query::Query& q) override;
+  size_t SizeBytes() const override;
+
+  // Grid-searches a global bandwidth multiplier against a training workload
+  // (queries + true selectivities), keeping the multiplier with the lowest
+  // mean q-error.
+  void TuneBandwidth(std::span<const query::Query> queries,
+                     std::span<const double> truths, size_t num_rows);
+
+ private:
+  std::vector<double> centers_;  // row-major sample
+  std::vector<double> bandwidth_;
+  size_t num_centers_ = 0;
+  int num_columns_ = 0;
+  double bandwidth_scale_ = 1.0;
+};
+
+}  // namespace iam::estimator
+
+#endif  // IAM_ESTIMATOR_KDE_H_

@@ -1,0 +1,173 @@
+#include "estimator/mhist.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/random.h"
+
+namespace iam::estimator {
+namespace {
+
+// Working bucket during construction: owns the row indices it covers.
+struct BuildBucket {
+  std::vector<size_t> rows;
+  // Cached best split.
+  double score = -1.0;
+  int split_dim = -1;
+  double split_value = 0.0;
+};
+
+}  // namespace
+
+MhistEstimator::MhistEstimator(const data::Table& table,
+                               const Options& options) {
+  num_columns_ = table.num_columns();
+  const size_t n = table.num_rows();
+  IAM_CHECK(n > 0);
+
+  // Build sample.
+  Rng rng(options.seed);
+  std::vector<size_t> rows;
+  if (n > options.max_build_rows) {
+    rows = rng.SampleWithoutReplacement(n, options.max_build_rows);
+  } else {
+    rows.resize(n);
+    for (size_t i = 0; i < n; ++i) rows[i] = i;
+  }
+
+  // MaxDiff score of the best split of a bucket: the largest
+  // frequency-weighted gap between adjacent sorted values in any dimension.
+  std::vector<double> scratch;
+  auto find_best_split = [&](BuildBucket& b) {
+    b.score = -1.0;
+    b.split_dim = -1;
+    if (b.rows.size() < 2) return;
+    // Score splits on a stride sample to bound construction cost; the actual
+    // partition below remains exact.
+    const size_t kMaxScore = 4096;
+    const size_t stride = std::max<size_t>(1, b.rows.size() / kMaxScore);
+    for (int d = 0; d < num_columns_; ++d) {
+      scratch.clear();
+      scratch.reserve(b.rows.size() / stride + 1);
+      for (size_t i = 0; i < b.rows.size(); i += stride) {
+        scratch.push_back(table.value(b.rows[i], d));
+      }
+      std::sort(scratch.begin(), scratch.end());
+      if (scratch.size() < 2) continue;
+      const double span = scratch.back() - scratch.front();
+      if (span <= 0.0) continue;
+      for (size_t i = 0; i + 1 < scratch.size(); ++i) {
+        const double gap = scratch[i + 1] - scratch[i];
+        if (gap <= 0.0) continue;
+        // Normalize the gap by the bucket span so dimensions with different
+        // scales compete fairly; weight by population.
+        const double score =
+            gap / span * static_cast<double>(b.rows.size());
+        if (score > b.score) {
+          b.score = score;
+          b.split_dim = d;
+          // Split strictly between the two adjacent values.
+          b.split_value = scratch[i];
+        }
+      }
+    }
+  };
+
+  std::vector<BuildBucket> building;
+  building.emplace_back();
+  building[0].rows = std::move(rows);
+  find_best_split(building[0]);
+
+  while (static_cast<int>(building.size()) < options.num_buckets) {
+    // Pick the bucket with the best split score.
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(building.size()); ++i) {
+      if (building[i].split_dim >= 0 &&
+          (best < 0 || building[i].score > building[best].score)) {
+        best = i;
+      }
+    }
+    if (best < 0) break;  // nothing splittable
+
+    BuildBucket& src = building[best];
+    BuildBucket left, right;
+    for (size_t r : src.rows) {
+      if (table.value(r, src.split_dim) <= src.split_value) {
+        left.rows.push_back(r);
+      } else {
+        right.rows.push_back(r);
+      }
+    }
+    IAM_CHECK(!left.rows.empty() && !right.rows.empty());
+    find_best_split(left);
+    find_best_split(right);
+    building[best] = std::move(left);
+    building.push_back(std::move(right));
+  }
+
+  // Finalize buckets.
+  const double total = [&] {
+    size_t t = 0;
+    for (const BuildBucket& b : building) t += b.rows.size();
+    return static_cast<double>(t);
+  }();
+  buckets_.reserve(building.size());
+  std::vector<double> values;
+  for (const BuildBucket& b : building) {
+    Bucket out;
+    out.lo.resize(num_columns_);
+    out.hi.resize(num_columns_);
+    out.distinct.resize(num_columns_);
+    out.fraction = static_cast<double>(b.rows.size()) / total;
+    for (int d = 0; d < num_columns_; ++d) {
+      values.clear();
+      values.reserve(b.rows.size());
+      for (size_t r : b.rows) values.push_back(table.value(r, d));
+      std::sort(values.begin(), values.end());
+      out.lo[d] = values.front();
+      out.hi[d] = values.back();
+      out.distinct[d] = static_cast<double>(
+          std::unique(values.begin(), values.end()) - values.begin());
+    }
+    buckets_.push_back(std::move(out));
+  }
+}
+
+double MhistEstimator::Estimate(const query::Query& q) {
+  double sel = 0.0;
+  for (const Bucket& b : buckets_) {
+    double frac = b.fraction;
+    for (const query::Predicate& p : q.predicates) {
+      const int d = p.column;
+      const double lo = std::max(p.lo, b.lo[d]);
+      const double hi = std::min(p.hi, b.hi[d]);
+      if (hi < lo) {
+        frac = 0.0;
+        break;
+      }
+      const double span = b.hi[d] - b.lo[d];
+      double overlap;
+      if (hi == lo) {
+        // Point intersection: uniform-spread over the distinct values.
+        overlap = 1.0 / std::max(1.0, b.distinct[d]);
+      } else if (span > 0.0) {
+        overlap = std::min(1.0, (hi - lo) / span);
+      } else {
+        overlap = 1.0;
+      }
+      frac *= overlap;
+      if (frac == 0.0) break;
+    }
+    sel += frac;
+  }
+  return std::min(sel, 1.0);
+}
+
+size_t MhistEstimator::SizeBytes() const {
+  // Per bucket: 3 doubles per dim + fraction.
+  return buckets_.size() *
+         (static_cast<size_t>(num_columns_) * 3 + 1) * sizeof(double);
+}
+
+}  // namespace iam::estimator

@@ -1,0 +1,48 @@
+#ifndef IAM_ESTIMATOR_MHIST_H_
+#define IAM_ESTIMATOR_MHIST_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "estimator/estimator.h"
+
+namespace iam::estimator {
+
+// MHIST (Poosala & Ioannidis): multi-dimensional histogram built by greedy
+// MaxDiff partitioning — repeatedly split the bucket whose critical attribute
+// has the largest frequency-weighted gap between adjacent values, at that
+// gap. Estimation assumes uniform spread inside each bucket, which is the
+// weakness the paper's Section 6.2 highlights on skewed data.
+class MhistEstimator : public Estimator {
+ public:
+  struct Options {
+    int num_buckets = 1000;
+    // Build on at most this many rows (uniformly sampled) to bound the
+    // partitioning cost.
+    size_t max_build_rows = 200000;
+    uint64_t seed = 7;
+  };
+
+  MhistEstimator(const data::Table& table, const Options& options);
+
+  std::string name() const override { return "mhist"; }
+  double Estimate(const query::Query& q) override;
+  size_t SizeBytes() const override;
+
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+
+ private:
+  struct Bucket {
+    std::vector<double> lo;        // per-dim lower bound (inclusive)
+    std::vector<double> hi;        // per-dim upper bound (inclusive)
+    std::vector<double> distinct;  // per-dim distinct-count estimate
+    double fraction = 0.0;         // share of all rows
+  };
+
+  std::vector<Bucket> buckets_;
+  int num_columns_ = 0;
+};
+
+}  // namespace iam::estimator
+
+#endif  // IAM_ESTIMATOR_MHIST_H_

@@ -1,0 +1,164 @@
+#include "estimator/mscn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace iam::estimator {
+
+MscnEstimator::MscnEstimator(const data::Table& table, const Options& options)
+    : num_columns_(table.num_columns()),
+      table_rows_(table.num_rows()),
+      rng_(options.seed) {
+  IAM_CHECK(table.num_rows() > 0);
+  ranges_.resize(num_columns_);
+  for (int c = 0; c < num_columns_; ++c) ranges_[c] = table.ColumnRange(c);
+
+  const size_t m = std::min(options.sample_rows, table.num_rows());
+  const auto rows = rng_.SampleWithoutReplacement(table.num_rows(), m);
+  num_sampled_ = rows.size();
+  sample_.reserve(num_sampled_ * num_columns_);
+  for (size_t r : rows) {
+    for (int c = 0; c < num_columns_; ++c) sample_.push_back(table.value(r, c));
+  }
+
+  feature_dim_ = 3 * num_columns_ + 1;  // (active, lo, hi) per col + bitmap
+  l1_ = std::make_unique<nn::MaskedLinear>(feature_dim_, options.hidden_units,
+                                           rng_);
+  l2_ = std::make_unique<nn::MaskedLinear>(options.hidden_units,
+                                           options.hidden_units, rng_);
+  out_ = std::make_unique<nn::MaskedLinear>(options.hidden_units, 1, rng_);
+  nn::Adam::Options adam_opts;
+  adam_opts.learning_rate = options.learning_rate;
+  adam_ = nn::Adam(adam_opts);
+  adam_.Register(&l1_->weight());
+  adam_.Register(&l1_->bias());
+  adam_.Register(&l2_->weight());
+  adam_.Register(&l2_->bias());
+  adam_.Register(&out_->weight());
+  adam_.Register(&out_->bias());
+  log_floor_ = std::log2(1.0 / static_cast<double>(table_rows_));
+  epochs_ = options.epochs;
+  batch_size_ = options.batch_size;
+}
+
+std::vector<float> MscnEstimator::Featurize(const query::Query& q) const {
+  std::vector<float> f(feature_dim_, 0.0f);
+  // Default: column inactive, full range.
+  for (int c = 0; c < num_columns_; ++c) {
+    f[3 * c + 1] = 0.0f;
+    f[3 * c + 2] = 1.0f;
+  }
+  for (const query::Predicate& p : q.predicates) {
+    const auto [lo, hi] = ranges_[p.column];
+    const double span = hi > lo ? hi - lo : 1.0;
+    const double nlo = Clamp((p.lo - lo) / span, 0.0, 1.0);
+    const double nhi = Clamp((p.hi - lo) / span, 0.0, 1.0);
+    f[3 * p.column] = 1.0f;
+    f[3 * p.column + 1] = std::max(f[3 * p.column + 1], (float)nlo);
+    f[3 * p.column + 2] = std::min(f[3 * p.column + 2], (float)nhi);
+  }
+  // Pooled sample bitmap: fraction of sampled rows matching the query.
+  size_t hits = 0;
+  for (size_t r = 0; r < num_sampled_; ++r) {
+    const double* row = sample_.data() + r * num_columns_;
+    bool ok = true;
+    for (const query::Predicate& p : q.predicates) {
+      if (!p.Matches(row[p.column])) {
+        ok = false;
+        break;
+      }
+    }
+    hits += ok ? 1 : 0;
+  }
+  f[feature_dim_ - 1] =
+      static_cast<float>(hits) / static_cast<float>(num_sampled_);
+  return f;
+}
+
+void MscnEstimator::Train(std::span<const query::Query> queries,
+                          std::span<const double> selectivities) {
+  IAM_CHECK(queries.size() == selectivities.size());
+  IAM_CHECK(!queries.empty());
+
+  // Precompute features and log targets.
+  nn::Matrix features(static_cast<int>(queries.size()), feature_dim_);
+  std::vector<float> targets(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const std::vector<float> f = Featurize(queries[i]);
+    std::copy(f.begin(), f.end(), features.row(static_cast<int>(i)));
+    const double sel =
+        std::max(selectivities[i], 1.0 / static_cast<double>(table_rows_));
+    targets[i] = static_cast<float>(std::log2(sel));
+  }
+
+  std::vector<size_t> order(queries.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  nn::Matrix x, z1, a1, z2, a2, pred, dpred(0, 0), da2, dz2, da1, dz1, dx;
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    rng_.Shuffle(order);
+    for (size_t begin = 0; begin < order.size(); begin += batch_size_) {
+      const size_t end = std::min(order.size(), begin + batch_size_);
+      const int b = static_cast<int>(end - begin);
+      x.Resize(b, feature_dim_);
+      for (int r = 0; r < b; ++r) {
+        const float* src = features.row(static_cast<int>(order[begin + r]));
+        std::copy(src, src + feature_dim_, x.row(r));
+      }
+      adam_.ZeroGrad();
+      l1_->Forward(x, z1);
+      nn::ReluForward(z1, a1);
+      l2_->Forward(a1, z2);
+      nn::ReluForward(z2, a2);
+      out_->Forward(a2, pred);
+      dpred.Resize(b, 1);
+      for (int r = 0; r < b; ++r) {
+        const float diff =
+            pred.at(r, 0) - targets[order[begin + r]];
+        dpred.at(r, 0) = 2.0f * diff / static_cast<float>(b);
+      }
+      out_->Backward(a2, dpred, da2);
+      nn::ReluBackward(z2, da2, dz2);
+      l2_->Backward(a1, dz2, da1);
+      nn::ReluBackward(z1, da1, dz1);
+      l1_->Backward(x, dz1, dx);
+      adam_.Step();
+    }
+  }
+}
+
+double MscnEstimator::Estimate(const query::Query& q) {
+  return EstimateBatch({&q, 1})[0];
+}
+
+std::vector<double> MscnEstimator::EstimateBatch(
+    std::span<const query::Query> qs) {
+  nn::Matrix x(static_cast<int>(qs.size()), feature_dim_);
+  for (size_t i = 0; i < qs.size(); ++i) {
+    const std::vector<float> f = Featurize(qs[i]);
+    std::copy(f.begin(), f.end(), x.row(static_cast<int>(i)));
+  }
+  nn::Matrix z1, a1, z2, a2, pred;
+  l1_->Forward(x, z1);
+  nn::ReluForward(z1, a1);
+  l2_->Forward(a1, z2);
+  nn::ReluForward(z2, a2);
+  out_->Forward(a2, pred);
+  std::vector<double> out(qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    const double log_sel =
+        Clamp(pred.at(static_cast<int>(i), 0), log_floor_, 0.0);
+    out[i] = std::exp2(log_sel);
+  }
+  return out;
+}
+
+size_t MscnEstimator::SizeBytes() const {
+  const size_t params = l1_->ParameterCount() + l2_->ParameterCount() +
+                        out_->ParameterCount();
+  return params * sizeof(float) + sample_.size() * sizeof(double);
+}
+
+}  // namespace iam::estimator

@@ -1,0 +1,67 @@
+#ifndef IAM_ESTIMATOR_MSCN_H_
+#define IAM_ESTIMATOR_MSCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/table.h"
+#include "estimator/estimator.h"
+#include "nn/adam.h"
+#include "nn/layers.h"
+#include "util/random.h"
+
+namespace iam::estimator {
+
+// Query-driven supervised estimator in the spirit of MSCN (Kipf et al.):
+// queries are featurized as per-column (active, lo, hi) triples normalized to
+// the column range, plus the match fraction over a materialized row sample
+// (MSCN's sample bitmap, pooled), and a two-layer MLP regresses log2 of the
+// selectivity. Training pairs come from a workload with executed ground
+// truth, which is exactly how the paper trains its query-driven baselines
+// (Section 6.1.3: 10K training queries drawn like the test queries).
+class MscnEstimator : public Estimator {
+ public:
+  struct Options {
+    int hidden_units = 256;
+    int epochs = 60;
+    int batch_size = 128;
+    double learning_rate = 1e-3;
+    size_t sample_rows = 512;  // bitmap sample size
+    uint64_t seed = 17;
+  };
+
+  MscnEstimator(const data::Table& table, const Options& options);
+
+  // Supervised training on (query, true selectivity) pairs.
+  void Train(std::span<const query::Query> queries,
+             std::span<const double> selectivities);
+
+  std::string name() const override { return "mscn"; }
+  double Estimate(const query::Query& q) override;
+  std::vector<double> EstimateBatch(std::span<const query::Query> qs) override;
+  size_t SizeBytes() const override;
+
+ private:
+  std::vector<float> Featurize(const query::Query& q) const;
+
+  int num_columns_;
+  size_t table_rows_;
+  std::vector<std::pair<double, double>> ranges_;
+  // Row-major bitmap sample.
+  std::vector<double> sample_;
+  size_t num_sampled_;
+
+  int feature_dim_;
+  std::unique_ptr<nn::MaskedLinear> l1_;
+  std::unique_ptr<nn::MaskedLinear> l2_;
+  std::unique_ptr<nn::MaskedLinear> out_;
+  nn::Adam adam_;
+  Rng rng_;
+  double log_floor_;
+  int epochs_;
+  size_t batch_size_;
+};
+
+}  // namespace iam::estimator
+
+#endif  // IAM_ESTIMATOR_MSCN_H_

@@ -1,0 +1,131 @@
+#include "estimator/postgres1d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace iam::estimator {
+
+Postgres1DEstimator::Postgres1DEstimator(const data::Table& table,
+                                         const Options& options) {
+  const size_t n = table.num_rows();
+  IAM_CHECK(n > 0);
+  stats_.resize(table.num_columns());
+
+  for (int c = 0; c < table.num_columns(); ++c) {
+    ColumnStats& st = stats_[c];
+    std::vector<double> values = table.column(c).values;
+    std::sort(values.begin(), values.end());
+
+    // Frequency of each distinct value (values are sorted).
+    std::vector<std::pair<double, size_t>> freq;  // value, count
+    for (size_t i = 0; i < values.size();) {
+      size_t j = i;
+      while (j < values.size() && values[j] == values[i]) ++j;
+      freq.emplace_back(values[i], j - i);
+      i = j;
+    }
+
+    // MCVs: the most frequent values, but only those occurring more than
+    // once (Postgres keeps genuinely common values).
+    std::vector<std::pair<double, size_t>> by_count = freq;
+    std::sort(by_count.begin(), by_count.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    const int mcvs = std::min<int>(options.mcv_entries,
+                                   static_cast<int>(by_count.size()));
+    std::vector<double> mcv_set;
+    for (int i = 0; i < mcvs; ++i) {
+      if (by_count[i].second <= 1) break;
+      st.mcv_values.push_back(by_count[i].first);
+      st.mcv_freqs.push_back(static_cast<double>(by_count[i].second) /
+                             static_cast<double>(n));
+      st.mcv_total_freq += st.mcv_freqs.back();
+    }
+    // Sort MCVs by value for binary search.
+    std::vector<size_t> order(st.mcv_values.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return st.mcv_values[a] < st.mcv_values[b];
+    });
+    std::vector<double> v2(order.size()), f2(order.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      v2[i] = st.mcv_values[order[i]];
+      f2[i] = st.mcv_freqs[order[i]];
+    }
+    st.mcv_values = std::move(v2);
+    st.mcv_freqs = std::move(f2);
+
+    // Histogram over non-MCV values.
+    std::vector<double> rest;
+    rest.reserve(values.size());
+    for (double v : values) {
+      if (!std::binary_search(st.mcv_values.begin(), st.mcv_values.end(), v)) {
+        rest.push_back(v);
+      }
+    }
+    st.non_mcv_freq = static_cast<double>(rest.size()) / static_cast<double>(n);
+    if (!rest.empty()) {
+      const int bins =
+          std::min<int>(options.histogram_bins,
+                        std::max<int>(1, static_cast<int>(rest.size())));
+      st.histogram_bounds.reserve(bins + 1);
+      for (int b = 0; b <= bins; ++b) {
+        const size_t idx = static_cast<size_t>(
+            static_cast<double>(b) / bins *
+            static_cast<double>(rest.size() - 1));
+        st.histogram_bounds.push_back(rest[idx]);
+      }
+    }
+  }
+}
+
+double Postgres1DEstimator::ColumnSelectivity(
+    const ColumnStats& st, const query::Predicate& p) const {
+  double sel = 0.0;
+
+  // MCV contribution: exact.
+  for (size_t i = 0; i < st.mcv_values.size(); ++i) {
+    if (p.Matches(st.mcv_values[i])) sel += st.mcv_freqs[i];
+  }
+
+  // Histogram contribution: linear interpolation within the bucket
+  // (Postgres's convert_to_scalar path), uniform mass per bucket.
+  if (st.histogram_bounds.size() >= 2 && st.non_mcv_freq > 0.0) {
+    const auto& bounds = st.histogram_bounds;
+    const size_t buckets = bounds.size() - 1;
+    const double per_bucket = st.non_mcv_freq / static_cast<double>(buckets);
+    for (size_t b = 0; b < buckets; ++b) {
+      const double bl = bounds[b];
+      const double bh = bounds[b + 1];
+      const double lo = std::max(p.lo, bl);
+      const double hi = std::min(p.hi, bh);
+      if (hi < lo) continue;
+      double frac = 1.0;
+      if (bh > bl) frac = (hi - lo) / (bh - bl);
+      sel += per_bucket * std::min(frac, 1.0);
+    }
+  }
+  return std::min(sel, 1.0);
+}
+
+double Postgres1DEstimator::Estimate(const query::Query& q) {
+  double sel = 1.0;
+  for (const query::Predicate& p : q.predicates) {
+    IAM_CHECK(p.column >= 0 &&
+              p.column < static_cast<int>(stats_.size()));
+    sel *= ColumnSelectivity(stats_[p.column], p);
+  }
+  return sel;
+}
+
+size_t Postgres1DEstimator::SizeBytes() const {
+  size_t bytes = 0;
+  for (const ColumnStats& st : stats_) {
+    bytes += (st.mcv_values.size() + st.mcv_freqs.size() +
+              st.histogram_bounds.size() + 2) *
+             sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace iam::estimator

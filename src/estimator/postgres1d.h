@@ -1,0 +1,48 @@
+#ifndef IAM_ESTIMATOR_POSTGRES1D_H_
+#define IAM_ESTIMATOR_POSTGRES1D_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "estimator/estimator.h"
+
+namespace iam::estimator {
+
+// Postgres-style statistics: per column, a most-common-values (MCV) list and
+// an equi-depth histogram over the remaining values; predicates are estimated
+// per column and combined under the attribute-value-independence assumption,
+// mirroring PostgreSQL's row-estimation machinery.
+class Postgres1DEstimator : public Estimator {
+ public:
+  struct Options {
+    int histogram_bins = 100;
+    int mcv_entries = 100;
+  };
+
+  Postgres1DEstimator(const data::Table& table, const Options& options);
+
+  std::string name() const override { return "postgres"; }
+  double Estimate(const query::Query& q) override;
+  size_t SizeBytes() const override;
+
+ private:
+  struct ColumnStats {
+    // MCVs: value -> frequency (fraction of all rows).
+    std::vector<double> mcv_values;
+    std::vector<double> mcv_freqs;
+    double mcv_total_freq = 0.0;
+    // Equi-depth histogram over non-MCV values: ascending bounds, each
+    // bucket holding an equal share of the non-MCV mass.
+    std::vector<double> histogram_bounds;
+    double non_mcv_freq = 0.0;
+  };
+
+  double ColumnSelectivity(const ColumnStats& stats,
+                           const query::Predicate& p) const;
+
+  std::vector<ColumnStats> stats_;
+};
+
+}  // namespace iam::estimator
+
+#endif  // IAM_ESTIMATOR_POSTGRES1D_H_

@@ -1,0 +1,48 @@
+#include "estimator/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iam::estimator {
+
+SamplingEstimator::SamplingEstimator(const data::Table& table, double fraction,
+                                     uint64_t seed)
+    : num_columns_(table.num_columns()) {
+  IAM_CHECK(fraction > 0.0 && fraction <= 1.0);
+  Rng rng(seed);
+  const size_t n = table.num_rows();
+  const size_t k = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(fraction * static_cast<double>(n))));
+  const std::vector<size_t> rows =
+      rng.SampleWithoutReplacement(n, std::min(k, n));
+  num_sampled_ = rows.size();
+  sample_.reserve(num_sampled_ * num_columns_);
+  for (size_t r : rows) {
+    for (int c = 0; c < num_columns_; ++c) {
+      sample_.push_back(table.value(r, c));
+    }
+  }
+}
+
+double SamplingEstimator::Estimate(const query::Query& q) {
+  if (num_sampled_ == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t r = 0; r < num_sampled_; ++r) {
+    const double* row = sample_.data() + r * num_columns_;
+    bool match = true;
+    for (const query::Predicate& p : q.predicates) {
+      if (!p.Matches(row[p.column])) {
+        match = false;
+        break;
+      }
+    }
+    hits += match ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(num_sampled_);
+}
+
+size_t SamplingEstimator::SizeBytes() const {
+  return sample_.size() * sizeof(double);
+}
+
+}  // namespace iam::estimator

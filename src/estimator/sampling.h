@@ -1,0 +1,34 @@
+#ifndef IAM_ESTIMATOR_SAMPLING_H_
+#define IAM_ESTIMATOR_SAMPLING_H_
+
+#include <memory>
+
+#include "data/table.h"
+#include "estimator/estimator.h"
+#include "util/random.h"
+
+namespace iam::estimator {
+
+// Uniform row-sample estimator: keeps `fraction` of the relation and answers
+// queries by scanning the sample. The paper sizes the sample to match IAM's
+// space budget per dataset (0.02%-0.63%).
+class SamplingEstimator : public Estimator {
+ public:
+  SamplingEstimator(const data::Table& table, double fraction, uint64_t seed);
+
+  std::string name() const override { return "sampling"; }
+  double Estimate(const query::Query& q) override;
+  size_t SizeBytes() const override;
+
+  size_t sample_rows() const { return num_sampled_; }
+
+ private:
+  // Row-major sample matrix.
+  std::vector<double> sample_;
+  size_t num_sampled_ = 0;
+  int num_columns_ = 0;
+};
+
+}  // namespace iam::estimator
+
+#endif  // IAM_ESTIMATOR_SAMPLING_H_

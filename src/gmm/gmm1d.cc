@@ -1,0 +1,347 @@
+#include "gmm/gmm1d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+#include "util/math_util.h"
+#include "util/serialize.h"
+
+namespace iam::gmm {
+namespace {
+
+constexpr double kMinSigma = 1e-6;
+constexpr double kAdamBeta1 = 0.9;
+constexpr double kAdamBeta2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+
+}  // namespace
+
+Gmm1D::Gmm1D(int num_components)
+    : weight_logits_(num_components, 0.0),
+      means_(num_components, 0.0),
+      log_sigmas_(num_components, 0.0),
+      adam_m_(3 * num_components, 0.0),
+      adam_v_(3 * num_components, 0.0) {
+  IAM_CHECK(num_components >= 1);
+}
+
+double Gmm1D::weight(int k) const {
+  double denom = 0.0;
+  const double max_logit =
+      *std::max_element(weight_logits_.begin(), weight_logits_.end());
+  for (double w : weight_logits_) denom += std::exp(w - max_logit);
+  return std::exp(weight_logits_[k] - max_logit) / denom;
+}
+
+double Gmm1D::stddev(int k) const {
+  return std::max(kMinSigma, std::exp(log_sigmas_[k]));
+}
+
+void Gmm1D::SetComponent(int k, double weight_logit, double mean,
+                         double stddev) {
+  IAM_CHECK(k >= 0 && k < num_components());
+  IAM_CHECK(stddev > 0.0);
+  weight_logits_[k] = weight_logit;
+  means_[k] = mean;
+  log_sigmas_[k] = std::log(stddev);
+}
+
+void Gmm1D::InitFromData(std::span<const double> data, Rng& rng) {
+  IAM_CHECK(!data.empty());
+  const int k = num_components();
+  const MeanVar mv = ComputeMeanVar(data);
+  const double scale =
+      std::max(kMinSigma, std::sqrt(mv.variance) / std::max(1.0, (double)k));
+
+  // K-means++ style seeding: first mean uniform, then proportional to the
+  // squared distance to the closest existing mean.
+  std::vector<double> chosen;
+  chosen.push_back(data[rng.UniformInt(data.size())]);
+  std::vector<double> dist2(data.size());
+  while (static_cast<int>(chosen.size()) < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (double c : chosen) {
+        const double d = data[i] - c;
+        best = std::min(best, d * d);
+      }
+      dist2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // Fewer distinct values than components: jitter around the mean.
+      chosen.push_back(mv.mean + rng.Gaussian(0.0, scale + kMinSigma));
+      continue;
+    }
+    chosen.push_back(data[rng.CategoricalWithSum(dist2, total)]);
+  }
+
+  for (int j = 0; j < k; ++j) {
+    weight_logits_[j] = 0.0;
+    means_[j] = chosen[j];
+    log_sigmas_[j] = std::log(std::max(kMinSigma, scale));
+  }
+  std::fill(adam_m_.begin(), adam_m_.end(), 0.0);
+  std::fill(adam_v_.begin(), adam_v_.end(), 0.0);
+  adam_step_ = 0;
+}
+
+std::vector<double> Gmm1D::Responsibilities(double x) const {
+  const int k = num_components();
+  std::vector<double> log_terms(k);
+  const double max_logit =
+      *std::max_element(weight_logits_.begin(), weight_logits_.end());
+  double denom = 0.0;
+  for (double w : weight_logits_) denom += std::exp(w - max_logit);
+  const double log_denom = std::log(denom) + max_logit;
+  for (int j = 0; j < k; ++j) {
+    log_terms[j] = (weight_logits_[j] - log_denom) +
+                   NormalLogPdf(x, means_[j], stddev(j));
+  }
+  const double lse = LogSumExp(log_terms);
+  std::vector<double> resp(k);
+  for (int j = 0; j < k; ++j) resp[j] = std::exp(log_terms[j] - lse);
+  return resp;
+}
+
+double Gmm1D::NegLogLikelihood(double x) const {
+  const int k = num_components();
+  std::vector<double> log_terms(k);
+  const double max_logit =
+      *std::max_element(weight_logits_.begin(), weight_logits_.end());
+  double denom = 0.0;
+  for (double w : weight_logits_) denom += std::exp(w - max_logit);
+  const double log_denom = std::log(denom) + max_logit;
+  for (int j = 0; j < k; ++j) {
+    log_terms[j] = (weight_logits_[j] - log_denom) +
+                   NormalLogPdf(x, means_[j], stddev(j));
+  }
+  return -LogSumExp(log_terms);
+}
+
+double Gmm1D::MeanNegLogLikelihood(std::span<const double> data) const {
+  IAM_CHECK(!data.empty());
+  double total = 0.0;
+  for (double x : data) total += NegLogLikelihood(x);
+  return total / static_cast<double>(data.size());
+}
+
+int Gmm1D::Assign(double x) const {
+  const int k = num_components();
+  int best = 0;
+  double best_score = kNegInf;
+  const double max_logit =
+      *std::max_element(weight_logits_.begin(), weight_logits_.end());
+  for (int j = 0; j < k; ++j) {
+    // argmax of phi_k * N_k: the softmax denominator is shared, so logits
+    // can be compared directly (shifted by max for stability).
+    const double score =
+        (weight_logits_[j] - max_logit) + NormalLogPdf(x, means_[j], stddev(j));
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  return best;
+}
+
+double Gmm1D::SgdStep(std::span<const double> batch) {
+  IAM_CHECK(!batch.empty());
+  const int k = num_components();
+  std::vector<double> grad(3 * k, 0.0);
+  double total_nll = 0.0;
+
+  // Softmax weights (shared across the batch).
+  std::vector<double> phi(k);
+  {
+    const double max_logit =
+        *std::max_element(weight_logits_.begin(), weight_logits_.end());
+    double denom = 0.0;
+    for (int j = 0; j < k; ++j) {
+      phi[j] = std::exp(weight_logits_[j] - max_logit);
+      denom += phi[j];
+    }
+    for (int j = 0; j < k; ++j) phi[j] /= denom;
+  }
+
+  std::vector<double> log_terms(k);
+  const double inv_b = 1.0 / static_cast<double>(batch.size());
+  for (double x : batch) {
+    for (int j = 0; j < k; ++j) {
+      log_terms[j] = std::log(std::max(phi[j], 1e-300)) +
+                     NormalLogPdf(x, means_[j], stddev(j));
+    }
+    const double lse = LogSumExp(log_terms);
+    total_nll += -lse;
+    for (int j = 0; j < k; ++j) {
+      const double r = std::exp(log_terms[j] - lse);  // responsibility
+      const double sigma = stddev(j);
+      const double z = (x - means_[j]) / sigma;
+      // d(-log S)/d w_j   = -(r_j - phi_j)
+      grad[j] += -(r - phi[j]) * inv_b;
+      // d(-log S)/d mu_j  = -r_j (x - mu_j) / sigma_j^2
+      grad[k + j] += -r * z / sigma * inv_b;
+      // d(-log S)/d log sigma_j = -r_j (z^2 - 1)
+      grad[2 * k + j] += -r * (z * z - 1.0) * inv_b;
+    }
+  }
+
+  AdamUpdate(grad);
+  return total_nll * inv_b;
+}
+
+void Gmm1D::AdamUpdate(std::span<const double> grad) {
+  const int k = num_components();
+  IAM_CHECK(static_cast<int>(grad.size()) == 3 * k);
+  ++adam_step_;
+  const double bias1 = 1.0 - std::pow(kAdamBeta1, adam_step_);
+  const double bias2 = 1.0 - std::pow(kAdamBeta2, adam_step_);
+  auto update = [&](int idx, double& value) {
+    adam_m_[idx] = kAdamBeta1 * adam_m_[idx] + (1.0 - kAdamBeta1) * grad[idx];
+    adam_v_[idx] =
+        kAdamBeta2 * adam_v_[idx] + (1.0 - kAdamBeta2) * grad[idx] * grad[idx];
+    const double m_hat = adam_m_[idx] / bias1;
+    const double v_hat = adam_v_[idx] / bias2;
+    value -= learning_rate_ * m_hat / (std::sqrt(v_hat) + kAdamEps);
+  };
+  for (int j = 0; j < k; ++j) update(j, weight_logits_[j]);
+  for (int j = 0; j < k; ++j) update(k + j, means_[j]);
+  for (int j = 0; j < k; ++j) update(2 * k + j, log_sigmas_[j]);
+}
+
+double Gmm1D::EmStep(std::span<const double> data) {
+  IAM_CHECK(!data.empty());
+  const int k = num_components();
+  std::vector<double> nk(k, 0.0);
+  std::vector<double> sum_x(k, 0.0);
+  std::vector<double> sum_x2(k, 0.0);
+  std::vector<double> phi(k);
+  for (int j = 0; j < k; ++j) phi[j] = weight(j);
+
+  std::vector<double> log_terms(k);
+  double total_nll = 0.0;
+  for (double x : data) {
+    for (int j = 0; j < k; ++j) {
+      log_terms[j] = std::log(std::max(phi[j], 1e-300)) +
+                     NormalLogPdf(x, means_[j], stddev(j));
+    }
+    const double lse = LogSumExp(log_terms);
+    total_nll += -lse;
+    for (int j = 0; j < k; ++j) {
+      const double r = std::exp(log_terms[j] - lse);
+      nk[j] += r;
+      sum_x[j] += r * x;
+      sum_x2[j] += r * x * x;
+    }
+  }
+
+  const double n = static_cast<double>(data.size());
+  for (int j = 0; j < k; ++j) {
+    if (nk[j] < 1e-10) continue;  // dead component, leave untouched
+    const double mu = sum_x[j] / nk[j];
+    const double var = std::max(kMinSigma * kMinSigma,
+                                sum_x2[j] / nk[j] - mu * mu);
+    means_[j] = mu;
+    log_sigmas_[j] = 0.5 * std::log(var);
+    weight_logits_[j] = std::log(std::max(nk[j] / n, 1e-300));
+  }
+  return total_nll / n;
+}
+
+double Gmm1D::ComponentIntervalMass(int k, double lo, double hi) const {
+  IAM_CHECK(k >= 0 && k < num_components());
+  if (lo > hi) return 0.0;
+  return NormalIntervalMass(lo, hi, means_[k], stddev(k));
+}
+
+double Gmm1D::ComponentTruncatedMean(int k, double lo, double hi) const {
+  IAM_CHECK(k >= 0 && k < num_components());
+  const double mu = means_[k];
+  const double sigma = stddev(k);
+  const double a = (lo - mu) / sigma;
+  const double b = (hi - mu) / sigma;
+  const double mass = NormalCdf(b) - NormalCdf(a);
+  if (mass < 1e-12) return Clamp(mu, lo, hi);
+  // E[X | a < Z < b] = mu + sigma * (phi(a) - phi(b)) / (Phi(b) - Phi(a)).
+  const double pa = std::isfinite(a) ? NormalPdf(a) : 0.0;
+  const double pb = std::isfinite(b) ? NormalPdf(b) : 0.0;
+  return mu + sigma * (pa - pb) / mass;
+}
+
+double Gmm1D::SampleComponent(int k, Rng& rng) const {
+  IAM_CHECK(k >= 0 && k < num_components());
+  return rng.Gaussian(means_[k], stddev(k));
+}
+
+double Gmm1D::Sample(Rng& rng) const {
+  const int k = num_components();
+  std::vector<double> weights(k);
+  for (int j = 0; j < k; ++j) weights[j] = weight(j);
+  return SampleComponent(static_cast<int>(rng.Categorical(weights)), rng);
+}
+
+void Gmm1D::Serialize(std::ostream& out) const {
+  WriteVector(out, weight_logits_);
+  WriteVector(out, means_);
+  WriteVector(out, log_sigmas_);
+}
+
+Result<Gmm1D> Gmm1D::Deserialize(std::istream& in) {
+  std::vector<double> logits, means, log_sigmas;
+  IAM_RETURN_IF_ERROR(ReadVector(in, &logits));
+  IAM_RETURN_IF_ERROR(ReadVector(in, &means));
+  IAM_RETURN_IF_ERROR(ReadVector(in, &log_sigmas));
+  if (logits.empty() || logits.size() != means.size() ||
+      means.size() != log_sigmas.size()) {
+    return Status::IoError("inconsistent GMM blob");
+  }
+  Gmm1D gmm(static_cast<int>(means.size()));
+  gmm.weight_logits_ = std::move(logits);
+  gmm.means_ = std::move(means);
+  gmm.log_sigmas_ = std::move(log_sigmas);
+  return gmm;
+}
+
+ComponentSampleIndex::ComponentSampleIndex(const Gmm1D& gmm,
+                                           int samples_per_component,
+                                           Rng& rng)
+    : samples_per_component_(samples_per_component) {
+  IAM_CHECK(samples_per_component >= 1);
+  samples_.resize(gmm.num_components());
+  for (int k = 0; k < gmm.num_components(); ++k) {
+    samples_[k].resize(samples_per_component);
+    for (int s = 0; s < samples_per_component; ++s) {
+      samples_[k][s] = gmm.SampleComponent(k, rng);
+    }
+    std::sort(samples_[k].begin(), samples_[k].end());
+  }
+}
+
+double ComponentSampleIndex::Mass(int k, double lo, double hi) const {
+  IAM_CHECK(k >= 0 && k < num_components());
+  if (lo > hi) return 0.0;
+  const auto& s = samples_[k];
+  const auto first = std::lower_bound(s.begin(), s.end(), lo);
+  const auto last = std::upper_bound(s.begin(), s.end(), hi);
+  return static_cast<double>(last - first) /
+         static_cast<double>(samples_per_component_);
+}
+
+std::vector<double> ComponentSampleIndex::RangeMass(double lo,
+                                                    double hi) const {
+  std::vector<double> mass(num_components());
+  for (int k = 0; k < num_components(); ++k) mass[k] = Mass(k, lo, hi);
+  return mass;
+}
+
+std::vector<double> ExactRangeMass(const Gmm1D& gmm, double lo, double hi) {
+  std::vector<double> mass(gmm.num_components());
+  for (int k = 0; k < gmm.num_components(); ++k) {
+    mass[k] = gmm.ComponentIntervalMass(k, lo, hi);
+  }
+  return mass;
+}
+
+}  // namespace iam::gmm

@@ -1,0 +1,121 @@
+#ifndef IAM_GMM_GMM1D_H_
+#define IAM_GMM_GMM1D_H_
+
+#include <istream>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace iam::gmm {
+
+// One-dimensional Gaussian mixture model, the paper's per-attribute domain
+// reducer (Section 4.2). Parameters are stored in trainable form — weight
+// logits, means, log standard deviations — so the same object supports both
+// classic EM and the paper's batched SGD on the negative log-likelihood
+// (Equation 4), which is what lets GMMs join the AR model's mini-batch loop.
+class Gmm1D {
+ public:
+  explicit Gmm1D(int num_components);
+
+  int num_components() const { return static_cast<int>(means_.size()); }
+
+  double weight(int k) const;   // softmax of the weight logits
+  double mean(int k) const { return means_[k]; }
+  double stddev(int k) const;
+
+  void SetComponent(int k, double weight_logit, double mean, double stddev);
+
+  // K-means++-style seeding from data: means at spread-out sample points,
+  // stddevs at the data scale, uniform weights.
+  void InitFromData(std::span<const double> data, Rng& rng);
+
+  // One Adam step on a mini-batch; returns the mean NLL (Equation 4).
+  // Gradients are analytic via component responsibilities.
+  double SgdStep(std::span<const double> batch);
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+  // One full-data EM iteration; returns the mean NLL before the update.
+  double EmStep(std::span<const double> data);
+
+  // -log sum_k phi_k N(x | mu_k, sigma_k^2).
+  double NegLogLikelihood(double x) const;
+  double MeanNegLogLikelihood(std::span<const double> data) const;
+
+  // argmax_k phi_k N(x | mu_k, sigma_k) — the reduced attribute value
+  // (Equation 5).
+  int Assign(double x) const;
+
+  // Per-component responsibilities P_k(x) (normalized). Used by tests.
+  std::vector<double> Responsibilities(double x) const;
+
+  // Exact mass of [lo, hi] under component k (via the normal CDF).
+  double ComponentIntervalMass(int k, double lo, double hi) const;
+
+  // Mean of component k truncated to [lo, hi] (truncated-normal mean); used
+  // by the approximate-aggregation (AVG/SUM) extension. Falls back to the
+  // clamped component mean when the interval carries negligible mass.
+  double ComponentTruncatedMean(int k, double lo, double hi) const;
+
+  // Draws one point from component k.
+  double SampleComponent(int k, Rng& rng) const;
+  // Draws one point from the mixture.
+  double Sample(Rng& rng) const;
+
+  // Three doubles per component, as the paper counts GMM storage.
+  size_t SizeBytes() const { return means_.size() * 3 * sizeof(double); }
+
+  // Model persistence (parameters only; optimizer state is not preserved).
+  void Serialize(std::ostream& out) const;
+  static Result<Gmm1D> Deserialize(std::istream& in);
+
+ private:
+  // Adam state for (weight logits, means, log sigmas) flattened as 3K values.
+  void AdamUpdate(std::span<const double> grad);
+
+  std::vector<double> weight_logits_;
+  std::vector<double> means_;
+  std::vector<double> log_sigmas_;
+
+  double learning_rate_ = 5e-3;
+  long adam_step_ = 0;
+  std::vector<double> adam_m_;
+  std::vector<double> adam_v_;
+};
+
+// Precomputed per-component Monte-Carlo samples used to estimate
+// \hat P_GMM^k(R) = S_k / S (Section 5.2). The paper draws S samples from
+// each Gaussian once, as query-independent preprocessing; we keep them sorted
+// so each range mass is two binary searches.
+class ComponentSampleIndex {
+ public:
+  ComponentSampleIndex(const Gmm1D& gmm, int samples_per_component, Rng& rng);
+
+  int num_components() const { return static_cast<int>(samples_.size()); }
+  int samples_per_component() const { return samples_per_component_; }
+
+  // Fraction of component k's samples falling in [lo, hi].
+  double Mass(int k, double lo, double hi) const;
+
+  // Vector \hat P_GMM(R) over all components.
+  std::vector<double> RangeMass(double lo, double hi) const;
+
+  size_t SizeBytes() const {
+    return static_cast<size_t>(num_components()) * samples_per_component_ *
+           sizeof(double);
+  }
+
+ private:
+  std::vector<std::vector<double>> samples_;  // sorted per component
+  int samples_per_component_;
+};
+
+// Exact counterpart of ComponentSampleIndex::RangeMass for verification and
+// ablation: per-component CDF mass of [lo, hi].
+std::vector<double> ExactRangeMass(const Gmm1D& gmm, double lo, double hi);
+
+}  // namespace iam::gmm
+
+#endif  // IAM_GMM_GMM1D_H_

@@ -1,0 +1,164 @@
+#include "gmm/gmm2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/macros.h"
+#include "util/math_util.h"
+
+namespace iam::gmm {
+namespace {
+
+constexpr double kMinVar = 1e-9;
+constexpr double kLog2Pi = 1.8378770664093453;
+
+}  // namespace
+
+Gmm2D::Gmm2D(int num_components) : comps_(num_components) {
+  IAM_CHECK(num_components >= 1);
+  for (Component& c : comps_) c.weight = 1.0 / num_components;
+}
+
+void Gmm2D::InitFromData(std::span<const double> xs,
+                         std::span<const double> ys, Rng& rng) {
+  IAM_CHECK(xs.size() == ys.size());
+  IAM_CHECK(!xs.empty());
+  const size_t n = xs.size();
+  const MeanVar mx = ComputeMeanVar(xs);
+  const MeanVar my = ComputeMeanVar(ys);
+
+  // k-means++ seeding in 2-D.
+  std::vector<size_t> chosen = {rng.UniformInt(n)};
+  std::vector<double> dist2(n);
+  while (chosen.size() < comps_.size()) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t c : chosen) {
+        const double dx = xs[i] - xs[c];
+        const double dy = ys[i] - ys[c];
+        best = std::min(best, dx * dx + dy * dy);
+      }
+      dist2[i] = best;
+      total += best;
+    }
+    chosen.push_back(total > 0.0 ? rng.CategoricalWithSum(dist2, total)
+                                 : rng.UniformInt(n));
+  }
+
+  const double k = static_cast<double>(comps_.size());
+  for (size_t j = 0; j < comps_.size(); ++j) {
+    comps_[j].weight = 1.0 / k;
+    comps_[j].mean[0] = xs[chosen[j]];
+    comps_[j].mean[1] = ys[chosen[j]];
+    comps_[j].cov[0] = std::max(mx.variance / k, kMinVar);
+    comps_[j].cov[1] = 0.0;
+    comps_[j].cov[2] = std::max(my.variance / k, kMinVar);
+  }
+}
+
+double Gmm2D::LogPdf(int k, double x, double y) const {
+  const Component& c = comps_[k];
+  const double a = c.cov[0], b = c.cov[1], d = c.cov[2];
+  const double det = std::max(a * d - b * b, kMinVar * kMinVar);
+  const double dx = x - c.mean[0];
+  const double dy = y - c.mean[1];
+  // Quadratic form with the inverse of [[a, b], [b, d]].
+  const double quad = (d * dx * dx - 2.0 * b * dx * dy + a * dy * dy) / det;
+  return -0.5 * (quad + std::log(det)) - kLog2Pi;
+}
+
+double Gmm2D::NegLogLikelihood(double x, double y) const {
+  std::vector<double> terms(comps_.size());
+  for (size_t k = 0; k < comps_.size(); ++k) {
+    terms[k] = std::log(std::max(comps_[k].weight, 1e-300)) +
+               LogPdf(static_cast<int>(k), x, y);
+  }
+  return -LogSumExp(terms);
+}
+
+int Gmm2D::Assign(double x, double y) const {
+  int best = 0;
+  double best_score = kNegInf;
+  for (int k = 0; k < num_components(); ++k) {
+    const double score =
+        std::log(std::max(comps_[k].weight, 1e-300)) + LogPdf(k, x, y);
+    if (score > best_score) {
+      best_score = score;
+      best = k;
+    }
+  }
+  return best;
+}
+
+double Gmm2D::EmStep(std::span<const double> xs, std::span<const double> ys) {
+  IAM_CHECK(xs.size() == ys.size());
+  const size_t n = xs.size();
+  const int k = num_components();
+  std::vector<double> nk(k, 0.0), sx(k, 0.0), sy(k, 0.0), sxx(k, 0.0),
+      sxy(k, 0.0), syy(k, 0.0);
+
+  std::vector<double> terms(k);
+  double total_nll = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      terms[j] = std::log(std::max(comps_[j].weight, 1e-300)) +
+                 LogPdf(j, xs[i], ys[i]);
+    }
+    const double lse = LogSumExp(terms);
+    total_nll += -lse;
+    for (int j = 0; j < k; ++j) {
+      const double r = std::exp(terms[j] - lse);
+      nk[j] += r;
+      sx[j] += r * xs[i];
+      sy[j] += r * ys[i];
+      sxx[j] += r * xs[i] * xs[i];
+      sxy[j] += r * xs[i] * ys[i];
+      syy[j] += r * ys[i] * ys[i];
+    }
+  }
+
+  for (int j = 0; j < k; ++j) {
+    if (nk[j] < 1e-9) continue;  // dead component
+    Component& c = comps_[j];
+    c.weight = nk[j] / static_cast<double>(n);
+    c.mean[0] = sx[j] / nk[j];
+    c.mean[1] = sy[j] / nk[j];
+    c.cov[0] = std::max(sxx[j] / nk[j] - c.mean[0] * c.mean[0], kMinVar);
+    c.cov[1] = sxy[j] / nk[j] - c.mean[0] * c.mean[1];
+    c.cov[2] = std::max(syy[j] / nk[j] - c.mean[1] * c.mean[1], kMinVar);
+    // Keep the covariance positive definite.
+    const double limit =
+        0.99 * std::sqrt(c.cov[0] * c.cov[2]);
+    c.cov[1] = Clamp(c.cov[1], -limit, limit);
+  }
+  return total_nll / static_cast<double>(n);
+}
+
+void Gmm2D::SampleComponent(int k, Rng& rng, double* x, double* y) const {
+  const Component& c = comps_[k];
+  // Cholesky of [[a, b], [b, d]]: L = [[l11, 0], [l21, l22]].
+  const double l11 = std::sqrt(c.cov[0]);
+  const double l21 = c.cov[1] / l11;
+  const double l22 = std::sqrt(std::max(c.cov[2] - l21 * l21, kMinVar));
+  const double u = rng.Gaussian();
+  const double v = rng.Gaussian();
+  *x = c.mean[0] + l11 * u;
+  *y = c.mean[1] + l21 * u + l22 * v;
+}
+
+double Gmm2D::RectangleMass(int k, double xlo, double xhi, double ylo,
+                            double yhi, int samples, Rng& rng) const {
+  IAM_CHECK(samples >= 1);
+  if (xlo > xhi || ylo > yhi) return 0.0;
+  int hits = 0;
+  double x = 0.0, y = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    SampleComponent(k, rng, &x, &y);
+    if (x >= xlo && x <= xhi && y >= ylo && y <= yhi) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+}  // namespace iam::gmm

@@ -1,0 +1,225 @@
+#include "gmm/laplace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/macros.h"
+#include "util/math_util.h"
+
+namespace iam::gmm {
+namespace {
+
+constexpr double kMinScale = 1e-6;
+constexpr double kAdamBeta1 = 0.9;
+constexpr double kAdamBeta2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+
+double LaplaceLogPdf(double x, double mu, double b) {
+  return -std::abs(x - mu) / b - std::log(2.0 * b);
+}
+
+double LaplaceCdf(double x, double mu, double b) {
+  if (x < mu) return 0.5 * std::exp((x - mu) / b);
+  return 1.0 - 0.5 * std::exp(-(x - mu) / b);
+}
+
+}  // namespace
+
+LaplaceMixture1D::LaplaceMixture1D(int num_components)
+    : weight_logits_(num_components, 0.0),
+      locations_(num_components, 0.0),
+      log_scales_(num_components, 0.0),
+      adam_m_(3 * num_components, 0.0),
+      adam_v_(3 * num_components, 0.0) {
+  IAM_CHECK(num_components >= 1);
+}
+
+double LaplaceMixture1D::weight(int k) const {
+  const double max_logit =
+      *std::max_element(weight_logits_.begin(), weight_logits_.end());
+  double denom = 0.0;
+  for (double w : weight_logits_) denom += std::exp(w - max_logit);
+  return std::exp(weight_logits_[k] - max_logit) / denom;
+}
+
+double LaplaceMixture1D::scale(int k) const {
+  return std::max(kMinScale, std::exp(log_scales_[k]));
+}
+
+void LaplaceMixture1D::SetComponent(int k, double weight_logit,
+                                    double location, double scale) {
+  IAM_CHECK(k >= 0 && k < num_components());
+  IAM_CHECK(scale > 0.0);
+  weight_logits_[k] = weight_logit;
+  locations_[k] = location;
+  log_scales_[k] = std::log(scale);
+}
+
+void LaplaceMixture1D::InitFromData(std::span<const double> data, Rng& rng) {
+  IAM_CHECK(!data.empty());
+  const int k = num_components();
+  const MeanVar mv = ComputeMeanVar(data);
+  const double spread =
+      std::max(kMinScale, std::sqrt(mv.variance) / std::max(1.0, (double)k));
+
+  // k-means++-style seeding, as in Gmm1D: spread the initial locations so
+  // SGD starts with every mode covered.
+  std::vector<double> chosen;
+  chosen.push_back(data[rng.UniformInt(data.size())]);
+  std::vector<double> dist2(data.size());
+  while (static_cast<int>(chosen.size()) < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (double c : chosen) {
+        const double d = data[i] - c;
+        best = std::min(best, d * d);
+      }
+      dist2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      chosen.push_back(mv.mean + rng.Gaussian(0.0, spread + kMinScale));
+      continue;
+    }
+    chosen.push_back(data[rng.CategoricalWithSum(dist2, total)]);
+  }
+
+  for (int j = 0; j < k; ++j) {
+    weight_logits_[j] = 0.0;
+    locations_[j] = chosen[j];
+    log_scales_[j] = std::log(spread);
+  }
+  std::fill(adam_m_.begin(), adam_m_.end(), 0.0);
+  std::fill(adam_v_.begin(), adam_v_.end(), 0.0);
+  adam_step_ = 0;
+}
+
+double LaplaceMixture1D::NegLogLikelihood(double x) const {
+  const int k = num_components();
+  std::vector<double> log_terms(k);
+  for (int j = 0; j < k; ++j) {
+    log_terms[j] = std::log(std::max(weight(j), 1e-300)) +
+                   LaplaceLogPdf(x, locations_[j], scale(j));
+  }
+  return -LogSumExp(log_terms);
+}
+
+double LaplaceMixture1D::MeanNegLogLikelihood(
+    std::span<const double> data) const {
+  IAM_CHECK(!data.empty());
+  double total = 0.0;
+  for (double x : data) total += NegLogLikelihood(x);
+  return total / static_cast<double>(data.size());
+}
+
+int LaplaceMixture1D::Assign(double x) const {
+  int best = 0;
+  double best_score = kNegInf;
+  for (int j = 0; j < num_components(); ++j) {
+    const double score =
+        weight_logits_[j] + LaplaceLogPdf(x, locations_[j], scale(j));
+    if (score > best_score) {
+      best_score = score;
+      best = j;
+    }
+  }
+  return best;
+}
+
+double LaplaceMixture1D::SgdStep(std::span<const double> batch) {
+  IAM_CHECK(!batch.empty());
+  const int k = num_components();
+  std::vector<double> grad(3 * k, 0.0);
+  std::vector<double> phi(k);
+  for (int j = 0; j < k; ++j) phi[j] = weight(j);
+
+  std::vector<double> log_terms(k);
+  const double inv_b = 1.0 / static_cast<double>(batch.size());
+  double total_nll = 0.0;
+  for (double x : batch) {
+    for (int j = 0; j < k; ++j) {
+      log_terms[j] = std::log(std::max(phi[j], 1e-300)) +
+                     LaplaceLogPdf(x, locations_[j], scale(j));
+    }
+    const double lse = LogSumExp(log_terms);
+    total_nll += -lse;
+    for (int j = 0; j < k; ++j) {
+      const double r = std::exp(log_terms[j] - lse);
+      const double b = scale(j);
+      const double d = x - locations_[j];
+      const double sign = d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0);
+      grad[j] += -(r - phi[j]) * inv_b;
+      grad[k + j] += -r * sign / b * inv_b;
+      grad[2 * k + j] += -r * (std::abs(d) / b - 1.0) * inv_b;
+    }
+  }
+  AdamUpdate(grad);
+  return total_nll * inv_b;
+}
+
+void LaplaceMixture1D::AdamUpdate(std::span<const double> grad) {
+  const int k = num_components();
+  ++adam_step_;
+  const double bias1 = 1.0 - std::pow(kAdamBeta1, adam_step_);
+  const double bias2 = 1.0 - std::pow(kAdamBeta2, adam_step_);
+  auto update = [&](int idx, double& value) {
+    adam_m_[idx] = kAdamBeta1 * adam_m_[idx] + (1.0 - kAdamBeta1) * grad[idx];
+    adam_v_[idx] =
+        kAdamBeta2 * adam_v_[idx] + (1.0 - kAdamBeta2) * grad[idx] * grad[idx];
+    value -= learning_rate_ * (adam_m_[idx] / bias1) /
+             (std::sqrt(adam_v_[idx] / bias2) + kAdamEps);
+  };
+  for (int j = 0; j < k; ++j) update(j, weight_logits_[j]);
+  for (int j = 0; j < k; ++j) update(k + j, locations_[j]);
+  for (int j = 0; j < k; ++j) update(2 * k + j, log_scales_[j]);
+}
+
+double LaplaceMixture1D::ComponentIntervalMass(int k, double lo,
+                                               double hi) const {
+  IAM_CHECK(k >= 0 && k < num_components());
+  if (lo > hi) return 0.0;
+  return LaplaceCdf(hi, locations_[k], scale(k)) -
+         LaplaceCdf(lo, locations_[k], scale(k));
+}
+
+double LaplaceMixture1D::ComponentTruncatedMean(int k, double lo,
+                                                double hi) const {
+  IAM_CHECK(k >= 0 && k < num_components());
+  const double mu = locations_[k];
+  const double b = scale(k);
+  const double mass = ComponentIntervalMass(k, lo, hi);
+  if (mass < 1e-12) return Clamp(mu, lo, hi);
+
+  // Piecewise antiderivatives of t * f(t):
+  //   left of mu:  A_l(x) = (x - b)/2 * exp((x - mu)/b)
+  //   right of mu: A_r(x) = -(x + b)/2 * exp(-(x - mu)/b)
+  auto left = [&](double x) {
+    if (!std::isfinite(x)) return 0.0;  // x -> -inf
+    return 0.5 * (x - b) * std::exp((x - mu) / b);
+  };
+  auto right = [&](double x) {
+    if (!std::isfinite(x)) return 0.0;  // x -> +inf
+    return -0.5 * (x + b) * std::exp(-(x - mu) / b);
+  };
+  double integral = 0.0;
+  if (hi <= mu) {
+    integral = left(hi) - left(lo);
+  } else if (lo >= mu) {
+    integral = right(hi) - right(lo);
+  } else {
+    integral = (left(mu) - left(lo)) + (right(hi) - right(mu));
+  }
+  return integral / mass;
+}
+
+double LaplaceMixture1D::SampleComponent(int k, Rng& rng) const {
+  IAM_CHECK(k >= 0 && k < num_components());
+  const double u = rng.Uniform() - 0.5;
+  const double sign = u >= 0.0 ? 1.0 : -1.0;
+  return locations_[k] -
+         scale(k) * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+}  // namespace iam::gmm

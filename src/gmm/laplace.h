@@ -1,0 +1,66 @@
+#ifndef IAM_GMM_LAPLACE_H_
+#define IAM_GMM_LAPLACE_H_
+
+#include <span>
+#include <vector>
+
+#include "util/random.h"
+
+namespace iam::gmm {
+
+// One-dimensional Laplace mixture — the paper's stated future work ("we plan
+// to implement other mixture models in IAM"). Heavier tails than Gaussians,
+// which suits spiky sensor data. Mirrors Gmm1D: trainable parameters are
+// weight logits, locations, and log scales; SGD on the mixture NLL with
+// analytic gradients via responsibilities, so it slots into the same joint
+// training loop.
+class LaplaceMixture1D {
+ public:
+  explicit LaplaceMixture1D(int num_components);
+
+  int num_components() const { return static_cast<int>(locations_.size()); }
+  double weight(int k) const;
+  double location(int k) const { return locations_[k]; }
+  double scale(int k) const;
+
+  void SetComponent(int k, double weight_logit, double location,
+                    double scale);
+  void InitFromData(std::span<const double> data, Rng& rng);
+
+  // One Adam step on a mini-batch; returns the mean NLL.
+  double SgdStep(std::span<const double> batch);
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+  double NegLogLikelihood(double x) const;
+  double MeanNegLogLikelihood(std::span<const double> data) const;
+
+  // argmax_k phi_k Laplace(x | mu_k, b_k) — the reduced attribute value.
+  int Assign(double x) const;
+
+  // Exact mass of [lo, hi] under component k (closed-form Laplace CDF).
+  double ComponentIntervalMass(int k, double lo, double hi) const;
+
+  // Mean of component k truncated to [lo, hi] (closed form, piecewise
+  // exponential integrals).
+  double ComponentTruncatedMean(int k, double lo, double hi) const;
+
+  double SampleComponent(int k, Rng& rng) const;
+
+  size_t SizeBytes() const { return locations_.size() * 3 * sizeof(double); }
+
+ private:
+  void AdamUpdate(std::span<const double> grad);
+
+  std::vector<double> weight_logits_;
+  std::vector<double> locations_;
+  std::vector<double> log_scales_;
+
+  double learning_rate_ = 5e-3;
+  long adam_step_ = 0;
+  std::vector<double> adam_m_;
+  std::vector<double> adam_v_;
+};
+
+}  // namespace iam::gmm
+
+#endif  // IAM_GMM_LAPLACE_H_

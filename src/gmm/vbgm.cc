@@ -1,0 +1,187 @@
+#include "gmm/vbgm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/math_util.h"
+
+namespace iam::gmm {
+namespace {
+
+// Digamma via the asymptotic expansion with argument shifting; accurate to
+// ~1e-10 for x > 0, which is ample for VB updates.
+double Digamma(double x) {
+  IAM_CHECK(x > 0.0);
+  double result = 0.0;
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0));
+  return result;
+}
+
+}  // namespace
+
+VbgmResult FitVbgm(std::span<const double> data, const VbgmOptions& options,
+                   Rng& rng) {
+  IAM_CHECK(!data.empty());
+  IAM_CHECK(options.max_components >= 1);
+
+  // Uniform subsample for efficiency.
+  std::vector<double> xs;
+  if (data.size() > options.max_fit_points) {
+    xs.reserve(options.max_fit_points);
+    for (size_t i = 0; i < options.max_fit_points; ++i) {
+      xs.push_back(data[rng.UniformInt(data.size())]);
+    }
+  } else {
+    xs.assign(data.begin(), data.end());
+  }
+  const size_t n = xs.size();
+  const int k = options.max_components;
+
+  const MeanVar mv = ComputeMeanVar(xs);
+  const double data_var = std::max(mv.variance, 1e-12);
+
+  // Priors (Normal-Gamma over mean/precision, Dirichlet over weights).
+  const double alpha0 = options.weight_concentration;
+  const double beta0 = 1.0;
+  const double m0 = mv.mean;
+  const double a0 = 1.0;
+  const double b0 = data_var;
+
+  // Posterior state per component.
+  std::vector<double> alpha(k, alpha0), beta(k, beta0), m(k), a(k, a0),
+      b(k, b0);
+  // Spread the initial means over distinct data points (k-means++-lite).
+  for (int j = 0; j < k; ++j) m[j] = xs[rng.UniformInt(n)];
+
+  std::vector<double> log_resp(k);
+  std::vector<double> nk(k), xbar(k), sk(k);
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Expected log weights / log precision under the posterior.
+    double alpha_sum = 0.0;
+    for (int j = 0; j < k; ++j) alpha_sum += alpha[j];
+    const double digamma_alpha_sum = Digamma(alpha_sum);
+
+    std::fill(nk.begin(), nk.end(), 0.0);
+    std::fill(xbar.begin(), xbar.end(), 0.0);
+    std::fill(sk.begin(), sk.end(), 0.0);
+
+    // E step: responsibilities r_{ij}.
+    std::vector<double> sum_rx(k, 0.0), sum_rx2(k, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double x = xs[i];
+      for (int j = 0; j < k; ++j) {
+        const double e_log_pi = Digamma(alpha[j]) - digamma_alpha_sum;
+        const double e_log_lambda = Digamma(a[j]) - std::log(b[j]);
+        const double e_lambda = a[j] / b[j];
+        const double d = x - m[j];
+        const double e_quad = 1.0 / beta[j] + e_lambda * d * d;
+        log_resp[j] = e_log_pi + 0.5 * e_log_lambda - 0.5 * e_quad;
+      }
+      const double lse = LogSumExp(log_resp);
+      for (int j = 0; j < k; ++j) {
+        const double r = std::exp(log_resp[j] - lse);
+        nk[j] += r;
+        sum_rx[j] += r * x;
+        sum_rx2[j] += r * x * x;
+      }
+    }
+
+    // M step: update posterior hyperparameters.
+    double max_shift = 0.0;
+    for (int j = 0; j < k; ++j) {
+      const double nj = std::max(nk[j], 1e-12);
+      xbar[j] = sum_rx[j] / nj;
+      sk[j] = std::max(0.0, sum_rx2[j] / nj - xbar[j] * xbar[j]);
+
+      alpha[j] = alpha0 + nk[j];
+      const double new_beta = beta0 + nk[j];
+      const double new_m = (beta0 * m0 + nk[j] * xbar[j]) / new_beta;
+      const double new_a = a0 + 0.5 * nk[j];
+      const double new_b =
+          b0 + 0.5 * (nk[j] * sk[j] +
+                      beta0 * nk[j] * (xbar[j] - m0) * (xbar[j] - m0) /
+                          new_beta);
+      max_shift = std::max(max_shift, std::abs(new_m - m[j]));
+      beta[j] = new_beta;
+      m[j] = new_m;
+      a[j] = new_a;
+      b[j] = std::max(new_b, 1e-12);
+    }
+    if (max_shift < 1e-6 * std::sqrt(data_var)) {
+      ++iter;
+      break;
+    }
+  }
+
+  // Surviving components: expected weight above the floor.
+  double alpha_sum = 0.0;
+  for (int j = 0; j < k; ++j) alpha_sum += alpha[j];
+  struct Surviving {
+    double weight, mean, stddev;
+  };
+  std::vector<Surviving> kept;
+  for (int j = 0; j < k; ++j) {
+    const double w = alpha[j] / alpha_sum;
+    if (w < options.weight_floor) continue;
+    const double var = b[j] / std::max(a[j] - 0.5, 0.5);  // posterior E[1/λ]-ish
+    kept.push_back({w, m[j], std::sqrt(std::max(var, 1e-12))});
+  }
+  if (kept.empty()) {
+    kept.push_back({1.0, mv.mean, std::sqrt(data_var)});
+  }
+
+  // Component annihilation by merging (Figueiredo & Jain style): overlapping
+  // fits of a unimodal region converge to near-identical parameters; the VB
+  // weights alone cannot break that symmetry, so near-duplicates are merged
+  // (moment matching) before reporting the selected K.
+  std::sort(kept.begin(), kept.end(),
+            [](const Surviving& a, const Surviving& b) {
+              return a.mean < b.mean;
+            });
+  std::vector<Surviving> merged;
+  for (const Surviving& s : kept) {
+    if (!merged.empty()) {
+      Surviving& prev = merged.back();
+      const double scale = std::min(prev.stddev, s.stddev);
+      if (std::abs(s.mean - prev.mean) < 0.5 * scale) {
+        const double w = prev.weight + s.weight;
+        const double mean =
+            (prev.weight * prev.mean + s.weight * s.mean) / w;
+        const double second =
+            (prev.weight * (prev.stddev * prev.stddev +
+                            prev.mean * prev.mean) +
+             s.weight * (s.stddev * s.stddev + s.mean * s.mean)) /
+            w;
+        prev.weight = w;
+        prev.mean = mean;
+        prev.stddev = std::sqrt(std::max(second - mean * mean, 1e-12));
+        continue;
+      }
+    }
+    merged.push_back(s);
+  }
+  kept = std::move(merged);
+
+  VbgmResult result{Gmm1D(static_cast<int>(kept.size())),
+                    static_cast<int>(kept.size()), iter};
+  double wsum = 0.0;
+  for (const auto& s : kept) wsum += s.weight;
+  for (size_t j = 0; j < kept.size(); ++j) {
+    result.gmm.SetComponent(static_cast<int>(j),
+                            std::log(kept[j].weight / wsum), kept[j].mean,
+                            kept[j].stddev);
+  }
+  return result;
+}
+
+}  // namespace iam::gmm

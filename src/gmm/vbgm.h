@@ -1,0 +1,39 @@
+#ifndef IAM_GMM_VBGM_H_
+#define IAM_GMM_VBGM_H_
+
+#include <span>
+
+#include "gmm/gmm1d.h"
+#include "util/random.h"
+
+namespace iam::gmm {
+
+// Variational Bayesian Gaussian Mixture (Watanabe & Watanabe; Bishop ch. 10)
+// specialized to one dimension. The paper uses VBGM to pick the component
+// count K and the initial parameters of each per-attribute GMM; the sparse
+// Dirichlet prior drives superfluous components' weights to ~0, and the
+// surviving components seed the SGD-trained Gmm1D.
+struct VbgmOptions {
+  int max_components = 50;
+  int max_iterations = 60;
+  // Dirichlet concentration; < 1 encourages emptying extra components.
+  double weight_concentration = 1e-2;
+  // A component survives if its expected weight exceeds this threshold.
+  double weight_floor = 1e-3;
+  // Fit on at most this many uniformly drawn points (paper: "we only use
+  // uniform samples from dataset. Hence, the initialization is efficient").
+  size_t max_fit_points = 20000;
+};
+
+struct VbgmResult {
+  Gmm1D gmm;            // surviving components, ready for SGD refinement
+  int selected_k = 0;   // number of surviving components
+  int iterations = 0;   // VB iterations actually run
+};
+
+VbgmResult FitVbgm(std::span<const double> data, const VbgmOptions& options,
+                   Rng& rng);
+
+}  // namespace iam::gmm
+
+#endif  // IAM_GMM_VBGM_H_

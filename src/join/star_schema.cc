@@ -1,0 +1,297 @@
+#include "join/star_schema.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/macros.h"
+
+namespace iam::join {
+namespace {
+
+// Output schema helper: dimension non-key columns then fact non-key columns.
+struct JoinLayout {
+  struct Source {
+    bool from_dim;
+    int fact;    // valid when !from_dim
+    int column;  // column in the source table
+  };
+  std::vector<data::Column> columns;  // empty values, names/types set
+  std::vector<Source> sources;
+};
+
+JoinLayout MakeLayout(const StarSchema& schema) {
+  JoinLayout layout;
+  auto add = [&](const data::Table& table, int key_col, bool from_dim,
+                 int fact) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c == key_col) continue;
+      data::Column col;
+      col.name = table.name() + "." + table.column(c).name;
+      col.type = table.column(c).type;
+      layout.columns.push_back(std::move(col));
+      layout.sources.push_back({from_dim, fact, c});
+    }
+  };
+  add(schema.dim, schema.dim_key_col, /*from_dim=*/true, -1);
+  for (int f = 0; f < schema.num_fact_tables(); ++f) {
+    add(schema.facts[f], schema.fact_key_cols[f], /*from_dim=*/false, f);
+  }
+  return layout;
+}
+
+// Per fact table: dim row index -> matching fact row indices.
+std::vector<std::vector<std::vector<size_t>>> BuildMatches(
+    const StarSchema& schema) {
+  // Key value -> dim row.
+  std::unordered_map<double, size_t> key_to_dim;
+  key_to_dim.reserve(schema.dim.num_rows());
+  for (size_t r = 0; r < schema.dim.num_rows(); ++r) {
+    const double key = schema.dim.value(r, schema.dim_key_col);
+    IAM_CHECK_MSG(!key_to_dim.contains(key), "duplicate dimension key");
+    key_to_dim[key] = r;
+  }
+
+  std::vector<std::vector<std::vector<size_t>>> matches(
+      schema.num_fact_tables(),
+      std::vector<std::vector<size_t>>(schema.dim.num_rows()));
+  for (int f = 0; f < schema.num_fact_tables(); ++f) {
+    const data::Table& fact = schema.facts[f];
+    const int key_col = schema.fact_key_cols[f];
+    for (size_t r = 0; r < fact.num_rows(); ++r) {
+      const auto it = key_to_dim.find(fact.value(r, key_col));
+      if (it == key_to_dim.end()) continue;  // dangling FK: drops from join
+      matches[f][it->second].push_back(r);
+    }
+  }
+  return matches;
+}
+
+}  // namespace
+
+std::vector<JoinColumnSource> JoinColumns(const StarSchema& schema) {
+  const JoinLayout layout = MakeLayout(schema);
+  std::vector<JoinColumnSource> sources;
+  sources.reserve(layout.sources.size());
+  for (const auto& src : layout.sources) {
+    sources.push_back({src.from_dim ? -1 : src.fact, src.column});
+  }
+  return sources;
+}
+
+double JoinCardinality(const StarSchema& schema) {
+  const auto matches = BuildMatches(schema);
+  double total = 0.0;
+  for (size_t d = 0; d < schema.dim.num_rows(); ++d) {
+    double product = 1.0;
+    for (int f = 0; f < schema.num_fact_tables(); ++f) {
+      product *= static_cast<double>(matches[f][d].size());
+      if (product == 0.0) break;
+    }
+    total += product;
+  }
+  return total;
+}
+
+data::Table MaterializeJoin(const StarSchema& schema) {
+  const auto matches = BuildMatches(schema);
+  JoinLayout layout = MakeLayout(schema);
+  data::Table out("join");
+
+  // Enumerate the cross product of matches per dimension row.
+  const int nf = schema.num_fact_tables();
+  std::vector<size_t> pick(nf, 0);
+  for (size_t d = 0; d < schema.dim.num_rows(); ++d) {
+    bool any_empty = false;
+    for (int f = 0; f < nf; ++f) {
+      if (matches[f][d].empty()) any_empty = true;
+    }
+    if (any_empty) continue;
+    std::fill(pick.begin(), pick.end(), 0);
+    for (;;) {
+      // Emit one joined row.
+      size_t col_idx = 0;
+      for (const auto& src : layout.sources) {
+        double value;
+        if (src.from_dim) {
+          value = schema.dim.value(d, src.column);
+        } else {
+          value = schema.facts[src.fact].value(
+              matches[src.fact][d][pick[src.fact]], src.column);
+        }
+        layout.columns[col_idx].values.push_back(value);
+        ++col_idx;
+      }
+      // Advance the odometer.
+      int f = nf - 1;
+      for (; f >= 0; --f) {
+        if (++pick[f] < matches[f][d].size()) break;
+        pick[f] = 0;
+      }
+      if (f < 0) break;
+    }
+  }
+  for (auto& col : layout.columns) out.AddColumn(std::move(col));
+  IAM_CHECK(out.Validate().ok());
+  return out;
+}
+
+ExactWeightSampler::ExactWeightSampler(const StarSchema& schema)
+    : schema_(schema), matches_(BuildMatches(schema)) {
+  weights_.resize(schema.dim.num_rows());
+  for (size_t d = 0; d < schema.dim.num_rows(); ++d) {
+    double product = 1.0;
+    for (int f = 0; f < schema.num_fact_tables(); ++f) {
+      product *= static_cast<double>(matches_[f][d].size());
+      if (product == 0.0) break;
+    }
+    weights_[d] = product;
+    total_weight_ += product;
+  }
+  IAM_CHECK_MSG(total_weight_ > 0.0, "empty join");
+}
+
+data::Table ExactWeightSampler::Sample(size_t rows, Rng& rng) const {
+  JoinLayout layout = MakeLayout(schema_);
+  for (auto& col : layout.columns) col.values.reserve(rows);
+
+  for (size_t i = 0; i < rows; ++i) {
+    const size_t d = rng.CategoricalWithSum(weights_, total_weight_);
+    size_t col_idx = 0;
+    std::vector<size_t> fact_rows(schema_.num_fact_tables());
+    for (int f = 0; f < schema_.num_fact_tables(); ++f) {
+      const auto& candidates = matches_[f][d];
+      fact_rows[f] = candidates[rng.UniformInt(candidates.size())];
+    }
+    for (const auto& src : layout.sources) {
+      double value;
+      if (src.from_dim) {
+        value = schema_.dim.value(d, src.column);
+      } else {
+        value = schema_.facts[src.fact].value(fact_rows[src.fact], src.column);
+      }
+      layout.columns[col_idx].values.push_back(value);
+      ++col_idx;
+    }
+  }
+
+  data::Table out("join_sample");
+  for (auto& col : layout.columns) out.AddColumn(std::move(col));
+  IAM_CHECK(out.Validate().ok());
+  return out;
+}
+
+StarSchema MakeSynImdb(size_t titles, uint64_t seed) {
+  Rng rng(seed);
+  StarSchema schema;
+
+  // --- title: id, kind, decade, latitude, longitude. -------------------------
+  constexpr int kKinds = 6;
+  // Spatial clusters as in SynTwi.
+  struct City {
+    double lat, lon, sig_lat, sig_lon, rho;
+  };
+  std::vector<City> cities(25);
+  for (auto& city : cities) {
+    city.lat = rng.Uniform(25.0, 49.0);
+    city.lon = rng.Uniform(-124.0, -67.0);
+    city.sig_lat = rng.Uniform(0.1, 0.9);
+    city.sig_lon = rng.Uniform(0.1, 1.2);
+    city.rho = rng.Uniform(-0.8, 0.8);
+  }
+
+  data::Column id{"id", data::ColumnType::kCategorical, {}};
+  data::Column kind{"kind", data::ColumnType::kCategorical, {}};
+  data::Column decade{"decade", data::ColumnType::kCategorical, {}};
+  data::Column lat{"latitude", data::ColumnType::kContinuous, {}};
+  data::Column lon{"longitude", data::ColumnType::kContinuous, {}};
+  std::vector<int> title_kind(titles);
+  for (size_t t = 0; t < titles; ++t) {
+    const int k = static_cast<int>(rng.UniformInt(kKinds));
+    title_kind[t] = k;
+    id.values.push_back(static_cast<double>(t));
+    kind.values.push_back(k);
+    decade.values.push_back(static_cast<double>(192 + rng.UniformInt(11)));
+    // Kind biases the city choice: correlation between kind and location.
+    const City& city = cities[(rng.UniformInt(10) + 5 * k) % cities.size()];
+    const double u = rng.Gaussian();
+    const double v = rng.Gaussian();
+    lat.values.push_back(city.lat + city.sig_lat * u);
+    lon.values.push_back(
+        city.lon + city.sig_lon *
+                       (city.rho * u + std::sqrt(1 - city.rho * city.rho) * v));
+  }
+  schema.dim = data::Table("title");
+  schema.dim.AddColumn(std::move(id));
+  schema.dim.AddColumn(std::move(kind));
+  schema.dim.AddColumn(std::move(decade));
+  schema.dim.AddColumn(std::move(lat));
+  schema.dim.AddColumn(std::move(lon));
+  schema.dim_key_col = 0;
+
+  // --- movie_info: title_id, info_type, x, y, z. -----------------------------
+  constexpr int kInfoTypes = 10;
+  double info_mean[kInfoTypes][3];
+  for (auto& row : info_mean) {
+    for (double& m : row) m = rng.Uniform(-9.0, 9.0);
+  }
+  data::Table movie_info("movie_info");
+  {
+    data::Column tid{"title_id", data::ColumnType::kCategorical, {}};
+    data::Column itype{"info_type", data::ColumnType::kCategorical, {}};
+    data::Column x{"x", data::ColumnType::kContinuous, {}};
+    data::Column y{"y", data::ColumnType::kContinuous, {}};
+    data::Column z{"z", data::ColumnType::kContinuous, {}};
+    for (size_t t = 0; t < titles; ++t) {
+      // Fanout skewed by kind: popular kinds accumulate more info rows.
+      const int fanout =
+          1 + static_cast<int>(rng.UniformInt(2 + 3 * title_kind[t]));
+      for (int i = 0; i < fanout; ++i) {
+        const int it = static_cast<int>(rng.UniformInt(kInfoTypes));
+        tid.values.push_back(static_cast<double>(t));
+        itype.values.push_back(it);
+        x.values.push_back(rng.Gaussian(info_mean[it][0], 1.0));
+        y.values.push_back(rng.Gaussian(info_mean[it][1], 1.2));
+        z.values.push_back(rng.Gaussian(info_mean[it][2], 0.8));
+      }
+    }
+    movie_info.AddColumn(std::move(tid));
+    movie_info.AddColumn(std::move(itype));
+    movie_info.AddColumn(std::move(x));
+    movie_info.AddColumn(std::move(y));
+    movie_info.AddColumn(std::move(z));
+  }
+  schema.facts.push_back(std::move(movie_info));
+  schema.fact_key_cols.push_back(0);
+
+  // --- cast_info: title_id, role, age. ---------------------------------------
+  constexpr int kRoles = 12;
+  data::Table cast_info("cast_info");
+  {
+    data::Column tid{"title_id", data::ColumnType::kCategorical, {}};
+    data::Column role{"role", data::ColumnType::kCategorical, {}};
+    data::Column age{"age", data::ColumnType::kContinuous, {}};
+    for (size_t t = 0; t < titles; ++t) {
+      const int fanout = 1 + static_cast<int>(rng.UniformInt(8));
+      for (int i = 0; i < fanout; ++i) {
+        const int r = static_cast<int>(rng.UniformInt(kRoles));
+        tid.values.push_back(static_cast<double>(t));
+        role.values.push_back(r);
+        // Role shifts the age distribution (lead roles skew younger, etc.).
+        age.values.push_back(
+            std::exp(rng.Gaussian(3.2 + 0.05 * r, 0.3)) + 5.0);
+      }
+    }
+    cast_info.AddColumn(std::move(tid));
+    cast_info.AddColumn(std::move(role));
+    cast_info.AddColumn(std::move(age));
+  }
+  schema.facts.push_back(std::move(cast_info));
+  schema.fact_key_cols.push_back(0);
+
+  IAM_CHECK(schema.dim.Validate().ok());
+  for (const auto& fact : schema.facts) IAM_CHECK(fact.Validate().ok());
+  return schema;
+}
+
+}  // namespace iam::join

@@ -1,0 +1,75 @@
+#ifndef IAM_JOIN_STAR_SCHEMA_H_
+#define IAM_JOIN_STAR_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/random.h"
+
+namespace iam::join {
+
+// A star join schema: one dimension table joined by key equality to several
+// fact tables (the JOB-light joins used in the paper's IMDB experiments are
+// of this shape: `title` at the center, `movie_info`, `cast_info`, ... as
+// satellites). Keys are integral codes stored in ordinary columns.
+struct StarSchema {
+  data::Table dim;
+  int dim_key_col = 0;
+  std::vector<data::Table> facts;
+  std::vector<int> fact_key_cols;
+
+  int num_fact_tables() const { return static_cast<int>(facts.size()); }
+};
+
+// Materializes the inner join of the star (all facts joined to the
+// dimension). Key columns are dropped; the output columns are the dimension's
+// non-key columns followed by each fact's non-key columns, names prefixed
+// with the source table name. Ground truth for the join experiments.
+data::Table MaterializeJoin(const StarSchema& schema);
+
+// Number of rows of the materialized join, computed without materializing:
+// sum over keys of the product of per-fact match counts.
+double JoinCardinality(const StarSchema& schema);
+
+// Exact-weight join sampler (Zhao et al., adapted to the star shape): a
+// dimension row is drawn with probability proportional to the product of its
+// match counts in every fact table, then one matching row is drawn uniformly
+// from each fact. The resulting tuples are i.i.d. uniform over the join —
+// NeuroCard's recipe for AR training data on joins.
+class ExactWeightSampler {
+ public:
+  explicit ExactWeightSampler(const StarSchema& schema);
+
+  // Draws `rows` join tuples; same column layout as MaterializeJoin.
+  data::Table Sample(size_t rows, Rng& rng) const;
+
+  double total_weight() const { return total_weight_; }
+
+ private:
+  const StarSchema& schema_;
+  // Per dimension row: indices of matching rows in each fact table.
+  std::vector<std::vector<std::vector<size_t>>> matches_;  // [fact][dim_row]
+  std::vector<double> weights_;  // per dimension row
+  double total_weight_ = 0.0;
+};
+
+// Source of each column of the materialized join / join sample, in output
+// order: `table` is -1 for the dimension, otherwise the fact index; `column`
+// indexes into the source table.
+struct JoinColumnSource {
+  int table;
+  int column;
+};
+std::vector<JoinColumnSource> JoinColumns(const StarSchema& schema);
+
+// Synthetic IMDB-like star schema (DESIGN.md §4): `title` carries TWI-style
+// latitude/longitude plus categorical kind/production decade; `movie_info`
+// carries WISDM-style x/y/z sensor-like continuous columns; `cast_info`
+// carries role and age. Fanouts are Zipf-skewed and correlated with `kind`.
+StarSchema MakeSynImdb(size_t titles, uint64_t seed);
+
+}  // namespace iam::join
+
+#endif  // IAM_JOIN_STAR_SCHEMA_H_

@@ -1,0 +1,48 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace iam::nn {
+
+void Adam::Register(Parameter* param) {
+  IAM_CHECK(param != nullptr);
+  Slot slot;
+  slot.param = param;
+  slot.m.assign(param->size(), 0.0f);
+  slot.v.assign(param->size(), 0.0f);
+  slots_.push_back(std::move(slot));
+}
+
+void Adam::Step() {
+  ++step_;
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, step_);
+  const double bias2 = 1.0 - std::pow(b2, step_);
+  const double lr = options_.learning_rate;
+  const double eps = options_.epsilon;
+
+  for (Slot& slot : slots_) {
+    float* value = slot.param->value.data();
+    const float* grad = slot.param->grad.data();
+    const size_t n = slot.param->size();
+    for (size_t i = 0; i < n; ++i) {
+      const double g = grad[i];
+      if (g == 0.0 && slot.m[i] == 0.0f && slot.v[i] == 0.0f) {
+        // Masked / untouched weights: skip so they stay exactly zero.
+        continue;
+      }
+      slot.m[i] = static_cast<float>(b1 * slot.m[i] + (1.0 - b1) * g);
+      slot.v[i] = static_cast<float>(b2 * slot.v[i] + (1.0 - b2) * g * g);
+      const double m_hat = slot.m[i] / bias1;
+      const double v_hat = slot.v[i] / bias2;
+      value[i] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + eps));
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Slot& slot : slots_) slot.param->ZeroGrad();
+}
+
+}  // namespace iam::nn

@@ -1,0 +1,50 @@
+#ifndef IAM_NN_ADAM_H_
+#define IAM_NN_ADAM_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace iam::nn {
+
+// Adam optimizer (Kingma & Ba). Registered parameters are updated in place
+// from their accumulated gradients; callers zero the gradients between steps.
+class Adam {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+  };
+
+  Adam() : Adam(Options()) {}
+  explicit Adam(Options options) : options_(options) {}
+
+  // The parameter must outlive the optimizer.
+  void Register(Parameter* param);
+
+  // One update step from the currently accumulated gradients.
+  void Step();
+
+  void ZeroGrad();
+
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+  double learning_rate() const { return options_.learning_rate; }
+  long step_count() const { return step_; }
+
+ private:
+  struct Slot {
+    Parameter* param;
+    std::vector<float> m;  // first moment
+    std::vector<float> v;  // second moment
+  };
+
+  Options options_;
+  std::vector<Slot> slots_;
+  long step_ = 0;
+};
+
+}  // namespace iam::nn
+
+#endif  // IAM_NN_ADAM_H_

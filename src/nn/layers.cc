@@ -1,0 +1,83 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace iam::nn {
+
+MaskedLinear::MaskedLinear(int in_features, int out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_(out_features, in_features),
+      bias_(1, out_features) {
+  IAM_CHECK(in_features > 0 && out_features > 0);
+  const double bound = std::sqrt(6.0 / in_features);
+  for (int o = 0; o < out_; ++o) {
+    for (int i = 0; i < in_; ++i) {
+      weight_.value.at(o, i) = static_cast<float>(rng.Uniform(-bound, bound));
+    }
+  }
+  // Biases start at zero.
+}
+
+void MaskedLinear::SetMask(Matrix mask) {
+  IAM_CHECK(mask.rows() == out_ && mask.cols() == in_);
+  mask_ = std::move(mask);
+  ApplyMaskToWeights();
+}
+
+void MaskedLinear::ApplyMaskToWeights() {
+  for (int o = 0; o < out_; ++o) {
+    for (int i = 0; i < in_; ++i) {
+      if (mask_.at(o, i) == 0.0f) weight_.value.at(o, i) = 0.0f;
+    }
+  }
+}
+
+void MaskedLinear::Forward(const Matrix& x, Matrix& y) const {
+  // Masked weights are kept exactly zero (masked at init, gradients masked on
+  // every backward pass, and Adam leaves zero-gradient entries untouched), so
+  // the plain GEMM is equivalent to (W∘M).
+  LinearForward(x, weight_.value,
+                {bias_.value.data(), static_cast<size_t>(out_)}, y);
+}
+
+void MaskedLinear::Backward(const Matrix& x, const Matrix& dy, Matrix& dx) {
+  LinearBackward(x, weight_.value, dy, dx, weight_.grad,
+                 {bias_.grad.data(), static_cast<size_t>(out_)});
+  if (has_mask()) {
+    for (int o = 0; o < out_; ++o) {
+      for (int i = 0; i < in_; ++i) {
+        if (mask_.at(o, i) == 0.0f) weight_.grad.at(o, i) = 0.0f;
+      }
+    }
+  }
+}
+
+size_t MaskedLinear::ParameterCount() const {
+  size_t count = static_cast<size_t>(out_);  // biases
+  if (!has_mask()) return count + static_cast<size_t>(out_) * in_;
+  for (int o = 0; o < out_; ++o) {
+    for (int i = 0; i < in_; ++i) {
+      if (mask_.at(o, i) != 0.0f) ++count;
+    }
+  }
+  return count;
+}
+
+void ReluForward(const Matrix& x, Matrix& y) {
+  y.Resize(x.rows(), x.cols());
+  const float* in = x.data();
+  float* out = y.data();
+  for (size_t i = 0; i < x.size(); ++i) out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+}
+
+void ReluBackward(const Matrix& x, const Matrix& dy, Matrix& dx) {
+  IAM_CHECK(x.rows() == dy.rows() && x.cols() == dy.cols());
+  dx.Resize(x.rows(), x.cols());
+  const float* in = x.data();
+  const float* g = dy.data();
+  float* out = dx.data();
+  for (size_t i = 0; i < x.size(); ++i) out[i] = in[i] > 0.0f ? g[i] : 0.0f;
+}
+
+}  // namespace iam::nn

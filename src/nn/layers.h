@@ -1,0 +1,81 @@
+#ifndef IAM_NN_LAYERS_H_
+#define IAM_NN_LAYERS_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/random.h"
+
+namespace iam::nn {
+
+// A trainable tensor: value + gradient (same shape). Optimizers own the
+// moment buffers; layers own Parameter instances.
+struct Parameter {
+  Matrix value;
+  Matrix grad;
+
+  Parameter() = default;
+  Parameter(int rows, int cols) : value(rows, cols), grad(rows, cols) {}
+
+  void ZeroGrad() { grad.Zero(); }
+  size_t size() const { return value.size(); }
+};
+
+// Fully connected layer with an optional binary connectivity mask (for MADE).
+// The mask is applied multiplicatively to the weights on every forward and to
+// the weight gradient on every backward, so masked connections stay exactly
+// zero throughout training.
+class MaskedLinear {
+ public:
+  // Kaiming-uniform initialization scaled by fan-in.
+  MaskedLinear(int in_features, int out_features, Rng& rng);
+
+  // mask: [out, in] of {0, 1}. Call once after construction.
+  void SetMask(Matrix mask);
+  bool has_mask() const { return mask_.rows() > 0; }
+
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+
+  // y = x (W∘M)^T + b.
+  void Forward(const Matrix& x, Matrix& y) const;
+
+  // Accumulates weight/bias grads; writes dx (input gradient).
+  void Backward(const Matrix& x, const Matrix& dy, Matrix& dx);
+
+  void ZeroGrad() {
+    weight_.ZeroGrad();
+    bias_.ZeroGrad();
+  }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+  const Parameter& weight() const { return weight_; }
+  const Parameter& bias() const { return bias_; }
+  const Matrix& mask() const { return mask_; }
+
+  // Number of scalar parameters actually trainable (mask-aware); used for
+  // the model-size experiments (Tables 6 and 12).
+  size_t ParameterCount() const;
+
+ private:
+  // Re-applies the mask to weight_.value (used after optimizer steps; Adam's
+  // epsilon can otherwise drift masked weights off zero when gradients are
+  // exactly zero but moments are not).
+  void ApplyMaskToWeights();
+
+  int in_;
+  int out_;
+  Parameter weight_;  // [out, in]
+  Parameter bias_;    // [1, out]
+  Matrix mask_;       // [out, in] or empty
+};
+
+// Elementwise ReLU with cached forward input.
+void ReluForward(const Matrix& x, Matrix& y);
+// dx = dy ∘ 1[x > 0]
+void ReluBackward(const Matrix& x, const Matrix& dy, Matrix& dx);
+
+}  // namespace iam::nn
+
+#endif  // IAM_NN_LAYERS_H_

@@ -1,0 +1,54 @@
+#include "nn/matrix.h"
+
+namespace iam::nn {
+
+void LinearForward(const Matrix& x, const Matrix& w,
+                   std::span<const float> bias, Matrix& y) {
+  const int batch = x.rows();
+  const int in = x.cols();
+  const int out = w.rows();
+  IAM_CHECK(w.cols() == in);
+  IAM_CHECK(bias.empty() || static_cast<int>(bias.size()) == out);
+  y.Resize(batch, out);
+
+  for (int b = 0; b < batch; ++b) {
+    const float* xb = x.row(b);
+    float* yb = y.row(b);
+    for (int o = 0; o < out; ++o) {
+      const float* wo = w.row(o);
+      float acc = bias.empty() ? 0.0f : bias[o];
+      for (int i = 0; i < in; ++i) acc += xb[i] * wo[i];
+      yb[o] = acc;
+    }
+  }
+}
+
+void LinearBackward(const Matrix& x, const Matrix& w, const Matrix& dy,
+                    Matrix& dx, Matrix& dw, std::span<float> dbias) {
+  const int batch = x.rows();
+  const int in = x.cols();
+  const int out = w.rows();
+  IAM_CHECK(dy.rows() == batch && dy.cols() == out);
+  IAM_CHECK(dw.rows() == out && dw.cols() == in);
+  dx.Resize(batch, in);
+  dx.Zero();
+
+  for (int b = 0; b < batch; ++b) {
+    const float* dyb = dy.row(b);
+    const float* xb = x.row(b);
+    float* dxb = dx.row(b);
+    for (int o = 0; o < out; ++o) {
+      const float g = dyb[o];
+      if (g == 0.0f) continue;
+      const float* wo = w.row(o);
+      float* dwo = dw.row(o);
+      for (int i = 0; i < in; ++i) {
+        dxb[i] += g * wo[i];
+        dwo[i] += g * xb[i];
+      }
+      if (!dbias.empty()) dbias[o] += g;
+    }
+  }
+}
+
+}  // namespace iam::nn

@@ -1,0 +1,78 @@
+#ifndef IAM_NN_MATRIX_H_
+#define IAM_NN_MATRIX_H_
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace iam::nn {
+
+// Dense row-major float32 matrix. This is the only tensor type the neural
+// substrate needs: batches are [batch, features], weights are [out, in].
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0.0f) {
+    IAM_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int r, int c) {
+    IAM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    IAM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+  std::span<float> row_span(int r) { return {row(r), (size_t)cols_}; }
+  std::span<const float> row_span(int r) const {
+    return {row(r), (size_t)cols_};
+  }
+
+  void Zero() { std::memset(data_.data(), 0, data_.size() * sizeof(float)); }
+
+  // Resizes to [rows, cols] without preserving contents; reuses the buffer
+  // when capacity allows (hot path in the progressive sampler).
+  void Resize(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<size_t>(rows) * cols);
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> data_;
+};
+
+// y = x * W^T + bias_broadcast. x: [B, in], w: [out, in], bias: [out] or
+// empty, y: [B, out].
+void LinearForward(const Matrix& x, const Matrix& w,
+                   std::span<const float> bias, Matrix& y);
+
+// Backward of LinearForward:
+//   dx = dy * W                       (written, not accumulated)
+//   dw += dy^T * x                    (accumulated)
+//   dbias += column sums of dy        (accumulated)
+void LinearBackward(const Matrix& x, const Matrix& w, const Matrix& dy,
+                    Matrix& dx, Matrix& dw, std::span<float> dbias);
+
+}  // namespace iam::nn
+
+#endif  // IAM_NN_MATRIX_H_

@@ -1,0 +1,330 @@
+#include "optimizer/mini_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/macros.h"
+#include "util/math_util.h"
+
+namespace iam::optimizer {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const data::Table& TableOf(const join::StarSchema& schema, int table) {
+  return table == 0 ? schema.dim : schema.facts[table - 1];
+}
+
+int KeyColumnOf(const join::StarSchema& schema, int table) {
+  return table == 0 ? schema.dim_key_col : schema.fact_key_cols[table - 1];
+}
+
+bool RowPasses(const data::Table& t, size_t row, const query::Query& q) {
+  for (const query::Predicate& p : q.predicates) {
+    if (!p.Matches(t.value(row, p.column))) return false;
+  }
+  return true;
+}
+
+// Match lists identical to the join module's internal ones; rebuilt here to
+// keep the modules decoupled.
+std::vector<std::vector<std::vector<size_t>>> BuildMatches(
+    const join::StarSchema& schema) {
+  std::unordered_map<double, size_t> key_to_dim;
+  for (size_t r = 0; r < schema.dim.num_rows(); ++r) {
+    key_to_dim[schema.dim.value(r, schema.dim_key_col)] = r;
+  }
+  std::vector<std::vector<std::vector<size_t>>> matches(
+      schema.num_fact_tables(),
+      std::vector<std::vector<size_t>>(schema.dim.num_rows()));
+  for (int f = 0; f < schema.num_fact_tables(); ++f) {
+    const data::Table& fact = schema.facts[f];
+    for (size_t r = 0; r < fact.num_rows(); ++r) {
+      const auto it = key_to_dim.find(
+          fact.value(r, schema.fact_key_cols[f]));
+      if (it != key_to_dim.end()) matches[f][it->second].push_back(r);
+    }
+  }
+  return matches;
+}
+
+}  // namespace
+
+std::vector<JoinQuery> GenerateJoinWorkload(const join::StarSchema& schema,
+                                            int num_queries, Rng& rng,
+                                            double predicate_prob) {
+  std::vector<JoinQuery> out;
+  out.reserve(num_queries);
+  const int num_tables = 1 + schema.num_fact_tables();
+
+  while (static_cast<int>(out.size()) < num_queries) {
+    JoinQuery jq;
+    jq.filters.resize(num_tables);
+    int total_predicates = 0;
+    for (int t = 0; t < num_tables; ++t) {
+      const data::Table& table = TableOf(schema, t);
+      const int key_col = KeyColumnOf(schema, t);
+      for (int c = 0; c < table.num_columns(); ++c) {
+        if (c == key_col) continue;
+        if (rng.Uniform() >= predicate_prob) continue;
+        const auto [lo, hi] = table.ColumnRange(c);
+        query::Predicate p;
+        p.column = c;
+        if (table.column(c).type == data::ColumnType::kCategorical) {
+          const double v = static_cast<double>(rng.UniformInt(
+                               static_cast<uint64_t>(hi - lo) + 1)) +
+                           lo;
+          switch (rng.UniformInt(3)) {
+            case 0:
+              p.lo = p.hi = v;
+              break;
+            case 1:
+              p.hi = v;
+              break;
+            default:
+              p.lo = v;
+              break;
+          }
+        } else {
+          const double v = rng.Uniform(lo, hi);
+          if (rng.UniformInt(2) == 0) {
+            p.hi = v;
+          } else {
+            p.lo = v;
+          }
+        }
+        jq.filters[t].predicates.push_back(p);
+        ++total_predicates;
+      }
+    }
+    if (total_predicates == 0) continue;
+    out.push_back(std::move(jq));
+  }
+  return out;
+}
+
+OracleProvider::OracleProvider(const join::StarSchema& schema)
+    : schema_(schema), matches_(BuildMatches(schema)) {}
+
+double OracleProvider::Selectivity(const JoinQuery& q,
+                                   const std::vector<int>& tables) {
+  IAM_CHECK(!tables.empty());
+  const bool has_dim =
+      std::find(tables.begin(), tables.end(), 0) != tables.end();
+  std::vector<int> facts;
+  for (int t : tables) {
+    if (t > 0) facts.push_back(t - 1);
+  }
+
+  // Single base table without joins.
+  if (facts.empty()) {
+    size_t hits = 0;
+    for (size_t r = 0; r < schema_.dim.num_rows(); ++r) {
+      hits += RowPasses(schema_.dim, r, q.filters[0]) ? 1 : 0;
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(schema_.dim.num_rows());
+  }
+  if (!has_dim && facts.size() == 1) {
+    const data::Table& fact = schema_.facts[facts[0]];
+    size_t hits = 0;
+    for (size_t r = 0; r < fact.num_rows(); ++r) {
+      hits += RowPasses(fact, r, q.filters[1 + facts[0]]) ? 1 : 0;
+    }
+    return static_cast<double>(hits) / static_cast<double>(fact.num_rows());
+  }
+
+  // Star sub-join: Σ_d [dim ok] Π_f filtered-count / Σ_d Π_f count.
+  double numer = 0.0, denom = 0.0;
+  for (size_t d = 0; d < schema_.dim.num_rows(); ++d) {
+    double unfiltered = 1.0;
+    double filtered = 1.0;
+    for (int f : facts) {
+      const auto& rows = matches_[f][d];
+      unfiltered *= static_cast<double>(rows.size());
+      if (filtered > 0.0) {
+        size_t cnt = 0;
+        const data::Table& fact = schema_.facts[f];
+        for (size_t r : rows) {
+          cnt += RowPasses(fact, r, q.filters[1 + f]) ? 1 : 0;
+        }
+        filtered *= static_cast<double>(cnt);
+      }
+    }
+    denom += unfiltered;
+    if (has_dim && !RowPasses(schema_.dim, d, q.filters[0])) continue;
+    numer += filtered;
+  }
+  return denom > 0.0 ? numer / denom : 0.0;
+}
+
+JoinEstimatorProvider::JoinEstimatorProvider(const join::StarSchema& schema,
+                                             estimator::Estimator* estimator)
+    : sources_(join::JoinColumns(schema)), estimator_(estimator) {
+  IAM_CHECK(estimator_ != nullptr);
+}
+
+std::string JoinEstimatorProvider::name() const { return estimator_->name(); }
+
+double JoinEstimatorProvider::Selectivity(const JoinQuery& q,
+                                          const std::vector<int>& tables) {
+  query::Query mapped;
+  for (int t : tables) {
+    const int source_table = t - 1;  // -1 encodes the dimension
+    const query::Query& filter = q.filters[t];
+    for (const query::Predicate& p : filter.predicates) {
+      for (size_t j = 0; j < sources_.size(); ++j) {
+        if (sources_[j].table == source_table &&
+            sources_[j].column == p.column) {
+          query::Predicate mp = p;
+          mp.column = static_cast<int>(j);
+          mapped.predicates.push_back(mp);
+          break;
+        }
+      }
+    }
+  }
+  if (mapped.predicates.empty()) return 1.0;
+  return estimator_->Estimate(mapped);
+}
+
+Catalog::Catalog(const join::StarSchema& schema) : schema_(schema) {
+  base_rows_.push_back(static_cast<double>(schema.dim.num_rows()));
+  for (const auto& fact : schema.facts) {
+    base_rows_.push_back(static_cast<double>(fact.num_rows()));
+  }
+  const auto matches = BuildMatches(schema);
+  fanout_.assign(schema.dim.num_rows(),
+                 std::vector<double>(schema.num_fact_tables(), 0.0));
+  for (int f = 0; f < schema.num_fact_tables(); ++f) {
+    for (size_t d = 0; d < schema.dim.num_rows(); ++d) {
+      fanout_[d][f] = static_cast<double>(matches[f][d].size());
+    }
+  }
+}
+
+double Catalog::table_rows(int table) const { return base_rows_[table]; }
+
+double Catalog::SubJoinRows(const std::vector<int>& tables) const {
+  std::vector<int> facts;
+  for (int t : tables) {
+    if (t > 0) facts.push_back(t - 1);
+  }
+  if (facts.empty()) return base_rows_[0];
+  if (facts.size() == 1 &&
+      std::find(tables.begin(), tables.end(), 0) == tables.end()) {
+    return base_rows_[1 + facts[0]];
+  }
+  double total = 0.0;
+  for (const auto& row : fanout_) {
+    double product = 1.0;
+    for (int f : facts) {
+      product *= row[f];
+      if (product == 0.0) break;
+    }
+    total += product;
+  }
+  return total;
+}
+
+Plan ChoosePlan(const Catalog& catalog, SelectivityProvider& provider,
+                const JoinQuery& q) {
+  const int num_tables = static_cast<int>(q.filters.size());
+  std::vector<int> order(num_tables);
+  for (int t = 0; t < num_tables; ++t) order[t] = t;
+  std::sort(order.begin(), order.end());
+
+  Plan best;
+  best.cost = kInf;
+  do {
+    double cost = 0.0;
+    std::vector<int> prefix;
+    double current_card = 0.0;
+    for (int i = 0; i < num_tables && cost < kInf; ++i) {
+      prefix.push_back(order[i]);
+      std::sort(prefix.begin(), prefix.end());
+      const double sel = Clamp(provider.Selectivity(q, prefix), 0.0, 1.0);
+      const double card = sel * catalog.SubJoinRows(prefix);
+      if (i == 0) {
+        cost += catalog.table_rows(order[0]) + card;
+      } else {
+        // Read the probe input and the build input, materialize the output.
+        cost += current_card + catalog.table_rows(order[i]) + card;
+      }
+      current_card = card;
+    }
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.order = order;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+ExecutionResult ExecutePlan(const join::StarSchema& schema, const JoinQuery& q,
+                            const std::vector<int>& order) {
+  IAM_CHECK(!order.empty());
+  ExecutionResult result;
+
+  // An intermediate relation: join key per row plus a payload of all carried
+  // attribute values (realistic materialization cost).
+  struct Rel {
+    std::vector<long> keys;
+    std::vector<double> payload;
+    int width = 0;
+  };
+
+  auto scan = [&](int t) {
+    const data::Table& table = TableOf(schema, t);
+    const int key_col = KeyColumnOf(schema, t);
+    Rel rel;
+    rel.width = table.num_columns() - 1;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (!RowPasses(table, r, q.filters[t])) continue;
+      rel.keys.push_back(static_cast<long>(table.value(r, key_col)));
+      for (int c = 0; c < table.num_columns(); ++c) {
+        if (c == key_col) continue;
+        rel.payload.push_back(table.value(r, c));
+      }
+    }
+    return rel;
+  };
+
+  Rel current = scan(order[0]);
+  result.intermediate_rows += static_cast<double>(current.keys.size());
+
+  for (size_t i = 1; i < order.size(); ++i) {
+    const Rel build = scan(order[i]);
+    // Hash the build side by key.
+    std::unordered_map<long, std::vector<size_t>> hash;
+    hash.reserve(build.keys.size());
+    for (size_t r = 0; r < build.keys.size(); ++r) {
+      hash[build.keys[r]].push_back(r);
+    }
+    Rel next;
+    next.width = current.width + build.width;
+    for (size_t r = 0; r < current.keys.size(); ++r) {
+      const auto it = hash.find(current.keys[r]);
+      if (it == hash.end()) continue;
+      for (size_t b : it->second) {
+        next.keys.push_back(current.keys[r]);
+        const double* left = current.payload.data() +
+                             static_cast<size_t>(r) * current.width;
+        next.payload.insert(next.payload.end(), left, left + current.width);
+        const double* right =
+            build.payload.data() + b * static_cast<size_t>(build.width);
+        next.payload.insert(next.payload.end(), right, right + build.width);
+      }
+    }
+    current = std::move(next);
+    result.intermediate_rows += static_cast<double>(current.keys.size());
+    if (current.keys.empty()) break;
+  }
+
+  result.output_rows = static_cast<double>(current.keys.size());
+  return result;
+}
+
+}  // namespace iam::optimizer

@@ -1,0 +1,112 @@
+#ifndef IAM_OPTIMIZER_MINI_OPTIMIZER_H_
+#define IAM_OPTIMIZER_MINI_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "estimator/estimator.h"
+#include "join/star_schema.h"
+#include "query/query.h"
+#include "util/random.h"
+
+namespace iam::optimizer {
+
+// A join query over a star schema: a conjunctive filter per table.
+// filters[0] applies to the dimension; filters[1 + f] to fact f. Predicates
+// use the source table's own column indices.
+struct JoinQuery {
+  std::vector<query::Query> filters;
+};
+
+// Generates join queries by drawing per-table predicates with the paper's
+// single-table rules (Section 6.1.3 adapted to JOB-light-style join graphs).
+std::vector<JoinQuery> GenerateJoinWorkload(const join::StarSchema& schema,
+                                            int num_queries, Rng& rng,
+                                            double predicate_prob = 0.45);
+
+// Supplies sub-join selectivities to the optimizer — the role the paper's
+// modified Postgres delegates to each external estimator (Figure 5).
+// `tables` lists participating tables (0 = dimension, 1 + f = fact f).
+class SelectivityProvider {
+ public:
+  virtual ~SelectivityProvider() = default;
+  virtual std::string name() const = 0;
+  virtual double Selectivity(const JoinQuery& q,
+                             const std::vector<int>& tables) = 0;
+};
+
+// Exact star-join selectivities by counting (the oracle; also the ground
+// truth for the accuracy experiments).
+class OracleProvider : public SelectivityProvider {
+ public:
+  explicit OracleProvider(const join::StarSchema& schema);
+  std::string name() const override { return "oracle"; }
+  double Selectivity(const JoinQuery& q,
+                     const std::vector<int>& tables) override;
+
+ private:
+  const join::StarSchema& schema_;
+  // Per fact table, per dimension row: matching fact row indices.
+  std::vector<std::vector<std::vector<size_t>>> matches_;
+};
+
+// Adapts a single-table estimator trained on the full-join distribution:
+// sub-join selectivities are approximated by the selectivity of the same
+// predicates under the full join (the fanout-weighting bias this introduces
+// is shared by every adapted estimator, so plan rankings stay comparable).
+class JoinEstimatorProvider : public SelectivityProvider {
+ public:
+  // `estimator` must be trained over a table with MaterializeJoin's layout.
+  JoinEstimatorProvider(const join::StarSchema& schema,
+                        estimator::Estimator* estimator);
+  std::string name() const override;
+  double Selectivity(const JoinQuery& q,
+                     const std::vector<int>& tables) override;
+
+ private:
+  std::vector<join::JoinColumnSource> sources_;
+  estimator::Estimator* estimator_;
+};
+
+// Catalog: base and sub-join cardinalities of the star schema.
+class Catalog {
+ public:
+  explicit Catalog(const join::StarSchema& schema);
+
+  double table_rows(int table) const;  // 0 = dim, 1 + f = fact f
+  // Inner-join size of the given table subset (keys only, no filters).
+  double SubJoinRows(const std::vector<int>& tables) const;
+
+ private:
+  const join::StarSchema& schema_;
+  std::vector<double> base_rows_;
+  // Per dimension row, per fact: match count.
+  std::vector<std::vector<double>> fanout_;  // [dim_row][fact]
+};
+
+// A left-deep join plan: table visit order plus its estimated cost.
+struct Plan {
+  std::vector<int> order;
+  double cost = 0.0;
+};
+
+// Enumerates all left-deep orders (tables all share the dimension key, so
+// every permutation is a valid equi-join plan), costing each with
+//   cost = Σ (inputs read + estimated intermediate cardinality)
+// and returns the cheapest.
+Plan ChoosePlan(const Catalog& catalog, SelectivityProvider& provider,
+                const JoinQuery& q);
+
+// Executes the plan with real hash joins over the base tables and returns
+// the output cardinality; the caller wraps it in a stopwatch for Figure 5.
+struct ExecutionResult {
+  double output_rows = 0.0;
+  double intermediate_rows = 0.0;  // total materialized across the pipeline
+};
+ExecutionResult ExecutePlan(const join::StarSchema& schema, const JoinQuery& q,
+                            const std::vector<int>& order);
+
+}  // namespace iam::optimizer
+
+#endif  // IAM_OPTIMIZER_MINI_OPTIMIZER_H_

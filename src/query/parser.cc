@@ -1,0 +1,174 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+namespace iam::query {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kOp } kind;
+  std::string text;
+  double number = 0.0;
+};
+
+std::string Upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '<' || c == '>' || c == '=') {
+      std::string op(1, c);
+      if ((c == '<' || c == '>') && i + 1 < text.size() &&
+          text[i + 1] == '=') {
+        op += '=';
+        ++i;
+      }
+      tokens.push_back({Token::Kind::kOp, op, 0.0});
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+        c == '+' || c == '.') {
+      char* end = nullptr;
+      const double value = std::strtod(text.c_str() + i, &end);
+      if (end == text.c_str() + i) {
+        return Status::InvalidArgument("bad number near '" +
+                                       text.substr(i, 10) + "'");
+      }
+      tokens.push_back({Token::Kind::kNumber, "", value});
+      i = end - text.c_str();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_' || text[j] == '.')) {
+        ++j;
+      }
+      tokens.push_back({Token::Kind::kIdent, text.substr(i, j - i), 0.0});
+      i = j;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") +
+                                   c + "'");
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Result<Query> ParsePredicates(const data::Table& table,
+                              const std::string& text) {
+  Result<std::vector<Token>> tokens_or = Tokenize(text);
+  if (!tokens_or.ok()) return tokens_or.status();
+  const std::vector<Token>& tokens = *tokens_or;
+
+  // Accumulate per-column intervals, then emit one predicate per column.
+  std::vector<double> lo(table.num_columns(), -kInf);
+  std::vector<double> hi(table.num_columns(), kInf);
+  std::vector<bool> touched(table.num_columns(), false);
+
+  size_t i = 0;
+  bool expect_predicate = true;
+  while (i < tokens.size()) {
+    if (!expect_predicate) {
+      if (tokens[i].kind != Token::Kind::kIdent ||
+          Upper(tokens[i].text) != "AND") {
+        return Status::InvalidArgument("expected AND near '" +
+                                       tokens[i].text + "'");
+      }
+      ++i;
+      expect_predicate = true;
+      continue;
+    }
+    if (tokens[i].kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected a column name");
+    }
+    const int col = table.ColumnIndex(tokens[i].text);
+    if (col < 0) {
+      return Status::NotFound("unknown column '" + tokens[i].text + "'");
+    }
+    ++i;
+    if (i >= tokens.size()) {
+      return Status::InvalidArgument("dangling column reference");
+    }
+    const bool continuous =
+        table.column(col).type == data::ColumnType::kContinuous;
+    touched[col] = true;
+
+    // BETWEEN a AND b.
+    if (tokens[i].kind == Token::Kind::kIdent &&
+        Upper(tokens[i].text) == "BETWEEN") {
+      if (i + 3 >= tokens.size() ||
+          tokens[i + 1].kind != Token::Kind::kNumber ||
+          Upper(tokens[i + 2].text) != "AND" ||
+          tokens[i + 3].kind != Token::Kind::kNumber) {
+        return Status::InvalidArgument("malformed BETWEEN");
+      }
+      lo[col] = std::max(lo[col], tokens[i + 1].number);
+      hi[col] = std::min(hi[col], tokens[i + 3].number);
+      i += 4;
+      expect_predicate = false;
+      continue;
+    }
+
+    if (tokens[i].kind != Token::Kind::kOp) {
+      return Status::InvalidArgument("expected an operator after '" +
+                                     table.column(col).name + "'");
+    }
+    const std::string op = tokens[i].text;
+    ++i;
+    if (i >= tokens.size() || tokens[i].kind != Token::Kind::kNumber) {
+      return Status::InvalidArgument("expected a numeric literal");
+    }
+    const double v = tokens[i].number;
+    ++i;
+    if (op == "=") {
+      lo[col] = std::max(lo[col], v);
+      hi[col] = std::min(hi[col], v);
+    } else if (op == "<=") {
+      hi[col] = std::min(hi[col], v);
+    } else if (op == ">=") {
+      lo[col] = std::max(lo[col], v);
+    } else if (op == "<") {
+      // Strict bound: previous representable value (continuous) or v - 1
+      // (integral categorical codes).
+      hi[col] = std::min(hi[col], continuous ? std::nextafter(v, -kInf)
+                                             : v - 1.0);
+    } else if (op == ">") {
+      lo[col] = std::max(lo[col], continuous ? std::nextafter(v, kInf)
+                                             : v + 1.0);
+    } else {
+      return Status::InvalidArgument("unsupported operator '" + op + "'");
+    }
+    expect_predicate = false;
+  }
+  if (expect_predicate) {
+    return Status::InvalidArgument("empty or trailing predicate");
+  }
+
+  Query query;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (!touched[c]) continue;
+    query.predicates.push_back({c, lo[c], hi[c]});
+  }
+  return query;
+}
+
+}  // namespace iam::query

@@ -1,0 +1,27 @@
+#ifndef IAM_QUERY_PARSER_H_
+#define IAM_QUERY_PARSER_H_
+
+#include <string>
+
+#include "data/table.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace iam::query {
+
+// Parses a SQL-style conjunctive predicate string against a table's schema:
+//
+//   "latitude >= 35 AND latitude <= 45 AND longitude < -100"
+//   "activity_code = 3 AND x BETWEEN -1.5 AND 2"
+//
+// Supported operators: =, <, <=, >, >=, BETWEEN..AND. Conjunctions with AND
+// (case-insensitive). Strict bounds on continuous values are mapped to the
+// adjacent representable double (nextafter), which differs from the closed
+// interval only on a measure-zero set; on categorical codes they exclude the
+// named code exactly. Multiple predicates on one column intersect.
+Result<Query> ParsePredicates(const data::Table& table,
+                              const std::string& text);
+
+}  // namespace iam::query
+
+#endif  // IAM_QUERY_PARSER_H_

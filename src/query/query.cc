@@ -1,0 +1,45 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace iam::query {
+
+std::string Query::DebugString(const data::Table& table) const {
+  std::string out;
+  char buf[128];
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    const Predicate& p = predicates[i];
+    if (i > 0) out += " AND ";
+    std::snprintf(buf, sizeof(buf), "%s in [%g, %g]",
+                  table.column(p.column).name.c_str(), p.lo, p.hi);
+    out += buf;
+  }
+  return out.empty() ? "TRUE" : out;
+}
+
+double TrueSelectivity(const data::Table& table, const Query& query) {
+  const size_t n = table.num_rows();
+  if (n == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t r = 0; r < n; ++r) {
+    bool match = true;
+    for (const Predicate& p : query.predicates) {
+      if (!p.Matches(table.value(r, p.column))) {
+        match = false;
+        break;
+      }
+    }
+    hits += match ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double QError(double actual, double estimate, size_t num_rows) {
+  const double floor = 1.0 / static_cast<double>(std::max<size_t>(num_rows, 1));
+  const double a = std::max(actual, floor);
+  const double e = std::max(estimate, floor);
+  return std::max(a / e, e / a);
+}
+
+}  // namespace iam::query

@@ -1,0 +1,44 @@
+#ifndef IAM_QUERY_QUERY_H_
+#define IAM_QUERY_QUERY_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace iam::query {
+
+// An interval predicate on one attribute: value in [lo, hi] (both bounds
+// inclusive). All supported operators reduce to intervals:
+//   A = v   -> [v, v]
+//   A <= v  -> [-inf, v]       A < v  -> [-inf, prev(v)]
+//   A >= v  -> [v, +inf]       A > v  -> [next(v), +inf]
+// (strict bounds on continuous attributes differ on a measure-zero set and
+// use nextafter at the query-construction layer).
+struct Predicate {
+  int column = 0;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  bool Matches(double v) const { return v >= lo && v <= hi; }
+};
+
+// Conjunctive query: every predicate must hold. At most one predicate per
+// column (the workload generator merges operators on the same column).
+struct Query {
+  std::vector<Predicate> predicates;
+
+  std::string DebugString(const data::Table& table) const;
+};
+
+// Ground truth by full scan.
+double TrueSelectivity(const data::Table& table, const Query& query);
+
+// Q-error with the paper's floor: both selectivities are clamped to 1/|T|
+// before taking max(act/est, est/act).
+double QError(double actual, double estimate, size_t num_rows);
+
+}  // namespace iam::query
+
+#endif  // IAM_QUERY_QUERY_H_

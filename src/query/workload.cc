@@ -1,0 +1,77 @@
+#include "query/workload.h"
+
+#include <limits>
+
+namespace iam::query {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+std::vector<Query> GenerateWorkload(const data::Table& table,
+                                    const WorkloadOptions& options, Rng& rng) {
+  std::vector<Query> queries;
+  queries.reserve(options.num_queries);
+  const int ncols = table.num_columns();
+  IAM_CHECK(ncols > 0);
+
+  // Per-column domain bounds, computed once.
+  std::vector<std::pair<double, double>> ranges(ncols);
+  for (int c = 0; c < ncols; ++c) ranges[c] = table.ColumnRange(c);
+
+  while (static_cast<int>(queries.size()) < options.num_queries) {
+    Query q;
+    for (int c = 0; c < ncols; ++c) {
+      if (rng.Uniform() >= options.column_prob) continue;
+      const auto [lo, hi] = ranges[c];
+      Predicate p;
+      p.column = c;
+      if (table.column(c).type == data::ColumnType::kCategorical) {
+        const double v = static_cast<double>(
+            rng.UniformInt(static_cast<uint64_t>(hi - lo) + 1)) + lo;
+        switch (rng.UniformInt(3)) {
+          case 0:  // =
+            p.lo = v;
+            p.hi = v;
+            break;
+          case 1:  // <=
+            p.lo = -kInf;
+            p.hi = v;
+            break;
+          default:  // >=
+            p.lo = v;
+            p.hi = kInf;
+            break;
+        }
+      } else {
+        const double v = rng.Uniform(lo, hi);
+        if (rng.UniformInt(2) == 0) {  // <=
+          p.lo = -kInf;
+          p.hi = v;
+        } else {  // >=
+          p.lo = v;
+          p.hi = kInf;
+        }
+      }
+      q.predicates.push_back(p);
+    }
+    if (q.predicates.empty()) continue;  // paper queries always filter
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+EvaluatedWorkload GenerateEvaluatedWorkload(const data::Table& table,
+                                            const WorkloadOptions& options,
+                                            Rng& rng) {
+  EvaluatedWorkload workload;
+  workload.queries = GenerateWorkload(table, options, rng);
+  workload.true_selectivities.reserve(workload.queries.size());
+  for (const Query& q : workload.queries) {
+    workload.true_selectivities.push_back(TrueSelectivity(table, q));
+  }
+  return workload;
+}
+
+}  // namespace iam::query

@@ -1,0 +1,38 @@
+#ifndef IAM_QUERY_WORKLOAD_H_
+#define IAM_QUERY_WORKLOAD_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "query/query.h"
+#include "util/random.h"
+
+namespace iam::query {
+
+// The paper's single-table query generator (Section 6.1.3): draw a random
+// non-empty subset of attributes; for a categorical attribute draw a domain
+// value and an operator from {=, <=, >=}; for a continuous attribute draw a
+// value uniformly between its min and max and an operator from {<=, >=}.
+struct WorkloadOptions {
+  int num_queries = 200;
+  // Bias toward multi-attribute queries: each attribute is selected
+  // independently with this probability; empty draws are retried.
+  double column_prob = 0.6;
+};
+
+std::vector<Query> GenerateWorkload(const data::Table& table,
+                                    const WorkloadOptions& options, Rng& rng);
+
+// A workload with precomputed ground truth.
+struct EvaluatedWorkload {
+  std::vector<Query> queries;
+  std::vector<double> true_selectivities;
+};
+
+EvaluatedWorkload GenerateEvaluatedWorkload(const data::Table& table,
+                                            const WorkloadOptions& options,
+                                            Rng& rng);
+
+}  // namespace iam::query
+
+#endif  // IAM_QUERY_WORKLOAD_H_

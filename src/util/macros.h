@@ -1,0 +1,36 @@
+#ifndef IAM_UTIL_MACROS_H_
+#define IAM_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// IAM_CHECK aborts on programmer errors (invariant violations). It is active
+// in all build modes; the estimation library is small enough that the cost is
+// negligible next to the numeric kernels.
+#define IAM_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "IAM_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define IAM_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "IAM_CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                   msg, __FILE__, __LINE__);                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define IAM_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define IAM_DCHECK(cond) IAM_CHECK(cond)
+#endif
+
+#endif  // IAM_UTIL_MACROS_H_

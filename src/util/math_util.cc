@@ -1,0 +1,73 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace iam {
+
+double LogSumExp(std::span<const double> xs) {
+  if (xs.empty()) return kNegInf;
+  double max_x = kNegInf;
+  for (double x : xs) max_x = std::max(max_x, x);
+  if (!std::isfinite(max_x)) return max_x;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - max_x);
+  return max_x + std::log(sum);
+}
+
+void SoftmaxInPlace(std::span<double> xs) {
+  if (xs.empty()) return;
+  double max_x = kNegInf;
+  for (double x : xs) max_x = std::max(max_x, x);
+  double sum = 0.0;
+  for (double& x : xs) {
+    x = std::exp(x - max_x);
+    sum += x;
+  }
+  IAM_CHECK(sum > 0.0);
+  for (double& x : xs) x /= sum;
+}
+
+MeanVar ComputeMeanVar(std::span<const double> xs) {
+  MeanVar mv;
+  double m2 = 0.0;
+  for (double x : xs) {
+    ++mv.count;
+    const double delta = x - mv.mean;
+    mv.mean += delta / static_cast<double>(mv.count);
+    m2 += delta * (x - mv.mean);
+  }
+  mv.variance = mv.count > 0 ? m2 / static_cast<double>(mv.count) : 0.0;
+  return mv;
+}
+
+double Skewness(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const MeanVar mv = ComputeMeanVar(xs);
+  if (mv.variance <= 0.0) return 0.0;
+  double m3 = 0.0;
+  for (double x : xs) {
+    const double d = x - mv.mean;
+    m3 += d * d * d;
+  }
+  m3 /= static_cast<double>(xs.size());
+  return m3 / std::pow(mv.variance, 1.5);
+}
+
+double PearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys) {
+  IAM_CHECK(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const MeanVar mx = ComputeMeanVar(xs);
+  const MeanVar my = ComputeMeanVar(ys);
+  if (mx.variance <= 0.0 || my.variance <= 0.0) return 0.0;
+  double cov = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    cov += (xs[i] - mx.mean) * (ys[i] - my.mean);
+  }
+  cov /= static_cast<double>(xs.size());
+  return cov / std::sqrt(mx.variance * my.variance);
+}
+
+}  // namespace iam

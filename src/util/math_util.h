@@ -1,0 +1,73 @@
+#ifndef IAM_UTIL_MATH_UTIL_H_
+#define IAM_UTIL_MATH_UTIL_H_
+
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace iam {
+
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// log(sum_i exp(x_i)), stable against overflow. Returns -inf for empty input.
+double LogSumExp(std::span<const double> xs);
+
+// Standard normal density and CDF.
+inline double NormalPdf(double x) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+inline double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x * M_SQRT1_2);
+}
+
+// Density / CDF of N(mean, stddev^2); stddev must be positive.
+inline double NormalPdf(double x, double mean, double stddev) {
+  return NormalPdf((x - mean) / stddev) / stddev;
+}
+
+inline double NormalCdf(double x, double mean, double stddev) {
+  return NormalCdf((x - mean) / stddev);
+}
+
+// log N(x; mean, stddev^2).
+inline double NormalLogPdf(double x, double mean, double stddev) {
+  static const double kLogSqrt2Pi = 0.9189385332046727;
+  const double z = (x - mean) / stddev;
+  return -0.5 * z * z - std::log(stddev) - kLogSqrt2Pi;
+}
+
+// Mass of [lo, hi] under N(mean, stddev^2). Requires lo <= hi.
+inline double NormalIntervalMass(double lo, double hi, double mean,
+                                 double stddev) {
+  return NormalCdf(hi, mean, stddev) - NormalCdf(lo, mean, stddev);
+}
+
+// In-place softmax over `xs`; subtracts the max for stability.
+void SoftmaxInPlace(std::span<double> xs);
+
+// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+// Fisher moment-based skewness of a sample: E[(x-mu)^3] / sigma^3.
+double Skewness(std::span<const double> xs);
+
+// Pearson correlation of two equally sized samples.
+double PearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys);
+
+// Mean and (population) variance in one pass (Welford).
+struct MeanVar {
+  double mean = 0.0;
+  double variance = 0.0;
+  size_t count = 0;
+};
+MeanVar ComputeMeanVar(std::span<const double> xs);
+
+}  // namespace iam
+
+#endif  // IAM_UTIL_MATH_UTIL_H_

@@ -1,0 +1,54 @@
+#include "util/quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/macros.h"
+
+namespace iam {
+
+QuantileSummary::QuantileSummary(std::vector<double> values)
+    : sorted_(std::move(values)) {
+  IAM_CHECK(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+  double sum = 0.0;
+  for (double v : sorted_) sum += v;
+  mean_ = sum / static_cast<double>(sorted_.size());
+}
+
+double QuantileSummary::Quantile(double q) const {
+  IAM_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted_.size() == 1) return sorted_[0];
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double QuantileSummary::Max() const { return sorted_.back(); }
+double QuantileSummary::Min() const { return sorted_.front(); }
+
+ErrorReport MakeErrorReport(std::span<const double> errors) {
+  QuantileSummary summary(std::vector<double>(errors.begin(), errors.end()));
+  ErrorReport report;
+  report.mean = summary.Mean();
+  report.median = summary.Median();
+  report.p95 = summary.Quantile(0.95);
+  report.p99 = summary.Quantile(0.99);
+  report.max = summary.Max();
+  report.count = summary.Count();
+  return report;
+}
+
+std::string FormatErrorReport(const ErrorReport& report) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "mean=%-8.3g median=%-8.3g p95=%-8.3g p99=%-8.3g max=%-8.3g",
+                report.mean, report.median, report.p95, report.p99,
+                report.max);
+  return buf;
+}
+
+}  // namespace iam

@@ -1,0 +1,47 @@
+#ifndef IAM_UTIL_QUANTILES_H_
+#define IAM_UTIL_QUANTILES_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iam {
+
+// Quantile summary of a sample (exact; the evaluation workloads are small
+// enough that sorting a copy is fine). Quantiles use linear interpolation
+// between closest ranks, matching numpy's default.
+class QuantileSummary {
+ public:
+  explicit QuantileSummary(std::vector<double> values);
+
+  double Quantile(double q) const;  // q in [0, 1]
+  double Mean() const { return mean_; }
+  double Median() const { return Quantile(0.5); }
+  double Max() const;
+  double Min() const;
+  size_t Count() const { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+};
+
+// The five-number report used throughout the paper's tables:
+// mean / median / 95th / 99th / max.
+struct ErrorReport {
+  double mean = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  size_t count = 0;
+};
+
+ErrorReport MakeErrorReport(std::span<const double> errors);
+
+// "mean=... median=... p95=... p99=... max=..." one-liner for benches.
+std::string FormatErrorReport(const ErrorReport& report);
+
+}  // namespace iam
+
+#endif  // IAM_UTIL_QUANTILES_H_

@@ -1,0 +1,122 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace iam {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  IAM_DCHECK(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Gaussian() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 0.0);
+  const double u2 = Uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+size_t Rng::Categorical(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    IAM_DCHECK(w >= 0.0);
+    total += w;
+  }
+  IAM_CHECK(total > 0.0);
+  return CategoricalWithSum(weights, total);
+}
+
+size_t Rng::CategoricalWithSum(std::span<const double> probs, double sum) {
+  const double target = Uniform() * sum;
+  double acc = 0.0;
+  size_t last_positive = probs.size();
+  for (size_t i = 0; i < probs.size(); ++i) {
+    if (probs[i] <= 0.0) continue;
+    acc += probs[i];
+    last_positive = i;
+    if (acc >= target) return i;
+  }
+  // Floating-point slop: fall back to the last positive entry.
+  IAM_CHECK(last_positive < probs.size());
+  return last_positive;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  IAM_CHECK(k <= n);
+  if (k == n) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Robert Floyd's algorithm: k iterations, O(k) expected memory.
+  std::unordered_set<size_t> chosen;
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = UniformInt(j + 1);
+    if (chosen.contains(t)) t = j;
+    chosen.insert(t);
+    out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace iam

@@ -1,0 +1,63 @@
+#ifndef IAM_UTIL_RANDOM_H_
+#define IAM_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace iam {
+
+// xoshiro256++ pseudo-random generator. Deterministic given a seed, fast, and
+// good enough statistically for Monte-Carlo estimation. All randomized code in
+// the library takes an explicit Rng so experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Raw 64 random bits.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  // Standard normal via Box-Muller (cached spare value).
+  double Gaussian();
+  double Gaussian(double mean, double stddev);
+
+  // Samples an index from an unnormalized non-negative weight vector.
+  // Requires the total weight to be positive.
+  size_t Categorical(std::span<const double> weights);
+
+  // Samples an index from `probs` given its precomputed sum. Used by the
+  // progressive samplers to avoid re-summation.
+  size_t CategoricalWithSum(std::span<const double> probs, double sum);
+
+  // Floyd-style distinct sample of k indices from [0, n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (size_t i = values.size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace iam
+
+#endif  // IAM_UTIL_RANDOM_H_

@@ -1,0 +1,77 @@
+#ifndef IAM_UTIL_SERIALIZE_H_
+#define IAM_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iam {
+
+// Minimal little-endian binary serialization helpers for model persistence.
+// Readers return Status so corrupt or truncated files fail cleanly instead of
+// crashing.
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+Status ReadPod(std::istream& in, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  if (!in) return Status::IoError("truncated stream reading POD");
+  return Status::Ok();
+}
+
+template <typename T>
+void WriteVector(std::ostream& out, const std::vector<T>& values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WritePod<uint64_t>(out, values.size());
+  if (!values.empty()) {
+    out.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+Status ReadVector(std::istream& in, std::vector<T>* values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  uint64_t size = 0;
+  IAM_RETURN_IF_ERROR(ReadPod(in, &size));
+  if (size > (1ULL << 32)) return Status::IoError("implausible vector size");
+  values->resize(size);
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(values->data()),
+            static_cast<std::streamsize>(size * sizeof(T)));
+    if (!in) return Status::IoError("truncated stream reading vector");
+  }
+  return Status::Ok();
+}
+
+inline void WriteString(std::ostream& out, const std::string& s) {
+  WritePod<uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline Status ReadString(std::istream& in, std::string* s) {
+  uint64_t size = 0;
+  IAM_RETURN_IF_ERROR(ReadPod(in, &size));
+  if (size > (1ULL << 24)) return Status::IoError("implausible string size");
+  s->resize(size);
+  if (size > 0) {
+    in.read(s->data(), static_cast<std::streamsize>(size));
+    if (!in) return Status::IoError("truncated stream reading string");
+  }
+  return Status::Ok();
+}
+
+}  // namespace iam
+
+#endif  // IAM_UTIL_SERIALIZE_H_

@@ -1,0 +1,201 @@
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/dictionary.h"
+#include "data/statistics.h"
+#include "data/synthetic.h"
+#include "data/table.h"
+#include "util/math_util.h"
+#include "util/random.h"
+
+namespace iam::data {
+namespace {
+
+TEST(DictionaryTest, OrderPreservingCodes) {
+  const std::vector<double> values = {3.0, 1.0, 2.0, 3.0, 1.0};
+  const ValueDictionary dict = ValueDictionary::Build(values);
+  EXPECT_EQ(dict.size(), 3);
+  EXPECT_EQ(dict.Encode(1.0), 0);
+  EXPECT_EQ(dict.Encode(2.0), 1);
+  EXPECT_EQ(dict.Encode(3.0), 2);
+  EXPECT_EQ(dict.Encode(9.0), -1);
+  EXPECT_DOUBLE_EQ(dict.Decode(1), 2.0);
+}
+
+TEST(DictionaryTest, EncodeRangeInclusive) {
+  const std::vector<double> values = {10.0, 20.0, 30.0, 40.0};
+  const ValueDictionary dict = ValueDictionary::Build(values);
+  auto r = dict.EncodeRange(15.0, 35.0);
+  EXPECT_EQ(r.first, 1);
+  EXPECT_EQ(r.last, 2);
+  r = dict.EncodeRange(20.0, 20.0);
+  EXPECT_EQ(r.first, 1);
+  EXPECT_EQ(r.last, 1);
+  r = dict.EncodeRange(21.0, 29.0);
+  EXPECT_TRUE(r.empty());
+  const double inf = std::numeric_limits<double>::infinity();
+  r = dict.EncodeRange(-inf, inf);
+  EXPECT_EQ(r.first, 0);
+  EXPECT_EQ(r.last, 3);
+}
+
+TEST(TableTest, ValidateCatchesMismatchedLengths) {
+  Table t("t");
+  t.AddColumn({"a", ColumnType::kContinuous, {1.0, 2.0}});
+  t.AddColumn({"b", ColumnType::kContinuous, {1.0}});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TableTest, ValidateCatchesNonIntegralCategorical) {
+  Table t("t");
+  t.AddColumn({"a", ColumnType::kCategorical, {1.5}});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TableTest, BasicAccessors) {
+  Table t("t");
+  t.AddColumn({"a", ColumnType::kCategorical, {0.0, 1.0, 1.0}});
+  t.AddColumn({"b", ColumnType::kContinuous, {5.0, -1.0, 2.0}});
+  ASSERT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.ColumnIndex("b"), 1);
+  EXPECT_EQ(t.ColumnIndex("zzz"), -1);
+  EXPECT_EQ(t.DistinctCount(0), 2u);
+  const auto [lo, hi] = t.ColumnRange(1);
+  EXPECT_DOUBLE_EQ(lo, -1.0);
+  EXPECT_DOUBLE_EQ(hi, 5.0);
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table t("t");
+  t.AddColumn({"cat", ColumnType::kCategorical, {0.0, 3.0, 1.0}});
+  t.AddColumn({"x", ColumnType::kContinuous, {1.25, -2.5, 3.75}});
+  const std::string path = std::filesystem::temp_directory_path() /
+                           "iam_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto loaded = ReadCsv(path, {"cat"});
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_rows(), 3u);
+  EXPECT_EQ(loaded->column(0).type, ColumnType::kCategorical);
+  EXPECT_EQ(loaded->column(1).type, ColumnType::kContinuous);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(loaded->value(r, 0), t.value(r, 0));
+    EXPECT_DOUBLE_EQ(loaded->value(r, 1), t.value(r, 1));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  const auto result = ReadCsv("/nonexistent/path.csv", {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(SynWisdmTest, SchemaMatchesPaper) {
+  const Table t = MakeSynWisdm(5000, 1);
+  ASSERT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.num_columns(), 5);
+  EXPECT_EQ(t.num_rows(), 5000u);
+  EXPECT_EQ(t.column(0).type, ColumnType::kCategorical);
+  EXPECT_EQ(t.column(1).type, ColumnType::kCategorical);
+  EXPECT_LE(t.DistinctCount(0), 51u);
+  EXPECT_LE(t.DistinctCount(1), 18u);
+  // Continuous domains are large (order of the row count).
+  EXPECT_GT(t.DistinctCount(2), 4000u);
+}
+
+TEST(SynWisdmTest, CategoricalDrivesContinuous) {
+  // Correlation regime: the (subject, activity) pair determines the sensor
+  // signature, so conditioning on it shrinks variance substantially.
+  const Table t = MakeSynWisdm(20000, 2);
+  const auto& subj = t.column(0).values;
+  const auto& x = t.column(2).values;
+  const MeanVar overall = ComputeMeanVar(x);
+  // Variance within (subject=0) group.
+  std::vector<double> group;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (subj[r] == 0.0 && t.value(r, 1) == 0.0) group.push_back(x[r]);
+  }
+  ASSERT_GT(group.size(), 10u);
+  const MeanVar within = ComputeMeanVar(group);
+  EXPECT_LT(within.variance, overall.variance * 0.6);
+}
+
+TEST(SynTwiTest, SpatialClustersAndBounds) {
+  const Table t = MakeSynTwi(20000, 3);
+  ASSERT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.num_columns(), 2);
+  const auto [lat_lo, lat_hi] = t.ColumnRange(0);
+  EXPECT_GT(lat_lo, 15.0);
+  EXPECT_LT(lat_hi, 60.0);
+  const auto [lon_lo, lon_hi] = t.ColumnRange(1);
+  EXPECT_GT(lon_lo, -135.0);
+  EXPECT_LT(lon_hi, -55.0);
+}
+
+TEST(SynTwiTest, DeterministicForSeed) {
+  const Table a = MakeSynTwi(100, 42);
+  const Table b = MakeSynTwi(100, 42);
+  for (size_t r = 0; r < 100; ++r) {
+    EXPECT_DOUBLE_EQ(a.value(r, 0), b.value(r, 0));
+  }
+  const Table c = MakeSynTwi(100, 43);
+  bool all_equal = true;
+  for (size_t r = 0; r < 100; ++r) {
+    if (a.value(r, 0) != c.value(r, 0)) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(SynHiggsTest, HeavySkew) {
+  const Table t = MakeSynHiggs(30000, 4);
+  ASSERT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.num_columns(), 7);
+  // The paper reports extreme skew for HIGGS; ours must be strongly
+  // right-skewed on every feature.
+  for (int c = 0; c < 7; ++c) {
+    EXPECT_GT(Skewness(t.column(c).values), 2.0) << "column " << c;
+  }
+}
+
+TEST(NonlinearCorrelationTest, DetectsMonotoneAndNonlinearRelations) {
+  Rng rng(6);
+  std::vector<double> x(8000), linear(8000), parabola(8000), noise(8000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Gaussian();
+    linear[i] = 2.0 * x[i];
+    parabola[i] = x[i] * x[i];  // Pearson-invisible, NCC-visible
+    noise[i] = rng.Gaussian();
+  }
+  EXPECT_GT(NonlinearCorrelation(x, linear), 0.8);
+  EXPECT_GT(NonlinearCorrelation(x, parabola), 0.3);
+  EXPECT_LT(NonlinearCorrelation(x, noise), 0.1);
+  // Pearson misses the parabola entirely.
+  EXPECT_LT(std::abs(PearsonCorrelation(x, parabola)), 0.1);
+}
+
+TEST(DatasetStatsTest, OrdersDatasetsLikeThePaper) {
+  // Paper (Section 6.1.1): WISDM and TWI have stronger correlation (smaller
+  // NCIE) than HIGGS, and HIGGS has the strongest skew.
+  Rng rng(7);
+  const DatasetStats twi = ComputeDatasetStats(MakeSynTwi(15000, 1), rng);
+  const DatasetStats higgs =
+      ComputeDatasetStats(MakeSynHiggs(15000, 2), rng);
+  EXPECT_LT(twi.ncie, higgs.ncie);
+  EXPECT_GT(higgs.mean_abs_skewness, twi.mean_abs_skewness);
+  EXPECT_GE(twi.ncie, 0.0);
+  EXPECT_LE(higgs.ncie, 1.0 + 1e-9);
+}
+
+TEST(SynHiggsTest, WeakCorrelation) {
+  const Table t = MakeSynHiggs(30000, 5);
+  const double corr =
+      PearsonCorrelation(t.column(0).values, t.column(1).values);
+  EXPECT_LT(std::abs(corr), 0.4);
+}
+
+}  // namespace
+}  // namespace iam::data

@@ -1,0 +1,159 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "join/star_schema.h"
+#include "query/query.h"
+#include "util/random.h"
+
+namespace iam::join {
+namespace {
+
+// title(id, kind) with movie_info(title_id, score): a 3-title schema with
+// fanouts 2, 1, 0 — covers matching, single and dangling keys.
+StarSchema TinySchema() {
+  StarSchema schema;
+  schema.dim = data::Table("title");
+  schema.dim.AddColumn({"id", data::ColumnType::kCategorical, {0, 1, 2}});
+  schema.dim.AddColumn({"kind", data::ColumnType::kCategorical, {5, 6, 7}});
+  schema.dim_key_col = 0;
+
+  data::Table mi("movie_info");
+  mi.AddColumn({"title_id", data::ColumnType::kCategorical, {0, 0, 1, 9}});
+  mi.AddColumn({"score", data::ColumnType::kContinuous,
+                {1.0, 2.0, 3.0, 4.0}});
+  schema.facts.push_back(std::move(mi));
+  schema.fact_key_cols.push_back(0);
+  return schema;
+}
+
+TEST(MaterializeJoinTest, InnerJoinSemantics) {
+  const StarSchema schema = TinySchema();
+  const data::Table joined = MaterializeJoin(schema);
+  // title 0 matches 2 rows, title 1 matches 1 row, title 2 none; the fact
+  // row with dangling FK 9 drops.
+  EXPECT_EQ(joined.num_rows(), 3u);
+  EXPECT_EQ(joined.num_columns(), 2);  // kind, score (keys dropped)
+  EXPECT_EQ(joined.column(0).name, "title.kind");
+  EXPECT_EQ(joined.column(1).name, "movie_info.score");
+
+  // kind=5 appears with scores {1, 2}; kind=6 with {3}.
+  int kind5 = 0, kind6 = 0;
+  for (size_t r = 0; r < joined.num_rows(); ++r) {
+    if (joined.value(r, 0) == 5.0) ++kind5;
+    if (joined.value(r, 0) == 6.0) ++kind6;
+  }
+  EXPECT_EQ(kind5, 2);
+  EXPECT_EQ(kind6, 1);
+}
+
+TEST(JoinCardinalityTest, MatchesMaterialization) {
+  const StarSchema schema = TinySchema();
+  EXPECT_DOUBLE_EQ(JoinCardinality(schema),
+                   static_cast<double>(MaterializeJoin(schema).num_rows()));
+}
+
+TEST(JoinCardinalityTest, SynImdbConsistent) {
+  const StarSchema schema = MakeSynImdb(300, 1);
+  const data::Table joined = MaterializeJoin(schema);
+  EXPECT_DOUBLE_EQ(JoinCardinality(schema),
+                   static_cast<double>(joined.num_rows()));
+  EXPECT_GT(joined.num_rows(), 300u);
+}
+
+TEST(JoinColumnsTest, LayoutMatchesMaterializedTable) {
+  const StarSchema schema = MakeSynImdb(100, 2);
+  const data::Table joined = MaterializeJoin(schema);
+  const auto sources = JoinColumns(schema);
+  ASSERT_EQ(static_cast<int>(sources.size()), joined.num_columns());
+  for (size_t j = 0; j < sources.size(); ++j) {
+    const data::Table& src =
+        sources[j].table < 0 ? schema.dim : schema.facts[sources[j].table];
+    EXPECT_EQ(joined.column(static_cast<int>(j)).type,
+              src.column(sources[j].column).type);
+    EXPECT_NE(joined.column(static_cast<int>(j))
+                  .name.find(src.column(sources[j].column).name),
+              std::string::npos);
+  }
+}
+
+TEST(ExactWeightSamplerTest, TotalWeightIsJoinSize) {
+  const StarSchema schema = MakeSynImdb(200, 3);
+  const ExactWeightSampler sampler(schema);
+  EXPECT_DOUBLE_EQ(sampler.total_weight(), JoinCardinality(schema));
+}
+
+TEST(ExactWeightSamplerTest, SampleSchemaMatchesJoin) {
+  const StarSchema schema = MakeSynImdb(150, 4);
+  const ExactWeightSampler sampler(schema);
+  Rng rng(5);
+  const data::Table sample = sampler.Sample(500, rng);
+  const data::Table joined = MaterializeJoin(schema);
+  ASSERT_EQ(sample.num_columns(), joined.num_columns());
+  EXPECT_EQ(sample.num_rows(), 500u);
+  for (int c = 0; c < sample.num_columns(); ++c) {
+    EXPECT_EQ(sample.column(c).name, joined.column(c).name);
+    EXPECT_EQ(sample.column(c).type, joined.column(c).type);
+  }
+}
+
+TEST(ExactWeightSamplerTest, UnbiasedOverJoinDistribution) {
+  // The fraction of sampled tuples satisfying a predicate must match the
+  // fraction in the materialized join (binomial tolerance).
+  const StarSchema schema = MakeSynImdb(250, 6);
+  const data::Table joined = MaterializeJoin(schema);
+  const ExactWeightSampler sampler(schema);
+  Rng rng(7);
+  const data::Table sample = sampler.Sample(20000, rng);
+
+  // Predicate: kind <= 2 (dimension attribute; its join frequency is fanout
+  // weighted, so a uniform-over-titles sampler would get this wrong).
+  const int kind_col = joined.ColumnIndex("title.kind");
+  ASSERT_GE(kind_col, 0);
+  query::Query q{{{.column = kind_col, .lo = 0.0, .hi = 2.0}}};
+  const double truth = query::TrueSelectivity(joined, q);
+  const double sampled = query::TrueSelectivity(sample, q);
+  EXPECT_NEAR(sampled, truth, 4.0 * std::sqrt(truth * (1 - truth) / 20000) +
+                                  0.005);
+
+  // And a fact-side continuous predicate.
+  const int x_col = joined.ColumnIndex("movie_info.x");
+  ASSERT_GE(x_col, 0);
+  query::Query q2{{{.column = x_col, .lo = -1e18, .hi = 0.0}}};
+  const double truth2 = query::TrueSelectivity(joined, q2);
+  const double sampled2 = query::TrueSelectivity(sample, q2);
+  EXPECT_NEAR(sampled2, truth2, 0.02);
+}
+
+TEST(SynImdbTest, SchemaShape) {
+  const StarSchema schema = MakeSynImdb(500, 8);
+  EXPECT_EQ(schema.num_fact_tables(), 2);
+  EXPECT_EQ(schema.dim.num_rows(), 500u);
+  EXPECT_EQ(schema.dim.num_columns(), 5);
+  // Fanout-driven fact sizes exceed the title count.
+  EXPECT_GT(schema.facts[0].num_rows(), 500u);
+  EXPECT_GT(schema.facts[1].num_rows(), 500u);
+}
+
+TEST(SynImdbTest, FanoutCorrelatesWithKind) {
+  const StarSchema schema = MakeSynImdb(800, 9);
+  // Average movie_info fanout should grow with kind (the generator biases
+  // fanout by kind).
+  std::vector<double> count_by_kind(6, 0.0), titles_by_kind(6, 0.0);
+  std::vector<int> title_kind(schema.dim.num_rows());
+  for (size_t r = 0; r < schema.dim.num_rows(); ++r) {
+    title_kind[static_cast<size_t>(schema.dim.value(r, 0))] =
+        static_cast<int>(schema.dim.value(r, 1));
+    titles_by_kind[static_cast<size_t>(schema.dim.value(r, 1))] += 1.0;
+  }
+  for (size_t r = 0; r < schema.facts[0].num_rows(); ++r) {
+    const auto title = static_cast<size_t>(schema.facts[0].value(r, 0));
+    count_by_kind[title_kind[title]] += 1.0;
+  }
+  const double low = count_by_kind[0] / std::max(1.0, titles_by_kind[0]);
+  const double high = count_by_kind[5] / std::max(1.0, titles_by_kind[5]);
+  EXPECT_GT(high, low * 1.5);
+}
+
+}  // namespace
+}  // namespace iam::join

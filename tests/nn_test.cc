@@ -1,0 +1,223 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/adam.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "util/random.h"
+
+namespace iam::nn {
+namespace {
+
+TEST(MatrixTest, ShapeAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  m.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m.row(1)[2], 5.0f);
+  m.Zero();
+  EXPECT_FLOAT_EQ(m.at(1, 2), 0.0f);
+}
+
+TEST(MatrixTest, LinearForwardMatchesManual) {
+  // y = x W^T + b with tiny known values.
+  Matrix x(1, 2);
+  x.at(0, 0) = 1.0f;
+  x.at(0, 1) = 2.0f;
+  Matrix w(3, 2);
+  float val = 0.5f;
+  for (int o = 0; o < 3; ++o)
+    for (int i = 0; i < 2; ++i) w.at(o, i) = val += 0.5f;
+  std::vector<float> bias = {0.1f, 0.2f, 0.3f};
+  Matrix y;
+  LinearForward(x, w, bias, y);
+  ASSERT_EQ(y.rows(), 1);
+  ASSERT_EQ(y.cols(), 3);
+  for (int o = 0; o < 3; ++o) {
+    const float expect = x.at(0, 0) * w.at(o, 0) + x.at(0, 1) * w.at(o, 1) +
+                         bias[o];
+    EXPECT_FLOAT_EQ(y.at(0, o), expect);
+  }
+}
+
+// Finite-difference gradient check of LinearBackward.
+TEST(MatrixTest, LinearBackwardGradCheck) {
+  Rng rng(42);
+  const int batch = 3, in = 4, out = 2;
+  Matrix x(batch, in), w(out, in);
+  for (int r = 0; r < batch; ++r)
+    for (int c = 0; c < in; ++c) x.at(r, c) = (float)rng.Gaussian();
+  for (int o = 0; o < out; ++o)
+    for (int c = 0; c < in; ++c) w.at(o, c) = (float)rng.Gaussian();
+  std::vector<float> bias(out, 0.0f);
+
+  // Loss = sum of squares of outputs; dL/dy = 2y.
+  auto loss = [&](const Matrix& weights) {
+    Matrix y;
+    LinearForward(x, weights, bias, y);
+    double total = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) total += y.data()[i] * y.data()[i];
+    return total;
+  };
+
+  Matrix y;
+  LinearForward(x, w, bias, y);
+  Matrix dy(batch, out);
+  for (size_t i = 0; i < y.size(); ++i) dy.data()[i] = 2.0f * y.data()[i];
+  Matrix dx, dw(out, in);
+  std::vector<float> dbias(out, 0.0f);
+  LinearBackward(x, w, dy, dx, dw, dbias);
+
+  const float eps = 1e-2f;
+  for (int o = 0; o < out; ++o) {
+    for (int c = 0; c < in; ++c) {
+      Matrix wp = w;
+      wp.at(o, c) += eps;
+      Matrix wm = w;
+      wm.at(o, c) -= eps;
+      const double numeric = (loss(wp) - loss(wm)) / (2.0 * eps);
+      EXPECT_NEAR(dw.at(o, c), numeric, 1e-2 * std::max(1.0, std::abs(numeric)));
+    }
+  }
+}
+
+TEST(LayersTest, ReluForwardBackward) {
+  Matrix x(1, 4);
+  x.at(0, 0) = -1.0f;
+  x.at(0, 1) = 0.0f;
+  x.at(0, 2) = 2.0f;
+  x.at(0, 3) = -3.0f;
+  Matrix y;
+  ReluForward(x, y);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 2.0f);
+
+  Matrix dy(1, 4);
+  for (int i = 0; i < 4; ++i) dy.at(0, i) = 1.0f;
+  Matrix dx;
+  ReluBackward(x, dy, dx);
+  EXPECT_FLOAT_EQ(dx.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(dx.at(0, 2), 1.0f);
+}
+
+TEST(LayersTest, MaskedWeightsStayZeroThroughTraining) {
+  Rng rng(1);
+  MaskedLinear layer(3, 2, rng);
+  Matrix mask(2, 3);
+  // Only allow (0,0) and (1,2).
+  mask.at(0, 0) = 1.0f;
+  mask.at(1, 2) = 1.0f;
+  layer.SetMask(std::move(mask));
+
+  Adam adam;
+  adam.Register(&layer.weight());
+  adam.Register(&layer.bias());
+
+  Matrix x(4, 3), y, dy(4, 2), dx;
+  for (int step = 0; step < 20; ++step) {
+    for (size_t i = 0; i < x.size(); ++i) x.data()[i] = (float)rng.Gaussian();
+    adam.ZeroGrad();
+    layer.Forward(x, y);
+    for (size_t i = 0; i < dy.size(); ++i) dy.data()[i] = (float)rng.Gaussian();
+    layer.Backward(x, dy, dx);
+    adam.Step();
+  }
+  EXPECT_FLOAT_EQ(layer.weight().value.at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(layer.weight().value.at(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(layer.weight().value.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(layer.weight().value.at(1, 1), 0.0f);
+  EXPECT_NE(layer.weight().value.at(0, 0), 0.0f);
+}
+
+TEST(LayersTest, ParameterCountIsMaskAware) {
+  Rng rng(2);
+  MaskedLinear dense(4, 3, rng);
+  EXPECT_EQ(dense.ParameterCount(), 4u * 3u + 3u);
+
+  MaskedLinear masked(4, 3, rng);
+  Matrix mask(3, 4);
+  mask.at(0, 0) = 1.0f;
+  mask.at(2, 3) = 1.0f;
+  masked.SetMask(std::move(mask));
+  EXPECT_EQ(masked.ParameterCount(), 2u + 3u);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // Minimize (w - 3)^2 elementwise.
+  Parameter p(1, 4);
+  Adam::Options opts;
+  opts.learning_rate = 0.1;
+  Adam adam(opts);
+  adam.Register(&p);
+  for (int step = 0; step < 500; ++step) {
+    adam.ZeroGrad();
+    for (int i = 0; i < 4; ++i) {
+      p.grad.at(0, i) = 2.0f * (p.value.at(0, i) - 3.0f);
+    }
+    adam.Step();
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(p.value.at(0, i), 3.0f, 1e-3);
+}
+
+TEST(AdamTest, ZeroGradientLeavesValueUntouched) {
+  Parameter p(1, 1);
+  p.value.at(0, 0) = 1.5f;
+  Adam adam;
+  adam.Register(&p);
+  adam.ZeroGrad();
+  adam.Step();
+  EXPECT_FLOAT_EQ(p.value.at(0, 0), 1.5f);
+}
+
+// A two-layer net with ReLU should fit XOR — validates the full
+// forward/backward plumbing end to end.
+TEST(NnIntegrationTest, LearnsXor) {
+  // ReLU nets can hit dead-unit local minima on XOR from an unlucky init, so
+  // allow a few restarts; what matters is that the plumbing can fit it.
+  double best_loss = 1.0;
+  for (uint64_t seed = 7; seed < 12 && best_loss > 1e-3; ++seed) {
+    Rng rng(seed);
+    MaskedLinear l1(2, 16, rng);
+    MaskedLinear l2(16, 1, rng);
+    Adam::Options opts;
+    opts.learning_rate = 0.05;
+    Adam adam(opts);
+    adam.Register(&l1.weight());
+    adam.Register(&l1.bias());
+    adam.Register(&l2.weight());
+    adam.Register(&l2.bias());
+
+    const float inputs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+    const float targets[4] = {0, 1, 1, 0};
+    Matrix x(4, 2);
+    for (int r = 0; r < 4; ++r)
+      for (int c = 0; c < 2; ++c) x.at(r, c) = inputs[r][c];
+
+    Matrix z1, a1, out, dout(4, 1), da1, dz1, dx;
+    double loss = 1.0;
+    for (int step = 0; step < 3000 && loss > 1e-3; ++step) {
+      adam.ZeroGrad();
+      l1.Forward(x, z1);
+      ReluForward(z1, a1);
+      l2.Forward(a1, out);
+      loss = 0.0;
+      for (int r = 0; r < 4; ++r) {
+        const float diff = out.at(r, 0) - targets[r];
+        loss += diff * diff;
+        dout.at(r, 0) = 2.0f * diff / 4.0f;
+      }
+      loss /= 4.0;
+      l2.Backward(a1, dout, da1);
+      ReluBackward(z1, da1, dz1);
+      l1.Backward(x, dz1, dx);
+      adam.Step();
+    }
+    best_loss = std::min(best_loss, loss);
+  }
+  EXPECT_LT(best_loss, 1e-3);
+}
+
+}  // namespace
+}  // namespace iam::nn

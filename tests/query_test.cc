@@ -1,0 +1,181 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "data/table.h"
+#include "query/parser.h"
+#include "query/query.h"
+#include "query/workload.h"
+
+namespace iam::query {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+data::Table TinyTable() {
+  data::Table t("tiny");
+  t.AddColumn({"a", data::ColumnType::kCategorical, {0, 0, 1, 1, 2}});
+  t.AddColumn({"x", data::ColumnType::kContinuous, {1.0, 2.0, 3.0, 4.0, 5.0}});
+  return t;
+}
+
+TEST(PredicateTest, IntervalSemantics) {
+  Predicate p{.column = 0, .lo = 1.0, .hi = 3.0};
+  EXPECT_TRUE(p.Matches(1.0));
+  EXPECT_TRUE(p.Matches(3.0));
+  EXPECT_FALSE(p.Matches(0.999));
+  EXPECT_FALSE(p.Matches(3.001));
+}
+
+TEST(TrueSelectivityTest, PointAndRange) {
+  const data::Table t = TinyTable();
+  Query q1{{{.column = 0, .lo = 1.0, .hi = 1.0}}};
+  EXPECT_DOUBLE_EQ(TrueSelectivity(t, q1), 0.4);
+  Query q2{{{.column = 1, .lo = -kInf, .hi = 3.0}}};
+  EXPECT_DOUBLE_EQ(TrueSelectivity(t, q2), 0.6);
+  Query q3{{{.column = 0, .lo = 1.0, .hi = 1.0},
+            {.column = 1, .lo = 3.5, .hi = kInf}}};
+  EXPECT_DOUBLE_EQ(TrueSelectivity(t, q3), 0.2);
+}
+
+TEST(TrueSelectivityTest, EmptyQueryMatchesAll) {
+  const data::Table t = TinyTable();
+  EXPECT_DOUBLE_EQ(TrueSelectivity(t, Query{}), 1.0);
+}
+
+TEST(QErrorTest, SymmetricAndFloored) {
+  EXPECT_DOUBLE_EQ(QError(0.1, 0.2, 1000), 2.0);
+  EXPECT_DOUBLE_EQ(QError(0.2, 0.1, 1000), 2.0);
+  EXPECT_DOUBLE_EQ(QError(0.5, 0.5, 1000), 1.0);
+  // Zero estimate hits the 1/|T| floor instead of dividing by zero.
+  EXPECT_DOUBLE_EQ(QError(0.1, 0.0, 1000), 0.1 * 1000);
+  EXPECT_DOUBLE_EQ(QError(0.0, 0.0, 1000), 1.0);
+}
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  const data::Table t = data::MakeSynWisdm(2000, 1);
+  Rng rng(2);
+  WorkloadOptions options;
+  options.num_queries = 50;
+  const auto queries = GenerateWorkload(t, options, rng);
+  EXPECT_EQ(queries.size(), 50u);
+  for (const Query& q : queries) {
+    EXPECT_FALSE(q.predicates.empty());
+    for (const Predicate& p : q.predicates) {
+      EXPECT_GE(p.column, 0);
+      EXPECT_LT(p.column, t.num_columns());
+    }
+  }
+}
+
+TEST(WorkloadTest, CategoricalPredicatesUseDomainValues) {
+  const data::Table t = TinyTable();
+  Rng rng(3);
+  WorkloadOptions options;
+  options.num_queries = 200;
+  options.column_prob = 1.0;
+  const auto queries = GenerateWorkload(t, options, rng);
+  for (const Query& q : queries) {
+    for (const Predicate& p : q.predicates) {
+      if (p.column != 0) continue;
+      // Every finite bound is a real domain value.
+      if (std::isfinite(p.lo)) {
+        EXPECT_TRUE(p.lo == 0.0 || p.lo == 1.0 || p.lo == 2.0);
+      }
+      if (std::isfinite(p.hi)) {
+        EXPECT_TRUE(p.hi == 0.0 || p.hi == 1.0 || p.hi == 2.0);
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, ContinuousPredicatesAreOneSided) {
+  const data::Table t = TinyTable();
+  Rng rng(4);
+  WorkloadOptions options;
+  options.num_queries = 100;
+  options.column_prob = 1.0;
+  const auto queries = GenerateWorkload(t, options, rng);
+  for (const Query& q : queries) {
+    for (const Predicate& p : q.predicates) {
+      if (p.column != 1) continue;
+      EXPECT_TRUE(p.lo == -kInf || p.hi == kInf);
+      EXPECT_FALSE(p.lo == -kInf && p.hi == kInf);
+    }
+  }
+}
+
+TEST(WorkloadTest, EvaluatedWorkloadTruthsMatchScan) {
+  const data::Table t = data::MakeSynTwi(3000, 5);
+  Rng rng(6);
+  WorkloadOptions options;
+  options.num_queries = 20;
+  const EvaluatedWorkload w = GenerateEvaluatedWorkload(t, options, rng);
+  ASSERT_EQ(w.queries.size(), w.true_selectivities.size());
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w.true_selectivities[i],
+                     TrueSelectivity(t, w.queries[i]));
+  }
+}
+
+TEST(ParserTest, ParsesConjunctions) {
+  const data::Table t = TinyTable();
+  auto q = ParsePredicates(t, "a = 1 AND x >= 2.5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->predicates.size(), 2u);
+  EXPECT_DOUBLE_EQ(TrueSelectivity(t, *q), 0.4);  // rows (1,3.0) and (1,4.0)
+}
+
+TEST(ParserTest, BetweenAndStrictBounds) {
+  const data::Table t = TinyTable();
+  auto q = ParsePredicates(t, "x BETWEEN 2 AND 4");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(TrueSelectivity(t, *q), 0.6);
+
+  // Strict < on a continuous column excludes the boundary value.
+  auto strict = ParsePredicates(t, "x < 4");
+  ASSERT_TRUE(strict.ok());
+  EXPECT_DOUBLE_EQ(TrueSelectivity(t, *strict), 0.6);
+
+  // Strict > on a categorical column steps a whole code.
+  auto cat = ParsePredicates(t, "a > 0");
+  ASSERT_TRUE(cat.ok());
+  EXPECT_DOUBLE_EQ(TrueSelectivity(t, *cat), 0.6);
+}
+
+TEST(ParserTest, IntersectsRepeatedColumns) {
+  const data::Table t = TinyTable();
+  auto q = ParsePredicates(t, "x >= 2 AND x <= 3");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->predicates.size(), 1u);
+  EXPECT_DOUBLE_EQ(q->predicates[0].lo, 2.0);
+  EXPECT_DOUBLE_EQ(q->predicates[0].hi, 3.0);
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  const data::Table t = TinyTable();
+  EXPECT_FALSE(ParsePredicates(t, "nosuchcol = 1").ok());
+  EXPECT_FALSE(ParsePredicates(t, "x >=").ok());
+  EXPECT_FALSE(ParsePredicates(t, "x == 2").ok());  // '=' then dangling '='
+  EXPECT_FALSE(ParsePredicates(t, "x >= 1 AND").ok());
+  EXPECT_FALSE(ParsePredicates(t, "x BETWEEN 1").ok());
+  EXPECT_FALSE(ParsePredicates(t, "").ok());
+  EXPECT_FALSE(ParsePredicates(t, "x ! 3").ok());
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  const data::Table t = TinyTable();
+  EXPECT_TRUE(ParsePredicates(t, "x >= 1 and a = 0").ok());
+  EXPECT_TRUE(ParsePredicates(t, "x between 1 AND 2").ok());
+}
+
+TEST(QueryTest, DebugStringNamesColumns) {
+  const data::Table t = TinyTable();
+  Query q{{{.column = 0, .lo = 1.0, .hi = 1.0}}};
+  EXPECT_NE(q.DebugString(t).find("a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iam::query

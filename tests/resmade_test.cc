@@ -1,0 +1,302 @@
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ar/resmade.h"
+#include "nn/adam.h"
+#include "util/random.h"
+
+namespace iam::ar {
+namespace {
+
+ResMadeConfig TinyConfig() {
+  ResMadeConfig config;
+  config.hidden_sizes = {32, 32};
+  config.wildcard_prob = 0.2;
+  return config;
+}
+
+TEST(ResMadeTest, WildcardTokenIsDomainSize) {
+  ResMade made({3, 4}, TinyConfig(), 1);
+  EXPECT_EQ(made.wildcard_token(0), 3);
+  EXPECT_EQ(made.wildcard_token(1), 4);
+}
+
+// The autoregressive property: P(A_i | ...) must not depend on the values of
+// columns >= i.
+TEST(ResMadeTest, AutoregressiveMasking) {
+  ResMade made({3, 4, 5}, TinyConfig(), 2);
+  nn::Matrix p1, p2;
+  // Column 1's conditional given column 0 = 2; columns 1, 2 vary wildly.
+  made.ConditionalDistribution({{2, 0, 0}}, 1, p1);
+  made.ConditionalDistribution({{2, 3, 4}}, 1, p2);
+  ASSERT_EQ(p1.cols(), 4);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(p1.at(0, j), p2.at(0, j)) << "col 1 leaked later columns";
+  }
+  // Column 0's marginal must ignore everything.
+  made.ConditionalDistribution({{0, 0, 0}}, 0, p1);
+  made.ConditionalDistribution({{2, 3, 4}}, 0, p2);
+  for (int j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(p1.at(0, j), p2.at(0, j));
+}
+
+TEST(ResMadeTest, ConditionalsAreDistributions) {
+  ResMade made({3, 4, 5}, TinyConfig(), 3);
+  nn::Matrix p;
+  made.ConditionalDistribution({{1, 2, 0}, {0, 0, 0}}, 2, p);
+  ASSERT_EQ(p.rows(), 2);
+  ASSERT_EQ(p.cols(), 5);
+  for (int r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_GE(p.at(r, j), 0.0f);
+      sum += p.at(r, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(ResMadeTest, FullJointSumsToOne) {
+  ResMade made({2, 3}, TinyConfig(), 4);
+  double total = 0.0;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      total += std::exp(made.LogProb({a, b}));
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-5);
+}
+
+// Train on a strongly correlated two-column distribution and check the model
+// recovers the dependence (this is the cross-entropy training loop test).
+TEST(ResMadeTest, LearnsCorrelatedDistribution) {
+  Rng rng(11);
+  // P(a) uniform over {0,1,2}; b = a with prob 0.9, else uniform other.
+  std::vector<std::vector<int>> data;
+  for (int i = 0; i < 4000; ++i) {
+    const int a = static_cast<int>(rng.UniformInt(3));
+    int b = a;
+    if (rng.Uniform() > 0.9) b = static_cast<int>(rng.UniformInt(3));
+    data.push_back({a, b});
+  }
+
+  ResMadeConfig config = TinyConfig();
+  config.wildcard_prob = 0.0;  // pure density estimation for this test
+  ResMade made({3, 3}, config, 5);
+  nn::Adam adam;
+  made.RegisterParameters(adam);
+
+  Rng train_rng(12);
+  double loss = 0.0;
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    for (size_t begin = 0; begin < data.size(); begin += 256) {
+      const size_t end = std::min(data.size(), begin + 256);
+      std::vector<std::vector<int>> batch(data.begin() + begin,
+                                          data.begin() + end);
+      loss = made.TrainStep(batch, adam, train_rng);
+    }
+  }
+  // Entropy of the true distribution ~ log 3 + H(0.9-ish noise) ≈ 1.6 nats.
+  EXPECT_LT(loss, 1.9);
+
+  nn::Matrix p;
+  made.ConditionalDistribution({{2, 0}}, 1, p);
+  // Given a=2, b=2 should dominate.
+  EXPECT_GT(p.at(0, 2), 0.7f);
+  EXPECT_LT(p.at(0, 0), 0.2f);
+}
+
+TEST(ResMadeTest, WildcardInputMarginalizes) {
+  Rng rng(21);
+  // a uniform {0,1}; b = a (deterministic). Train with wildcard masking, then
+  // P(b | a=wildcard) should be near the marginal {0.5, 0.5}.
+  std::vector<std::vector<int>> data;
+  for (int i = 0; i < 3000; ++i) {
+    const int a = static_cast<int>(rng.UniformInt(2));
+    data.push_back({a, a});
+  }
+  ResMadeConfig config = TinyConfig();
+  config.wildcard_prob = 0.3;
+  ResMade made({2, 2}, config, 6);
+  nn::Adam adam;
+  made.RegisterParameters(adam);
+  Rng train_rng(22);
+  for (int epoch = 0; epoch < 25; ++epoch) {
+    for (size_t begin = 0; begin < data.size(); begin += 256) {
+      const size_t end = std::min(data.size(), begin + 256);
+      std::vector<std::vector<int>> batch(data.begin() + begin,
+                                          data.begin() + end);
+      made.TrainStep(batch, adam, train_rng);
+    }
+  }
+  nn::Matrix p;
+  made.ConditionalDistribution({{made.wildcard_token(0), 0}}, 1, p);
+  EXPECT_NEAR(p.at(0, 0), 0.5, 0.1);
+  // And conditioning still works.
+  made.ConditionalDistribution({{1, 0}}, 1, p);
+  EXPECT_GT(p.at(0, 1), 0.85f);
+}
+
+TEST(ResMadeTest, EmbeddingPathForLargeDomains) {
+  ResMadeConfig config = TinyConfig();
+  config.one_hot_max_domain = 8;  // force the embedding path
+  config.embedding_dim = 4;
+  ResMade made({100, 5}, config, 7);
+  nn::Matrix p;
+  made.ConditionalDistribution({{57, 0}}, 1, p);
+  ASSERT_EQ(p.cols(), 5);
+  double sum = 0.0;
+  for (int j = 0; j < 5; ++j) sum += p.at(0, j);
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+
+  // Parameter count includes the embedding table (101 x 4).
+  EXPECT_GT(made.ParameterCount(), 101u * 4u);
+}
+
+TEST(ResMadeTest, ResidualConfigStillAutoregressive) {
+  ResMadeConfig config;
+  config.hidden_sizes = {64, 32, 32, 64};  // residual between the 32s
+  config.residual = true;
+  ResMade made({4, 4, 4, 4}, config, 8);
+  nn::Matrix p1, p2;
+  made.ConditionalDistribution({{1, 2, 0, 0}}, 2, p1);
+  made.ConditionalDistribution({{1, 2, 3, 3}}, 2, p2);
+  for (int j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(p1.at(0, j), p2.at(0, j));
+}
+
+TEST(ResMadeTest, SerializeRoundTripPreservesDistribution) {
+  Rng rng(41);
+  ResMadeConfig config = TinyConfig();
+  config.one_hot_max_domain = 8;  // exercise the embedding path too
+  config.embedding_dim = 4;
+  ResMade made({20, 3, 5}, config, 10);
+  nn::Adam adam;
+  made.RegisterParameters(adam);
+  Rng train_rng(42);
+  std::vector<std::vector<int>> batch;
+  for (int i = 0; i < 256; ++i) {
+    batch.push_back({static_cast<int>(rng.UniformInt(20)),
+                     static_cast<int>(rng.UniformInt(3)),
+                     static_cast<int>(rng.UniformInt(5))});
+  }
+  for (int step = 0; step < 20; ++step) made.TrainStep(batch, adam, train_rng);
+
+  std::stringstream stream;
+  made.Serialize(stream);
+  auto loaded = ResMade::Deserialize(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->num_columns(), 3);
+  EXPECT_EQ((*loaded)->ParameterCount(), made.ParameterCount());
+  for (const std::vector<int>& tuple :
+       {std::vector<int>{0, 0, 0}, {19, 2, 4}, {7, 1, 3}}) {
+    EXPECT_DOUBLE_EQ((*loaded)->LogProb(tuple), made.LogProb(tuple));
+  }
+}
+
+TEST(ResMadeTest, DeserializeRejectsGarbage) {
+  std::stringstream stream;
+  stream << "junk";
+  EXPECT_FALSE(ResMade::Deserialize(stream).ok());
+}
+
+TEST(ResMadeTest, TrainingReducesLoss) {
+  Rng rng(31);
+  std::vector<std::vector<int>> data;
+  for (int i = 0; i < 2000; ++i) {
+    const int a = rng.Uniform() < 0.8 ? 0 : 1;
+    const int b = a == 0 ? static_cast<int>(rng.UniformInt(2))
+                         : 2 + static_cast<int>(rng.UniformInt(2));
+    data.push_back({a, b});
+  }
+  ResMade made({2, 4}, TinyConfig(), 9);
+  nn::Adam adam;
+  made.RegisterParameters(adam);
+  Rng train_rng(32);
+  const double first = made.TrainStep(data, adam, train_rng);
+  double last = first;
+  for (int step = 0; step < 60; ++step) {
+    last = made.TrainStep(data, adam, train_rng);
+  }
+  EXPECT_LT(last, first);
+}
+
+// Property sweep: the autoregressive invariants must hold across
+// architectures — varying depth, width, residual wiring, and the one-hot vs
+// embedding input encoding.
+struct ArchCase {
+  std::vector<int> hidden;
+  bool residual;
+  int one_hot_max;
+  const char* label;
+};
+
+class ResMadeArchTest : public ::testing::TestWithParam<ArchCase> {};
+
+TEST_P(ResMadeArchTest, AutoregressiveAndNormalizedEverywhere) {
+  const ArchCase& arch = GetParam();
+  ResMadeConfig config;
+  config.hidden_sizes = arch.hidden;
+  config.residual = arch.residual;
+  config.one_hot_max_domain = arch.one_hot_max;
+  config.embedding_dim = 8;
+  ResMade made({6, 40, 4, 9}, config, 77);
+
+  Rng rng(78);
+  nn::Matrix p1, p2;
+  for (int col = 0; col < 4; ++col) {
+    // Two inputs agreeing on columns < col and differing after.
+    std::vector<int> a = {1, 17, 2, 3};
+    std::vector<int> b = a;
+    for (int c = col; c < 4; ++c) {
+      b[c] = static_cast<int>(rng.UniformInt(made.domain_size(c)));
+    }
+    made.ConditionalDistribution({a}, col, p1);
+    made.ConditionalDistribution({b}, col, p2);
+    double sum = 0.0;
+    for (int j = 0; j < made.domain_size(col); ++j) {
+      EXPECT_FLOAT_EQ(p1.at(0, j), p2.at(0, j))
+          << arch.label << " col " << col << " leaked a later column";
+      EXPECT_GE(p1.at(0, j), 0.0f);
+      sum += p1.at(0, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5) << arch.label;
+  }
+}
+
+TEST_P(ResMadeArchTest, OneTrainStepRuns) {
+  const ArchCase& arch = GetParam();
+  ResMadeConfig config;
+  config.hidden_sizes = arch.hidden;
+  config.residual = arch.residual;
+  config.one_hot_max_domain = arch.one_hot_max;
+  config.embedding_dim = 8;
+  ResMade made({6, 40, 4, 9}, config, 79);
+  nn::Adam adam;
+  made.RegisterParameters(adam);
+  Rng rng(80);
+  std::vector<std::vector<int>> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back({static_cast<int>(rng.UniformInt(6)),
+                     static_cast<int>(rng.UniformInt(40)),
+                     static_cast<int>(rng.UniformInt(4)),
+                     static_cast<int>(rng.UniformInt(9))});
+  }
+  const double loss = made.TrainStep(batch, adam, rng);
+  EXPECT_TRUE(std::isfinite(loss)) << arch.label;
+  EXPECT_GT(loss, 0.0) << arch.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, ResMadeArchTest,
+    ::testing::Values(
+        ArchCase{{32}, false, 96, "single_layer"},
+        ArchCase{{64, 64}, true, 96, "residual_pair"},
+        ArchCase{{256, 128, 128, 256}, true, 96, "paper_arch"},
+        ArchCase{{32, 32}, true, 8, "embedded_inputs"},
+        ArchCase{{48, 24, 48}, false, 16, "mixed_width_no_residual"}),
+    [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace iam::ar

@@ -1,0 +1,111 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/ar_density_estimator.h"
+#include "core/presets.h"
+#include "data/synthetic.h"
+#include "util/serialize.h"
+
+namespace iam {
+namespace {
+
+TEST(SerializeHelpersTest, PodRoundTrip) {
+  std::stringstream stream;
+  WritePod<int32_t>(stream, -42);
+  WritePod<double>(stream, 3.5);
+  WritePod<uint8_t>(stream, 7);
+  int32_t i = 0;
+  double d = 0;
+  uint8_t b = 0;
+  ASSERT_TRUE(ReadPod(stream, &i).ok());
+  ASSERT_TRUE(ReadPod(stream, &d).ok());
+  ASSERT_TRUE(ReadPod(stream, &b).ok());
+  EXPECT_EQ(i, -42);
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_EQ(b, 7);
+  // Stream exhausted: further reads fail cleanly.
+  EXPECT_FALSE(ReadPod(stream, &i).ok());
+}
+
+TEST(SerializeHelpersTest, VectorRoundTrip) {
+  std::stringstream stream;
+  const std::vector<double> values = {1.0, -2.5, 1e300};
+  WriteVector(stream, values);
+  WriteVector(stream, std::vector<int>{});
+  std::vector<double> loaded;
+  std::vector<int> empty;
+  ASSERT_TRUE(ReadVector(stream, &loaded).ok());
+  ASSERT_TRUE(ReadVector(stream, &empty).ok());
+  EXPECT_EQ(loaded, values);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(SerializeHelpersTest, StringRoundTripAndGuards) {
+  std::stringstream stream;
+  WriteString(stream, "hello");
+  WriteString(stream, "");
+  std::string a, b;
+  ASSERT_TRUE(ReadString(stream, &a).ok());
+  ASSERT_TRUE(ReadString(stream, &b).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+
+  // Implausible length prefix is rejected rather than allocated.
+  std::stringstream bad;
+  WritePod<uint64_t>(bad, 1ULL << 40);
+  std::string s;
+  EXPECT_FALSE(ReadString(bad, &s).ok());
+}
+
+// Property: a saved model truncated at *any* prefix length must fail to load
+// with a clean Status — never crash, never succeed.
+TEST(ModelTruncationFuzzTest, EveryPrefixFailsCleanly) {
+  const data::Table twi = data::MakeSynTwi(4000, 5);
+  core::ArEstimatorOptions opts = core::IamDefaults(6);
+  opts.made.hidden_sizes = {32, 32};
+  opts.epochs = 1;
+  opts.large_domain_threshold = 200;
+  opts.gmm_samples_per_component = 500;
+  core::ArDensityEstimator model(twi, opts);
+  model.Train();
+
+  namespace fs = std::filesystem;
+  const std::string full =
+      (fs::temp_directory_path() / "iam_fuzz_full.bin").string();
+  const std::string cut =
+      (fs::temp_directory_path() / "iam_fuzz_cut.bin").string();
+  ASSERT_TRUE(model.Save(full).ok());
+
+  std::string blob;
+  {
+    std::ifstream in(full, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    blob = buffer.str();
+  }
+  ASSERT_GT(blob.size(), 1000u);
+
+  // Sweep prefix lengths across the whole file (stride keeps runtime sane).
+  const size_t stride = std::max<size_t>(1, blob.size() / 211);
+  for (size_t len = 0; len < blob.size(); len += stride) {
+    {
+      std::ofstream out(cut, std::ios::binary | std::ios::trunc);
+      out.write(blob.data(), static_cast<std::streamsize>(len));
+    }
+    const auto loaded = core::ArDensityEstimator::Load(cut);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << len << " bytes loaded";
+  }
+
+  // And the untruncated blob still loads.
+  const auto loaded = core::ArDensityEstimator::Load(full);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(full.c_str());
+  std::remove(cut.c_str());
+}
+
+}  // namespace
+}  // namespace iam

@@ -1,0 +1,195 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/math_util.h"
+#include "util/quantiles.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace iam {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntUnbiasedish) {
+  Rng rng(2);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, 5 * std::sqrt(n * 0.1 * 0.9));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(3);
+  std::vector<double> xs(200000);
+  for (double& x : xs) x = rng.Gaussian();
+  const MeanVar mv = ComputeMeanVar(xs);
+  EXPECT_NEAR(mv.mean, 0.0, 0.02);
+  EXPECT_NEAR(mv.variance, 1.0, 0.03);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(4);
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / double(n), 0.6, 0.01);
+}
+
+TEST(RngTest, CategoricalSkipsZeroWeightEntries) {
+  Rng rng(5);
+  const std::vector<double> w = {0.0, 1.0, 0.0, 2.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    const size_t k = rng.Categorical(w);
+    EXPECT_TRUE(k == 1 || k == 3);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctSorted) {
+  Rng rng(6);
+  const auto sample = rng.SampleWithoutReplacement(1000, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  EXPECT_TRUE(std::adjacent_find(sample.begin(), sample.end()) ==
+              sample.end());
+  for (size_t s : sample) EXPECT_LT(s, 1000u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(7);
+  const auto sample = rng.SampleWithoutReplacement(5, 5);
+  EXPECT_EQ(sample, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(MathTest, LogSumExpMatchesDirect) {
+  const std::vector<double> xs = {-1.0, 0.5, 2.0};
+  double direct = 0.0;
+  for (double x : xs) direct += std::exp(x);
+  EXPECT_NEAR(LogSumExp(xs), std::log(direct), 1e-12);
+}
+
+TEST(MathTest, LogSumExpHandlesLargeValues) {
+  const std::vector<double> xs = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(xs), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, LogSumExpEmptyIsNegInf) {
+  EXPECT_EQ(LogSumExp({}), kNegInf);
+}
+
+TEST(MathTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(MathTest, NormalIntervalMassSymmetric) {
+  EXPECT_NEAR(NormalIntervalMass(-1.0, 1.0, 0.0, 1.0), 0.6826894921, 1e-8);
+  EXPECT_NEAR(NormalIntervalMass(4.0, 6.0, 5.0, 1.0), 0.6826894921, 1e-8);
+}
+
+TEST(MathTest, SoftmaxNormalizes) {
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  SoftmaxInPlace(xs);
+  EXPECT_NEAR(xs[0] + xs[1] + xs[2], 1.0, 1e-12);
+  EXPECT_LT(xs[0], xs[1]);
+  EXPECT_LT(xs[1], xs[2]);
+}
+
+TEST(MathTest, SkewnessSigns) {
+  // Right-skewed sample (lognormal-ish).
+  Rng rng(8);
+  std::vector<double> right(20000), sym(20000);
+  for (size_t i = 0; i < right.size(); ++i) {
+    right[i] = std::exp(rng.Gaussian());
+    sym[i] = rng.Gaussian();
+  }
+  EXPECT_GT(Skewness(right), 1.0);
+  EXPECT_NEAR(Skewness(sym), 0.0, 0.15);
+}
+
+TEST(MathTest, PearsonCorrelation) {
+  Rng rng(9);
+  std::vector<double> x(10000), y(10000), z(10000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Gaussian();
+    y[i] = 2.0 * x[i] + 0.1 * rng.Gaussian();
+    z[i] = rng.Gaussian();
+  }
+  EXPECT_GT(PearsonCorrelation(x, y), 0.95);
+  EXPECT_NEAR(PearsonCorrelation(x, z), 0.0, 0.05);
+}
+
+TEST(QuantilesTest, ExactQuantiles) {
+  QuantileSummary s({4.0, 1.0, 3.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.25), 2.0);
+}
+
+TEST(QuantilesTest, InterpolatesBetweenRanks) {
+  QuantileSummary s({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.75), 0.75);
+}
+
+TEST(QuantilesTest, ErrorReportFields) {
+  std::vector<double> errs(100);
+  for (int i = 0; i < 100; ++i) errs[i] = i + 1.0;
+  const ErrorReport r = MakeErrorReport(errs);
+  EXPECT_DOUBLE_EQ(r.max, 100.0);
+  EXPECT_NEAR(r.median, 50.5, 1e-9);
+  EXPECT_NEAR(r.mean, 50.5, 1e-9);
+  EXPECT_NEAR(r.p95, 95.05, 0.5);
+  EXPECT_EQ(r.count, 100u);
+}
+
+}  // namespace
+}  // namespace iam
