@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_column_order.dir/bench_column_order.cc.o"
+  "CMakeFiles/bench_column_order.dir/bench_column_order.cc.o.d"
+  "bench_column_order"
+  "bench_column_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_column_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

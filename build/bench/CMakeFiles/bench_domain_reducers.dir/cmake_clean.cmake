@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_domain_reducers.dir/bench_domain_reducers.cc.o"
+  "CMakeFiles/bench_domain_reducers.dir/bench_domain_reducers.cc.o.d"
+  "bench_domain_reducers"
+  "bench_domain_reducers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_domain_reducers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gmm_samples.dir/bench_gmm_samples.cc.o"
+  "CMakeFiles/bench_gmm_samples.dir/bench_gmm_samples.cc.o.d"
+  "bench_gmm_samples"
+  "bench_gmm_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gmm_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iam_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/iam_bench_common.dir/bench_common.cc.o.d"
+  "libiam_bench_common.a"
+  "libiam_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iam_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

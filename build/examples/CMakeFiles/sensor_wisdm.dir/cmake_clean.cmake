@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_wisdm.dir/sensor_wisdm.cc.o"
+  "CMakeFiles/sensor_wisdm.dir/sensor_wisdm.cc.o.d"
+  "sensor_wisdm"
+  "sensor_wisdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_wisdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

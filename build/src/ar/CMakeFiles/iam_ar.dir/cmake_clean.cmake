@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iam_ar.dir/resmade.cc.o"
+  "CMakeFiles/iam_ar.dir/resmade.cc.o.d"
+  "libiam_ar.a"
+  "libiam_ar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iam_ar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

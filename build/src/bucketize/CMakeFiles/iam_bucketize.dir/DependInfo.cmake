@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bucketize/domain_reducer.cc" "src/bucketize/CMakeFiles/iam_bucketize.dir/domain_reducer.cc.o" "gcc" "src/bucketize/CMakeFiles/iam_bucketize.dir/domain_reducer.cc.o.d"
+  "/root/repo/src/bucketize/gmm_reducer.cc" "src/bucketize/CMakeFiles/iam_bucketize.dir/gmm_reducer.cc.o" "gcc" "src/bucketize/CMakeFiles/iam_bucketize.dir/gmm_reducer.cc.o.d"
+  "/root/repo/src/bucketize/laplace_reducer.cc" "src/bucketize/CMakeFiles/iam_bucketize.dir/laplace_reducer.cc.o" "gcc" "src/bucketize/CMakeFiles/iam_bucketize.dir/laplace_reducer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iam_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmm/CMakeFiles/iam_gmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

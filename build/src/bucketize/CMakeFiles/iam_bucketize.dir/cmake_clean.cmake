@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iam_bucketize.dir/domain_reducer.cc.o"
+  "CMakeFiles/iam_bucketize.dir/domain_reducer.cc.o.d"
+  "CMakeFiles/iam_bucketize.dir/gmm_reducer.cc.o"
+  "CMakeFiles/iam_bucketize.dir/gmm_reducer.cc.o.d"
+  "CMakeFiles/iam_bucketize.dir/laplace_reducer.cc.o"
+  "CMakeFiles/iam_bucketize.dir/laplace_reducer.cc.o.d"
+  "libiam_bucketize.a"
+  "libiam_bucketize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iam_bucketize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

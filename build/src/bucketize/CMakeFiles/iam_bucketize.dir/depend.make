@@ -1,0 +1,2 @@
+# Empty dependencies file for iam_bucketize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iam_core.dir/ar_density_estimator.cc.o"
+  "CMakeFiles/iam_core.dir/ar_density_estimator.cc.o.d"
+  "libiam_core.a"
+  "libiam_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iam_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iam_data.dir/csv.cc.o"
+  "CMakeFiles/iam_data.dir/csv.cc.o.d"
+  "CMakeFiles/iam_data.dir/dictionary.cc.o"
+  "CMakeFiles/iam_data.dir/dictionary.cc.o.d"
+  "CMakeFiles/iam_data.dir/statistics.cc.o"
+  "CMakeFiles/iam_data.dir/statistics.cc.o.d"
+  "CMakeFiles/iam_data.dir/synthetic.cc.o"
+  "CMakeFiles/iam_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/iam_data.dir/table.cc.o"
+  "CMakeFiles/iam_data.dir/table.cc.o.d"
+  "libiam_data.a"
+  "libiam_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iam_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimator/bayesnet.cc" "src/estimator/CMakeFiles/iam_estimator.dir/bayesnet.cc.o" "gcc" "src/estimator/CMakeFiles/iam_estimator.dir/bayesnet.cc.o.d"
+  "/root/repo/src/estimator/estimator.cc" "src/estimator/CMakeFiles/iam_estimator.dir/estimator.cc.o" "gcc" "src/estimator/CMakeFiles/iam_estimator.dir/estimator.cc.o.d"
+  "/root/repo/src/estimator/kde.cc" "src/estimator/CMakeFiles/iam_estimator.dir/kde.cc.o" "gcc" "src/estimator/CMakeFiles/iam_estimator.dir/kde.cc.o.d"
+  "/root/repo/src/estimator/mhist.cc" "src/estimator/CMakeFiles/iam_estimator.dir/mhist.cc.o" "gcc" "src/estimator/CMakeFiles/iam_estimator.dir/mhist.cc.o.d"
+  "/root/repo/src/estimator/mscn.cc" "src/estimator/CMakeFiles/iam_estimator.dir/mscn.cc.o" "gcc" "src/estimator/CMakeFiles/iam_estimator.dir/mscn.cc.o.d"
+  "/root/repo/src/estimator/postgres1d.cc" "src/estimator/CMakeFiles/iam_estimator.dir/postgres1d.cc.o" "gcc" "src/estimator/CMakeFiles/iam_estimator.dir/postgres1d.cc.o.d"
+  "/root/repo/src/estimator/sampling.cc" "src/estimator/CMakeFiles/iam_estimator.dir/sampling.cc.o" "gcc" "src/estimator/CMakeFiles/iam_estimator.dir/sampling.cc.o.d"
+  "/root/repo/src/estimator/spn.cc" "src/estimator/CMakeFiles/iam_estimator.dir/spn.cc.o" "gcc" "src/estimator/CMakeFiles/iam_estimator.dir/spn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/iam_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/iam_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/iam_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

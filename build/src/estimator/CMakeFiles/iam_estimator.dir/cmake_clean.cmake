@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iam_estimator.dir/bayesnet.cc.o"
+  "CMakeFiles/iam_estimator.dir/bayesnet.cc.o.d"
+  "CMakeFiles/iam_estimator.dir/estimator.cc.o"
+  "CMakeFiles/iam_estimator.dir/estimator.cc.o.d"
+  "CMakeFiles/iam_estimator.dir/kde.cc.o"
+  "CMakeFiles/iam_estimator.dir/kde.cc.o.d"
+  "CMakeFiles/iam_estimator.dir/mhist.cc.o"
+  "CMakeFiles/iam_estimator.dir/mhist.cc.o.d"
+  "CMakeFiles/iam_estimator.dir/mscn.cc.o"
+  "CMakeFiles/iam_estimator.dir/mscn.cc.o.d"
+  "CMakeFiles/iam_estimator.dir/postgres1d.cc.o"
+  "CMakeFiles/iam_estimator.dir/postgres1d.cc.o.d"
+  "CMakeFiles/iam_estimator.dir/sampling.cc.o"
+  "CMakeFiles/iam_estimator.dir/sampling.cc.o.d"
+  "CMakeFiles/iam_estimator.dir/spn.cc.o"
+  "CMakeFiles/iam_estimator.dir/spn.cc.o.d"
+  "libiam_estimator.a"
+  "libiam_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iam_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gmm/gmm1d.cc" "src/gmm/CMakeFiles/iam_gmm.dir/gmm1d.cc.o" "gcc" "src/gmm/CMakeFiles/iam_gmm.dir/gmm1d.cc.o.d"
+  "/root/repo/src/gmm/gmm2d.cc" "src/gmm/CMakeFiles/iam_gmm.dir/gmm2d.cc.o" "gcc" "src/gmm/CMakeFiles/iam_gmm.dir/gmm2d.cc.o.d"
+  "/root/repo/src/gmm/laplace.cc" "src/gmm/CMakeFiles/iam_gmm.dir/laplace.cc.o" "gcc" "src/gmm/CMakeFiles/iam_gmm.dir/laplace.cc.o.d"
+  "/root/repo/src/gmm/vbgm.cc" "src/gmm/CMakeFiles/iam_gmm.dir/vbgm.cc.o" "gcc" "src/gmm/CMakeFiles/iam_gmm.dir/vbgm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

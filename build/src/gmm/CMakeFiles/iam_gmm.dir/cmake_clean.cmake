@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iam_gmm.dir/gmm1d.cc.o"
+  "CMakeFiles/iam_gmm.dir/gmm1d.cc.o.d"
+  "CMakeFiles/iam_gmm.dir/gmm2d.cc.o"
+  "CMakeFiles/iam_gmm.dir/gmm2d.cc.o.d"
+  "CMakeFiles/iam_gmm.dir/laplace.cc.o"
+  "CMakeFiles/iam_gmm.dir/laplace.cc.o.d"
+  "CMakeFiles/iam_gmm.dir/vbgm.cc.o"
+  "CMakeFiles/iam_gmm.dir/vbgm.cc.o.d"
+  "libiam_gmm.a"
+  "libiam_gmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iam_gmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiam_gmm.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iam_join.dir/star_schema.cc.o"
+  "CMakeFiles/iam_join.dir/star_schema.cc.o.d"
+  "libiam_join.a"
+  "libiam_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iam_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

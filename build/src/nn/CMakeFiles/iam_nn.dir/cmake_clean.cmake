@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iam_nn.dir/adam.cc.o"
+  "CMakeFiles/iam_nn.dir/adam.cc.o.d"
+  "CMakeFiles/iam_nn.dir/layers.cc.o"
+  "CMakeFiles/iam_nn.dir/layers.cc.o.d"
+  "CMakeFiles/iam_nn.dir/matrix.cc.o"
+  "CMakeFiles/iam_nn.dir/matrix.cc.o.d"
+  "libiam_nn.a"
+  "libiam_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iam_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

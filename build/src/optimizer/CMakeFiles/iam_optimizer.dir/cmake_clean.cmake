@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iam_optimizer.dir/mini_optimizer.cc.o"
+  "CMakeFiles/iam_optimizer.dir/mini_optimizer.cc.o.d"
+  "libiam_optimizer.a"
+  "libiam_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iam_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iam_query.dir/parser.cc.o"
+  "CMakeFiles/iam_query.dir/parser.cc.o.d"
+  "CMakeFiles/iam_query.dir/query.cc.o"
+  "CMakeFiles/iam_query.dir/query.cc.o.d"
+  "CMakeFiles/iam_query.dir/workload.cc.o"
+  "CMakeFiles/iam_query.dir/workload.cc.o.d"
+  "libiam_query.a"
+  "libiam_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iam_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

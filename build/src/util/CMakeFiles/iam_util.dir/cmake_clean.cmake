@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iam_util.dir/math_util.cc.o"
+  "CMakeFiles/iam_util.dir/math_util.cc.o.d"
+  "CMakeFiles/iam_util.dir/quantiles.cc.o"
+  "CMakeFiles/iam_util.dir/quantiles.cc.o.d"
+  "CMakeFiles/iam_util.dir/random.cc.o"
+  "CMakeFiles/iam_util.dir/random.cc.o.d"
+  "CMakeFiles/iam_util.dir/status.cc.o"
+  "CMakeFiles/iam_util.dir/status.cc.o.d"
+  "libiam_util.a"
+  "libiam_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iam_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmm2d_test.dir/gmm2d_test.cc.o"
+  "CMakeFiles/gmm2d_test.dir/gmm2d_test.cc.o.d"
+  "gmm2d_test"
+  "gmm2d_test.pdb"
+  "gmm2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmm2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resmade_test.dir/resmade_test.cc.o"
+  "CMakeFiles/resmade_test.dir/resmade_test.cc.o.d"
+  "resmade_test"
+  "resmade_test.pdb"
+  "resmade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resmade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/serialize_test.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/serialize_test.dir/serialize_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimator/CMakeFiles/iam_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/ar/CMakeFiles/iam_ar.dir/DependInfo.cmake"
+  "/root/repo/build/src/bucketize/CMakeFiles/iam_bucketize.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmm/CMakeFiles/iam_gmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/iam_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/iam_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/iam_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/iam_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/iam_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
