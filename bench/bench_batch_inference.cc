@@ -47,6 +47,36 @@ void Run() {
     }
     std::printf("\n");
   }
+
+  // Thread scaling of the parallel EstimateBatch (batch = 128). The same
+  // trained model is reused across thread counts via set_num_threads, and the
+  // estimates are checked bit-identical to the 1-thread run — the contract
+  // the per-query RNG seeding guarantees.
+  std::printf("\n### Batch inference thread scaling (batch=128, ms/query)\n");
+  std::printf("%-10s %10s %10s %10s %10s %10s\n", "estimator", "1 thr",
+              "2 thr", "4 thr", "8 thr", "speedup@4");
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  for (const std::string& name : names) {
+    auto est = MakeTrainedEstimator(name, join_sample, train, 0);
+    std::printf("%-10s", name.c_str());
+    std::vector<double> per_thread_ms;
+    std::vector<double> serial_estimates;
+    for (int threads : thread_counts) {
+      est->set_num_threads(threads);
+      Stopwatch watch;
+      std::vector<double> estimates = est->EstimateBatch(test.queries);
+      per_thread_ms.push_back(watch.ElapsedMillis() /
+                              static_cast<double>(test.queries.size()));
+      std::printf(" %10.3f", per_thread_ms.back());
+      std::fflush(stdout);
+      if (threads == 1) {
+        serial_estimates = std::move(estimates);
+      } else if (estimates != serial_estimates) {
+        std::printf(" [MISMATCH vs 1-thread!]");
+      }
+    }
+    std::printf(" %9.2fx\n", per_thread_ms[0] / per_thread_ms[2]);
+  }
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "bench/bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "data/synthetic.h"
 #include "estimator/bayesnet.h"
@@ -13,6 +14,16 @@
 #include "util/macros.h"
 
 namespace iam::bench {
+
+int BenchThreads() {
+  static const int threads = [] {
+    const char* env = std::getenv("IAM_BENCH_THREADS");
+    if (env == nullptr) return 1;
+    const int parsed = std::atoi(env);
+    return parsed > 0 ? parsed : 1;
+  }();
+  return threads;
+}
 
 data::Table MakeDataset(const std::string& name) {
   if (name == "wisdm") return data::MakeSynWisdm(kWisdmRows, kDataSeed);
@@ -35,6 +46,7 @@ core::ArEstimatorOptions BenchIamOptions() {
   opts.max_train_rows = 20000;  // paper samples 1e6 of up to 1.9e7 rows
   opts.progressive_samples = 256;  // paper: 8000 on a V100
   opts.gmm_samples_per_component = 10000;
+  opts.num_threads = BenchThreads();
   return opts;
 }
 
@@ -48,10 +60,13 @@ core::ArEstimatorOptions BenchNeurocardOptions() {
   // scaled ~100x down, so the balanced split for a ~5e4 domain is ~2^8
   // (sub-column size tracks the square root of the domain).
   opts.factor_bits = 8;
+  opts.num_threads = BenchThreads();
   return opts;
 }
 
-std::unique_ptr<estimator::Estimator> MakeTrainedEstimator(
+namespace {
+
+std::unique_ptr<estimator::Estimator> MakeTrainedEstimatorImpl(
     const std::string& name, const data::Table& table,
     const query::EvaluatedWorkload& train, size_t iam_size_bytes) {
   if (name == "sampling") {
@@ -117,6 +132,16 @@ std::unique_ptr<estimator::Estimator> MakeTrainedEstimator(
   }
   IAM_CHECK_MSG(false, "unknown estimator");
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<estimator::Estimator> MakeTrainedEstimator(
+    const std::string& name, const data::Table& table,
+    const query::EvaluatedWorkload& train, size_t iam_size_bytes) {
+  auto est = MakeTrainedEstimatorImpl(name, table, train, iam_size_bytes);
+  est->set_num_threads(BenchThreads());
+  return est;
 }
 
 std::vector<std::string> SingleTableEstimators() {

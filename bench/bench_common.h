@@ -27,6 +27,11 @@ inline constexpr uint64_t kDataSeed = 20220329;  // EDBT 2022 :-)
 inline constexpr int kTestQueries = 150;
 inline constexpr int kTrainQueries = 800;
 
+// Worker threads handed to every estimator built by MakeTrainedEstimator
+// (build-time fitting and EstimateBatch). Reads the IAM_BENCH_THREADS
+// environment variable; defaults to 1 (fully serial, the paper's setting).
+int BenchThreads();
+
 // Builds one of the single-table datasets: "wisdm", "twi", "higgs".
 data::Table MakeDataset(const std::string& name);
 

@@ -52,8 +52,9 @@ void BM_ResMadeConditional(benchmark::State& state) {
   ar::ResMade made({30, 18, 30, 30, 51}, config, 3);
   std::vector<std::vector<int>> inputs(batch, {5, 7, 2, 0, 0});
   nn::Matrix probs;
+  ar::ResMade::Context ctx;  // reused across iterations, as estimators do
   for (auto _ : state) {
-    made.ConditionalDistribution(inputs, 3, probs);
+    made.ConditionalDistribution(inputs, 3, probs, ctx);
     benchmark::DoNotOptimize(probs.data());
   }
   state.SetItemsProcessed(state.iterations() * batch);

@@ -108,8 +108,6 @@ ResMade::ResMade(std::vector<int> domain_sizes, ResMadeConfig config,
     return out;
   }();
 
-  pre_act_.resize(hidden_.size());
-  act_.resize(hidden_.size());
 }
 
 void ResMade::RegisterParameters(nn::Adam& adam) {
@@ -127,8 +125,8 @@ void ResMade::RegisterParameters(nn::Adam& adam) {
 void ResMade::EncodeInput(const std::vector<std::vector<int>>& batch,
                           nn::Matrix& x) const {
   const int b = static_cast<int>(batch.size());
-  x.Resize(b, input_width_);
-  x.Zero();
+  x.ResizeUninitialized(b, input_width_);
+  x.Zero();  // one-hot blocks rely on an all-zero background
   for (int r = 0; r < b; ++r) {
     IAM_DCHECK(static_cast<int>(batch[r].size()) == num_columns());
     float* row = x.row(r);
@@ -147,21 +145,26 @@ void ResMade::EncodeInput(const std::vector<std::vector<int>>& batch,
   }
 }
 
-void ResMade::Forward(const nn::Matrix& x, bool training) {
+const nn::Matrix& ResMade::ForwardHidden(const nn::Matrix& x,
+                                         nn::EvalWorkspace& ws) const {
+  ws.EnsureDepth(hidden_.size());
   const nn::Matrix* current = &x;
   for (size_t i = 0; i < hidden_.size(); ++i) {
-    hidden_[i].Forward(*current, pre_act_[i]);
-    ReluForward(pre_act_[i], act_[i]);
+    hidden_[i].Forward(*current, ws.pre_act[i]);
+    ReluForward(ws.pre_act[i], ws.act[i]);
     if (residual_flags_[i]) {
-      IAM_DCHECK(act_[i].size() == current->size());
-      float* a = act_[i].data();
+      IAM_DCHECK(ws.act[i].size() == current->size());
+      float* a = ws.act[i].data();
       const float* prev = current->data();
-      for (size_t k = 0; k < act_[i].size(); ++k) a[k] += prev[k];
+      for (size_t k = 0; k < ws.act[i].size(); ++k) a[k] += prev[k];
     }
-    current = &act_[i];
+    current = &ws.act[i];
   }
-  output_.Forward(*current, logits_);
-  (void)training;
+  return *current;
+}
+
+void ResMade::Forward(const nn::Matrix& x, nn::EvalWorkspace& ws) const {
+  output_.Forward(ForwardHidden(x, ws), ws.output);
 }
 
 double ResMade::TrainStep(const std::vector<std::vector<int>>& batch,
@@ -174,8 +177,9 @@ double ResMade::TrainStep(const std::vector<std::vector<int>>& batch,
 
   // Wildcard-skipping: randomly replace input values by the wildcard token.
   // Targets are always the original values.
-  encoded_cache_ = batch;
-  for (auto& row : encoded_cache_) {
+  std::vector<std::vector<int>>& encoded = train_ctx_.encoded;
+  encoded = batch;
+  for (auto& row : encoded) {
     for (int c = 0; c < n; ++c) {
       if (rng.Uniform() < config_.wildcard_prob) {
         row[c] = wildcard_token(c);
@@ -183,15 +187,16 @@ double ResMade::TrainStep(const std::vector<std::vector<int>>& batch,
     }
   }
 
-  EncodeInput(encoded_cache_, input_cache_);
-  Forward(input_cache_, /*training=*/true);
+  nn::EvalWorkspace& ws = train_ctx_.ws;
+  EncodeInput(encoded, ws.input);
+  Forward(ws.input, ws);
 
   // Softmax cross-entropy per column block; gradient written into dlogits.
   nn::Matrix dlogits(b, output_width_);
   double total_loss = 0.0;
   std::vector<double> scratch;
   for (int r = 0; r < b; ++r) {
-    const float* lrow = logits_.row(r);
+    const float* lrow = ws.output.row(r);
     float* grow = dlogits.row(r);
     for (int c = 0; c < n; ++c) {
       const int off = encodings_[c].logit_offset;
@@ -214,12 +219,12 @@ double ResMade::TrainStep(const std::vector<std::vector<int>>& batch,
   nn::Matrix d_pre;
   nn::Matrix d_prev;
   const nn::Matrix& last =
-      hidden_.empty() ? input_cache_ : act_[hidden_.size() - 1];
+      hidden_.empty() ? ws.input : ws.act[hidden_.size() - 1];
   output_.Backward(last, dlogits, d_act);
 
   for (int i = static_cast<int>(hidden_.size()) - 1; i >= 0; --i) {
-    const nn::Matrix& layer_input = i == 0 ? input_cache_ : act_[i - 1];
-    ReluBackward(pre_act_[i], d_act, d_pre);
+    const nn::Matrix& layer_input = i == 0 ? ws.input : ws.act[i - 1];
+    ReluBackward(ws.pre_act[i], d_act, d_pre);
     hidden_[i].Backward(layer_input, d_pre, d_prev);
     if (residual_flags_[i]) {
       // Skip connection routes d_act straight to the layer input as well.
@@ -237,7 +242,7 @@ double ResMade::TrainStep(const std::vector<std::vector<int>>& batch,
     const ColumnEncoding& enc = encodings_[c];
     if (enc.one_hot) continue;
     for (int r = 0; r < b; ++r) {
-      const int value = encoded_cache_[r][c];
+      const int value = encoded[r][c];
       float* grad = embeddings_[c].grad.row(value);
       const float* src = d_act.row(r) + enc.input_offset;
       for (int k = 0; k < enc.width; ++k) grad[k] += src[k];
@@ -249,35 +254,27 @@ double ResMade::TrainStep(const std::vector<std::vector<int>>& batch,
 }
 
 void ResMade::ConditionalDistribution(
-    const std::vector<std::vector<int>>& inputs, int col, nn::Matrix& probs) {
+    const std::vector<std::vector<int>>& inputs, int col, nn::Matrix& probs,
+    Context& ctx) const {
   IAM_CHECK(col >= 0 && col < num_columns());
-  EncodeInput(inputs, input_cache_);
+  nn::EvalWorkspace& ws = ctx.ws;
+  EncodeInput(inputs, ws.input);
 
   // Hidden stack only; the output layer is evaluated just for `col`'s logits
   // block, which keeps progressive sampling cheap when other columns have
   // large domains (factorized sub-columns can have thousands of logits).
-  const nn::Matrix* current = &input_cache_;
-  for (size_t i = 0; i < hidden_.size(); ++i) {
-    hidden_[i].Forward(*current, pre_act_[i]);
-    ReluForward(pre_act_[i], act_[i]);
-    if (residual_flags_[i]) {
-      float* a = act_[i].data();
-      const float* prev = current->data();
-      for (size_t k = 0; k < act_[i].size(); ++k) a[k] += prev[k];
-    }
-    current = &act_[i];
-  }
+  const nn::Matrix& hidden = ForwardHidden(ws.input, ws);
 
   const int b = static_cast<int>(inputs.size());
   const int dom = domains_[col];
   const int off = encodings_[col].logit_offset;
-  const int hidden_width = current->cols();
+  const int hidden_width = hidden.cols();
   const nn::Matrix& w = output_.weight().value;
   const nn::Matrix& bias = output_.bias().value;
-  probs.Resize(b, dom);
+  probs.ResizeUninitialized(b, dom);
   std::vector<double> scratch(dom);
   for (int r = 0; r < b; ++r) {
-    const float* h = current->row(r);
+    const float* h = hidden.row(r);
     for (int j = 0; j < dom; ++j) {
       const float* wrow = w.row(off + j);
       float acc = bias.at(0, off + j);
@@ -290,14 +287,21 @@ void ResMade::ConditionalDistribution(
   }
 }
 
-double ResMade::LogProb(const std::vector<int>& tuple) {
+void ResMade::ConditionalDistribution(
+    const std::vector<std::vector<int>>& inputs, int col,
+    nn::Matrix& probs) const {
+  Context ctx;
+  ConditionalDistribution(inputs, col, probs, ctx);
+}
+
+double ResMade::LogProb(const std::vector<int>& tuple, Context& ctx) const {
   IAM_CHECK(static_cast<int>(tuple.size()) == num_columns());
-  std::vector<std::vector<int>> batch = {tuple};
-  EncodeInput(batch, input_cache_);
-  Forward(input_cache_, /*training=*/false);
+  nn::EvalWorkspace& ws = ctx.ws;
+  EncodeInput({tuple}, ws.input);
+  Forward(ws.input, ws);
   double log_prob = 0.0;
   std::vector<double> scratch;
-  const float* lrow = logits_.row(0);
+  const float* lrow = ws.output.row(0);
   for (int c = 0; c < num_columns(); ++c) {
     const int off = encodings_[c].logit_offset;
     const int dom = domains_[c];
@@ -306,6 +310,11 @@ double ResMade::LogProb(const std::vector<int>& tuple) {
     log_prob += std::log(std::max(scratch[tuple[c]], 1e-300));
   }
   return log_prob;
+}
+
+double ResMade::LogProb(const std::vector<int>& tuple) const {
+  Context ctx;
+  return LogProb(tuple, ctx);
 }
 
 namespace {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nn/adam.h"
+#include "nn/eval_workspace.h"
 #include "util/status.h"
 #include "nn/layers.h"
 #include "nn/matrix.h"
@@ -38,8 +39,25 @@ struct ResMadeConfig {
 // All masks use deterministic cyclic hidden degrees, identical across
 // equal-width layers, so residual additions preserve the autoregressive
 // property.
+//
+// Threading model: after construction (or Deserialize), the parameters are
+// mutated only by TrainStep. Every evaluation entry point is const and writes
+// its scratch into a caller-supplied Context, so any number of threads may
+// call ConditionalDistribution / LogProb concurrently on one shared model as
+// long as each thread uses its own Context. TrainStep keeps a private
+// training context and must not run concurrently with evaluation.
 class ResMade {
  public:
+  // Per-caller evaluation scratch: activation buffers plus the encoded-batch
+  // cache the training step needs for its embedding backward pass. A Context
+  // starts empty, grows on first use, and is reusable across calls; it holds
+  // no model state, so contexts are freely created per thread.
+  struct Context {
+    nn::EvalWorkspace ws;
+    // Wildcard-masked encoded batch (training only; embedding backward).
+    std::vector<std::vector<int>> encoded;
+  };
+
   ResMade(std::vector<int> domain_sizes, ResMadeConfig config, uint64_t seed);
 
   ResMade(const ResMade&) = delete;
@@ -57,17 +75,25 @@ class ResMade {
   // applied internally with `rng`. Returns the mean cross-entropy (nats per
   // tuple). The caller's optimizer must have this model's parameters
   // registered; gradients are zeroed at entry and the step is applied.
+  // Uses the model's private training context — do not call concurrently
+  // with other TrainStep or evaluation calls.
   double TrainStep(const std::vector<std::vector<int>>& batch, nn::Adam& adam,
                    Rng& rng);
 
   // Evaluates the conditional distribution of `col` for each input row.
   // inputs[r][c] must be a valid value or the wildcard token; only columns
   // before `col` influence the result. Writes probs as [batch, D_col].
+  // Reentrant: concurrent callers must pass distinct contexts.
   void ConditionalDistribution(const std::vector<std::vector<int>>& inputs,
-                               int col, nn::Matrix& probs);
+                               int col, nn::Matrix& probs,
+                               Context& ctx) const;
+  // Convenience overload with a throwaway context (tests, examples).
+  void ConditionalDistribution(const std::vector<std::vector<int>>& inputs,
+                               int col, nn::Matrix& probs) const;
 
   // log \hat P(tuple) = sum_i log \hat P(t_i | t_<i). For tests/examples.
-  double LogProb(const std::vector<int>& tuple);
+  double LogProb(const std::vector<int>& tuple, Context& ctx) const;
+  double LogProb(const std::vector<int>& tuple) const;
 
   size_t ParameterCount() const;
   size_t SizeBytes() const { return ParameterCount() * sizeof(float); }
@@ -85,14 +111,16 @@ class ResMade {
     int logit_offset; // starting index of the logits block in the output
   };
 
-  // Builds the input matrix [batch, input_width_] from encoded values,
-  // optionally applying wildcard masking. Remembers embedding lookups for
-  // the backward pass.
+  // Builds the input matrix [batch, input_width_] from encoded values.
   void EncodeInput(const std::vector<std::vector<int>>& batch,
                    nn::Matrix& x) const;
 
-  // Shared forward pass; fills activation caches when `training` is true.
-  void Forward(const nn::Matrix& x, bool training);
+  // Full forward pass through the hidden stack and output layer, writing
+  // every activation into `ws`.
+  void Forward(const nn::Matrix& x, nn::EvalWorkspace& ws) const;
+  // Hidden stack only; returns the final hidden activation (owned by `ws`).
+  const nn::Matrix& ForwardHidden(const nn::Matrix& x,
+                                  nn::EvalWorkspace& ws) const;
 
   std::vector<int> domains_;
   ResMadeConfig config_;
@@ -109,13 +137,8 @@ class ResMade {
   std::vector<bool> residual_flags_;  // hidden_[i] adds its input when true
   nn::MaskedLinear output_;
 
-  // Forward caches (training) / scratch (inference).
-  std::vector<nn::Matrix> pre_act_;   // z_i per hidden layer
-  std::vector<nn::Matrix> act_;       // a_i per hidden layer (post residual)
-  nn::Matrix input_cache_;
-  nn::Matrix logits_;
-  // Last encoded batch (for embedding backward).
-  std::vector<std::vector<int>> encoded_cache_;
+  // Private scratch for TrainStep (activation caches for the backward pass).
+  Context train_ctx_;
 };
 
 }  // namespace iam::ar

@@ -47,6 +47,7 @@ ArDensityEstimator::ArDensityEstimator(const data::Table& table,
       rng_(options_.seed) {
   IAM_CHECK(table.num_rows() > 0);
   IAM_CHECK(table.num_columns() >= 2);
+  set_num_threads(options_.num_threads);
   for (int c = 0; c < table.num_columns(); ++c) {
     column_names_.push_back(table.column(c).name);
     column_types_.push_back(table.column(c).type);
@@ -86,7 +87,6 @@ ArDensityEstimator::~ArDensityEstimator() = default;
 
 void ArDensityEstimator::BuildColumns(const data::Table& table) {
   columns_.resize(table.num_columns());
-  Rng reducer_rng(options_.seed ^ 0x5eed5eedu);
 
   // Autoregressive order: identity unless the caller supplied a permutation.
   std::vector<int> order = options_.column_order;
@@ -103,10 +103,15 @@ void ArDensityEstimator::BuildColumns(const data::Table& table) {
     }
   }
 
+  // Dictionaries are independent per column: build them in parallel.
+  pool().ParallelFor(columns_.size(), [&](size_t c, int) {
+    columns_[c].dict = data::ValueDictionary::Build(table.column(c).values);
+  });
+
+  // Sequential pass in AR order: each column's kind and the model-column
+  // layout (the layout depends on the order).
   for (int c : order) {
     TableColumn& col = columns_[c];
-    const auto& values = table.column(c).values;
-    col.dict = data::ValueDictionary::Build(values);
     const size_t distinct = col.dict.size();
     const bool large = distinct > options_.large_domain_threshold;
     const bool continuous =
@@ -114,44 +119,6 @@ void ArDensityEstimator::BuildColumns(const data::Table& table) {
 
     if (large && continuous && options_.use_domain_reduction) {
       col.kind = TableColumn::Kind::kReduced;
-      switch (options_.reducer_kind) {
-        case ReducerKind::kGmm: {
-          gmm::Gmm1D gmm(1);
-          if (options_.reducer_components <= 0) {
-            gmm::VbgmOptions vb;
-            gmm = FitVbgm(values, vb, reducer_rng).gmm;
-          } else {
-            gmm = gmm::Gmm1D(options_.reducer_components);
-            gmm.InitFromData(values, reducer_rng);
-            gmm.set_learning_rate(options_.gmm_learning_rate);
-          }
-          col.reducer = std::make_unique<bucketize::GmmReducer>(
-              std::move(gmm), options_.gmm_samples_per_component,
-              options_.exact_range_mass, options_.seed ^ (0x9000 + c));
-          break;
-        }
-        case ReducerKind::kEquiDepth:
-          col.reducer = bucketize::MakeEquiDepthReducer(
-              values, options_.reducer_components);
-          break;
-        case ReducerKind::kSpline:
-          col.reducer =
-              bucketize::MakeSplineReducer(values, options_.reducer_components);
-          break;
-        case ReducerKind::kUmm:
-          col.reducer = bucketize::MakeUmmReducer(
-              values, options_.reducer_components, reducer_rng);
-          break;
-        case ReducerKind::kLaplace: {
-          gmm::LaplaceMixture1D mixture(
-              std::max(1, options_.reducer_components));
-          mixture.InitFromData(values, reducer_rng);
-          mixture.set_learning_rate(options_.gmm_learning_rate);
-          col.reducer = std::make_unique<bucketize::LaplaceReducer>(
-              std::move(mixture));
-          break;
-        }
-      }
     } else if (large) {
       // NeuroCard column factorization: code -> (code / base, code % base).
       col.kind = TableColumn::Kind::kFactorized;
@@ -171,6 +138,57 @@ void ArDensityEstimator::BuildColumns(const data::Table& table) {
       model_col_role_.push_back(role);
     }
   }
+
+  // Reducer fitting dominates build time (VBGM / mixture init plus the
+  // Monte-Carlo sample draws); columns are independent, so fit them in
+  // parallel, each with a deterministic per-column seed so the result does
+  // not depend on the thread count or the fitting order.
+  pool().ParallelFor(columns_.size(), [&](size_t ci, int) {
+    const int c = static_cast<int>(ci);
+    TableColumn& col = columns_[c];
+    if (col.kind != TableColumn::Kind::kReduced) return;
+    const auto& values = table.column(c).values;
+    Rng reducer_rng(options_.seed ^ 0x5eed5eedu ^
+                    (static_cast<uint64_t>(c) << 32));
+    switch (options_.reducer_kind) {
+      case ReducerKind::kGmm: {
+        gmm::Gmm1D gmm(1);
+        if (options_.reducer_components <= 0) {
+          gmm::VbgmOptions vb;
+          gmm = FitVbgm(values, vb, reducer_rng).gmm;
+        } else {
+          gmm = gmm::Gmm1D(options_.reducer_components);
+          gmm.InitFromData(values, reducer_rng);
+          gmm.set_learning_rate(options_.gmm_learning_rate);
+        }
+        col.reducer = std::make_unique<bucketize::GmmReducer>(
+            std::move(gmm), options_.gmm_samples_per_component,
+            options_.exact_range_mass, options_.seed ^ (0x9000 + c));
+        break;
+      }
+      case ReducerKind::kEquiDepth:
+        col.reducer = bucketize::MakeEquiDepthReducer(
+            values, options_.reducer_components);
+        break;
+      case ReducerKind::kSpline:
+        col.reducer =
+            bucketize::MakeSplineReducer(values, options_.reducer_components);
+        break;
+      case ReducerKind::kUmm:
+        col.reducer = bucketize::MakeUmmReducer(
+            values, options_.reducer_components, reducer_rng);
+        break;
+      case ReducerKind::kLaplace: {
+        gmm::LaplaceMixture1D mixture(
+            std::max(1, options_.reducer_components));
+        mixture.InitFromData(values, reducer_rng);
+        mixture.set_learning_rate(options_.gmm_learning_rate);
+        col.reducer = std::make_unique<bucketize::LaplaceReducer>(
+            std::move(mixture));
+        break;
+      }
+    }
+  });
 }
 
 void ArDensityEstimator::BuildTrainingSample(const data::Table& table) {
@@ -349,79 +367,73 @@ double ArDensityEstimator::Estimate(const query::Query& q) {
   return EstimateBatch({&q, 1})[0];
 }
 
-ArDensityEstimator::SamplingRun ArDensityEstimator::RunProgressiveSampling(
-    std::span<const query::Query> qs, int force_active_col) {
+void ArDensityEstimator::EnsureScratch() {
+  const size_t n = static_cast<size_t>(pool().num_threads());
+  if (scratch_.size() < n) scratch_.resize(n);
+}
+
+ArDensityEstimator::QueryRun ArDensityEstimator::RunQuerySampling(
+    const query::Query& q, int force_active_col, Rng& rng,
+    InferenceScratch& scratch) const {
   const int num_model_cols = static_cast<int>(model_col_owner_.size());
   const int sp = options_.progressive_samples;
-  const size_t nq = qs.size();
 
-  std::vector<std::vector<Constraint>> constraints;
-  constraints.reserve(nq);
-  std::vector<bool> dead_query(nq, false);
-  for (size_t i = 0; i < nq; ++i) {
-    constraints.push_back(BuildConstraints(qs[i]));
-    if (force_active_col >= 0 &&
-        !constraints.back()[force_active_col].active) {
-      Constraint& con = constraints.back()[force_active_col];
-      con.active = true;
-      con.range_lo = -std::numeric_limits<double>::infinity();
-      con.range_hi = std::numeric_limits<double>::infinity();
-      const TableColumn& col = columns_[force_active_col];
-      if (col.kind == TableColumn::Kind::kReduced) {
-        con.mass = col.reducer->RangeMass(con.range_lo, con.range_hi);
-      } else {
-        con.code_lo = 0;
-        con.code_hi = col.dict.size() - 1;
-      }
-    }
-    for (const Constraint& con : constraints.back()) {
-      if (con.impossible) dead_query[i] = true;
+  QueryRun run;
+  run.constraints = BuildConstraints(q);
+  if (force_active_col >= 0 && !run.constraints[force_active_col].active) {
+    Constraint& con = run.constraints[force_active_col];
+    con.active = true;
+    con.range_lo = -std::numeric_limits<double>::infinity();
+    con.range_hi = std::numeric_limits<double>::infinity();
+    const TableColumn& col = columns_[force_active_col];
+    if (col.kind == TableColumn::Kind::kReduced) {
+      con.mass = col.reducer->RangeMass(con.range_lo, con.range_hi);
+    } else {
+      con.code_lo = 0;
+      con.code_hi = col.dict.size() - 1;
     }
   }
+  for (const Constraint& con : run.constraints) {
+    if (con.impossible) run.dead = true;
+  }
 
-  // Sample state: nq * sp rows; every value starts as the wildcard token
+  // Sample state: sp rows; every value starts as the wildcard token
   // (unqueried columns are skipped entirely — wildcard skipping).
-  std::vector<std::vector<int>> samples(
-      nq * sp, std::vector<int>(num_model_cols, 0));
+  run.samples.assign(sp, std::vector<int>(num_model_cols, 0));
   for (int m = 0; m < num_model_cols; ++m) {
     const int wildcard = made_->wildcard_token(m);
-    for (auto& row : samples) row[m] = wildcard;
+    for (auto& row : run.samples) row[m] = wildcard;
   }
-  std::vector<double> weights(nq * sp, 1.0);
+  run.weights.assign(sp, 1.0);
+  if (run.dead) return run;
 
-  std::vector<std::vector<int>> gather;   // sub-batch inputs
-  std::vector<size_t> gather_rows;        // their global row ids
+  std::vector<std::vector<int>>& gather = scratch.gather;
+  std::vector<int>& gather_rows = scratch.gather_rows;
 
   for (int m = 0; m < num_model_cols; ++m) {
     const int owner = model_col_owner_[m];
     const int role = model_col_role_[m];
     const TableColumn& col = columns_[owner];
+    const Constraint& con = run.constraints[owner];
+    if (!con.active) continue;
 
-    // Collect live rows whose query constrains this column.
+    // Collect the still-live sample rows.
     gather.clear();
     gather_rows.clear();
-    for (size_t qi = 0; qi < nq; ++qi) {
-      if (dead_query[qi]) continue;
-      const Constraint& con = constraints[qi][owner];
-      if (!con.active) continue;
-      for (int s = 0; s < sp; ++s) {
-        const size_t row = qi * sp + s;
-        if (weights[row] <= 0.0) continue;
-        gather_rows.push_back(row);
-        gather.push_back(samples[row]);
-      }
+    for (int s = 0; s < sp; ++s) {
+      if (run.weights[s] <= 0.0) continue;
+      gather_rows.push_back(s);
+      gather.push_back(run.samples[s]);
     }
     if (gather.empty()) continue;
 
-    made_->ConditionalDistribution(gather, m, probs_);
+    made_->ConditionalDistribution(gather, m, scratch.probs, scratch.ctx);
 
     const int base = col.factor_base;
     const int max_code = col.dict.size() - 1;
     for (size_t g = 0; g < gather_rows.size(); ++g) {
-      const size_t row = gather_rows[g];
-      const size_t qi = row / sp;
-      const Constraint& con = constraints[qi][owner];
-      const float* prow = probs_.row(static_cast<int>(g));
+      const int row = gather_rows[g];
+      const float* prow = scratch.probs.row(static_cast<int>(g));
       double mass = 0.0;
       int sampled = -1;
 
@@ -439,9 +451,9 @@ ArDensityEstimator::SamplingRun ArDensityEstimator::RunProgressiveSampling(
             // when drawing the coordinate (biased; Theorem 5.1's foil).
             double psum = 0.0;
             for (int j = 0; j < dom; ++j) psum += prow[j];
-            sampled = SampleInRange(prow, 0, dom - 1, psum, rng_.Uniform());
+            sampled = SampleInRange(prow, 0, dom - 1, psum, rng.Uniform());
           } else {
-            const double target = rng_.Uniform() * mass;
+            const double target = rng.Uniform() * mass;
             double acc = 0.0;
             for (int j = 0; j < dom; ++j) {
               const double w = static_cast<double>(prow[j]) * con.mass[j];
@@ -462,7 +474,7 @@ ArDensityEstimator::SamplingRun ArDensityEstimator::RunProgressiveSampling(
             last = con.code_hi / base;
           } else {
             // Low sub-column: bounds depend on the sampled high sub-column.
-            const int h = samples[row][m - 1];
+            const int h = run.samples[row][m - 1];
             first = h == con.code_lo / base ? con.code_lo % base : 0;
             last = h == con.code_hi / base ? con.code_hi % base : base - 1;
             if (h == max_code / base) {
@@ -473,40 +485,42 @@ ArDensityEstimator::SamplingRun ArDensityEstimator::RunProgressiveSampling(
         if (first <= last) {
           mass = RangeSum(prow, first, last);
           if (mass > 0.0) {
-            sampled = SampleInRange(prow, first, last, mass, rng_.Uniform());
+            sampled = SampleInRange(prow, first, last, mass, rng.Uniform());
           }
         }
       }
 
       if (sampled < 0 || mass <= 0.0) {
-        weights[row] = 0.0;
+        run.weights[row] = 0.0;
         // Leave the wildcard in place; the row is skipped from now on.
         continue;
       }
-      weights[row] *= mass;
-      samples[row][m] = sampled;
+      run.weights[row] *= mass;
+      run.samples[row][m] = sampled;
     }
   }
 
-  SamplingRun run;
-  run.constraints = std::move(constraints);
-  run.dead_query = std::move(dead_query);
-  run.samples = std::move(samples);
-  run.weights = std::move(weights);
   return run;
 }
 
 std::vector<double> ArDensityEstimator::EstimateBatch(
     std::span<const query::Query> qs) {
-  const SamplingRun run = RunProgressiveSampling(qs, /*force_active_col=*/-1);
+  EnsureScratch();
   const int sp = options_.progressive_samples;
   std::vector<double> estimates(qs.size(), 0.0);
-  for (size_t qi = 0; qi < qs.size(); ++qi) {
-    if (run.dead_query[qi]) continue;
+  // One deterministic Rng per query (seed ^ query index) and one sampling
+  // pass per query: the result is independent of the thread count and of the
+  // other queries in the batch.
+  pool().ParallelFor(qs.size(), [&](size_t qi, int worker) {
+    Rng rng(options_.seed ^ static_cast<uint64_t>(qi));
+    const QueryRun run =
+        RunQuerySampling(qs[qi], /*force_active_col=*/-1, rng,
+                         scratch_[worker]);
+    if (run.dead) return;
     double total = 0.0;
-    for (int s = 0; s < sp; ++s) total += run.weights[qi * sp + s];
+    for (int s = 0; s < sp; ++s) total += run.weights[s];
     estimates[qi] = Clamp(total / sp, 0.0, 1.0);
-  }
+  });
   return estimates;
 }
 
@@ -515,11 +529,13 @@ ArDensityEstimator::AggregateResult ArDensityEstimator::EstimateAggregate(
   IAM_CHECK(target_col >= 0 &&
             target_col < static_cast<int>(columns_.size()));
   AggregateResult result;
-  const SamplingRun run = RunProgressiveSampling({&q, 1}, target_col);
-  if (run.dead_query[0]) return result;
+  EnsureScratch();
+  Rng rng(options_.seed ^ 0xa99f00dULL);
+  const QueryRun run = RunQuerySampling(q, target_col, rng, scratch_[0]);
+  if (run.dead) return result;
 
   const TableColumn& col = columns_[target_col];
-  const Constraint& con = run.constraints[0][target_col];
+  const Constraint& con = run.constraints[target_col];
   const int m = col.first_model_col;
   const int sp = options_.progressive_samples;
 

@@ -16,6 +16,7 @@
 #include "nn/adam.h"
 #include "query/query.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace iam::core {
 
@@ -65,6 +66,10 @@ struct ArEstimatorOptions {
 
   // Inference.
   int progressive_samples = 256;
+  // Worker threads for EstimateBatch and for build-time reducer fitting.
+  // Estimates are bit-identical at any thread count: every query gets its own
+  // deterministic Rng (seed ^ query index) and its own sampling pass.
+  int num_threads = 1;
   // Ablation switch: when true, the next coordinate of a reduced column is
   // drawn from the *uncorrected* AR conditional (the vanilla progressive
   // sampler the paper proves biased on IAM in Section 5.2) instead of the
@@ -167,17 +172,28 @@ class ArDensityEstimator : public estimator::Estimator {
     double range_hi = 0.0;
   };
 
-  // Shared progressive-sampling pass over a batch of queries.
-  struct SamplingRun {
-    std::vector<std::vector<Constraint>> constraints;
-    std::vector<bool> dead_query;
-    std::vector<std::vector<int>> samples;  // nq * sp rows
-    std::vector<double> weights;
+  // Progressive-sampling pass over one query (`progressive_samples` rows).
+  struct QueryRun {
+    std::vector<Constraint> constraints;
+    bool dead = false;
+    std::vector<std::vector<int>> samples;  // sp rows
+    std::vector<double> weights;            // sp
+  };
+  // Per-worker inference scratch: one AR evaluation context plus the
+  // conditional-probability and gather buffers, reused across queries.
+  struct InferenceScratch {
+    ar::ResMade::Context ctx;
+    nn::Matrix probs;
+    std::vector<std::vector<int>> gather;
+    std::vector<int> gather_rows;
   };
   // force_active_col >= 0 marks that table column active (full range when
-  // unqueried) so its coordinate is always sampled.
-  SamplingRun RunProgressiveSampling(std::span<const query::Query> qs,
-                                     int force_active_col);
+  // unqueried) so its coordinate is always sampled. Const and reentrant:
+  // concurrent callers need distinct rng/scratch.
+  QueryRun RunQuerySampling(const query::Query& q, int force_active_col,
+                            Rng& rng, InferenceScratch& scratch) const;
+  // Grows the per-worker scratch vector to the pool size.
+  void EnsureScratch();
 
   ArDensityEstimator() : rng_(0) {}  // for Load()
 
@@ -206,11 +222,10 @@ class ArDensityEstimator : public estimator::Estimator {
 
   std::unique_ptr<ar::ResMade> made_;
   nn::Adam adam_;
-  Rng rng_;
+  Rng rng_;  // training-only (sampling rows, shuffling, wildcard masking)
   double last_epoch_loss_ = 0.0;
 
-  // Scratch for inference.
-  nn::Matrix probs_;
+  std::vector<InferenceScratch> scratch_;  // one slot per pool worker
 };
 
 }  // namespace iam::core

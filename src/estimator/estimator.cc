@@ -14,6 +14,27 @@ std::vector<double> Estimator::EstimateBatch(
   return out;
 }
 
+void Estimator::set_num_threads(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  if (num_threads == num_threads_) return;
+  num_threads_ = num_threads;
+  pool_.reset();  // rebuilt with the new size on next use
+}
+
+util::ThreadPool& Estimator::pool() {
+  if (pool_ == nullptr) pool_ = std::make_unique<util::ThreadPool>(num_threads_);
+  return *pool_;
+}
+
+std::vector<double> Estimator::ParallelEstimateBatch(
+    std::span<const query::Query> qs,
+    const std::function<double(const query::Query&)>& estimate_one) {
+  std::vector<double> out(qs.size());
+  pool().ParallelFor(qs.size(),
+                     [&](size_t i, int) { out[i] = estimate_one(qs[i]); });
+  return out;
+}
+
 double EstimateDisjunction(Estimator& est, const query::Query& a,
                            const query::Query& b) {
   // Build a AND b: concatenate predicates, intersecting same-column pairs.

@@ -1,11 +1,14 @@
 #ifndef IAM_ESTIMATOR_ESTIMATOR_H_
 #define IAM_ESTIMATOR_ESTIMATOR_H_
 
+#include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "query/query.h"
+#include "util/thread_pool.h"
 
 namespace iam::estimator {
 
@@ -22,12 +25,34 @@ class Estimator {
   // estimators draw Monte-Carlo samples from an internal RNG.
   virtual double Estimate(const query::Query& q) = 0;
 
-  // Batched inference; the default processes queries one by one. The AR
-  // estimators override this to share forward passes (Table 7).
+  // Batched inference; the default processes queries one by one. The AR and
+  // scan-based estimators override this to share forward passes (Table 7)
+  // and/or to spread queries across the thread pool.
   virtual std::vector<double> EstimateBatch(std::span<const query::Query> qs);
 
   // Storage footprint of the trained model (Tables 6 and 12).
   virtual size_t SizeBytes() const = 0;
+
+  // Worker threads available to parallelized EstimateBatch overrides (and,
+  // for the AR estimators, build-time fitting); 1 — fully serial — by
+  // default. Contract: an estimator that parallelizes must return results
+  // bit-identical to its serial execution. Takes effect on the next batch.
+  void set_num_threads(int num_threads);
+  int num_threads() const { return num_threads_; }
+
+ protected:
+  // The lazily constructed pool with num_threads() workers.
+  util::ThreadPool& pool();
+
+  // Fans qs out over the pool, one query per index. `estimate_one` must be
+  // safe to call concurrently — i.e. a pure scan over immutable model state.
+  std::vector<double> ParallelEstimateBatch(
+      std::span<const query::Query> qs,
+      const std::function<double(const query::Query&)>& estimate_one);
+
+ private:
+  int num_threads_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 // Estimates a two-term disjunction R_a OR R_b via inclusion-exclusion

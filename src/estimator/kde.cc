@@ -35,7 +35,7 @@ KdeEstimator::KdeEstimator(const data::Table& table, const Options& options) {
   }
 }
 
-double KdeEstimator::Estimate(const query::Query& q) {
+double KdeEstimator::EstimateOne(const query::Query& q) const {
   if (num_centers_ == 0) return 0.0;
   double total = 0.0;
   for (size_t i = 0; i < num_centers_; ++i) {
@@ -51,6 +51,12 @@ double KdeEstimator::Estimate(const query::Query& q) {
     total += contrib;
   }
   return Clamp(total / static_cast<double>(num_centers_), 0.0, 1.0);
+}
+
+std::vector<double> KdeEstimator::EstimateBatch(
+    std::span<const query::Query> qs) {
+  return ParallelEstimateBatch(
+      qs, [this](const query::Query& q) { return EstimateOne(q); });
 }
 
 void KdeEstimator::TuneBandwidth(std::span<const query::Query> queries,

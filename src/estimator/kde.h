@@ -25,7 +25,10 @@ class KdeEstimator : public Estimator {
   KdeEstimator(const data::Table& table, const Options& options);
 
   std::string name() const override { return "kde"; }
-  double Estimate(const query::Query& q) override;
+  double Estimate(const query::Query& q) override { return EstimateOne(q); }
+  // Kernel sums are independent per query: fan the batch out over the pool.
+  std::vector<double> EstimateBatch(
+      std::span<const query::Query> qs) override;
   size_t SizeBytes() const override;
 
   // Grid-searches a global bandwidth multiplier against a training workload
@@ -35,6 +38,9 @@ class KdeEstimator : public Estimator {
                      std::span<const double> truths, size_t num_rows);
 
  private:
+  // Pure scan over the kernel centers; safe to call concurrently.
+  double EstimateOne(const query::Query& q) const;
+
   std::vector<double> centers_;  // row-major sample
   std::vector<double> bandwidth_;
   size_t num_centers_ = 0;

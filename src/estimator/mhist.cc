@@ -134,7 +134,7 @@ MhistEstimator::MhistEstimator(const data::Table& table,
   }
 }
 
-double MhistEstimator::Estimate(const query::Query& q) {
+double MhistEstimator::EstimateOne(const query::Query& q) const {
   double sel = 0.0;
   for (const Bucket& b : buckets_) {
     double frac = b.fraction;
@@ -162,6 +162,12 @@ double MhistEstimator::Estimate(const query::Query& q) {
     sel += frac;
   }
   return std::min(sel, 1.0);
+}
+
+std::vector<double> MhistEstimator::EstimateBatch(
+    std::span<const query::Query> qs) {
+  return ParallelEstimateBatch(
+      qs, [this](const query::Query& q) { return EstimateOne(q); });
 }
 
 size_t MhistEstimator::SizeBytes() const {

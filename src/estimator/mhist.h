@@ -26,12 +26,18 @@ class MhistEstimator : public Estimator {
   MhistEstimator(const data::Table& table, const Options& options);
 
   std::string name() const override { return "mhist"; }
-  double Estimate(const query::Query& q) override;
+  double Estimate(const query::Query& q) override { return EstimateOne(q); }
+  // Bucket scans are independent per query: fan the batch out over the pool.
+  std::vector<double> EstimateBatch(
+      std::span<const query::Query> qs) override;
   size_t SizeBytes() const override;
 
   int num_buckets() const { return static_cast<int>(buckets_.size()); }
 
  private:
+  // Pure scan over the immutable buckets; safe to call concurrently.
+  double EstimateOne(const query::Query& q) const;
+
   struct Bucket {
     std::vector<double> lo;        // per-dim lower bound (inclusive)
     std::vector<double> hi;        // per-dim upper bound (inclusive)

@@ -108,7 +108,7 @@ double Postgres1DEstimator::ColumnSelectivity(
   return std::min(sel, 1.0);
 }
 
-double Postgres1DEstimator::Estimate(const query::Query& q) {
+double Postgres1DEstimator::EstimateOne(const query::Query& q) const {
   double sel = 1.0;
   for (const query::Predicate& p : q.predicates) {
     IAM_CHECK(p.column >= 0 &&
@@ -116,6 +116,12 @@ double Postgres1DEstimator::Estimate(const query::Query& q) {
     sel *= ColumnSelectivity(stats_[p.column], p);
   }
   return sel;
+}
+
+std::vector<double> Postgres1DEstimator::EstimateBatch(
+    std::span<const query::Query> qs) {
+  return ParallelEstimateBatch(
+      qs, [this](const query::Query& q) { return EstimateOne(q); });
 }
 
 size_t Postgres1DEstimator::SizeBytes() const {

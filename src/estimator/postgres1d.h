@@ -22,10 +22,16 @@ class Postgres1DEstimator : public Estimator {
   Postgres1DEstimator(const data::Table& table, const Options& options);
 
   std::string name() const override { return "postgres"; }
-  double Estimate(const query::Query& q) override;
+  double Estimate(const query::Query& q) override { return EstimateOne(q); }
+  // Per-column stats lookups are independent per query: use the pool.
+  std::vector<double> EstimateBatch(
+      std::span<const query::Query> qs) override;
   size_t SizeBytes() const override;
 
  private:
+  // Pure lookup into the immutable statistics; safe to call concurrently.
+  double EstimateOne(const query::Query& q) const;
+
   struct ColumnStats {
     // MCVs: value -> frequency (fraction of all rows).
     std::vector<double> mcv_values;

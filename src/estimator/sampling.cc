@@ -24,7 +24,7 @@ SamplingEstimator::SamplingEstimator(const data::Table& table, double fraction,
   }
 }
 
-double SamplingEstimator::Estimate(const query::Query& q) {
+double SamplingEstimator::EstimateOne(const query::Query& q) const {
   if (num_sampled_ == 0) return 0.0;
   size_t hits = 0;
   for (size_t r = 0; r < num_sampled_; ++r) {
@@ -39,6 +39,12 @@ double SamplingEstimator::Estimate(const query::Query& q) {
     hits += match ? 1 : 0;
   }
   return static_cast<double>(hits) / static_cast<double>(num_sampled_);
+}
+
+std::vector<double> SamplingEstimator::EstimateBatch(
+    std::span<const query::Query> qs) {
+  return ParallelEstimateBatch(
+      qs, [this](const query::Query& q) { return EstimateOne(q); });
 }
 
 size_t SamplingEstimator::SizeBytes() const {

@@ -17,12 +17,18 @@ class SamplingEstimator : public Estimator {
   SamplingEstimator(const data::Table& table, double fraction, uint64_t seed);
 
   std::string name() const override { return "sampling"; }
-  double Estimate(const query::Query& q) override;
+  double Estimate(const query::Query& q) override { return EstimateOne(q); }
+  // Sample scans are independent per query: fan the batch out over the pool.
+  std::vector<double> EstimateBatch(
+      std::span<const query::Query> qs) override;
   size_t SizeBytes() const override;
 
   size_t sample_rows() const { return num_sampled_; }
 
  private:
+  // Pure scan over the immutable sample; safe to call concurrently.
+  double EstimateOne(const query::Query& q) const;
+
   // Row-major sample matrix.
   std::vector<double> sample_;
   size_t num_sampled_ = 0;

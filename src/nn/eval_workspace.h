@@ -1,0 +1,34 @@
+#ifndef IAM_NN_EVAL_WORKSPACE_H_
+#define IAM_NN_EVAL_WORKSPACE_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace iam::nn {
+
+// Per-caller scratch buffers for evaluating a feed-forward stack. Layers and
+// models hold only immutable parameters; every activation produced during a
+// forward pass lives here, owned by the caller. Two callers with two
+// workspaces can therefore evaluate the same model concurrently, and the
+// training loop can keep its activation caches alive across the backward
+// pass without blocking inference.
+//
+// Buffers grow on demand and are reused across calls, so a long-lived
+// workspace amortizes all allocation after the first batch.
+struct EvalWorkspace {
+  Matrix input;                 // encoded input batch [B, input_width]
+  std::vector<Matrix> pre_act;  // pre-activation z_i per layer [B, width_i]
+  std::vector<Matrix> act;      // post-activation a_i per layer [B, width_i]
+  Matrix output;                // final layer output (logits) [B, out_width]
+
+  // Ensures one pre/post activation slot per layer.
+  void EnsureDepth(size_t num_layers) {
+    if (pre_act.size() < num_layers) pre_act.resize(num_layers);
+    if (act.size() < num_layers) act.resize(num_layers);
+  }
+};
+
+}  // namespace iam::nn
+
+#endif  // IAM_NN_EVAL_WORKSPACE_H_

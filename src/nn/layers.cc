@@ -65,7 +65,7 @@ size_t MaskedLinear::ParameterCount() const {
 }
 
 void ReluForward(const Matrix& x, Matrix& y) {
-  y.Resize(x.rows(), x.cols());
+  y.ResizeUninitialized(x.rows(), x.cols());
   const float* in = x.data();
   float* out = y.data();
   for (size_t i = 0; i < x.size(); ++i) out[i] = in[i] > 0.0f ? in[i] : 0.0f;
@@ -73,7 +73,7 @@ void ReluForward(const Matrix& x, Matrix& y) {
 
 void ReluBackward(const Matrix& x, const Matrix& dy, Matrix& dx) {
   IAM_CHECK(x.rows() == dy.rows() && x.cols() == dy.cols());
-  dx.Resize(x.rows(), x.cols());
+  dx.ResizeUninitialized(x.rows(), x.cols());
   const float* in = x.data();
   const float* g = dy.data();
   float* out = dx.data();

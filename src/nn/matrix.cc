@@ -9,7 +9,7 @@ void LinearForward(const Matrix& x, const Matrix& w,
   const int out = w.rows();
   IAM_CHECK(w.cols() == in);
   IAM_CHECK(bias.empty() || static_cast<int>(bias.size()) == out);
-  y.Resize(batch, out);
+  y.ResizeUninitialized(batch, out);  // every element is written below
 
   for (int b = 0; b < batch; ++b) {
     const float* xb = x.row(b);
@@ -30,7 +30,7 @@ void LinearBackward(const Matrix& x, const Matrix& w, const Matrix& dy,
   const int out = w.rows();
   IAM_CHECK(dy.rows() == batch && dy.cols() == out);
   IAM_CHECK(dw.rows() == out && dw.cols() == in);
-  dx.Resize(batch, in);
+  dx.ResizeUninitialized(batch, in);
   dx.Zero();
 
   for (int b = 0; b < batch; ++b) {

@@ -1,9 +1,10 @@
 #ifndef IAM_NN_MATRIX_H_
 #define IAM_NN_MATRIX_H_
 
+#include <algorithm>
 #include <cstring>
+#include <memory>
 #include <span>
-#include <vector>
 
 #include "util/macros.h"
 
@@ -11,21 +12,50 @@ namespace iam::nn {
 
 // Dense row-major float32 matrix. This is the only tensor type the neural
 // substrate needs: batches are [batch, features], weights are [out, in].
+// Storage is a raw buffer with an explicit capacity so ResizeUninitialized
+// can reshape without touching memory — the per-call cost that matters in
+// the progressive sampler, where scratch matrices are reshaped per batch.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
-  Matrix(int rows, int cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows) * cols, 0.0f) {
+  Matrix(int rows, int cols) : rows_(0), cols_(0) {
     IAM_CHECK(rows >= 0 && cols >= 0);
+    ResizeUninitialized(rows, cols);
+    Zero();
+  }
+
+  Matrix(const Matrix& other) : rows_(0), cols_(0) { *this = other; }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) {
+      ResizeUninitialized(other.rows_, other.cols_);
+      std::memcpy(data_.get(), other.data_.get(), size() * sizeof(float));
+    }
+    return *this;
+  }
+  Matrix(Matrix&& other) noexcept
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        capacity_(other.capacity_),
+        data_(std::move(other.data_)) {
+    other.rows_ = other.cols_ = 0;
+    other.capacity_ = 0;
+  }
+  Matrix& operator=(Matrix&& other) noexcept {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    capacity_ = other.capacity_;
+    data_ = std::move(other.data_);
+    other.rows_ = other.cols_ = 0;
+    other.capacity_ = 0;
+    return *this;
   }
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
-  size_t size() const { return data_.size(); }
+  size_t size() const { return static_cast<size_t>(rows_) * cols_; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return data_.get(); }
+  const float* data() const { return data_.get(); }
 
   float& at(int r, int c) {
     IAM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
@@ -36,29 +66,59 @@ class Matrix {
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
 
-  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  float* row(int r) { return data_.get() + static_cast<size_t>(r) * cols_; }
   const float* row(int r) const {
-    return data_.data() + static_cast<size_t>(r) * cols_;
+    return data_.get() + static_cast<size_t>(r) * cols_;
   }
   std::span<float> row_span(int r) { return {row(r), (size_t)cols_}; }
   std::span<const float> row_span(int r) const {
     return {row(r), (size_t)cols_};
   }
 
-  void Zero() { std::memset(data_.data(), 0, data_.size() * sizeof(float)); }
+  void Zero() { std::memset(data_.get(), 0, size() * sizeof(float)); }
 
-  // Resizes to [rows, cols] without preserving contents; reuses the buffer
-  // when capacity allows (hot path in the progressive sampler).
+  // Resizes to [rows, cols], preserving the flat element prefix (vector
+  // semantics: existing data up to min(old, new) flat size survives; any
+  // growth is zero-filled). Use ResizeUninitialized when the contents are
+  // about to be overwritten anyway.
   void Resize(int rows, int cols) {
+    IAM_CHECK(rows >= 0 && cols >= 0);
+    const size_t old_size = size();
+    const size_t new_size = static_cast<size_t>(rows) * cols;
+    if (new_size > capacity_) {
+      std::unique_ptr<float[]> grown(new float[new_size]);
+      std::memcpy(grown.get(), data_.get(), old_size * sizeof(float));
+      data_ = std::move(grown);
+      capacity_ = new_size;
+    }
+    if (new_size > old_size) {
+      std::memset(data_.get() + old_size, 0,
+                  (new_size - old_size) * sizeof(float));
+    }
     rows_ = rows;
     cols_ = cols;
-    data_.resize(static_cast<size_t>(rows) * cols);
+  }
+
+  // Resizes to [rows, cols] leaving the contents unspecified: when the
+  // capacity suffices this only updates the shape, otherwise it reallocates
+  // without copying or zero-filling. The hot-loop reshape for scratch
+  // matrices that are fully overwritten by the caller.
+  void ResizeUninitialized(int rows, int cols) {
+    IAM_CHECK(rows >= 0 && cols >= 0);
+    const size_t new_size = static_cast<size_t>(rows) * cols;
+    if (new_size > capacity_) {
+      data_.reset(new float[new_size]);
+      capacity_ = new_size;
+    }
+    rows_ = rows;
+    cols_ = cols;
   }
 
  private:
   int rows_;
   int cols_;
-  std::vector<float> data_;
+  size_t capacity_ = 0;
+  std::unique_ptr<float[]> data_;
 };
 
 // y = x * W^T + bias_broadcast. x: [B, in], w: [out, in], bias: [out] or

@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace iam::util {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::RunChunk(int worker) {
+  // Contiguous static partition of [0, job_size_).
+  const size_t n = job_size_;
+  const size_t t = static_cast<size_t>(num_threads_);
+  const size_t begin = n * worker / t;
+  const size_t end = n * (worker + 1) / t;
+  for (size_t i = begin; i < end; ++i) (*body_)(i, worker);
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    RunChunk(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--workers_running_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t index, int worker)>& body) {
+  if (n == 0) return;
+  if (num_threads_ == 1) {
+    for (size_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    IAM_CHECK_MSG(body_ == nullptr, "reentrant ParallelFor is not supported");
+    body_ = &body;
+    job_size_ = n;
+    workers_running_ = num_threads_ - 1;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  RunChunk(/*worker=*/0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [&] { return workers_running_ == 0; });
+  body_ = nullptr;
+  job_size_ = 0;
+}
+
+}  // namespace iam::util

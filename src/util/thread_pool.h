@@ -1,0 +1,64 @@
+#ifndef IAM_UTIL_THREAD_POOL_H_
+#define IAM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iam::util {
+
+// A fixed-size pool of worker threads exposing one primitive: a blocking,
+// statically partitioned ParallelFor. No work stealing, no task queue — the
+// index range is split into `num_threads` contiguous chunks, one per worker,
+// so a loop body that depends only on its index (the repo-wide contract:
+// per-query Rng seeded from the query index, per-worker scratch contexts)
+// produces bit-identical results at any thread count.
+//
+// The calling thread participates as worker 0; a pool of size 1 therefore
+// runs everything inline and spawns no threads at all.
+class ThreadPool {
+ public:
+  // Clamped to >= 1. The pool keeps num_threads - 1 background workers.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Invokes body(index, worker) for every index in [0, n), where worker is
+  // the id (in [0, num_threads)) of the thread running that index. Blocks
+  // until every index has completed. body must be safe to call concurrently
+  // for distinct indices; indices within one chunk run in increasing order.
+  // Reentrant calls from inside body are not supported.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t index, int worker)>& body);
+
+  // std::thread::hardware_concurrency with a floor of 1.
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop(int worker);
+  void RunChunk(int worker);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  // Generation counter: bumping it publishes a new job to the workers.
+  uint64_t generation_ = 0;
+  int workers_running_ = 0;
+  bool shutdown_ = false;
+  const std::function<void(size_t, int)>* body_ = nullptr;
+  size_t job_size_ = 0;
+};
+
+}  // namespace iam::util
+
+#endif  // IAM_UTIL_THREAD_POOL_H_

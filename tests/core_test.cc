@@ -203,6 +203,59 @@ TEST(IamModelTest, BatchMatchesSingleQueryEstimates) {
   }
 }
 
+TEST(IamModelTest, ParallelBatchIsBitIdenticalToSerial) {
+  // The threading contract: each query draws from its own RNG stream seeded
+  // by (options.seed ^ query index), so EstimateBatch must return the exact
+  // same doubles no matter how many threads the pool runs.
+  ArEstimatorOptions opts = FastIam();
+  opts.num_threads = 1;
+  ArDensityEstimator iam(Twi(), opts);
+  iam.Train();
+  Rng rng(31);
+  query::WorkloadOptions woptions;
+  woptions.num_queries = 24;
+  const auto w = query::GenerateEvaluatedWorkload(Twi(), woptions, rng);
+
+  const auto serial = iam.EstimateBatch(w.queries);
+  iam.set_num_threads(4);
+  const auto parallel = iam.EstimateBatch(w.queries);
+  iam.set_num_threads(1);
+  const auto serial_again = iam.EstimateBatch(w.queries);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i], parallel[i]) << "query " << i;
+    // Repeated calls are also deterministic (no shared RNG advanced).
+    EXPECT_DOUBLE_EQ(serial[i], serial_again[i]) << "query " << i;
+  }
+}
+
+TEST(IamModelTest, ParallelBuildMatchesSerialBuild) {
+  // Per-column reducer fitting is parallelized at build time with per-column
+  // seeds, so a 4-thread build must produce the same model as a serial one.
+  ArEstimatorOptions serial_opts = FastIam();
+  serial_opts.num_threads = 1;
+  ArDensityEstimator serial(Twi(), serial_opts);
+  serial.Train();
+
+  ArEstimatorOptions parallel_opts = FastIam();
+  parallel_opts.num_threads = 4;
+  ArDensityEstimator parallel(Twi(), parallel_opts);
+  parallel.Train();
+
+  Rng rng(32);
+  query::WorkloadOptions woptions;
+  woptions.num_queries = 12;
+  const auto w = query::GenerateEvaluatedWorkload(Twi(), woptions, rng);
+  serial.set_num_threads(1);
+  parallel.set_num_threads(1);
+  const auto from_serial = serial.EstimateBatch(w.queries);
+  const auto from_parallel = parallel.EstimateBatch(w.queries);
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(from_serial[i], from_parallel[i]) << "query " << i;
+  }
+}
+
 TEST(IamModelTest, AlternativeReducersPlugIn) {
   for (ReducerKind kind :
        {ReducerKind::kEquiDepth, ReducerKind::kSpline, ReducerKind::kUmm}) {

@@ -1,0 +1,144 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ar/resmade.h"
+#include "nn/matrix.h"
+
+namespace iam::util {
+namespace {
+
+TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> visits(n);
+  pool.ParallelFor(n, [&](size_t i, int) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreInRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> seen(3);
+  pool.ParallelFor(1000, [&](size_t, int worker) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, 3);
+    seen[worker].fetch_add(1);
+  });
+  // Worker 0 is the calling thread; its chunk is never empty for n >= t.
+  EXPECT_GT(seen[0].load(), 0);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](size_t, int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, FewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  pool.ParallelFor(3, [&](size_t i, int) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<size_t> order;
+  pool.ParallelFor(100, [&](size_t i, int worker) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(i);  // safe: inline execution, no concurrency
+  });
+  std::vector<size_t> expected(100);
+  std::iota(expected.begin(), expected.end(), size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(97, [&](size_t i, int) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 97u * 96u / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroOrNegativeRequestClampsToOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ThreadPoolTest, ChunksAreContiguousAndOrderedWithinWorker) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  // Each worker's indices must arrive in increasing order (the static
+  // contiguous partition the determinism contract relies on).
+  std::vector<std::vector<size_t>> per_worker(4);
+  pool.ParallelFor(n, [&](size_t i, int worker) {
+    per_worker[worker].push_back(i);  // safe: one vector per worker
+  });
+  size_t total = 0;
+  for (const auto& indices : per_worker) {
+    total += indices.size();
+    for (size_t k = 1; k < indices.size(); ++k) {
+      ASSERT_EQ(indices[k], indices[k - 1] + 1);
+    }
+  }
+  EXPECT_EQ(total, n);
+}
+
+// The reentrancy contract of the refactored ResMade: one shared const model,
+// one Context per thread, concurrent ConditionalDistribution calls must be
+// bit-identical to the serial result.
+TEST(ThreadPoolTest, ResMadeConditionalDistributionIsReentrant) {
+  ar::ResMadeConfig config;
+  config.hidden_sizes = {32, 32};
+  const ar::ResMade made({12, 9, 15}, config, /*seed=*/7);
+
+  std::vector<std::vector<int>> inputs;
+  for (int v = 0; v < 12; ++v) inputs.push_back({v, 9, 15});
+
+  nn::Matrix serial;
+  ar::ResMade::Context serial_ctx;
+  made.ConditionalDistribution(inputs, /*col=*/1, serial, serial_ctx);
+
+  constexpr int kThreads = 4;
+  constexpr int kRepeats = 25;
+  std::vector<nn::Matrix> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ar::ResMade::Context ctx;  // per-thread evaluation workspace
+      for (int r = 0; r < kRepeats; ++r) {
+        made.ConditionalDistribution(inputs, 1, results[t], ctx);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(results[t].rows(), serial.rows());
+    ASSERT_EQ(results[t].cols(), serial.cols());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(results[t].data()[i], serial.data()[i])
+          << "thread " << t << " element " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iam::util
