@@ -15,6 +15,23 @@
 
 namespace iam::bench {
 
+std::string JsonOutPath(int* argc, char** argv) {
+  std::string path;
+  int w = 0;
+  for (int r = 0; r < *argc; ++r) {
+    const std::string arg = argv[r];
+    if (arg == "--json" && r + 1 < *argc) {
+      path = argv[++r];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return path;
+}
+
 int BenchThreads() {
   static const int threads = [] {
     const char* env = std::getenv("IAM_BENCH_THREADS");

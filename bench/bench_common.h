@@ -32,6 +32,12 @@ inline constexpr int kTrainQueries = 800;
 // environment variable; defaults to 1 (fully serial, the paper's setting).
 int BenchThreads();
 
+// Extracts `--json <path>` (or `--json=<path>`) from the argument list,
+// compacting argv in place, and returns the path ("" when absent). Bench
+// mains pass the remaining args to their framework and mirror results into
+// the machine-readable file, e.g. BENCH_kernels.json at the repo root.
+std::string JsonOutPath(int* argc, char** argv);
+
 // Builds one of the single-table datasets: "wisdm", "twi", "higgs".
 data::Table MakeDataset(const std::string& name);
 

@@ -2,15 +2,29 @@
 // is built on: dense linear forward/backward, ResMADE conditionals, GMM
 // assignment and range masses. Useful when tuning the substrate.
 
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "ar/resmade.h"
+#include "bench/bench_common.h"
 #include "gmm/gmm1d.h"
+#include "nn/kernels.h"
 #include "nn/matrix.h"
 #include "util/random.h"
 
 namespace iam {
 namespace {
+
+// Reports the dense-GEMM arithmetic rate alongside items/s: flops is the
+// per-iteration floating-point work (2*B*I*O for a forward pass).
+void SetGflops(benchmark::State& state, int64_t flops) {
+  state.counters["gflops"] = benchmark::Counter(
+      static_cast<double>(flops) * state.iterations(),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
 
 void BM_LinearForward(benchmark::State& state) {
   const int batch = static_cast<int>(state.range(0));
@@ -25,8 +39,97 @@ void BM_LinearForward(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * 2LL * batch * in * out);
+  SetGflops(state, 2LL * batch * in * out);
 }
 BENCHMARK(BM_LinearForward)->Arg(64)->Arg(256);
+
+// The retained naive kernel, benchmarked for the fast/reference speedup
+// ratio (the fuzz tests prove they compute identical results).
+void BM_LinearForwardRef(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int in = 256, out = 256;
+  Rng rng(1);
+  nn::Matrix x(batch, in), w(out, in), y;
+  for (size_t i = 0; i < x.size(); ++i) x.data()[i] = (float)rng.Gaussian();
+  for (size_t i = 0; i < w.size(); ++i) w.data()[i] = (float)rng.Gaussian();
+  std::vector<float> bias(out, 0.1f);
+  for (auto _ : state) {
+    nn::LinearForwardRef(x, w, bias, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * batch * in * out);
+  SetGflops(state, 2LL * batch * in * out);
+}
+BENCHMARK(BM_LinearForwardRef)->Arg(256);
+
+void BM_LinearReluForward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int in = 256, out = 256;
+  Rng rng(1);
+  nn::Matrix x(batch, in), w(out, in), y;
+  for (size_t i = 0; i < x.size(); ++i) x.data()[i] = (float)rng.Gaussian();
+  for (size_t i = 0; i < w.size(); ++i) w.data()[i] = (float)rng.Gaussian();
+  std::vector<float> bias(out, 0.1f);
+  for (auto _ : state) {
+    nn::LinearReluForward(x, w, bias, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * batch * in * out);
+  SetGflops(state, 2LL * batch * in * out);
+}
+BENCHMARK(BM_LinearReluForward)->Arg(64)->Arg(256);
+
+// Pre-transposed weights — the eval-path steady state, where the per-call
+// transpose has been hoisted into the workspace cache.
+void BM_LinearForwardT(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int in = 256, out = 256;
+  Rng rng(1);
+  nn::Matrix x(batch, in), w(out, in), wt, y;
+  for (size_t i = 0; i < x.size(); ++i) x.data()[i] = (float)rng.Gaussian();
+  for (size_t i = 0; i < w.size(); ++i) w.data()[i] = (float)rng.Gaussian();
+  nn::TransposeInto(w, wt);
+  std::vector<float> bias(out, 0.1f);
+  for (auto _ : state) {
+    nn::LinearForwardT(x, wt, bias, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * batch * in * out);
+  SetGflops(state, 2LL * batch * in * out);
+}
+BENCHMARK(BM_LinearForwardT)->Arg(64)->Arg(256);
+
+// First-layer shape: a wide one-hot encoding (~1.5% density) feeding the
+// first hidden layer. items/s counts batch rows; gflops counts only the
+// useful (nonzero) flops, so it is not comparable to the dense kernels.
+void BM_SparseLinearForward(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int in = 1024, out = 256, nnz_per_row = 16;
+  Rng rng(1);
+  nn::Matrix w(out, in), wt, y;
+  for (size_t i = 0; i < w.size(); ++i) w.data()[i] = (float)rng.Gaussian();
+  nn::TransposeInto(w, wt);
+  std::vector<float> bias(out, 0.1f);
+  nn::SparseRows sx;
+  sx.Reset(in);
+  for (int r = 0; r < batch; ++r) {
+    // Strides in [1, 60] from a start below 60 keep the 16 lane indices
+    // strictly increasing and below `in` (60 + 15 * 60 < 1024).
+    int lane = static_cast<int>(rng.UniformInt(60));
+    for (int k = 0; k < nnz_per_row; ++k) {
+      sx.Push(lane, 1.0f);
+      lane += 1 + static_cast<int>(rng.UniformInt(60));
+    }
+    sx.EndRow();
+  }
+  for (auto _ : state) {
+    nn::SparseLinearForward(sx, wt, bias, y, /*fuse_relu=*/true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  SetGflops(state, 2LL * batch * nnz_per_row * out);
+}
+BENCHMARK(BM_SparseLinearForward)->Arg(64)->Arg(256);
 
 void BM_LinearBackward(benchmark::State& state) {
   const int batch = static_cast<int>(state.range(0));
@@ -43,6 +146,7 @@ void BM_LinearBackward(benchmark::State& state) {
     benchmark::DoNotOptimize(dw.data());
   }
   state.SetItemsProcessed(state.iterations() * 4LL * batch * in * out);
+  SetGflops(state, 4LL * batch * in * out);
 }
 BENCHMARK(BM_LinearBackward)->Arg(64)->Arg(256);
 
@@ -105,4 +209,24 @@ BENCHMARK(BM_GmmSgdStep);
 }  // namespace
 }  // namespace iam
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a `--json <path>` flag: mirrors the results into a
+// machine-readable file (google-benchmark's JSON format) for tracking the
+// kernel datapoints over time, e.g. BENCH_kernels.json at the repo root.
+int main(int argc, char** argv) {
+  const std::string json_path = iam::bench::JsonOutPath(&argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, format_flag = "--benchmark_out_format=json";
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

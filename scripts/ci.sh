@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, and run the test suite in the portable
+# configuration and again with IAM_NATIVE=ON (-march=native kernels). The
+# two configs are the bit-compatibility contract of DESIGN.md §10 — the
+# kernel fuzz tests assert exact equality in the first and tolerance-based
+# equality in the second, so both must stay green.
+#
+# Usage: scripts/ci.sh [build-dir-prefix]
+#   scripts/ci.sh            # builds into build-ci-default/ and build-ci-native/
+#   IAM_CI_SANITIZE=thread scripts/ci.sh   # adds a TSan config on top
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-ci}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "=== configure ${dir} ($*) ==="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "=== build ${dir} ==="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "=== ctest ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config "${prefix}-default"
+run_config "${prefix}-native" -DIAM_NATIVE=ON
+
+# Optional sanitizer pass (slow): IAM_CI_SANITIZE=thread or address.
+if [[ -n "${IAM_CI_SANITIZE:-}" ]]; then
+  run_config "${prefix}-${IAM_CI_SANITIZE}" "-DIAM_SANITIZE=${IAM_CI_SANITIZE}"
+fi
+
+echo "CI OK"

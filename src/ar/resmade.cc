@@ -1,6 +1,7 @@
 #include "ar/resmade.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "util/math_util.h"
@@ -14,6 +15,19 @@ namespace {
 int HiddenDegree(int unit, int num_columns) {
   const int span = std::max(1, num_columns - 1);
   return 1 + (unit % span);
+}
+
+// Weight versions are process-global so a workspace reused across model
+// instances (e.g. after Deserialize replaced the model) can never mistake a
+// stale transposed-weight cache for a fresh one.
+uint64_t NextWeightVersion() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::span<const float> BiasSpan(const nn::MaskedLinear& layer) {
+  return {layer.bias().value.data(),
+          static_cast<size_t>(layer.out_features())};
 }
 
 }  // namespace
@@ -32,6 +46,8 @@ ResMade::ResMade(std::vector<int> domain_sizes, ResMadeConfig config,
       }()) {
   const int n = num_columns();
   IAM_CHECK_MSG(n >= 2, "ResMade requires at least two columns");
+  IAM_CHECK_MSG(!config_.hidden_sizes.empty(),
+                "ResMade requires at least one hidden layer");
   for (int d : domains_) IAM_CHECK(d >= 1);
 
   // --- Input/output layout. -------------------------------------------------
@@ -108,6 +124,19 @@ ResMade::ResMade(std::vector<int> domain_sizes, ResMadeConfig config,
     return out;
   }();
 
+  BumpWeightVersion();
+}
+
+void ResMade::BumpWeightVersion() { weight_version_ = NextWeightVersion(); }
+
+void ResMade::RefreshTransposedWeights(nn::EvalWorkspace& ws) const {
+  if (ws.wt_version == weight_version_) return;
+  ws.wt.resize(hidden_.size() + 1);
+  for (size_t i = 0; i < hidden_.size(); ++i) {
+    nn::TransposeInto(hidden_[i].weight().value, ws.wt[i]);
+  }
+  nn::TransposeInto(output_.weight().value, ws.wt.back());
+  ws.wt_version = weight_version_;
 }
 
 void ResMade::RegisterParameters(nn::Adam& adam) {
@@ -145,12 +174,36 @@ void ResMade::EncodeInput(const std::vector<std::vector<int>>& batch,
   }
 }
 
+void ResMade::EncodeInputSparse(const std::vector<std::vector<int>>& batch,
+                                nn::SparseRows& sx) const {
+  sx.Reset(input_width_);
+  for (const std::vector<int>& row : batch) {
+    IAM_DCHECK(static_cast<int>(row.size()) == num_columns());
+    for (int c = 0; c < num_columns(); ++c) {
+      const ColumnEncoding& enc = encodings_[c];
+      const int value = row[c];
+      IAM_DCHECK(value >= 0 && value <= domains_[c]);
+      if (enc.one_hot) {
+        sx.Push(enc.input_offset + value, 1.0f);
+      } else {
+        const float* emb = embeddings_[c].value.row(value);
+        for (int k = 0; k < enc.width; ++k) {
+          sx.Push(enc.input_offset + k, emb[k]);
+        }
+      }
+    }
+    sx.EndRow();
+  }
+}
+
 const nn::Matrix& ResMade::ForwardHidden(const nn::Matrix& x,
                                          nn::EvalWorkspace& ws) const {
+  RefreshTransposedWeights(ws);
   ws.EnsureDepth(hidden_.size());
   const nn::Matrix* current = &x;
   for (size_t i = 0; i < hidden_.size(); ++i) {
-    hidden_[i].Forward(*current, ws.pre_act[i]);
+    nn::LinearForwardT(*current, ws.wt[i], BiasSpan(hidden_[i]),
+                       ws.pre_act[i]);
     ReluForward(ws.pre_act[i], ws.act[i]);
     if (residual_flags_[i]) {
       IAM_DCHECK(ws.act[i].size() == current->size());
@@ -163,8 +216,32 @@ const nn::Matrix& ResMade::ForwardHidden(const nn::Matrix& x,
   return *current;
 }
 
+const nn::Matrix& ResMade::ForwardHiddenEval(nn::EvalWorkspace& ws) const {
+  RefreshTransposedWeights(ws);
+  ws.EnsureDepth(hidden_.size());
+  // Layer 0 multiplies only the ~5% nonzero input lanes (one-hot blocks and
+  // wildcard tokens dominate the encoded row); every layer fuses the ReLU
+  // into the matmul's store, so no pre-activation matrix is ever written.
+  nn::SparseLinearForward(ws.sparse_input, ws.wt[0], BiasSpan(hidden_[0]),
+                          ws.act[0], /*fuse_relu=*/true);
+  const nn::Matrix* current = &ws.act[0];
+  for (size_t i = 1; i < hidden_.size(); ++i) {
+    nn::LinearReluForwardT(*current, ws.wt[i], BiasSpan(hidden_[i]),
+                           ws.act[i]);
+    if (residual_flags_[i]) {
+      IAM_DCHECK(ws.act[i].size() == current->size());
+      float* a = ws.act[i].data();
+      const float* prev = current->data();
+      for (size_t k = 0; k < ws.act[i].size(); ++k) a[k] += prev[k];
+    }
+    current = &ws.act[i];
+  }
+  return *current;
+}
+
 void ResMade::Forward(const nn::Matrix& x, nn::EvalWorkspace& ws) const {
-  output_.Forward(ForwardHidden(x, ws), ws.output);
+  const nn::Matrix& hidden = ForwardHidden(x, ws);
+  nn::LinearForwardT(hidden, ws.wt.back(), BiasSpan(output_), ws.output);
 }
 
 double ResMade::TrainStep(const std::vector<std::vector<int>>& batch,
@@ -250,6 +327,9 @@ double ResMade::TrainStep(const std::vector<std::vector<int>>& batch,
   }
 
   adam.Step();
+  // The step mutated the weights: invalidate every transposed-weight cache
+  // (including train_ctx_'s own, at the top of the next TrainStep).
+  BumpWeightVersion();
   return total_loss / static_cast<double>(b);
 }
 
@@ -258,29 +338,27 @@ void ResMade::ConditionalDistribution(
     Context& ctx) const {
   IAM_CHECK(col >= 0 && col < num_columns());
   nn::EvalWorkspace& ws = ctx.ws;
-  EncodeInput(inputs, ws.input);
+  RefreshTransposedWeights(ws);
+  EncodeInputSparse(inputs, ws.sparse_input);
+  const nn::Matrix& hidden = ForwardHiddenEval(ws);
 
-  // Hidden stack only; the output layer is evaluated just for `col`'s logits
-  // block, which keeps progressive sampling cheap when other columns have
-  // large domains (factorized sub-columns can have thousands of logits).
-  const nn::Matrix& hidden = ForwardHidden(ws.input, ws);
-
+  // The output layer is evaluated just for `col`'s logits block, which keeps
+  // progressive sampling cheap when other columns have large domains
+  // (factorized sub-columns can have thousands of logits): the strip kernel
+  // runs over the [off, off + dom) column slice of the transposed weights.
   const int b = static_cast<int>(inputs.size());
   const int dom = domains_[col];
   const int off = encodings_[col].logit_offset;
-  const int hidden_width = hidden.cols();
-  const nn::Matrix& w = output_.weight().value;
-  const nn::Matrix& bias = output_.bias().value;
+  const nn::Matrix& wt_out = ws.wt.back();
+  const std::span<const float> bias = BiasSpan(output_).subspan(off, dom);
+  nn::LinearForwardTSlice(hidden, wt_out.data() + off, wt_out.cols(),
+                          wt_out.rows(), dom, bias, ws.output);
+
   probs.ResizeUninitialized(b, dom);
   std::vector<double> scratch(dom);
   for (int r = 0; r < b; ++r) {
-    const float* h = hidden.row(r);
-    for (int j = 0; j < dom; ++j) {
-      const float* wrow = w.row(off + j);
-      float acc = bias.at(0, off + j);
-      for (int k = 0; k < hidden_width; ++k) acc += h[k] * wrow[k];
-      scratch[j] = acc;
-    }
+    const float* lrow = ws.output.row(r);
+    scratch.assign(lrow, lrow + dom);
     SoftmaxInPlace(scratch);
     float* prow = probs.row(r);
     for (int j = 0; j < dom; ++j) prow[j] = static_cast<float>(scratch[j]);
@@ -297,8 +375,10 @@ void ResMade::ConditionalDistribution(
 double ResMade::LogProb(const std::vector<int>& tuple, Context& ctx) const {
   IAM_CHECK(static_cast<int>(tuple.size()) == num_columns());
   nn::EvalWorkspace& ws = ctx.ws;
-  EncodeInput({tuple}, ws.input);
-  Forward(ws.input, ws);
+  RefreshTransposedWeights(ws);
+  EncodeInputSparse({tuple}, ws.sparse_input);
+  const nn::Matrix& hidden = ForwardHiddenEval(ws);
+  nn::LinearForwardT(hidden, ws.wt.back(), BiasSpan(output_), ws.output);
   double log_prob = 0.0;
   std::vector<double> scratch;
   const float* lrow = ws.output.row(0);
@@ -387,6 +467,9 @@ Result<std::unique_ptr<ResMade>> ResMade::Deserialize(std::istream& in) {
   }
   IAM_RETURN_IF_ERROR(ReadMatrixInto(in, made->output_.weight().value));
   IAM_RETURN_IF_ERROR(ReadMatrixInto(in, made->output_.bias().value));
+  // The parameters changed under the model: stale transposed-weight caches
+  // in any reused workspace must miss against the new version.
+  made->BumpWeightVersion();
   return made;
 }
 

@@ -114,13 +114,30 @@ class ResMade {
   // Builds the input matrix [batch, input_width_] from encoded values.
   void EncodeInput(const std::vector<std::vector<int>>& batch,
                    nn::Matrix& x) const;
+  // Sparse encoding of the same batch: per row, the (lane, value) nonzeros —
+  // one entry per one-hot column plus embedding_dim entries per embedded
+  // column, i.e. typically ~5% of input_width_. Lane indices are strictly
+  // increasing within a row.
+  void EncodeInputSparse(const std::vector<std::vector<int>>& batch,
+                         nn::SparseRows& sx) const;
+
+  // Rebuilds the workspace's transposed-weight cache (hidden layers plus the
+  // output layer) when it does not match weight_version_. Cheap when fresh.
+  void RefreshTransposedWeights(nn::EvalWorkspace& ws) const;
+  // Called after every weight mutation (construction, TrainStep,
+  // Deserialize); draws from a process-global counter so stale caches are
+  // detected even across model instances.
+  void BumpWeightVersion();
 
   // Full forward pass through the hidden stack and output layer, writing
-  // every activation into `ws`.
+  // every activation into `ws` (training path: pre-activations retained).
   void Forward(const nn::Matrix& x, nn::EvalWorkspace& ws) const;
   // Hidden stack only; returns the final hidden activation (owned by `ws`).
   const nn::Matrix& ForwardHidden(const nn::Matrix& x,
                                   nn::EvalWorkspace& ws) const;
+  // Inference-path hidden stack over ws.sparse_input: sparse first layer,
+  // fused Linear+ReLU throughout, no pre-activation materialization.
+  const nn::Matrix& ForwardHiddenEval(nn::EvalWorkspace& ws) const;
 
   std::vector<int> domains_;
   ResMadeConfig config_;
@@ -136,6 +153,10 @@ class ResMade {
   std::vector<nn::MaskedLinear> hidden_;
   std::vector<bool> residual_flags_;  // hidden_[i] adds its input when true
   nn::MaskedLinear output_;
+
+  // Monotone token identifying the current weight values; workspaces compare
+  // it against their transposed-weight caches. See RefreshTransposedWeights.
+  uint64_t weight_version_ = 0;
 
   // Private scratch for TrainStep (activation caches for the backward pass).
   Context train_ctx_;

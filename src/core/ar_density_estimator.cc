@@ -7,38 +7,16 @@
 #include <fstream>
 
 #include "bucketize/laplace_reducer.h"
+#include "core/sampling_utils.h"
 #include "gmm/laplace.h"
 #include "gmm/vbgm.h"
 #include "util/serialize.h"
 #include "util/math_util.h"
 
 namespace iam::core {
-namespace {
 
-// Sums probs[first..last] (inclusive) from a float probability row.
-double RangeSum(const float* probs, int first, int last) {
-  double sum = 0.0;
-  for (int j = first; j <= last; ++j) sum += probs[j];
-  return sum;
-}
-
-// Samples an index in [first, last] proportional to probs[j], given the
-// precomputed sum. `u` is uniform in [0, 1).
-int SampleInRange(const float* probs, int first, int last, double sum,
-                  double u) {
-  const double target = u * sum;
-  double acc = 0.0;
-  int last_positive = -1;
-  for (int j = first; j <= last; ++j) {
-    if (probs[j] <= 0.0f) continue;
-    acc += probs[j];
-    last_positive = j;
-    if (acc >= target) return j;
-  }
-  return last_positive;
-}
-
-}  // namespace
+using sampling::RangeSum;
+using sampling::SampleInRange;
 
 ArDensityEstimator::ArDensityEstimator(const data::Table& table,
                                        ArEstimatorOptions options)

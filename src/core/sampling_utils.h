@@ -1,0 +1,43 @@
+#ifndef IAM_CORE_SAMPLING_UTILS_H_
+#define IAM_CORE_SAMPLING_UTILS_H_
+
+#include "util/macros.h"
+
+// Inner helpers of the progressive sampler, exposed for direct testing.
+namespace iam::core::sampling {
+
+// Sums probs[first..last] (inclusive) from a float probability row.
+inline double RangeSum(const float* probs, int first, int last) {
+  double sum = 0.0;
+  for (int j = first; j <= last; ++j) sum += probs[j];
+  return sum;
+}
+
+// Samples an index in [first, last] proportional to probs[j], given the
+// precomputed sum. `u` is uniform in [0, 1).
+//
+// Contract: returns -1 — an explicit "no mass" flag callers must handle —
+// when the range holds no positive probability (all entries zero or
+// negative, or sum <= 0). When rounding makes the accumulated mass fall
+// short of u * sum, the draw clamps to the last positive-probability index
+// rather than walking off the range. A plain index is returned only when it
+// carries positive probability.
+inline int SampleInRange(const float* probs, int first, int last, double sum,
+                         double u) {
+  IAM_DCHECK(first <= last);
+  if (sum <= 0.0) return -1;
+  const double target = u * sum;
+  double acc = 0.0;
+  int last_positive = -1;
+  for (int j = first; j <= last; ++j) {
+    if (probs[j] <= 0.0f) continue;
+    acc += probs[j];
+    last_positive = j;
+    if (acc >= target) return j;
+  }
+  return last_positive;  // -1 iff the whole range had zero mass
+}
+
+}  // namespace iam::core::sampling
+
+#endif  // IAM_CORE_SAMPLING_UTILS_H_

@@ -1,8 +1,10 @@
 #ifndef IAM_NN_EVAL_WORKSPACE_H_
 #define IAM_NN_EVAL_WORKSPACE_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "nn/kernels.h"
 #include "nn/matrix.h"
 
 namespace iam::nn {
@@ -18,9 +20,20 @@ namespace iam::nn {
 // workspace amortizes all allocation after the first batch.
 struct EvalWorkspace {
   Matrix input;                 // encoded input batch [B, input_width]
+  SparseRows sparse_input;      // sparse encoding of the batch (eval path)
   std::vector<Matrix> pre_act;  // pre-activation z_i per layer [B, width_i]
   std::vector<Matrix> act;      // post-activation a_i per layer [B, width_i]
   Matrix output;                // final layer output (logits) [B, out_width]
+
+  // Transposed ([in, out]) copies of the owning model's layer weights — the
+  // layout the strip kernels and the sparse first-layer forward consume.
+  // The cache is keyed by the model's weight version: models bump their
+  // version on every weight mutation (TrainStep, Deserialize), and the
+  // model's forward entry points rebuild this cache when `wt_version`
+  // disagrees. Versions are drawn from one process-global counter, so a
+  // workspace carried across model instances can never alias a stale cache.
+  std::vector<Matrix> wt;
+  uint64_t wt_version = 0;  // 0 == never filled
 
   // Ensures one pre/post activation slot per layer.
   void EnsureDepth(size_t num_layers) {

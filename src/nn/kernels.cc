@@ -1,0 +1,366 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace iam::nn {
+
+// --- Reference kernels (the seed implementations, kept verbatim). ----------
+
+void LinearForwardRef(const Matrix& x, const Matrix& w,
+                      std::span<const float> bias, Matrix& y) {
+  const int batch = x.rows();
+  const int in = x.cols();
+  const int out = w.rows();
+  IAM_CHECK(w.cols() == in);
+  IAM_CHECK(bias.empty() || static_cast<int>(bias.size()) == out);
+  y.ResizeUninitialized(batch, out);  // every element is written below
+
+  for (int b = 0; b < batch; ++b) {
+    const float* xb = x.row(b);
+    float* yb = y.row(b);
+    for (int o = 0; o < out; ++o) {
+      const float* wo = w.row(o);
+      float acc = bias.empty() ? 0.0f : bias[o];
+      for (int i = 0; i < in; ++i) acc += xb[i] * wo[i];
+      yb[o] = acc;
+    }
+  }
+}
+
+void LinearBackwardRef(const Matrix& x, const Matrix& w, const Matrix& dy,
+                       Matrix& dx, Matrix& dw, std::span<float> dbias) {
+  const int batch = x.rows();
+  const int in = x.cols();
+  const int out = w.rows();
+  IAM_CHECK(dy.rows() == batch && dy.cols() == out);
+  IAM_CHECK(dw.rows() == out && dw.cols() == in);
+  dx.ResizeUninitialized(batch, in);
+  dx.Zero();
+
+  for (int b = 0; b < batch; ++b) {
+    const float* dyb = dy.row(b);
+    const float* xb = x.row(b);
+    float* dxb = dx.row(b);
+    for (int o = 0; o < out; ++o) {
+      const float g = dyb[o];
+      if (g == 0.0f) continue;
+      const float* wo = w.row(o);
+      float* dwo = dw.row(o);
+      for (int i = 0; i < in; ++i) {
+        dxb[i] += g * wo[i];
+        dwo[i] += g * xb[i];
+      }
+      if (!dbias.empty()) dbias[o] += g;
+    }
+  }
+}
+
+// --- Tiled forward over transposed weights. --------------------------------
+
+namespace {
+
+// One batch row, one strip of kWidth outputs. The accumulators live in
+// registers: kWidth independent reduction chains, each summed in ascending-i
+// order (the i-loop is unrolled by two but every accumulator still receives
+// its terms one after the other, so nothing is reassociated relative to the
+// reference kernel). The k-loops are unit-stride with a compile-time trip
+// count, which is exactly the shape the vectorizer wants.
+template <int kWidth, bool kRelu>
+inline void ForwardTStrip(const float* IAM_RESTRICT xb,
+                          const float* IAM_RESTRICT wt, int ldw, int in,
+                          const float* bias, float* IAM_RESTRICT yb) {
+  float acc[kWidth];
+  if (bias != nullptr) {
+    for (int k = 0; k < kWidth; ++k) acc[k] = bias[k];
+  } else {
+    for (int k = 0; k < kWidth; ++k) acc[k] = 0.0f;
+  }
+  const float* wp = wt;
+  int i = 0;
+  for (; i + 2 <= in; i += 2) {
+    const float x0 = xb[i];
+    const float x1 = xb[i + 1];
+    const float* IAM_RESTRICT w0 = wp;
+    const float* IAM_RESTRICT w1 = wp + ldw;
+    for (int k = 0; k < kWidth; ++k) {
+      float a = acc[k];
+      a += x0 * w0[k];
+      a += x1 * w1[k];
+      acc[k] = a;
+    }
+    wp += 2 * static_cast<size_t>(ldw);
+  }
+  if (i < in) {
+    const float x0 = xb[i];
+    for (int k = 0; k < kWidth; ++k) acc[k] += x0 * wp[k];
+  }
+  if (kRelu) {
+    for (int k = 0; k < kWidth; ++k) yb[k] = acc[k] > 0.0f ? acc[k] : 0.0f;
+  } else {
+    for (int k = 0; k < kWidth; ++k) yb[k] = acc[k];
+  }
+}
+
+template <bool kRelu>
+void ForwardTImpl(const Matrix& x, const float* wt, int ldw, int in, int out,
+                  std::span<const float> bias, Matrix& y) {
+  const int batch = x.rows();
+  IAM_CHECK(x.cols() == in);
+  IAM_CHECK(bias.empty() || static_cast<int>(bias.size()) == out);
+  y.ResizeUninitialized(batch, out);
+  const float* bias_ptr = bias.empty() ? nullptr : bias.data();
+
+  for (int b = 0; b < batch; ++b) {
+    const float* xb = x.row(b);
+    float* yb = y.row(b);
+    int o = 0;
+    for (; o + 16 <= out; o += 16) {
+      ForwardTStrip<16, kRelu>(xb, wt + o, ldw, in,
+                               bias_ptr ? bias_ptr + o : nullptr, yb + o);
+    }
+    for (; o + 4 <= out; o += 4) {
+      ForwardTStrip<4, kRelu>(xb, wt + o, ldw, in,
+                              bias_ptr ? bias_ptr + o : nullptr, yb + o);
+    }
+    for (; o < out; ++o) {  // remainder: strided column dot, still i-ordered
+      float acc = bias_ptr ? bias_ptr[o] : 0.0f;
+      const float* wp = wt + o;
+      for (int i = 0; i < in; ++i, wp += ldw) acc += xb[i] * wp[0];
+      yb[o] = kRelu ? (acc > 0.0f ? acc : 0.0f) : acc;
+    }
+  }
+}
+
+// Small-batch path over row-major weights: four output rows share each load
+// of xb[i], giving four independent reduction chains without any transpose.
+template <bool kRelu>
+void ForwardSmallImpl(const Matrix& x, const Matrix& w,
+                      std::span<const float> bias, Matrix& y) {
+  const int batch = x.rows();
+  const int in = x.cols();
+  const int out = w.rows();
+  y.ResizeUninitialized(batch, out);
+  const float* bias_ptr = bias.empty() ? nullptr : bias.data();
+
+  for (int b = 0; b < batch; ++b) {
+    const float* IAM_RESTRICT xb = x.row(b);
+    float* yb = y.row(b);
+    int o = 0;
+    for (; o + 4 <= out; o += 4) {
+      const float* IAM_RESTRICT w0 = w.row(o);
+      const float* IAM_RESTRICT w1 = w.row(o + 1);
+      const float* IAM_RESTRICT w2 = w.row(o + 2);
+      const float* IAM_RESTRICT w3 = w.row(o + 3);
+      float a0 = bias_ptr ? bias_ptr[o] : 0.0f;
+      float a1 = bias_ptr ? bias_ptr[o + 1] : 0.0f;
+      float a2 = bias_ptr ? bias_ptr[o + 2] : 0.0f;
+      float a3 = bias_ptr ? bias_ptr[o + 3] : 0.0f;
+      for (int i = 0; i < in; ++i) {
+        const float xv = xb[i];
+        a0 += xv * w0[i];
+        a1 += xv * w1[i];
+        a2 += xv * w2[i];
+        a3 += xv * w3[i];
+      }
+      if (kRelu) {
+        yb[o] = a0 > 0.0f ? a0 : 0.0f;
+        yb[o + 1] = a1 > 0.0f ? a1 : 0.0f;
+        yb[o + 2] = a2 > 0.0f ? a2 : 0.0f;
+        yb[o + 3] = a3 > 0.0f ? a3 : 0.0f;
+      } else {
+        yb[o] = a0;
+        yb[o + 1] = a1;
+        yb[o + 2] = a2;
+        yb[o + 3] = a3;
+      }
+    }
+    for (; o < out; ++o) {
+      const float* wo = w.row(o);
+      float acc = bias_ptr ? bias_ptr[o] : 0.0f;
+      for (int i = 0; i < in; ++i) acc += xb[i] * wo[i];
+      yb[o] = kRelu ? (acc > 0.0f ? acc : 0.0f) : acc;
+    }
+  }
+}
+
+// Below this batch size the transpose is not worth amortizing and the
+// row-major small-batch tile wins.
+constexpr int kTransposeBatchThreshold = 8;
+
+template <bool kRelu>
+void ForwardDispatch(const Matrix& x, const Matrix& w,
+                     std::span<const float> bias, Matrix& y) {
+  IAM_CHECK(w.cols() == x.cols());
+  IAM_CHECK(bias.empty() || static_cast<int>(bias.size()) == w.rows());
+  if (x.rows() >= kTransposeBatchThreshold) {
+    // Per-thread transpose scratch: reused across calls, so steady-state
+    // batched inference pays one out*in copy per call (<1% of the GEMM).
+    static thread_local Matrix wt_scratch;
+    TransposeInto(w, wt_scratch);
+    ForwardTImpl<kRelu>(x, wt_scratch.data(), wt_scratch.cols(), x.cols(),
+                        w.rows(), bias, y);
+  } else {
+    ForwardSmallImpl<kRelu>(x, w, bias, y);
+  }
+}
+
+}  // namespace
+
+void LinearForward(const Matrix& x, const Matrix& w,
+                   std::span<const float> bias, Matrix& y) {
+  ForwardDispatch<false>(x, w, bias, y);
+}
+
+void LinearReluForward(const Matrix& x, const Matrix& w,
+                       std::span<const float> bias, Matrix& y) {
+  ForwardDispatch<true>(x, w, bias, y);
+}
+
+void LinearForwardT(const Matrix& x, const Matrix& wt,
+                    std::span<const float> bias, Matrix& y) {
+  ForwardTImpl<false>(x, wt.data(), wt.cols(), wt.rows(), wt.cols(), bias, y);
+}
+
+void LinearReluForwardT(const Matrix& x, const Matrix& wt,
+                        std::span<const float> bias, Matrix& y) {
+  ForwardTImpl<true>(x, wt.data(), wt.cols(), wt.rows(), wt.cols(), bias, y);
+}
+
+void LinearForwardTSlice(const Matrix& x, const float* wt, int ldw, int in,
+                         int out, std::span<const float> bias, Matrix& y) {
+  IAM_CHECK(ldw >= out);
+  ForwardTImpl<false>(x, wt, ldw, in, out, bias, y);
+}
+
+void TransposeInto(const Matrix& src, Matrix& dst) {
+  const int rows = src.rows();
+  const int cols = src.cols();
+  dst.ResizeUninitialized(cols, rows);
+  const float* IAM_RESTRICT s = src.data();
+  float* IAM_RESTRICT d = dst.data();
+  for (int r = 0; r < rows; ++r) {
+    const float* srow = s + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) {
+      d[static_cast<size_t>(c) * rows + r] = srow[c];
+    }
+  }
+}
+
+// --- Sparse forward. -------------------------------------------------------
+
+void SparseLinearForward(const SparseRows& x, const Matrix& wt,
+                         std::span<const float> bias, Matrix& y,
+                         bool fuse_relu) {
+  const int in = wt.rows();
+  const int out = wt.cols();
+  IAM_CHECK(x.cols == in);
+  IAM_CHECK(static_cast<int>(x.row_begin.size()) == x.rows + 1);
+  IAM_CHECK(bias.empty() || static_cast<int>(bias.size()) == out);
+  y.ResizeUninitialized(x.rows, out);
+
+  for (int r = 0; r < x.rows; ++r) {
+    float* IAM_RESTRICT yb = y.row(r);
+    if (bias.empty()) {
+      std::memset(yb, 0, static_cast<size_t>(out) * sizeof(float));
+    } else {
+      std::memcpy(yb, bias.data(), static_cast<size_t>(out) * sizeof(float));
+    }
+    const int end = x.row_begin[r + 1];
+    for (int nz = x.row_begin[r]; nz < end; ++nz) {
+      const int lane = x.index[nz];
+      IAM_DCHECK(lane >= 0 && lane < in);
+      const float v = x.value[nz];
+      const float* IAM_RESTRICT wr = wt.row(lane);
+      for (int o = 0; o < out; ++o) yb[o] += v * wr[o];
+    }
+    if (fuse_relu) {
+      for (int o = 0; o < out; ++o) yb[o] = yb[o] > 0.0f ? yb[o] : 0.0f;
+    }
+  }
+}
+
+// --- Tiled backward. -------------------------------------------------------
+
+namespace {
+
+// dst += g0*w0 + g1*w1 + g2*w2 + g3*w3, each product added in gradient-row
+// order so every dst lane sees the same addition sequence as the reference.
+inline void Saxpy4(float* IAM_RESTRICT dst, const float g[4],
+                   const float* const wrows[4], int n) {
+  const float* IAM_RESTRICT w0 = wrows[0];
+  const float* IAM_RESTRICT w1 = wrows[1];
+  const float* IAM_RESTRICT w2 = wrows[2];
+  const float* IAM_RESTRICT w3 = wrows[3];
+  const float g0 = g[0], g1 = g[1], g2 = g[2], g3 = g[3];
+  for (int i = 0; i < n; ++i) {
+    float v = dst[i];
+    v += g0 * w0[i];
+    v += g1 * w1[i];
+    v += g2 * w2[i];
+    v += g3 * w3[i];
+    dst[i] = v;
+  }
+}
+
+inline void Saxpy1(float* IAM_RESTRICT dst, float g,
+                   const float* IAM_RESTRICT w, int n) {
+  for (int i = 0; i < n; ++i) dst[i] += g * w[i];
+}
+
+}  // namespace
+
+void LinearBackward(const Matrix& x, const Matrix& w, const Matrix& dy,
+                    Matrix& dx, Matrix& dw, std::span<float> dbias) {
+  const int batch = x.rows();
+  const int in = x.cols();
+  const int out = w.rows();
+  IAM_CHECK(w.cols() == in);
+  IAM_CHECK(dy.rows() == batch && dy.cols() == out);
+  IAM_CHECK(dw.rows() == out && dw.cols() == in);
+  IAM_CHECK(dbias.empty() || static_cast<int>(dbias.size()) == out);
+  dx.ResizeUninitialized(batch, in);
+  dx.Zero();
+
+  // Pass 1 — dx = dy * W. The nonzero gradients of each batch row (ReLU
+  // leaves dy about half zeros) are staged four at a time, so each dx lane
+  // is loaded and stored once per four gradient rows instead of once each.
+  for (int b = 0; b < batch; ++b) {
+    const float* dyb = dy.row(b);
+    float* dxb = dx.row(b);
+    float g[4];
+    const float* wrows[4];
+    int staged = 0;
+    for (int o = 0; o < out; ++o) {
+      if (dyb[o] == 0.0f) continue;
+      g[staged] = dyb[o];
+      wrows[staged] = w.row(o);
+      if (++staged == 4) {
+        Saxpy4(dxb, g, wrows, in);
+        staged = 0;
+      }
+    }
+    for (int s = 0; s < staged; ++s) Saxpy1(dxb, g[s], wrows[s], in);
+  }
+
+  // Pass 2 — dw += dy^T * x and dbias, output-major inside batch blocks: a
+  // block of x rows stays in L1 while each dw row streams through once per
+  // block. Per dw entry the contributions still arrive in ascending batch
+  // order, matching the reference accumulation exactly.
+  constexpr int kBatchBlock = 32;
+  for (int b0 = 0; b0 < batch; b0 += kBatchBlock) {
+    const int b1 = std::min(batch, b0 + kBatchBlock);
+    for (int o = 0; o < out; ++o) {
+      float* IAM_RESTRICT dwo = dw.row(o);
+      for (int b = b0; b < b1; ++b) {
+        const float g = dy.at(b, o);
+        if (g == 0.0f) continue;
+        const float* IAM_RESTRICT xb = x.row(b);
+        for (int i = 0; i < in; ++i) dwo[i] += g * xb[i];
+        if (!dbias.empty()) dbias[o] += g;
+      }
+    }
+  }
+}
+
+}  // namespace iam::nn

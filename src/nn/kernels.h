@@ -1,0 +1,125 @@
+#ifndef IAM_NN_KERNELS_H_
+#define IAM_NN_KERNELS_H_
+
+#include <span>
+#include <vector>
+
+#include "nn/matrix.h"
+
+// Dense and sparse linear kernels — the numeric substrate under every ResMADE
+// conditional, training step, and progressive-sampling estimate.
+//
+// Two implementations coexist:
+//  - *Ref kernels: the naive triple-loop originals, retained as the golden
+//    semantics. Slow, obviously correct, used by the fuzz tests.
+//  - the tiled kernels below: register-blocked over output strips and the
+//    batch, unrolled over the reduction dimension. Every output accumulator
+//    sums its reduction in the same index order as the reference, so no
+//    floating-point reassociation happens and the fast kernels are
+//    bit-compatible with the reference in the portable build. The IAM_NATIVE
+//    build (-march=native) may contract mul+add into FMA, which can move
+//    results by ULPs relative to the portable build, but fast and reference
+//    kernels inside one build always agree (same expression shapes, same
+//    contraction). See DESIGN.md §10.
+namespace iam::nn {
+
+// --- Reference kernels (golden semantics). --------------------------------
+
+// y = x * W^T + bias_broadcast. x: [B, in], w: [out, in], bias: [out] or
+// empty, y: [B, out].
+void LinearForwardRef(const Matrix& x, const Matrix& w,
+                      std::span<const float> bias, Matrix& y);
+
+// Backward of LinearForward:
+//   dx = dy * W                       (written, not accumulated)
+//   dw += dy^T * x                    (accumulated)
+//   dbias += column sums of dy        (accumulated)
+// Rows of dy that are exactly zero contribute nothing (and are skipped).
+void LinearBackwardRef(const Matrix& x, const Matrix& w, const Matrix& dy,
+                       Matrix& dx, Matrix& dw, std::span<float> dbias);
+
+// --- Tiled fast kernels. ---------------------------------------------------
+
+// Drop-in replacement for LinearForwardRef. Large batches transpose w into a
+// per-thread scratch buffer and run the strip kernel; small batches use a
+// row-major tile that amortizes the x loads over several output rows.
+void LinearForward(const Matrix& x, const Matrix& w,
+                   std::span<const float> bias, Matrix& y);
+
+// Fused y = relu(x * W^T + bias): one pass, no separate pre-activation
+// matrix. Bit-compatible with LinearForwardRef followed by a ReLU.
+void LinearReluForward(const Matrix& x, const Matrix& w,
+                       std::span<const float> bias, Matrix& y);
+
+// Strip kernel over pre-transposed weights wt: [in, out] (wt[i][o] ==
+// w[o][i]). The layout every per-workspace weight cache stores; column
+// strips of wt are unit-stride, so the kernel vectorizes across outputs
+// without reassociating any reduction.
+void LinearForwardT(const Matrix& x, const Matrix& wt,
+                    std::span<const float> bias, Matrix& y);
+void LinearReluForwardT(const Matrix& x, const Matrix& wt,
+                        std::span<const float> bias, Matrix& y);
+
+// Raw-pointer variant evaluating only `out` outputs starting at column
+// `wt_col0` of a larger transposed weight matrix with leading dimension
+// `ldw` (the per-column logits slice in ResMade::ConditionalDistribution).
+// bias must have exactly `out` entries or be empty.
+void LinearForwardTSlice(const Matrix& x, const float* wt, int ldw, int in,
+                         int out, std::span<const float> bias, Matrix& y);
+
+// dst = src^T; dst is resized to [src.cols, src.rows].
+void TransposeInto(const Matrix& src, Matrix& dst);
+
+// --- Sparse input rows. ----------------------------------------------------
+
+// CSR-style batch of sparse rows: ResMade::EncodeInput emits one entry per
+// nonzero input lane (one-hot hits and embedding values), which is typically
+// ~5% of the encoded width. Indices within a row are strictly increasing, so
+// kernels consuming SparseRows accumulate in the same index order as a dense
+// kernel would over the nonzero subset.
+struct SparseRows {
+  int rows = 0;
+  int cols = 0;                // dense width the rows are a view of
+  std::vector<int> index;      // flattened nonzero lane indices
+  std::vector<float> value;    // matching values
+  std::vector<int> row_begin;  // size rows + 1; row r spans
+                               // [row_begin[r], row_begin[r + 1])
+
+  void Reset(int dense_cols) {
+    rows = 0;
+    cols = dense_cols;
+    index.clear();
+    value.clear();
+    row_begin.assign(1, 0);
+  }
+  void Push(int i, float v) {
+    index.push_back(i);
+    value.push_back(v);
+  }
+  void EndRow() {
+    ++rows;
+    row_begin.push_back(static_cast<int>(index.size()));
+  }
+};
+
+// y_b = bias + sum_nz x[i] * wt_row(i) over transposed weights wt: [in, out];
+// optionally fuses the ReLU. Skipping the zero input lanes is bitwise
+// equivalent to the dense kernel because adding x[i] * w == 0 never changes
+// a finite accumulator (the lone exception, an accumulator that is exactly
+// -0.0f, cannot arise from the encodings we feed this kernel).
+void SparseLinearForward(const SparseRows& x, const Matrix& wt,
+                         std::span<const float> bias, Matrix& y,
+                         bool fuse_relu);
+
+// Drop-in replacement for LinearBackwardRef: dx is computed per batch row
+// with the nonzero dy entries gathered and applied four at a time (one load
+// and store of each dx lane per four gradient rows); dw/dbias are computed
+// output-major so each dw row stays cache-resident across the batch. All
+// per-element accumulation orders match the reference, and rows with
+// dy == 0 are skipped exactly as the reference skips them.
+void LinearBackward(const Matrix& x, const Matrix& w, const Matrix& dy,
+                    Matrix& dx, Matrix& dw, std::span<float> dbias);
+
+}  // namespace iam::nn
+
+#endif  // IAM_NN_KERNELS_H_

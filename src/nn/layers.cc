@@ -7,6 +7,8 @@ namespace iam::nn {
 MaskedLinear::MaskedLinear(int in_features, int out_features, Rng& rng)
     : in_(in_features),
       out_(out_features),
+      param_count_(static_cast<size_t>(out_features) * in_features +
+                   out_features),
       weight_(out_features, in_features),
       bias_(1, out_features) {
   IAM_CHECK(in_features > 0 && out_features > 0);
@@ -23,13 +25,20 @@ void MaskedLinear::SetMask(Matrix mask) {
   IAM_CHECK(mask.rows() == out_ && mask.cols() == in_);
   mask_ = std::move(mask);
   ApplyMaskToWeights();
+  // Cache the mask-aware parameter count; an O(out*in) scan per
+  // ParameterCount() call adds up in the model-size sweeps.
+  param_count_ = static_cast<size_t>(out_);  // biases
+  const float* m = mask_.data();
+  for (size_t k = 0; k < mask_.size(); ++k) {
+    if (m[k] != 0.0f) ++param_count_;
+  }
 }
 
 void MaskedLinear::ApplyMaskToWeights() {
-  for (int o = 0; o < out_; ++o) {
-    for (int i = 0; i < in_; ++i) {
-      if (mask_.at(o, i) == 0.0f) weight_.value.at(o, i) = 0.0f;
-    }
+  const float* IAM_RESTRICT m = mask_.data();
+  float* IAM_RESTRICT wv = weight_.value.data();
+  for (size_t k = 0; k < mask_.size(); ++k) {
+    if (m[k] == 0.0f) wv[k] = 0.0f;
   }
 }
 
@@ -45,23 +54,12 @@ void MaskedLinear::Backward(const Matrix& x, const Matrix& dy, Matrix& dx) {
   LinearBackward(x, weight_.value, dy, dx, weight_.grad,
                  {bias_.grad.data(), static_cast<size_t>(out_)});
   if (has_mask()) {
-    for (int o = 0; o < out_; ++o) {
-      for (int i = 0; i < in_; ++i) {
-        if (mask_.at(o, i) == 0.0f) weight_.grad.at(o, i) = 0.0f;
-      }
+    const float* IAM_RESTRICT m = mask_.data();
+    float* IAM_RESTRICT wg = weight_.grad.data();
+    for (size_t k = 0; k < mask_.size(); ++k) {
+      if (m[k] == 0.0f) wg[k] = 0.0f;
     }
   }
-}
-
-size_t MaskedLinear::ParameterCount() const {
-  size_t count = static_cast<size_t>(out_);  // biases
-  if (!has_mask()) return count + static_cast<size_t>(out_) * in_;
-  for (int o = 0; o < out_; ++o) {
-    for (int i = 0; i < in_; ++i) {
-      if (mask_.at(o, i) != 0.0f) ++count;
-    }
-  }
-  return count;
 }
 
 void ReluForward(const Matrix& x, Matrix& y) {

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "nn/kernels.h"
 #include "nn/matrix.h"
 #include "util/random.h"
 
@@ -55,8 +56,9 @@ class MaskedLinear {
   const Matrix& mask() const { return mask_; }
 
   // Number of scalar parameters actually trainable (mask-aware); used for
-  // the model-size experiments (Tables 6 and 12).
-  size_t ParameterCount() const;
+  // the model-size experiments (Tables 6 and 12). Cached at construction /
+  // SetMask time — the mask never changes afterwards.
+  size_t ParameterCount() const { return param_count_; }
 
  private:
   // Re-applies the mask to weight_.value (used after optimizer steps; Adam's
@@ -66,6 +68,7 @@ class MaskedLinear {
 
   int in_;
   int out_;
+  size_t param_count_;
   Parameter weight_;  // [out, in]
   Parameter bias_;    // [1, out]
   Matrix mask_;       // [out, in] or empty

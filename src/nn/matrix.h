@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <new>
 #include <span>
 
 #include "util/macros.h"
@@ -15,8 +16,16 @@ namespace iam::nn {
 // Storage is a raw buffer with an explicit capacity so ResizeUninitialized
 // can reshape without touching memory — the per-call cost that matters in
 // the progressive sampler, where scratch matrices are reshaped per batch.
+//
+// The buffer is 64-byte aligned (kAlignment): the tiled kernels in
+// kernels.h then start every matrix on a cache-line boundary, which keeps
+// their vector loads from straddling lines at the buffer head. Row pointers
+// are only as aligned as cols allows; the kernels use unaligned vector
+// accesses and do not rely on per-row alignment.
 class Matrix {
  public:
+  static constexpr size_t kAlignment = 64;
+
   Matrix() : rows_(0), cols_(0) {}
   Matrix(int rows, int cols) : rows_(0), cols_(0) {
     IAM_CHECK(rows >= 0 && cols >= 0);
@@ -86,7 +95,7 @@ class Matrix {
     const size_t old_size = size();
     const size_t new_size = static_cast<size_t>(rows) * cols;
     if (new_size > capacity_) {
-      std::unique_ptr<float[]> grown(new float[new_size]);
+      AlignedBuffer grown(Allocate(new_size));
       std::memcpy(grown.get(), data_.get(), old_size * sizeof(float));
       data_ = std::move(grown);
       capacity_ = new_size;
@@ -107,7 +116,7 @@ class Matrix {
     IAM_CHECK(rows >= 0 && cols >= 0);
     const size_t new_size = static_cast<size_t>(rows) * cols;
     if (new_size > capacity_) {
-      data_.reset(new float[new_size]);
+      data_.reset(Allocate(new_size));
       capacity_ = new_size;
     }
     rows_ = rows;
@@ -115,23 +124,23 @@ class Matrix {
   }
 
  private:
+  struct AlignedDeleter {
+    void operator()(float* p) const {
+      ::operator delete[](static_cast<void*>(p), std::align_val_t{kAlignment});
+    }
+  };
+  using AlignedBuffer = std::unique_ptr<float[], AlignedDeleter>;
+
+  static float* Allocate(size_t n) {
+    return static_cast<float*>(
+        ::operator new[](n * sizeof(float), std::align_val_t{kAlignment}));
+  }
+
   int rows_;
   int cols_;
   size_t capacity_ = 0;
-  std::unique_ptr<float[]> data_;
+  AlignedBuffer data_;
 };
-
-// y = x * W^T + bias_broadcast. x: [B, in], w: [out, in], bias: [out] or
-// empty, y: [B, out].
-void LinearForward(const Matrix& x, const Matrix& w,
-                   std::span<const float> bias, Matrix& y);
-
-// Backward of LinearForward:
-//   dx = dy * W                       (written, not accumulated)
-//   dw += dy^T * x                    (accumulated)
-//   dbias += column sums of dy        (accumulated)
-void LinearBackward(const Matrix& x, const Matrix& w, const Matrix& dy,
-                    Matrix& dx, Matrix& dw, std::span<float> dbias);
 
 }  // namespace iam::nn
 

@@ -33,4 +33,8 @@
 #define IAM_DCHECK(cond) IAM_CHECK(cond)
 #endif
 
+// No-alias hint for the numeric kernels; the hot loops need it so the
+// vectorizer does not emit runtime overlap checks (GCC/Clang).
+#define IAM_RESTRICT __restrict__
+
 #endif  // IAM_UTIL_MACROS_H_

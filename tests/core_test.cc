@@ -9,6 +9,7 @@
 
 #include "core/ar_density_estimator.h"
 #include "core/presets.h"
+#include "core/sampling_utils.h"
 #include "data/synthetic.h"
 #include "query/parser.h"
 #include "query/workload.h"
@@ -542,6 +543,50 @@ TEST(IamModelTest, PointPredicateOnCategoricalColumn) {
   // Tiny test model (2x48 hidden, 6 epochs) — just require the right order
   // of magnitude; the accuracy benches exercise the full configuration.
   EXPECT_LT(query::QError(truth, est, Wisdm().num_rows()), 10.0);
+}
+
+// The progressive sampler's inner draw. The -1 flag and the clamp-to-last-
+// positive behavior are load-bearing: both call sites kill a sample row on
+// -1, and an out-of-range return would index past the conditional's domain.
+TEST(SamplingUtilsTest, SampleInRangeFlagsZeroMassRange) {
+  using sampling::RangeSum;
+  using sampling::SampleInRange;
+
+  const float zeros[5] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  EXPECT_EQ(RangeSum(zeros, 0, 4), 0.0);
+  // All-zero range: flagged, for any u, even with a (stale) positive sum.
+  EXPECT_EQ(SampleInRange(zeros, 0, 4, 0.0, 0.5), -1);
+  EXPECT_EQ(SampleInRange(zeros, 0, 4, 1.0, 0.0), -1);
+  EXPECT_EQ(SampleInRange(zeros, 1, 3, 0.0, 0.999), -1);
+
+  // Negative or zero sum is flagged before any scan.
+  const float some[3] = {0.5f, 0.25f, 0.25f};
+  EXPECT_EQ(SampleInRange(some, 0, 2, -1.0, 0.5), -1);
+  EXPECT_EQ(SampleInRange(some, 0, 2, 0.0, 0.5), -1);
+}
+
+TEST(SamplingUtilsTest, SampleInRangeSkipsZeroEntriesAndClamps) {
+  using sampling::RangeSum;
+  using sampling::SampleInRange;
+
+  // Zero entries are never returned, whatever u targets.
+  const float gaps[6] = {0.0f, 0.3f, 0.0f, 0.0f, 0.7f, 0.0f};
+  const double sum = RangeSum(gaps, 0, 5);
+  EXPECT_DOUBLE_EQ(sum, 0.3f + static_cast<double>(0.7f));
+  for (double u : {0.0, 0.1, 0.29, 0.31, 0.6, 0.999}) {
+    const int j = SampleInRange(gaps, 0, 5, sum, u);
+    EXPECT_TRUE(j == 1 || j == 4) << "u=" << u << " returned " << j;
+  }
+  // u below the first positive mass picks it; u past it picks the second.
+  EXPECT_EQ(SampleInRange(gaps, 0, 5, sum, 0.0), 1);
+  EXPECT_EQ(SampleInRange(gaps, 0, 5, sum, 0.999), 4);
+
+  // Rounding overshoot: a sum slightly above the true mass makes the target
+  // unreachable; the draw must clamp to the last positive index, not -1.
+  EXPECT_EQ(SampleInRange(gaps, 0, 5, sum * 1.01, 0.9999), 4);
+  // And a sub-range excluding the tail clamps within the range.
+  EXPECT_EQ(SampleInRange(gaps, 0, 3, RangeSum(gaps, 0, 3) * 1.01, 0.9999),
+            1);
 }
 
 }  // namespace

@@ -195,6 +195,87 @@ TEST(ResMadeTest, SerializeRoundTripPreservesDistribution) {
   }
 }
 
+// A Context carries a per-workspace transposed-weight cache keyed by the
+// model's weight version. Reusing a context across a TrainStep must pick up
+// the new weights, not the stale transposed copies.
+TEST(ResMadeTest, ReusedContextSeesRetrainedWeights) {
+  Rng rng(51);
+  ResMade made({5, 6}, TinyConfig(), 12);
+  nn::Adam adam;
+  made.RegisterParameters(adam);
+
+  ResMade::Context reused;
+  nn::Matrix before;
+  made.ConditionalDistribution({{2, 0}}, 1, before, reused);  // warm cache
+
+  std::vector<std::vector<int>> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back({static_cast<int>(rng.UniformInt(5)),
+                     static_cast<int>(rng.UniformInt(6))});
+  }
+  Rng train_rng(52);
+  for (int step = 0; step < 5; ++step) made.TrainStep(batch, adam, train_rng);
+
+  nn::Matrix stale_or_fresh, fresh;
+  made.ConditionalDistribution({{2, 0}}, 1, stale_or_fresh, reused);
+  ResMade::Context clean;
+  made.ConditionalDistribution({{2, 0}}, 1, fresh, clean);
+  ASSERT_EQ(stale_or_fresh.cols(), 6);
+  bool moved = false;
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_EQ(stale_or_fresh.at(0, j), fresh.at(0, j))
+        << "reused context served stale transposed weights";
+    moved = moved || stale_or_fresh.at(0, j) != before.at(0, j);
+  }
+  EXPECT_TRUE(moved) << "training did not change the conditional; the "
+                        "invalidation check would be vacuous";
+}
+
+// Weight versions come from a process-global counter, so a context warmed on
+// one model instance must also be detected as stale when reused on a
+// different instance (here: a deserialized clone that then trains).
+TEST(ResMadeTest, ReusedContextAcrossDeserializeIsInvalidated) {
+  Rng rng(53);
+  ResMade made({5, 6}, TinyConfig(), 13);
+
+  ResMade::Context reused;
+  nn::Matrix p;
+  made.ConditionalDistribution({{3, 0}}, 1, p, reused);  // warm on `made`
+
+  std::stringstream stream;
+  made.Serialize(stream);
+  auto loaded = ResMade::Deserialize(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Same weights, different instance: must still agree with a fresh context.
+  nn::Matrix via_reused, via_clean;
+  (*loaded)->ConditionalDistribution({{3, 0}}, 1, via_reused, reused);
+  ResMade::Context clean;
+  (*loaded)->ConditionalDistribution({{3, 0}}, 1, via_clean, clean);
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_EQ(via_reused.at(0, j), via_clean.at(0, j));
+  }
+
+  // Now train the clone; the context warmed on its weights must refresh.
+  nn::Adam adam;
+  (*loaded)->RegisterParameters(adam);
+  std::vector<std::vector<int>> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back({static_cast<int>(rng.UniformInt(5)),
+                     static_cast<int>(rng.UniformInt(6))});
+  }
+  Rng train_rng(54);
+  for (int step = 0; step < 5; ++step) {
+    (*loaded)->TrainStep(batch, adam, train_rng);
+  }
+  (*loaded)->ConditionalDistribution({{3, 0}}, 1, via_reused, reused);
+  (*loaded)->ConditionalDistribution({{3, 0}}, 1, via_clean, clean);
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_EQ(via_reused.at(0, j), via_clean.at(0, j))
+        << "context survived Deserialize with stale weights";
+  }
+}
+
 TEST(ResMadeTest, DeserializeRejectsGarbage) {
   std::stringstream stream;
   stream << "junk";
