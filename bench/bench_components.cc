@@ -41,7 +41,7 @@ void Run(const std::string& dataset) {
 
 int main(int argc, char** argv) {
   const std::string only = argc > 1 ? argv[1] : "";
-  for (const std::string& dataset : {"wisdm", "twi", "higgs"}) {
+  for (const char* dataset : {"wisdm", "twi", "higgs"}) {
     if (only.empty() || only == dataset) iam::bench::Run(dataset);
   }
   return 0;

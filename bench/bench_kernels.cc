@@ -30,12 +30,12 @@ void BM_LinearForward(benchmark::State& state) {
   const int batch = static_cast<int>(state.range(0));
   const int in = 256, out = 256;
   Rng rng(1);
-  nn::Matrix x(batch, in), w(out, in), y;
+  nn::Matrix x(batch, in), w(out, in), y, wt_scratch;
   for (size_t i = 0; i < x.size(); ++i) x.data()[i] = (float)rng.Gaussian();
   for (size_t i = 0; i < w.size(); ++i) w.data()[i] = (float)rng.Gaussian();
   std::vector<float> bias(out, 0.1f);
   for (auto _ : state) {
-    nn::LinearForward(x, w, bias, y);
+    nn::LinearForward(x, w, bias, y, wt_scratch);
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * 2LL * batch * in * out);
@@ -66,12 +66,12 @@ void BM_LinearReluForward(benchmark::State& state) {
   const int batch = static_cast<int>(state.range(0));
   const int in = 256, out = 256;
   Rng rng(1);
-  nn::Matrix x(batch, in), w(out, in), y;
+  nn::Matrix x(batch, in), w(out, in), y, wt_scratch;
   for (size_t i = 0; i < x.size(); ++i) x.data()[i] = (float)rng.Gaussian();
   for (size_t i = 0; i < w.size(); ++i) w.data()[i] = (float)rng.Gaussian();
   std::vector<float> bias(out, 0.1f);
   for (auto _ : state) {
-    nn::LinearReluForward(x, w, bias, y);
+    nn::LinearReluForward(x, w, bias, y, wt_scratch);
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * 2LL * batch * in * out);

@@ -72,7 +72,7 @@ void TrainingTime() {
 
 int main(int argc, char** argv) {
   const std::string only = argc > 1 ? argv[1] : "";
-  for (const std::string& dataset : {"wisdm", "twi", "higgs", "imdb"}) {
+  for (const char* dataset : {"wisdm", "twi", "higgs", "imdb"}) {
     if (only.empty() || only == dataset) iam::bench::TrainingCurve(dataset);
   }
   if (only.empty() || only == "table8") iam::bench::TrainingTime();

@@ -1,36 +1,91 @@
 #!/usr/bin/env bash
-# CI entry point: configure, build, and run the test suite in the portable
-# configuration and again with IAM_NATIVE=ON (-march=native kernels). The
-# two configs are the bit-compatibility contract of DESIGN.md §10 — the
-# kernel fuzz tests assert exact equality in the first and tolerance-based
-# equality in the second, so both must stay green.
+# CI entry point (DESIGN.md §11). Stages, in order:
+#
+#   1. lint        scripts/lint.sh — format + clang-tidy (when clang tooling
+#                  is installed) + the always-on repo-specific grep bans.
+#   2. default     portable build, full ctest.
+#   3. native      IAM_NATIVE=ON (-march=native kernels), full ctest. The
+#                  default/native pair is the bit-compatibility contract of
+#                  DESIGN.md §10 — exact equality in the first, tolerance-
+#                  based in the second — so both must stay green.
+#   4. ubsan       IAM_SANITIZE=undefined, quick gate (ctest -LE slow).
+#   5. werror      clang-only: -Wthread-safety -Werror build (IAM_WERROR=ON),
+#                  no test run — this is the lock-discipline gate; breaking
+#                  an annotation fails the build itself.
+#   6. sanitize    optional, IAM_CI_SANITIZE=thread|address: quick gate under
+#                  that sanitizer on top of the above.
+#
+# Sanitizer configs run `ctest -LE slow` (the `slow` label marks the
+# multi-second training/VBGMM cases) so a full CI round stays bounded; the
+# default and native configs always run everything.
+#
+# clang is optional: stages 1 and 5 degrade to a skip on a gcc-only host.
+# Set IAM_CI_REQUIRE_CLANG=1 (the clang CI lane does) to turn a missing
+# clang/clang-tidy/clang-format into a hard failure.
 #
 # Usage: scripts/ci.sh [build-dir-prefix]
-#   scripts/ci.sh            # builds into build-ci-default/ and build-ci-native/
-#   IAM_CI_SANITIZE=thread scripts/ci.sh   # adds a TSan config on top
+#   scripts/ci.sh                          # build-ci-* build trees
+#   IAM_CI_SANITIZE=thread scripts/ci.sh   # adds a TSan quick-gate config
+#   IAM_CI_REQUIRE_CLANG=1 scripts/ci.sh   # clang lane: lint + werror enforced
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 prefix="${1:-build-ci}"
 jobs="$(nproc 2>/dev/null || echo 2)"
+require_clang="${IAM_CI_REQUIRE_CLANG:-0}"
 
+# run_config <dir> <ctest-args...> -- <cmake-args...>
 run_config() {
   local dir="$1"
+  shift
+  local ctest_args=()
+  while [[ "$1" != "--" ]]; do
+    ctest_args+=("$1")
+    shift
+  done
   shift
   echo "=== configure ${dir} ($*) ==="
   cmake -B "${dir}" -S . "$@" >/dev/null
   echo "=== build ${dir} ==="
   cmake --build "${dir}" -j "${jobs}"
-  echo "=== ctest ${dir} ==="
-  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+  echo "=== ctest ${dir} ${ctest_args[*]} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}" "${ctest_args[@]}"
 }
 
-run_config "${prefix}-default"
-run_config "${prefix}-native" -DIAM_NATIVE=ON
+# --- Stage 1: lint. --------------------------------------------------------
+# Needs a compile_commands.json for clang-tidy; the default config below
+# writes one, so configure it first and lint against it.
+echo "=== configure ${prefix}-default (for compile_commands.json) ==="
+cmake -B "${prefix}-default" -S . >/dev/null
+scripts/lint.sh "${prefix}-default"
 
-# Optional sanitizer pass (slow): IAM_CI_SANITIZE=thread or address.
+# --- Stages 2-3: portable + native, full suite. ----------------------------
+run_config "${prefix}-default" --
+run_config "${prefix}-native" -- -DIAM_NATIVE=ON
+
+# --- Stage 4: UBSan quick gate. --------------------------------------------
+run_config "${prefix}-ubsan" -LE slow -- -DIAM_SANITIZE=undefined
+
+# --- Stage 5: thread-safety -Werror build (clang only). --------------------
+if command -v clang++ >/dev/null 2>&1; then
+  echo "=== configure ${prefix}-werror (clang, -Wthread-safety -Werror) ==="
+  cmake -B "${prefix}-werror" -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DIAM_WERROR=ON >/dev/null
+  echo "=== build ${prefix}-werror ==="
+  cmake --build "${prefix}-werror" -j "${jobs}"
+elif [[ "${require_clang}" == "1" ]]; then
+  echo "ci: FATAL: clang++ not found and IAM_CI_REQUIRE_CLANG=1" >&2
+  exit 1
+else
+  echo "ci: clang++ not found; -Wthread-safety gate skipped" \
+       "(IAM_CI_REQUIRE_CLANG=1 enforces)"
+fi
+
+# --- Stage 6: optional sanitizer quick gate. -------------------------------
+# IAM_CI_SANITIZE=thread or address; slow cases excluded to bound runtime.
 if [[ -n "${IAM_CI_SANITIZE:-}" ]]; then
-  run_config "${prefix}-${IAM_CI_SANITIZE}" "-DIAM_SANITIZE=${IAM_CI_SANITIZE}"
+  run_config "${prefix}-${IAM_CI_SANITIZE}" -LE slow -- \
+    "-DIAM_SANITIZE=${IAM_CI_SANITIZE}"
 fi
 
 echo "CI OK"

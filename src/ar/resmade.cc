@@ -127,16 +127,19 @@ ResMade::ResMade(std::vector<int> domain_sizes, ResMadeConfig config,
   BumpWeightVersion();
 }
 
-void ResMade::BumpWeightVersion() { weight_version_ = NextWeightVersion(); }
+void ResMade::BumpWeightVersion() {
+  weight_version_.store(NextWeightVersion(), std::memory_order_release);
+}
 
 void ResMade::RefreshTransposedWeights(nn::EvalWorkspace& ws) const {
-  if (ws.wt_version == weight_version_) return;
+  const uint64_t version = weight_version_.load(std::memory_order_acquire);
+  if (ws.wt_version == version) return;
   ws.wt.resize(hidden_.size() + 1);
   for (size_t i = 0; i < hidden_.size(); ++i) {
     nn::TransposeInto(hidden_[i].weight().value, ws.wt[i]);
   }
   nn::TransposeInto(output_.weight().value, ws.wt.back());
-  ws.wt_version = weight_version_;
+  ws.wt_version = version;
 }
 
 void ResMade::RegisterParameters(nn::Adam& adam) {

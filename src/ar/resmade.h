@@ -1,6 +1,7 @@
 #ifndef IAM_AR_RESMADE_H_
 #define IAM_AR_RESMADE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <istream>
 #include <memory>
@@ -156,7 +157,12 @@ class ResMade {
 
   // Monotone token identifying the current weight values; workspaces compare
   // it against their transposed-weight caches. See RefreshTransposedWeights.
-  uint64_t weight_version_ = 0;
+  // Atomic because eval threads load it on every forward pass while another
+  // thread may be training a *different* model (all versions come from one
+  // process-global counter); release/acquire ordering makes the token itself
+  // race-free. Weight *values* are still protected only by the documented
+  // contract: TrainStep must not overlap evaluation on the same model.
+  std::atomic<uint64_t> weight_version_{0};
 
   // Private scratch for TrainStep (activation caches for the backward pass).
   Context train_ctx_;

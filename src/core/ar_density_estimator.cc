@@ -64,6 +64,8 @@ ArDensityEstimator::ArDensityEstimator(const data::Table& table,
 ArDensityEstimator::~ArDensityEstimator() = default;
 
 void ArDensityEstimator::BuildColumns(const data::Table& table) {
+  // Build-time only (construction is exclusive); taken for the pool() calls.
+  util::MutexLock lock(batch_mu_);
   columns_.resize(table.num_columns());
 
   // Autoregressive order: identity unless the caller supplied a permutation.
@@ -483,6 +485,10 @@ ArDensityEstimator::QueryRun ArDensityEstimator::RunQuerySampling(
 
 std::vector<double> ArDensityEstimator::EstimateBatch(
     std::span<const query::Query> qs) {
+  // Serializes concurrent batch calls (each still parallel internally) and
+  // covers the per-worker scratch slots. Determinism makes the interleaving
+  // unobservable: every query's estimate depends only on (seed, query index).
+  util::MutexLock lock(batch_mu_);
   EnsureScratch();
   const int sp = options_.progressive_samples;
   std::vector<double> estimates(qs.size(), 0.0);
@@ -507,6 +513,7 @@ ArDensityEstimator::AggregateResult ArDensityEstimator::EstimateAggregate(
   IAM_CHECK(target_col >= 0 &&
             target_col < static_cast<int>(columns_.size()));
   AggregateResult result;
+  util::MutexLock lock(batch_mu_);
   EnsureScratch();
   Rng rng(options_.seed ^ 0xa99f00dULL);
   const QueryRun run = RunQuerySampling(q, target_col, rng, scratch_[0]);
@@ -600,7 +607,9 @@ Result<std::unique_ptr<ArDensityEstimator>> ArDensityEstimator::Load(
   IAM_RETURN_IF_ERROR(ReadString(in, &magic));
   if (magic != kModelMagic) return Status::IoError("not an IAM model file");
 
-  std::unique_ptr<ArDensityEstimator> est(new ArDensityEstimator());
+  // NOLINT(iam-naked-new): the Load() constructor is private, so
+  // std::make_unique cannot reach it; ownership is taken on the same line.
+  std::unique_ptr<ArDensityEstimator> est(new ArDensityEstimator());  // NOLINT
   uint8_t use_reduction = 0, biased = 0;
   IAM_RETURN_IF_ERROR(ReadString(in, &est->options_.display_name));
   IAM_RETURN_IF_ERROR(ReadPod(in, &use_reduction));

@@ -16,6 +16,7 @@
 #include "nn/adam.h"
 #include "query/query.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace iam::core {
@@ -193,7 +194,7 @@ class ArDensityEstimator : public estimator::Estimator {
   QueryRun RunQuerySampling(const query::Query& q, int force_active_col,
                             Rng& rng, InferenceScratch& scratch) const;
   // Grows the per-worker scratch vector to the pool size.
-  void EnsureScratch();
+  void EnsureScratch() IAM_REQUIRES(batch_mu_);
 
   ArDensityEstimator() : rng_(0) {}  // for Load()
 
@@ -225,7 +226,11 @@ class ArDensityEstimator : public estimator::Estimator {
   Rng rng_;  // training-only (sampling rows, shuffling, wildcard masking)
   double last_epoch_loss_ = 0.0;
 
-  std::vector<InferenceScratch> scratch_;  // one slot per pool worker
+  // One slot per pool worker. Guarded by the base class's batch mutex: the
+  // batch entry points (EstimateBatch, EstimateAggregate) serialize on
+  // batch_mu_, so two external callers never share a slot even though the
+  // pool hands out the same worker ids to both.
+  std::vector<InferenceScratch> scratch_ IAM_GUARDED_BY(batch_mu_);
 };
 
 }  // namespace iam::core

@@ -15,10 +15,16 @@ std::vector<double> Estimator::EstimateBatch(
 }
 
 void Estimator::set_num_threads(int num_threads) {
+  util::MutexLock lock(batch_mu_);
   num_threads = std::max(1, num_threads);
   if (num_threads == num_threads_) return;
   num_threads_ = num_threads;
   pool_.reset();  // rebuilt with the new size on next use
+}
+
+int Estimator::num_threads() const {
+  util::MutexLock lock(batch_mu_);
+  return num_threads_;
 }
 
 util::ThreadPool& Estimator::pool() {
@@ -29,6 +35,7 @@ util::ThreadPool& Estimator::pool() {
 std::vector<double> Estimator::ParallelEstimateBatch(
     std::span<const query::Query> qs,
     const std::function<double(const query::Query&)>& estimate_one) {
+  util::MutexLock lock(batch_mu_);
   std::vector<double> out(qs.size());
   pool().ParallelFor(qs.size(),
                      [&](size_t i, int) { out[i] = estimate_one(qs[i]); });

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "query/query.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace iam::estimator {
@@ -37,22 +39,32 @@ class Estimator {
   // for the AR estimators, build-time fitting); 1 — fully serial — by
   // default. Contract: an estimator that parallelizes must return results
   // bit-identical to its serial execution. Takes effect on the next batch.
-  void set_num_threads(int num_threads);
-  int num_threads() const { return num_threads_; }
+  void set_num_threads(int num_threads) IAM_EXCLUDES(batch_mu_);
+  int num_threads() const IAM_EXCLUDES(batch_mu_);
 
  protected:
+  // Serializes every use of the pool and of per-worker inference scratch:
+  // concurrent EstimateBatch calls on one estimator from distinct threads
+  // are safe — they run one batch after another, each internally parallel —
+  // and results stay bit-identical to serial execution (deterministic
+  // per-query seeding makes them independent of arrival order). Subclass
+  // batch entry points take a MutexLock on this before touching pool() or
+  // any IAM_GUARDED_BY(batch_mu_) scratch.
+  mutable util::Mutex batch_mu_;
+
   // The lazily constructed pool with num_threads() workers.
-  util::ThreadPool& pool();
+  util::ThreadPool& pool() IAM_REQUIRES(batch_mu_);
 
   // Fans qs out over the pool, one query per index. `estimate_one` must be
   // safe to call concurrently — i.e. a pure scan over immutable model state.
   std::vector<double> ParallelEstimateBatch(
       std::span<const query::Query> qs,
-      const std::function<double(const query::Query&)>& estimate_one);
+      const std::function<double(const query::Query&)>& estimate_one)
+      IAM_EXCLUDES(batch_mu_);
 
  private:
-  int num_threads_ = 1;
-  std::unique_ptr<util::ThreadPool> pool_;
+  int num_threads_ IAM_GUARDED_BY(batch_mu_) = 1;
+  std::unique_ptr<util::ThreadPool> pool_ IAM_GUARDED_BY(batch_mu_);
 };
 
 // Estimates a two-term disjunction R_a OR R_b via inclusion-exclusion

@@ -81,6 +81,8 @@ void MscnEstimator::Train(std::span<const query::Query> queries,
                           std::span<const double> selectivities) {
   IAM_CHECK(queries.size() == selectivities.size());
   IAM_CHECK(!queries.empty());
+  // Training is exclusive by contract; taken for the wt_scratch_ annotation.
+  util::MutexLock lock(batch_mu_);
 
   // Precompute features and log targets.
   nn::Matrix features(static_cast<int>(queries.size()), feature_dim_);
@@ -108,11 +110,11 @@ void MscnEstimator::Train(std::span<const query::Query> queries,
         std::copy(src, src + feature_dim_, x.row(r));
       }
       adam_.ZeroGrad();
-      l1_->Forward(x, z1);
+      l1_->Forward(x, z1, wt_scratch_);
       nn::ReluForward(z1, a1);
-      l2_->Forward(a1, z2);
+      l2_->Forward(a1, z2, wt_scratch_);
       nn::ReluForward(z2, a2);
-      out_->Forward(a2, pred);
+      out_->Forward(a2, pred, wt_scratch_);
       dpred.Resize(b, 1);
       for (int r = 0; r < b; ++r) {
         const float diff =
@@ -135,17 +137,18 @@ double MscnEstimator::Estimate(const query::Query& q) {
 
 std::vector<double> MscnEstimator::EstimateBatch(
     std::span<const query::Query> qs) {
+  util::MutexLock lock(batch_mu_);
   nn::Matrix x(static_cast<int>(qs.size()), feature_dim_);
   for (size_t i = 0; i < qs.size(); ++i) {
     const std::vector<float> f = Featurize(qs[i]);
     std::copy(f.begin(), f.end(), x.row(static_cast<int>(i)));
   }
   nn::Matrix z1, a1, z2, a2, pred;
-  l1_->Forward(x, z1);
+  l1_->Forward(x, z1, wt_scratch_);
   nn::ReluForward(z1, a1);
-  l2_->Forward(a1, z2);
+  l2_->Forward(a1, z2, wt_scratch_);
   nn::ReluForward(z2, a2);
-  out_->Forward(a2, pred);
+  out_->Forward(a2, pred, wt_scratch_);
   std::vector<double> out(qs.size());
   for (size_t i = 0; i < qs.size(); ++i) {
     const double log_sel =

@@ -56,6 +56,10 @@ class MscnEstimator : public Estimator {
   std::unique_ptr<nn::MaskedLinear> l2_;
   std::unique_ptr<nn::MaskedLinear> out_;
   nn::Adam adam_;
+  // Transpose scratch for the layer forwards. Train and EstimateBatch both
+  // serialize on the base class's batch_mu_, so concurrent batch calls on
+  // one MSCN are safe (they run back to back).
+  nn::Matrix wt_scratch_ IAM_GUARDED_BY(batch_mu_);
   Rng rng_;
   double log_floor_;
   int epochs_;

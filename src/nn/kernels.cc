@@ -190,13 +190,13 @@ constexpr int kTransposeBatchThreshold = 8;
 
 template <bool kRelu>
 void ForwardDispatch(const Matrix& x, const Matrix& w,
-                     std::span<const float> bias, Matrix& y) {
+                     std::span<const float> bias, Matrix& y,
+                     Matrix& wt_scratch) {
   IAM_CHECK(w.cols() == x.cols());
   IAM_CHECK(bias.empty() || static_cast<int>(bias.size()) == w.rows());
   if (x.rows() >= kTransposeBatchThreshold) {
-    // Per-thread transpose scratch: reused across calls, so steady-state
+    // Caller-owned transpose scratch: reused across calls, so steady-state
     // batched inference pays one out*in copy per call (<1% of the GEMM).
-    static thread_local Matrix wt_scratch;
     TransposeInto(w, wt_scratch);
     ForwardTImpl<kRelu>(x, wt_scratch.data(), wt_scratch.cols(), x.cols(),
                         w.rows(), bias, y);
@@ -208,13 +208,15 @@ void ForwardDispatch(const Matrix& x, const Matrix& w,
 }  // namespace
 
 void LinearForward(const Matrix& x, const Matrix& w,
-                   std::span<const float> bias, Matrix& y) {
-  ForwardDispatch<false>(x, w, bias, y);
+                   std::span<const float> bias, Matrix& y,
+                   Matrix& wt_scratch) {
+  ForwardDispatch<false>(x, w, bias, y, wt_scratch);
 }
 
 void LinearReluForward(const Matrix& x, const Matrix& w,
-                       std::span<const float> bias, Matrix& y) {
-  ForwardDispatch<true>(x, w, bias, y);
+                       std::span<const float> bias, Matrix& y,
+                       Matrix& wt_scratch) {
+  ForwardDispatch<true>(x, w, bias, y, wt_scratch);
 }
 
 void LinearForwardT(const Matrix& x, const Matrix& wt,

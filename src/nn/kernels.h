@@ -40,16 +40,21 @@ void LinearBackwardRef(const Matrix& x, const Matrix& w, const Matrix& dy,
 
 // --- Tiled fast kernels. ---------------------------------------------------
 
-// Drop-in replacement for LinearForwardRef. Large batches transpose w into a
-// per-thread scratch buffer and run the strip kernel; small batches use a
-// row-major tile that amortizes the x loads over several output rows.
+// Drop-in replacement for LinearForwardRef. Large batches transpose w into
+// `wt_scratch` and run the strip kernel; small batches use a row-major tile
+// that amortizes the x loads over several output rows. `wt_scratch` is a
+// caller-owned transpose buffer (grown on demand, reused across calls so
+// steady-state batched inference pays one out*in copy per call); the kernel
+// layer itself keeps no state, hidden or otherwise, so thread-safety is
+// entirely the caller's scratch ownership — see DESIGN.md §11.
 void LinearForward(const Matrix& x, const Matrix& w,
-                   std::span<const float> bias, Matrix& y);
+                   std::span<const float> bias, Matrix& y, Matrix& wt_scratch);
 
 // Fused y = relu(x * W^T + bias): one pass, no separate pre-activation
 // matrix. Bit-compatible with LinearForwardRef followed by a ReLU.
 void LinearReluForward(const Matrix& x, const Matrix& w,
-                       std::span<const float> bias, Matrix& y);
+                       std::span<const float> bias, Matrix& y,
+                       Matrix& wt_scratch);
 
 // Strip kernel over pre-transposed weights wt: [in, out] (wt[i][o] ==
 // w[o][i]). The layout every per-workspace weight cache stores; column

@@ -42,12 +42,19 @@ void MaskedLinear::ApplyMaskToWeights() {
   }
 }
 
-void MaskedLinear::Forward(const Matrix& x, Matrix& y) const {
+void MaskedLinear::Forward(const Matrix& x, Matrix& y,
+                           Matrix& wt_scratch) const {
   // Masked weights are kept exactly zero (masked at init, gradients masked on
   // every backward pass, and Adam leaves zero-gradient entries untouched), so
   // the plain GEMM is equivalent to (W∘M).
   LinearForward(x, weight_.value,
-                {bias_.value.data(), static_cast<size_t>(out_)}, y);
+                {bias_.value.data(), static_cast<size_t>(out_)}, y,
+                wt_scratch);
+}
+
+void MaskedLinear::Forward(const Matrix& x, Matrix& y) const {
+  Matrix wt_scratch;
+  Forward(x, y, wt_scratch);
 }
 
 void MaskedLinear::Backward(const Matrix& x, const Matrix& dy, Matrix& dx) {

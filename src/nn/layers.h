@@ -38,7 +38,13 @@ class MaskedLinear {
   int in_features() const { return in_; }
   int out_features() const { return out_; }
 
-  // y = x (W∘M)^T + b.
+  // y = x (W∘M)^T + b. `wt_scratch` is the caller-owned transpose buffer the
+  // large-batch kernel path needs (see nn::LinearForward); holding one per
+  // caller keeps the layer free of mutable state, so a const MaskedLinear is
+  // safely shared across threads.
+  void Forward(const Matrix& x, Matrix& y, Matrix& wt_scratch) const;
+  // Convenience overload with a throwaway scratch (tests, one-off calls);
+  // re-allocates the transpose buffer on every large-batch call.
   void Forward(const Matrix& x, Matrix& y) const;
 
   // Accumulates weight/bias grads; writes dx (input gradient).

@@ -37,7 +37,12 @@ class Matrix {
   Matrix& operator=(const Matrix& other) {
     if (this != &other) {
       ResizeUninitialized(other.rows_, other.cols_);
-      std::memcpy(data_.get(), other.data_.get(), size() * sizeof(float));
+      // Guard the empty case: memcpy/memset with a null pointer is undefined
+      // even for length 0 (the pointers are declared nonnull), and a [0, x]
+      // matrix holds no buffer. Caught by IAM_SANITIZE=undefined.
+      if (size() != 0) {
+        std::memcpy(data_.get(), other.data_.get(), size() * sizeof(float));
+      }
     }
     return *this;
   }
@@ -84,7 +89,10 @@ class Matrix {
     return {row(r), (size_t)cols_};
   }
 
-  void Zero() { std::memset(data_.get(), 0, size() * sizeof(float)); }
+  void Zero() {
+    // size() == 0 may mean no buffer at all; see operator= for the UB note.
+    if (size() != 0) std::memset(data_.get(), 0, size() * sizeof(float));
+  }
 
   // Resizes to [rows, cols], preserving the flat element prefix (vector
   // semantics: existing data up to min(old, new) flat size survives; any
@@ -96,7 +104,9 @@ class Matrix {
     const size_t new_size = static_cast<size_t>(rows) * cols;
     if (new_size > capacity_) {
       AlignedBuffer grown(Allocate(new_size));
-      std::memcpy(grown.get(), data_.get(), old_size * sizeof(float));
+      if (old_size != 0) {
+        std::memcpy(grown.get(), data_.get(), old_size * sizeof(float));
+      }
       data_ = std::move(grown);
       capacity_ = new_size;
     }

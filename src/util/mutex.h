@@ -1,0 +1,54 @@
+#ifndef IAM_UTIL_MUTEX_H_
+#define IAM_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace iam::util {
+
+// std::mutex wrapped as a Thread Safety Analysis capability. All lock-based
+// synchronization in the library goes through Mutex/MutexLock so clang's
+// -Wthread-safety can verify lock discipline (fields annotated
+// IAM_GUARDED_BY(mu) are only touched with mu held); see DESIGN.md §11.
+class IAM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() IAM_ACQUIRE() { mu_.lock(); }
+  void Unlock() IAM_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// RAII holder for a Mutex, with condition-variable waits. The wait methods
+// atomically release the mutex while blocked and reacquire it before
+// returning, as std::condition_variable does; TSA treats the capability as
+// held across the wait, which matches the caller-visible contract (the
+// guarded state may only be examined before and after, never during).
+class IAM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) IAM_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() IAM_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // One blocking wait on `cv`. Callers loop on their predicate:
+  //   while (!ready_) lock.Wait(cv_);
+  // keeping the predicate in the enclosing scope, where TSA can check the
+  // guarded reads against the held capability.
+  void Wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace iam::util
+
+#endif  // IAM_UTIL_MUTEX_H_

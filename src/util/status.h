@@ -22,7 +22,10 @@ enum class StatusCode {
   kIoError,
 };
 
-class Status {
+// [[nodiscard]]: silently dropping a Status turns a recoverable failure into
+// a wrong answer (e.g. an unread model deserialized half-way); every call
+// site must consume the status or explicitly cast it away with a comment.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -61,7 +64,7 @@ class Status {
 
 // A value-or-error holder in the spirit of absl::StatusOr.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : data_(std::move(value)) {}  // NOLINT

@@ -1,0 +1,56 @@
+#ifndef IAM_UTIL_THREAD_ANNOTATIONS_H_
+#define IAM_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis annotations (-Wthread-safety). Under clang
+// every macro expands to the corresponding attribute and lock discipline is
+// verified at compile time (scripts/ci.sh builds with -Wthread-safety
+// -Werror when clang is available); under every other compiler they expand
+// to nothing, so annotated code stays portable. See DESIGN.md §11 for the
+// conventions and https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for
+// the underlying model.
+//
+// Conventions:
+//  - Shared fields carry IAM_GUARDED_BY(mu) naming the capability that
+//    protects them.
+//  - Functions that must be called with a capability held are annotated
+//    IAM_REQUIRES(mu); functions that take it internally are annotated
+//    IAM_EXCLUDES(mu) so self-deadlock is a compile error.
+//  - util::Mutex / util::MutexLock (util/mutex.h) are the annotated lock
+//    types; raw std::mutex is reserved for code TSA cannot model.
+
+#if defined(__clang__)
+#define IAM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IAM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Declares a lock type (class annotation).
+#define IAM_CAPABILITY(x) IAM_THREAD_ANNOTATION(capability(x))
+// Declares an RAII lock holder (class annotation).
+#define IAM_SCOPED_CAPABILITY IAM_THREAD_ANNOTATION(scoped_lockable)
+
+// Field/variable is protected by the given capability.
+#define IAM_GUARDED_BY(x) IAM_THREAD_ANNOTATION(guarded_by(x))
+// Pointee (not the pointer itself) is protected by the given capability.
+#define IAM_PT_GUARDED_BY(x) IAM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Caller must hold the capability / must not hold it.
+#define IAM_REQUIRES(...) \
+  IAM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define IAM_EXCLUDES(...) IAM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Function acquires / releases the capability.
+#define IAM_ACQUIRE(...) \
+  IAM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IAM_RELEASE(...) \
+  IAM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Function returns a reference to the given capability.
+#define IAM_RETURN_CAPABILITY(x) IAM_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for code whose locking TSA cannot follow; every use must
+// carry a comment justifying why it is safe.
+#define IAM_NO_THREAD_SAFETY_ANALYSIS \
+  IAM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // IAM_UTIL_THREAD_ANNOTATIONS_H_

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   work_ready_.notify_all();
@@ -27,42 +27,45 @@ int ThreadPool::HardwareThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
-void ThreadPool::RunChunk(int worker) {
-  // Contiguous static partition of [0, job_size_).
-  const size_t n = job_size_;
+void ThreadPool::RunChunk(int worker, const Body& body, size_t n) const {
+  // Contiguous static partition of [0, n).
   const size_t t = static_cast<size_t>(num_threads_);
   const size_t begin = n * worker / t;
   const size_t end = n * (worker + 1) / t;
-  for (size_t i = begin; i < end; ++i) (*body_)(i, worker);
+  for (size_t i = begin; i < end; ++i) body(i, worker);
 }
 
 void ThreadPool::WorkerLoop(int worker) {
   uint64_t seen = 0;
   for (;;) {
+    const Body* body = nullptr;
+    size_t n = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock,
-                       [&] { return shutdown_ || generation_ != seen; });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && generation_ == seen) lock.Wait(work_ready_);
       if (shutdown_) return;
       seen = generation_;
+      // Copy the job under the lock; RunChunk then runs lock-free. The
+      // pointee stays valid until ParallelFor observes workers_running_ == 0.
+      body = body_;
+      n = job_size_;
     }
-    RunChunk(worker);
+    RunChunk(worker, *body, n);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--workers_running_ == 0) work_done_.notify_one();
     }
   }
 }
 
-void ThreadPool::ParallelFor(
-    size_t n, const std::function<void(size_t index, int worker)>& body) {
+void ThreadPool::ParallelFor(size_t n, const Body& body) {
   if (n == 0) return;
   if (num_threads_ == 1) {
     for (size_t i = 0; i < n; ++i) body(i, 0);
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     IAM_CHECK_MSG(body_ == nullptr, "reentrant ParallelFor is not supported");
     body_ = &body;
     job_size_ = n;
@@ -70,9 +73,9 @@ void ThreadPool::ParallelFor(
     ++generation_;
   }
   work_ready_.notify_all();
-  RunChunk(/*worker=*/0);
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [&] { return workers_running_ == 0; });
+  RunChunk(/*worker=*/0, body, n);
+  MutexLock lock(mutex_);
+  while (workers_running_ != 0) lock.Wait(work_done_);
   body_ = nullptr;
   job_size_ = 0;
 }

@@ -3,10 +3,13 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace iam::util {
 
@@ -19,8 +22,14 @@ namespace iam::util {
 //
 // The calling thread participates as worker 0; a pool of size 1 therefore
 // runs everything inline and spawns no threads at all.
+//
+// All cross-thread state is guarded by mutex_ and annotated for clang's
+// Thread Safety Analysis; the job body and size are handed to RunChunk by
+// value, so workers touch no guarded state while running user code.
 class ThreadPool {
  public:
+  using Body = std::function<void(size_t index, int worker)>;
+
   // Clamped to >= 1. The pool keeps num_threads - 1 background workers.
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
@@ -34,29 +43,32 @@ class ThreadPool {
   // the id (in [0, num_threads)) of the thread running that index. Blocks
   // until every index has completed. body must be safe to call concurrently
   // for distinct indices; indices within one chunk run in increasing order.
-  // Reentrant calls from inside body are not supported.
-  void ParallelFor(size_t n,
-                   const std::function<void(size_t index, int worker)>& body);
+  // Reentrant calls from inside body are not supported, and concurrent
+  // ParallelFor calls from distinct threads are not supported either —
+  // callers serialize (see estimator::Estimator::batch_mu_).
+  void ParallelFor(size_t n, const Body& body) IAM_EXCLUDES(mutex_);
 
   // std::thread::hardware_concurrency with a floor of 1.
   static int HardwareThreads();
 
  private:
-  void WorkerLoop(int worker);
-  void RunChunk(int worker);
+  void WorkerLoop(int worker) IAM_EXCLUDES(mutex_);
+  // Runs this worker's contiguous chunk of [0, n). Pure: takes the job by
+  // argument so it reads no guarded state.
+  void RunChunk(int worker, const Body& body, size_t n) const;
 
   const int num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
+  Mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
   // Generation counter: bumping it publishes a new job to the workers.
-  uint64_t generation_ = 0;
-  int workers_running_ = 0;
-  bool shutdown_ = false;
-  const std::function<void(size_t, int)>* body_ = nullptr;
-  size_t job_size_ = 0;
+  uint64_t generation_ IAM_GUARDED_BY(mutex_) = 0;
+  int workers_running_ IAM_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ IAM_GUARDED_BY(mutex_) = false;
+  const Body* body_ IAM_GUARDED_BY(mutex_) = nullptr;
+  size_t job_size_ IAM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace iam::util

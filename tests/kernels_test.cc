@@ -84,14 +84,14 @@ TEST(KernelsTest, LinearForwardMatchesReferenceAcrossShapes) {
         FillRandom(w, rng);
         const std::vector<float> bias = RandomBias(out, rng);
 
-        Matrix want, got;
+        Matrix want, got, wt_scratch;
         LinearForwardRef(x, w, bias, want);
-        LinearForward(x, w, bias, got);
+        LinearForward(x, w, bias, got, wt_scratch);
         ExpectSameMatrix(got, want);
 
         // Empty bias path.
         LinearForwardRef(x, w, {}, want);
-        LinearForward(x, w, {}, got);
+        LinearForward(x, w, {}, got, wt_scratch);
         ExpectSameMatrix(got, want);
       }
     }
@@ -116,8 +116,8 @@ TEST(KernelsTest, FusedReluMatchesReferenceThenRelu) {
             if (!(want.at(r, c) > 0.0f)) want.at(r, c) = 0.0f;
           }
         }
-        Matrix got;
-        LinearReluForward(x, w, bias, got);
+        Matrix got, wt_scratch;
+        LinearReluForward(x, w, bias, got, wt_scratch);
         ExpectSameMatrix(got, want);
       }
     }
@@ -166,7 +166,7 @@ TEST(KernelsTest, ForwardTSliceMatchesColumnWindowOfFullProduct) {
   Matrix full;
   LinearForwardRef(x, w, bias, full);
 
-  for (const auto [col0, width] : {std::pair{0, 1},
+  for (const auto& [col0, width] : {std::pair{0, 1},
                                    std::pair{0, out},
                                    std::pair{13, 5},
                                    std::pair{out - 1, 1},

@@ -31,8 +31,8 @@ TEST(MatrixTest, LinearForwardMatchesManual) {
   for (int o = 0; o < 3; ++o)
     for (int i = 0; i < 2; ++i) w.at(o, i) = val += 0.5f;
   std::vector<float> bias = {0.1f, 0.2f, 0.3f};
-  Matrix y;
-  LinearForward(x, w, bias, y);
+  Matrix y, wt_scratch;
+  LinearForward(x, w, bias, y, wt_scratch);
   ASSERT_EQ(y.rows(), 1);
   ASSERT_EQ(y.cols(), 3);
   for (int o = 0; o < 3; ++o) {
@@ -55,15 +55,15 @@ TEST(MatrixTest, LinearBackwardGradCheck) {
 
   // Loss = sum of squares of outputs; dL/dy = 2y.
   auto loss = [&](const Matrix& weights) {
-    Matrix y;
-    LinearForward(x, weights, bias, y);
+    Matrix y, wt_scratch;
+    LinearForward(x, weights, bias, y, wt_scratch);
     double total = 0.0;
     for (size_t i = 0; i < y.size(); ++i) total += y.data()[i] * y.data()[i];
     return total;
   };
 
-  Matrix y;
-  LinearForward(x, w, bias, y);
+  Matrix y, wt_scratch;
+  LinearForward(x, w, bias, y, wt_scratch);
   Matrix dy(batch, out);
   for (size_t i = 0; i < y.size(); ++i) dy.data()[i] = 2.0f * y.data()[i];
   Matrix dx, dw(out, in);
