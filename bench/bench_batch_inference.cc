@@ -1,7 +1,13 @@
 // Reproduces Table 7: inference time with batch query processing on IMDB
 // (ms per query at batch sizes 1 / 64 / 128) for MSCN, Neurocard and IAM.
+//
+// `--json <path>` mirrors both sections into a machine-readable file
+// (BENCH_inference.json at the repo root) with the process metrics snapshot
+// merged in, mirroring bench_kernels' BENCH_kernels.json.
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -10,7 +16,26 @@
 namespace iam::bench {
 namespace {
 
-void Run() {
+struct Table7Row {
+  std::string estimator;
+  std::vector<double> ms_per_query;  // one per batch size
+};
+
+struct ScalingRow {
+  std::string estimator;
+  std::vector<double> ms_per_query;  // one per thread count
+  bool bit_identical = true;         // vs the 1-thread estimates
+};
+
+struct Results {
+  std::vector<int> batch_sizes;
+  std::vector<Table7Row> table7;
+  std::vector<int> thread_counts;
+  std::vector<ScalingRow> scaling;
+};
+
+Results Run() {
+  Results results;
   std::printf("\n### Table 7: batch inference on IMDB (ms per query)\n");
   const ImdbBundle imdb = MakeImdb();
   Rng rng(kDataSeed + 305);
@@ -24,15 +49,16 @@ void Run() {
   wopts.num_queries = 300;
   const auto train = query::GenerateEvaluatedWorkload(join_sample, wopts, rng);
 
-  const std::vector<int> batch_sizes = {1, 64, 128};
+  results.batch_sizes = {1, 64, 128};
   std::printf("%-10s %12s %12s %12s\n", "estimator", "batch=1", "batch=64",
               "batch=128");
 
   const std::vector<std::string> names = {"mscn", "neurocard", "iam"};
   for (const std::string& name : names) {
     auto est = MakeTrainedEstimator(name, join_sample, train, 0);
+    Table7Row row{name, {}};
     std::printf("%-10s", name.c_str());
-    for (int batch : batch_sizes) {
+    for (int batch : results.batch_sizes) {
       Stopwatch watch;
       size_t processed = 0;
       for (size_t begin = 0; begin + batch <= test.queries.size();
@@ -42,9 +68,11 @@ void Run() {
         processed += batch;
       }
       const double ms = watch.ElapsedMillis() / static_cast<double>(processed);
+      row.ms_per_query.push_back(ms);
       std::printf(" %12.3f", ms);
       std::fflush(stdout);
     }
+    results.table7.push_back(std::move(row));
     std::printf("\n");
   }
 
@@ -55,34 +83,96 @@ void Run() {
   std::printf("\n### Batch inference thread scaling (batch=128, ms/query)\n");
   std::printf("%-10s %10s %10s %10s %10s %10s\n", "estimator", "1 thr",
               "2 thr", "4 thr", "8 thr", "speedup@4");
-  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  results.thread_counts = {1, 2, 4, 8};
   for (const std::string& name : names) {
     auto est = MakeTrainedEstimator(name, join_sample, train, 0);
+    ScalingRow row{name, {}, true};
     std::printf("%-10s", name.c_str());
-    std::vector<double> per_thread_ms;
     std::vector<double> serial_estimates;
-    for (int threads : thread_counts) {
+    for (int threads : results.thread_counts) {
       est->set_num_threads(threads);
       Stopwatch watch;
       std::vector<double> estimates = est->EstimateBatch(test.queries);
-      per_thread_ms.push_back(watch.ElapsedMillis() /
-                              static_cast<double>(test.queries.size()));
-      std::printf(" %10.3f", per_thread_ms.back());
+      row.ms_per_query.push_back(watch.ElapsedMillis() /
+                                 static_cast<double>(test.queries.size()));
+      std::printf(" %10.3f", row.ms_per_query.back());
       std::fflush(stdout);
       if (threads == 1) {
         serial_estimates = std::move(estimates);
       } else if (estimates != serial_estimates) {
+        row.bit_identical = false;
         std::printf(" [MISMATCH vs 1-thread!]");
       }
     }
-    std::printf(" %9.2fx\n", per_thread_ms[0] / per_thread_ms[2]);
+    std::printf(" %9.2fx\n", row.ms_per_query[0] / row.ms_per_query[2]);
+    results.scaling.push_back(std::move(row));
   }
+  return results;
+}
+
+void AppendMsArray(std::string& out, const std::vector<double>& ms) {
+  out += "[";
+  for (size_t i = 0; i < ms.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", ms[i]);
+    if (i > 0) out += ",";
+    out += buf;
+  }
+  out += "]";
+}
+
+void AppendIntArray(std::string& out, const std::vector<int>& xs) {
+  out += "[";
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(xs[i]);
+  }
+  out += "]";
+}
+
+bool WriteJson(const Results& results, const std::string& path) {
+  std::string out = "{\n  \"table7\": {\"batch_sizes\": ";
+  AppendIntArray(out, results.batch_sizes);
+  out += ", \"rows\": [";
+  for (size_t i = 0; i < results.table7.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\n    {\"estimator\": \"" + results.table7[i].estimator +
+           "\", \"ms_per_query\": ";
+    AppendMsArray(out, results.table7[i].ms_per_query);
+    out += "}";
+  }
+  out += "\n  ]},\n  \"thread_scaling\": {\"batch_size\": 128, \"threads\": ";
+  AppendIntArray(out, results.thread_counts);
+  out += ", \"rows\": [";
+  for (size_t i = 0; i < results.scaling.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\n    {\"estimator\": \"" + results.scaling[i].estimator +
+           "\", \"ms_per_query\": ";
+    AppendMsArray(out, results.scaling[i].ms_per_query);
+    out += ", \"bit_identical\": ";
+    out += results.scaling[i].bit_identical ? "true" : "false";
+    out += "}";
+  }
+  out += "\n  ]}\n}\n";
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << out;
+  return file.good();
 }
 
 }  // namespace
 }  // namespace iam::bench
 
-int main() {
-  iam::bench::Run();
+int main(int argc, char** argv) {
+  const std::string json_path = iam::bench::JsonOutPath(&argc, argv);
+  const iam::bench::Results results = iam::bench::Run();
+  if (!json_path.empty()) {
+    if (!iam::bench::WriteJson(results, json_path) ||
+        !iam::bench::MergeMetricsIntoJson(json_path)) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nresults written to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 
 #include "data/synthetic.h"
+#include "obs/metrics.h"
 #include "estimator/bayesnet.h"
 #include "estimator/kde.h"
 #include "estimator/mhist.h"
@@ -30,6 +33,26 @@ std::string JsonOutPath(int* argc, char** argv) {
   }
   *argc = w;
   return path;
+}
+
+bool MergeMetricsIntoJson(const std::string& path) {
+  const std::string metrics =
+      obs::MetricsToJson(obs::MetricRegistry::Global().Snapshot());
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) contents.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const size_t close = contents.find_last_of('}');
+  if (close == std::string::npos) {
+    contents = "{\"iam_metrics\":" + metrics + "}\n";
+  } else {
+    contents.insert(close, ",\"iam_metrics\":" + metrics + "\n");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << contents;
+  return out.good();
 }
 
 int BenchThreads() {

@@ -38,6 +38,13 @@ int BenchThreads();
 // the machine-readable file, e.g. BENCH_kernels.json at the repo root.
 std::string JsonOutPath(int* argc, char** argv);
 
+// Splices the current global metrics snapshot (obs::MetricsToJson) into an
+// existing JSON results file — e.g. one google-benchmark just wrote — as a
+// top-level "iam_metrics" key inserted before the file's closing '}'. Creates
+// the file holding just the metrics object when absent or malformed. Returns
+// false on I/O failure.
+bool MergeMetricsIntoJson(const std::string& path);
+
 // Builds one of the single-table datasets: "wisdm", "twi", "higgs".
 data::Table MakeDataset(const std::string& name);
 

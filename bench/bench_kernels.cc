@@ -2,6 +2,7 @@
 // is built on: dense linear forward/backward, ResMADE conditionals, GMM
 // assignment and range masses. Useful when tuning the substrate.
 
+#include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -228,5 +229,12 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // The kernels above run through the instrumented paths (pool, AR model,
+  // GMM); fold their metric totals into the same results file.
+  if (!json_path.empty() && !iam::bench::MergeMetricsIntoJson(json_path)) {
+    std::fprintf(stderr, "failed to merge metrics into %s\n",
+                 json_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -4,12 +4,19 @@
 //   model_cli estimate <model.iam> "<predicates>"
 //   model_cli demo                       # self-contained end-to-end demo
 //
+// Observability flags (any command):
+//   --metrics          dump the Prometheus text exposition to stdout on exit
+//   --metrics=FILE     ... to FILE instead
+//   --trace=FILE       record TraceSpans; write chrome://tracing JSON to FILE
+//                      and print the per-phase summary table
+//
 // Predicates use the SQL-style grammar of query::ParsePredicates, e.g.
 //   model_cli estimate twi.iam "latitude BETWEEN 35 AND 45 AND longitude <= -100"
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -18,6 +25,8 @@
 #include "core/presets.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/parser.h"
 
 namespace {
@@ -85,9 +94,66 @@ int Demo() {
   return rc;
 }
 
-}  // namespace
+// Observability flags, extracted from argv before command dispatch.
+struct ObsFlags {
+  bool metrics = false;
+  std::string metrics_path;  // empty -> stdout
+  std::string trace_path;    // empty -> tracing stays off
+};
 
-int main(int argc, char** argv) {
+ObsFlags ExtractObsFlags(int* argc, char** argv) {
+  ObsFlags flags;
+  int w = 0;
+  for (int r = 0; r < *argc; ++r) {
+    const std::string arg = argv[r];
+    if (arg == "--metrics") {
+      flags.metrics = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      flags.metrics = true;
+      flags.metrics_path = arg.substr(10);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      flags.trace_path = arg.substr(8);
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  *argc = w;
+  return flags;
+}
+
+int DumpObservability(const ObsFlags& flags) {
+  if (!flags.trace_path.empty()) {
+    iam::obs::TraceRecorder& recorder = iam::obs::TraceRecorder::Global();
+    if (!recorder.WriteChromeTracingJson(flags.trace_path)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   flags.trace_path.c_str());
+      return 1;
+    }
+    std::printf("\n%s", recorder.PhaseTable().c_str());
+    std::printf("trace written to %s (load via chrome://tracing)\n",
+                flags.trace_path.c_str());
+  }
+  if (flags.metrics) {
+    const std::string text = iam::obs::MetricsToPrometheus(
+        iam::obs::MetricRegistry::Global().Snapshot());
+    if (flags.metrics_path.empty()) {
+      std::printf("\n%s", text.c_str());
+    } else {
+      std::ofstream out(flags.metrics_path,
+                        std::ios::binary | std::ios::trunc);
+      out << text;
+      if (!out.good()) {
+        std::fprintf(stderr, "failed to write metrics to %s\n",
+                     flags.metrics_path.c_str());
+        return 1;
+      }
+      std::printf("metrics written to %s\n", flags.metrics_path.c_str());
+    }
+  }
+  return 0;
+}
+
+int Dispatch(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "demo") == 0) return Demo();
   if (argc >= 4 && std::strcmp(argv[1], "train") == 0) {
     return Train(argv[2], argv[3], argc >= 5 ? argv[4] : "");
@@ -100,7 +166,20 @@ int main(int argc, char** argv) {
                "usage:\n"
                "  %s train <data.csv> <model.iam> [cat_col,...]\n"
                "  %s estimate <model.iam> \"<predicates>\"\n"
-               "  %s demo\n",
+               "  %s demo\n"
+               "flags: --metrics[=FILE] --trace=FILE\n",
                argv[0], argv[0], argv[0]);
   return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ObsFlags flags = ExtractObsFlags(&argc, argv);
+  if (!flags.trace_path.empty()) {
+    iam::obs::TraceRecorder::Global().SetEnabled(true);
+  }
+  const int rc = Dispatch(argc, argv);
+  const int obs_rc = DumpObservability(flags);
+  return rc != 0 ? rc : obs_rc;
 }

@@ -12,7 +12,12 @@
 #   5. werror      clang-only: -Wthread-safety -Werror build (IAM_WERROR=ON),
 #                  no test run — this is the lock-discipline gate; breaking
 #                  an annotation fails the build itself.
-#   6. sanitize    optional, IAM_CI_SANITIZE=thread|address: quick gate under
+#   6. tsan-obs    TSan quick gate over the concurrency-sensitive tests
+#                  (obs_test, race_test, threadpool_test) — the sharded
+#                  metrics and per-thread trace buffers must stay race-free.
+#   7. obs smoke   model_cli demo --metrics=FILE: asserts the Prometheus
+#                  export is non-empty and has no duplicate metric names.
+#   8. sanitize    optional, IAM_CI_SANITIZE=thread|address: quick gate under
 #                  that sanitizer on top of the above.
 #
 # Sanitizer configs run `ctest -LE slow` (the `slow` label marks the
@@ -81,7 +86,35 @@ else
        "(IAM_CI_REQUIRE_CLANG=1 enforces)"
 fi
 
-# --- Stage 6: optional sanitizer quick gate. -------------------------------
+# --- Stage 6: TSan gate on the observability + concurrency tests. ----------
+# The sharded metric registry and per-thread trace buffers are written from
+# every pool worker; this gate proves them race-free under load.
+run_config "${prefix}-tsan-obs" -LE slow -R \
+  '^(CounterTest|RegistryTest|HistogramTest|ExportTest|TraceTest|ObsDeterminismTest|RaceTest|ThreadPoolTest)\.' \
+  -- -DIAM_SANITIZE=thread
+
+# --- Stage 7: metrics-export smoke test. -----------------------------------
+# Runs the end-to-end demo with --metrics and asserts the Prometheus text
+# parses: non-empty, and every metric family is declared exactly once.
+echo "=== obs smoke: model_cli demo --metrics ==="
+metrics_file="$(mktemp)"
+trap 'rm -f "${metrics_file}"' EXIT
+"${prefix}-default/examples/model_cli" demo "--metrics=${metrics_file}" \
+  >/dev/null
+if [[ ! -s "${metrics_file}" ]]; then
+  echo "ci: FATAL: --metrics produced an empty Prometheus export" >&2
+  exit 1
+fi
+dup_families="$(grep '^# TYPE ' "${metrics_file}" | awk '{print $3}' \
+                  | sort | uniq -d)"
+if [[ -n "${dup_families}" ]]; then
+  echo "ci: FATAL: duplicate metric families in Prometheus export:" >&2
+  echo "${dup_families}" >&2
+  exit 1
+fi
+echo "obs smoke OK ($(grep -c '^# TYPE ' "${metrics_file}") metric families)"
+
+# --- Stage 8: optional sanitizer quick gate. -------------------------------
 # IAM_CI_SANITIZE=thread or address; slow cases excluded to bound runtime.
 if [[ -n "${IAM_CI_SANITIZE:-}" ]]; then
   run_config "${prefix}-${IAM_CI_SANITIZE}" -LE slow -- \

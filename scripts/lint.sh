@@ -19,6 +19,10 @@
 #        - std::mutex & friends in src/ outside src/util/ (locking goes
 #                                        through the annotated util::Mutex so
 #                                        clang -Wthread-safety can see it)
+#        - std::chrono::system_clock / raw steady_clock::now() outside
+#          src/util/ + src/obs/       (all timing goes through util::Stopwatch
+#                                        so traces/latency metrics share one
+#                                        monotonic clock)
 #      A line containing NOLINT is exempt from the grep bans.
 #
 # --format-check runs stage 1 only.
@@ -111,7 +115,11 @@ ban "default-seeded local Rng in library code — pass an explicit seed" \
 ban "raw std::mutex outside util/ — use the annotated util::Mutex" \
     'std::mutex|std::lock_guard|std::unique_lock|std::scoped_lock' \
     src/ar src/bucketize src/core src/data src/estimator src/gmm src/join \
-    src/nn src/optimizer src/query
+    src/nn src/obs src/optimizer src/query
+ban "raw clocks outside util/ & obs/ — time through util::Stopwatch" \
+    'std::chrono::system_clock|steady_clock::now\(' \
+    src/ar src/bucketize src/core src/data src/estimator src/gmm src/join \
+    src/nn src/optimizer src/query tests bench examples
 
 if [[ "${failed}" == "0" ]]; then
   echo "lint OK"

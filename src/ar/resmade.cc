@@ -4,11 +4,43 @@
 #include <atomic>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math_util.h"
 #include "util/serialize.h"
+#include "util/stopwatch.h"
 
 namespace iam::ar {
 namespace {
+
+// Training and eval-cache instrumentation (DESIGN.md §12). The cache
+// counters sit on the ConditionalDistribution hot path: one shard-local
+// relaxed add per forward pass, invisible next to the matmuls.
+struct ArMetrics {
+  obs::Counter& train_steps;
+  obs::Counter& train_rows;
+  obs::Counter& wtcache_hits;
+  obs::Counter& wtcache_misses;
+  obs::Gauge& train_loss;
+  obs::Gauge& grad_norm;
+  obs::Histogram& step_seconds;
+
+  static ArMetrics& Get() {
+    static ArMetrics metrics = [] {
+      obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+      return ArMetrics{
+          reg.GetCounter("iam_ar_train_steps_total"),
+          reg.GetCounter("iam_ar_train_rows_total"),
+          reg.GetCounter("iam_nn_wtcache_hits_total"),
+          reg.GetCounter("iam_nn_wtcache_misses_total"),
+          reg.GetGauge("iam_ar_train_loss"),
+          reg.GetGauge("iam_ar_grad_norm"),
+          reg.GetHistogram("iam_ar_train_step_seconds", obs::LatencyBounds()),
+      };
+    }();
+    return metrics;
+  }
+};
 
 // Hidden-unit degree assignment: cyclic over [1, n-1]. Identical for every
 // layer so equal-width layers share degrees and residual additions are valid.
@@ -133,7 +165,11 @@ void ResMade::BumpWeightVersion() {
 
 void ResMade::RefreshTransposedWeights(nn::EvalWorkspace& ws) const {
   const uint64_t version = weight_version_.load(std::memory_order_acquire);
-  if (ws.wt_version == version) return;
+  if (ws.wt_version == version) {
+    ArMetrics::Get().wtcache_hits.Add();
+    return;
+  }
+  ArMetrics::Get().wtcache_misses.Add();
   ws.wt.resize(hidden_.size() + 1);
   for (size_t i = 0; i < hidden_.size(); ++i) {
     nn::TransposeInto(hidden_[i].weight().value, ws.wt[i]);
@@ -250,6 +286,8 @@ void ResMade::Forward(const nn::Matrix& x, nn::EvalWorkspace& ws) const {
 double ResMade::TrainStep(const std::vector<std::vector<int>>& batch,
                           nn::Adam& adam, Rng& rng) {
   IAM_CHECK(!batch.empty());
+  obs::TraceSpan span("ar.train_step");
+  Stopwatch step_watch;
   const int b = static_cast<int>(batch.size());
   const int n = num_columns();
 
@@ -329,11 +367,39 @@ double ResMade::TrainStep(const std::vector<std::vector<int>>& batch,
     }
   }
 
+  // Global gradient L2 norm, read before the optimizer consumes the grads.
+  // One linear pass over the parameters — cheap next to the batch-sized
+  // forward/backward above.
+  double grad_sq = 0.0;
+  const auto accumulate = [&grad_sq](const nn::Matrix& g) {
+    const float* p = g.data();
+    for (size_t k = 0; k < g.size(); ++k) {
+      grad_sq += static_cast<double>(p[k]) * static_cast<double>(p[k]);
+    }
+  };
+  for (const nn::MaskedLinear& layer : hidden_) {
+    accumulate(layer.weight().grad);
+    accumulate(layer.bias().grad);
+  }
+  accumulate(output_.weight().grad);
+  accumulate(output_.bias().grad);
+  for (const nn::Parameter& emb : embeddings_) {
+    if (emb.size() > 0) accumulate(emb.grad);
+  }
+
   adam.Step();
   // The step mutated the weights: invalidate every transposed-weight cache
   // (including train_ctx_'s own, at the top of the next TrainStep).
   BumpWeightVersion();
-  return total_loss / static_cast<double>(b);
+
+  const double mean_loss = total_loss / static_cast<double>(b);
+  ArMetrics& metrics = ArMetrics::Get();
+  metrics.train_steps.Add();
+  metrics.train_rows.Add(static_cast<uint64_t>(b));
+  metrics.train_loss.Set(mean_loss);
+  metrics.grad_norm.Set(std::sqrt(grad_sq));
+  metrics.step_seconds.Record(step_watch.ElapsedSeconds());
+  return mean_loss;
 }
 
 void ResMade::ConditionalDistribution(

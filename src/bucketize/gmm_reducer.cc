@@ -1,8 +1,20 @@
 #include "bucketize/gmm_reducer.h"
 
+#include "obs/metrics.h"
 #include "util/serialize.h"
 
 namespace iam::bucketize {
+namespace {
+
+// P̂_GMM(R_i) evaluation count (Section 4.2) — one per RangeMass call, i.e.
+// per (query predicate, progressive-sampling step) pair on the hot path.
+obs::Counter& RangeMassEvals() {
+  static obs::Counter& counter =
+      obs::MetricRegistry::Global().GetCounter("iam_gmm_range_mass_evals_total");
+  return counter;
+}
+
+}  // namespace
 
 GmmReducer::GmmReducer(gmm::Gmm1D gmm, int samples_per_component, bool exact,
                        uint64_t seed)
@@ -19,6 +31,7 @@ void GmmReducer::RefreshSamples(uint64_t seed) {
 }
 
 std::vector<double> GmmReducer::RangeMass(double lo, double hi) const {
+  RangeMassEvals().Add();
   if (exact_) return gmm::ExactRangeMass(gmm_, lo, hi);
   return samples_->RangeMass(lo, hi);
 }

@@ -10,13 +10,50 @@
 #include "core/sampling_utils.h"
 #include "gmm/laplace.h"
 #include "gmm/vbgm.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/serialize.h"
 #include "util/math_util.h"
+#include "util/stopwatch.h"
 
 namespace iam::core {
 
 using sampling::RangeSum;
 using sampling::SampleInRange;
+
+namespace {
+
+// Progressive-sampler and training telemetry. All of these are *semantic*
+// counters: their totals depend only on (model, queries, seed), never on the
+// thread count, because every query runs one deterministic sampling pass
+// (see EstimateBatch). The per-column fallback counters live on the
+// estimator (fallback_counters_) since their label set is per-model.
+struct CoreMetrics {
+  obs::Counter& sampler_queries;
+  obs::Counter& sampler_samples;
+  obs::Counter& sampler_dead_queries;
+  obs::Counter& train_epochs;
+  obs::Gauge& epoch_loss;
+  obs::Histogram& epoch_seconds;
+
+  static CoreMetrics& Get() {
+    static CoreMetrics metrics = [] {
+      obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+      return CoreMetrics{
+          reg.GetCounter("iam_sampler_queries_total"),
+          reg.GetCounter("iam_sampler_samples_total"),
+          reg.GetCounter("iam_sampler_dead_queries_total"),
+          reg.GetCounter("iam_core_train_epochs_total"),
+          reg.GetGauge("iam_core_epoch_loss"),
+          reg.GetHistogram("iam_core_train_epoch_seconds",
+                           obs::LatencyBounds()),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ArDensityEstimator::ArDensityEstimator(const data::Table& table,
                                        ArEstimatorOptions options)
@@ -33,6 +70,7 @@ ArDensityEstimator::ArDensityEstimator(const data::Table& table,
   BuildColumns(table);
   BuildTrainingSample(table);
   EncodeStaticColumns();
+  RegisterSamplerCounters();
 
   std::vector<int> domains(model_col_owner_.size());
   for (size_t m = 0; m < model_col_owner_.size(); ++m) {
@@ -62,6 +100,20 @@ ArDensityEstimator::ArDensityEstimator(const data::Table& table,
 }
 
 ArDensityEstimator::~ArDensityEstimator() = default;
+
+void ArDensityEstimator::RegisterSamplerCounters() {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  fallback_counters_.clear();
+  fallback_counters_.reserve(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const std::string& name =
+        c < column_names_.size() && !column_names_[c].empty()
+            ? column_names_[c]
+            : "col" + std::to_string(c);
+    fallback_counters_.push_back(&reg.GetCounter(
+        "iam_sampler_zero_mass_fallbacks_total", "column", name));
+  }
+}
 
 void ArDensityEstimator::BuildColumns(const data::Table& table) {
   // Build-time only (construction is exclusive); taken for the pool() calls.
@@ -232,6 +284,8 @@ void ArDensityEstimator::RefreshReducerSamples() {
 }
 
 double ArDensityEstimator::TrainEpoch() {
+  obs::TraceSpan span("core.train_epoch");
+  Stopwatch epoch_watch;
   std::vector<size_t> order(train_rows_);
   std::iota(order.begin(), order.end(), size_t{0});
   rng_.Shuffle(order);
@@ -278,6 +332,10 @@ double ArDensityEstimator::TrainEpoch() {
   RefreshReducerSamples();
   last_epoch_loss_ = batches > 0 ? loss_sum / static_cast<double>(batches)
                                  : 0.0;
+  CoreMetrics& metrics = CoreMetrics::Get();
+  metrics.train_epochs.Add();
+  metrics.epoch_loss.Set(last_epoch_loss_);
+  metrics.epoch_seconds.Record(epoch_watch.ElapsedSeconds());
   return last_epoch_loss_;
 }
 
@@ -357,6 +415,8 @@ ArDensityEstimator::QueryRun ArDensityEstimator::RunQuerySampling(
     InferenceScratch& scratch) const {
   const int num_model_cols = static_cast<int>(model_col_owner_.size());
   const int sp = options_.progressive_samples;
+  CoreMetrics& metrics = CoreMetrics::Get();
+  metrics.sampler_queries.Add();
 
   QueryRun run;
   run.constraints = BuildConstraints(q);
@@ -385,7 +445,10 @@ ArDensityEstimator::QueryRun ArDensityEstimator::RunQuerySampling(
     for (auto& row : run.samples) row[m] = wildcard;
   }
   run.weights.assign(sp, 1.0);
-  if (run.dead) return run;
+  if (run.dead) {
+    metrics.sampler_dead_queries.Add();
+    return run;
+  }
 
   std::vector<std::vector<int>>& gather = scratch.gather;
   std::vector<int>& gather_rows = scratch.gather_rows;
@@ -406,6 +469,8 @@ ArDensityEstimator::QueryRun ArDensityEstimator::RunQuerySampling(
       gather.push_back(run.samples[s]);
     }
     if (gather.empty()) continue;
+    // One progressive-sampling draw per live row at this AR step.
+    metrics.sampler_samples.Add(gather.size());
 
     made_->ConditionalDistribution(gather, m, scratch.probs, scratch.ctx);
 
@@ -472,6 +537,9 @@ ArDensityEstimator::QueryRun ArDensityEstimator::RunQuerySampling(
 
       if (sampled < 0 || mass <= 0.0) {
         run.weights[row] = 0.0;
+        if (owner < static_cast<int>(fallback_counters_.size())) {
+          fallback_counters_[owner]->Add();
+        }
         // Leave the wildcard in place; the row is skipped from now on.
         continue;
       }
@@ -488,6 +556,9 @@ std::vector<double> ArDensityEstimator::EstimateBatch(
   // Serializes concurrent batch calls (each still parallel internally) and
   // covers the per-worker scratch slots. Determinism makes the interleaving
   // unobservable: every query's estimate depends only on (seed, query index).
+  obs::TraceSpan span("core.estimate_batch");
+  estimator::BatchMetrics& batch_metrics = estimator::BatchMetrics::Get();
+  Stopwatch batch_watch;
   util::MutexLock lock(batch_mu_);
   EnsureScratch();
   const int sp = options_.progressive_samples;
@@ -496,15 +567,21 @@ std::vector<double> ArDensityEstimator::EstimateBatch(
   // pass per query: the result is independent of the thread count and of the
   // other queries in the batch.
   pool().ParallelFor(qs.size(), [&](size_t qi, int worker) {
+    Stopwatch query_watch;
     Rng rng(options_.seed ^ static_cast<uint64_t>(qi));
     const QueryRun run =
         RunQuerySampling(qs[qi], /*force_active_col=*/-1, rng,
                          scratch_[worker]);
-    if (run.dead) return;
-    double total = 0.0;
-    for (int s = 0; s < sp; ++s) total += run.weights[s];
-    estimates[qi] = Clamp(total / sp, 0.0, 1.0);
+    if (!run.dead) {
+      double total = 0.0;
+      for (int s = 0; s < sp; ++s) total += run.weights[s];
+      estimates[qi] = Clamp(total / sp, 0.0, 1.0);
+    }
+    batch_metrics.query_seconds.Record(query_watch.ElapsedSeconds());
   });
+  batch_metrics.queries.Add(qs.size());
+  batch_metrics.batches.Add();
+  batch_metrics.batch_seconds.Record(batch_watch.ElapsedSeconds());
   return estimates;
 }
 
@@ -672,6 +749,7 @@ Result<std::unique_ptr<ArDensityEstimator>> ArDensityEstimator::Load(
       static_cast<int>(est->model_col_owner_.size())) {
     return Status::IoError("AR model does not match the column mapping");
   }
+  est->RegisterSamplerCounters();
   return est;
 }
 

@@ -198,6 +198,11 @@ class ArDensityEstimator : public estimator::Estimator {
 
   ArDensityEstimator() : rng_(0) {}  // for Load()
 
+  // Resolves the per-column labeled counters (zero-mass wildcard fallbacks,
+  // keyed by column name) once per model so the sampler hot loop is a plain
+  // pointer chase. Called after column_names_ is known (ctor and Load()).
+  void RegisterSamplerCounters();
+
   void BuildColumns(const data::Table& table);
   void BuildTrainingSample(const data::Table& table);
   void EncodeStaticColumns();
@@ -220,6 +225,10 @@ class ArDensityEstimator : public estimator::Estimator {
   // Encoded tuples; reduced columns are re-encoded every batch while the GMM
   // is still moving.
   std::vector<std::vector<int>> encoded_;
+
+  // One registry-owned counter per table column:
+  // iam_sampler_zero_mass_fallbacks_total{column="<name>"}.
+  std::vector<obs::Counter*> fallback_counters_;
 
   std::unique_ptr<ar::ResMade> made_;
   nn::Adam adam_;

@@ -2,9 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/math_util.h"
+#include "util/stopwatch.h"
 
 namespace iam::estimator {
+
+BatchMetrics& BatchMetrics::Get() {
+  static BatchMetrics metrics = [] {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+    return BatchMetrics{
+        reg.GetCounter("iam_estimator_queries_total"),
+        reg.GetCounter("iam_estimator_batches_total"),
+        reg.GetHistogram("iam_estimator_query_seconds", obs::LatencyBounds()),
+        reg.GetHistogram("iam_estimator_batch_seconds", obs::LatencyBounds()),
+    };
+  }();
+  return metrics;
+}
 
 std::vector<double> Estimator::EstimateBatch(
     std::span<const query::Query> qs) {
@@ -35,10 +51,19 @@ util::ThreadPool& Estimator::pool() {
 std::vector<double> Estimator::ParallelEstimateBatch(
     std::span<const query::Query> qs,
     const std::function<double(const query::Query&)>& estimate_one) {
+  obs::TraceSpan span("estimator.batch");
+  BatchMetrics& metrics = BatchMetrics::Get();
+  Stopwatch batch_watch;
   util::MutexLock lock(batch_mu_);
   std::vector<double> out(qs.size());
-  pool().ParallelFor(qs.size(),
-                     [&](size_t i, int) { out[i] = estimate_one(qs[i]); });
+  pool().ParallelFor(qs.size(), [&](size_t i, int) {
+    Stopwatch query_watch;
+    out[i] = estimate_one(qs[i]);
+    metrics.query_seconds.Record(query_watch.ElapsedSeconds());
+  });
+  metrics.queries.Add(qs.size());
+  metrics.batches.Add();
+  metrics.batch_seconds.Record(batch_watch.ElapsedSeconds());
   return out;
 }
 

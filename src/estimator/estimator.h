@@ -12,7 +12,26 @@
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
+namespace iam::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace iam::obs
+
 namespace iam::estimator {
+
+// Instrumentation handles shared by every EstimateBatch implementation
+// (the parallel AR sampler and the scan baselines), resolved once from
+// obs::MetricRegistry::Global(): per-query and per-batch end-to-end latency
+// histograms plus the query/batch event counters. See DESIGN.md §12.
+struct BatchMetrics {
+  obs::Counter& queries;
+  obs::Counter& batches;
+  obs::Histogram& query_seconds;
+  obs::Histogram& batch_seconds;
+
+  static BatchMetrics& Get();
+};
 
 // Common interface of every selectivity estimator in the evaluation
 // (Section 6.1.2). Estimate() returns a selectivity in [0, 1]; callers apply

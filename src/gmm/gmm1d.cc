@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/macros.h"
 #include "util/math_util.h"
 #include "util/serialize.h"
@@ -14,6 +15,28 @@ constexpr double kMinSigma = 1e-6;
 constexpr double kAdamBeta1 = 0.9;
 constexpr double kAdamBeta2 = 0.999;
 constexpr double kAdamEps = 1e-8;
+
+// Mixture-training instrumentation: step counters plus last-seen NLL gauges
+// (the per-epoch convergence signal the benches read; see DESIGN.md §12).
+struct GmmMetrics {
+  obs::Counter& em_steps;
+  obs::Counter& sgd_steps;
+  obs::Gauge& em_nll;
+  obs::Gauge& sgd_nll;
+
+  static GmmMetrics& Get() {
+    static GmmMetrics metrics = [] {
+      obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+      return GmmMetrics{
+          reg.GetCounter("iam_gmm_em_steps_total"),
+          reg.GetCounter("iam_gmm_sgd_steps_total"),
+          reg.GetGauge("iam_gmm_em_nll"),
+          reg.GetGauge("iam_gmm_sgd_nll"),
+      };
+    }();
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -189,7 +212,11 @@ double Gmm1D::SgdStep(std::span<const double> batch) {
   }
 
   AdamUpdate(grad);
-  return total_nll * inv_b;
+  const double mean_nll = total_nll * inv_b;
+  GmmMetrics& metrics = GmmMetrics::Get();
+  metrics.sgd_steps.Add();
+  metrics.sgd_nll.Set(mean_nll);
+  return mean_nll;
 }
 
 void Gmm1D::AdamUpdate(std::span<const double> grad) {
@@ -247,7 +274,11 @@ double Gmm1D::EmStep(std::span<const double> data) {
     log_sigmas_[j] = 0.5 * std::log(var);
     weight_logits_[j] = std::log(std::max(nk[j] / n, 1e-300));
   }
-  return total_nll / n;
+  const double mean_nll = total_nll / n;
+  GmmMetrics& metrics = GmmMetrics::Get();
+  metrics.em_steps.Add();
+  metrics.em_nll.Set(mean_nll);
+  return mean_nll;
 }
 
 double Gmm1D::ComponentIntervalMass(int k, double lo, double hi) const {

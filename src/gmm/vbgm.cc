@@ -4,11 +4,34 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/macros.h"
 #include "util/math_util.h"
 
 namespace iam::gmm {
 namespace {
+
+// Convergence telemetry for the VB fits that size every column's mixture:
+// fit/iteration counters plus the mean-shift left at the final iteration
+// (relative to the 1e-6·σ tolerance — near-zero means true convergence,
+// larger means the iteration cap ended the fit).
+struct VbgmMetrics {
+  obs::Counter& fits;
+  obs::Counter& iterations;
+  obs::Gauge& final_shift;
+
+  static VbgmMetrics& Get() {
+    static VbgmMetrics metrics = [] {
+      obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+      return VbgmMetrics{
+          reg.GetCounter("iam_gmm_vbgm_fits_total"),
+          reg.GetCounter("iam_gmm_vbgm_iterations_total"),
+          reg.GetGauge("iam_gmm_vbgm_final_shift"),
+      };
+    }();
+    return metrics;
+  }
+};
 
 // Digamma via the asymptotic expansion with argument shifting; accurate to
 // ~1e-10 for x > 0, which is ample for VB updates.
@@ -65,6 +88,7 @@ VbgmResult FitVbgm(std::span<const double> data, const VbgmOptions& options,
   std::vector<double> log_resp(k);
   std::vector<double> nk(k), xbar(k), sk(k);
   int iter = 0;
+  double last_shift = 0.0;
   for (; iter < options.max_iterations; ++iter) {
     // Expected log weights / log precision under the posterior.
     double alpha_sum = 0.0;
@@ -117,11 +141,16 @@ VbgmResult FitVbgm(std::span<const double> data, const VbgmOptions& options,
       a[j] = new_a;
       b[j] = std::max(new_b, 1e-12);
     }
+    last_shift = max_shift;
     if (max_shift < 1e-6 * std::sqrt(data_var)) {
       ++iter;
       break;
     }
   }
+  VbgmMetrics& metrics = VbgmMetrics::Get();
+  metrics.fits.Add();
+  metrics.iterations.Add(static_cast<uint64_t>(iter));
+  metrics.final_shift.Set(last_shift);
 
   // Surviving components: expected weight above the floor.
   double alpha_sum = 0.0;

@@ -1,0 +1,325 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/macros.h"
+
+namespace iam::obs {
+
+namespace {
+
+// Prometheus metric-name charset; labels reuse it for keys.
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || c == '_' || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+std::string LabeledName(const std::string& name, const std::string& label_key,
+                        const std::string& label_value) {
+  IAM_CHECK_MSG(ValidMetricName(name), "bad metric name");
+  IAM_CHECK_MSG(ValidMetricName(label_key), "bad label key");
+  IAM_CHECK_MSG(label_value.find('"') == std::string::npos &&
+                    label_value.find('\\') == std::string::npos,
+                "label value must not contain quotes or backslashes");
+  return name + "{" + label_key + "=\"" + label_value + "\"}";
+}
+
+// The metric family a sample line belongs to: the name up to the label block.
+std::string FamilyOf(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// JSON object keys carry the full sample name, label block included — the
+// embedded quotes of `name{key="value"}` must be escaped.
+std::string JsonKey(const std::string& name) {
+  std::string out = "\"";
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+uint32_t ThreadShardId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+uint64_t Counter::Total() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()) {
+  IAM_CHECK_MSG(!bounds_.empty(), "histogram needs at least one boundary");
+  IAM_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram boundaries must ascend");
+  for (Shard& s : shards_) {
+    s.buckets = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Record(double value) {
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  Shard& s = shards_[ThreadShard()];
+  s.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  double sum = s.sum.load(std::memory_order_relaxed);
+  while (!s.sum.compare_exchange_weak(sum, sum + value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.bucket_counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (size_t b = 0; b < s.buckets.size(); ++b) {
+      snap.bucket_counts[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  IAM_CHECK(q >= 0.0 && q <= 1.0);
+  if (count == 0) return 0.0;
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < bucket_counts.size(); ++b) {
+    const uint64_t in_bucket = bucket_counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (b == bucket_counts.size() - 1) {
+        // Overflow bucket: no finite upper edge to interpolate toward.
+        return bounds.back();
+      }
+      const double lo = b == 0 ? 0.0 : bounds[b - 1];
+      const double hi = bounds[b];
+      const double frac = (rank - static_cast<double>(cumulative)) /
+                          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.back();
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  IAM_CHECK_MSG(bounds == other.bounds,
+                "merged histograms must share boundaries");
+  for (size_t b = 0; b < bucket_counts.size(); ++b) {
+    bucket_counts[b] += other.bucket_counts[b];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+std::span<const double> LatencyBounds() {
+  // 1 / 2.5 / 5 per decade, 1us .. 100s.
+  static const double kBounds[] = {
+      1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+      1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1,
+      1.0,  2.5,    5.0,  1e1,  2.5e1,  5e1,  1e2};
+  return kBounds;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+Counter& MetricRegistry::GetCounter(const std::string& name) {
+  IAM_CHECK_MSG(ValidMetricName(name), "bad metric name");
+  util::MutexLock lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Counter& MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& label_key,
+                                    const std::string& label_value) {
+  const std::string full = LabeledName(name, label_key, label_value);
+  util::MutexLock lock(mu_);
+  auto& slot = counters_[full];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name) {
+  IAM_CHECK_MSG(ValidMetricName(name), "bad metric name");
+  util::MutexLock lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& label_key,
+                                const std::string& label_value) {
+  const std::string full = LabeledName(name, label_key, label_value);
+  util::MutexLock lock(mu_);
+  auto& slot = gauges_[full];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricRegistry::GetHistogram(const std::string& name,
+                                        std::span<const double> bounds) {
+  IAM_CHECK_MSG(ValidMetricName(name), "bad metric name");
+  util::MutexLock lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(bounds);
+  } else {
+    IAM_CHECK_MSG(slot->bounds() ==
+                      std::vector<double>(bounds.begin(), bounds.end()),
+                  "histogram re-registered with different boundaries");
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  // std::map iteration is name-ordered, which makes the snapshot layout (and
+  // every export derived from it) independent of registration order and of
+  // thread interleaving.
+  MetricsSnapshot snap;
+  util::MutexLock lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Total());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h = histogram->Snapshot();
+    h.name = name;
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricRegistry::ResetAll() {
+  util::MutexLock lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonKey(name) + ":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonKey(name) + ":" + FormatDouble(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonKey(h.name) + ":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + FormatDouble(h.sum) +
+           ",\"mean\":" + FormatDouble(h.Mean()) +
+           ",\"p50\":" + FormatDouble(h.Quantile(0.5)) +
+           ",\"p95\":" + FormatDouble(h.Quantile(0.95)) +
+           ",\"p99\":" + FormatDouble(h.Quantile(0.99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  // Counters and gauges arrive name-sorted, so labeled series of one family
+  // are contiguous and the # TYPE header is emitted once per family.
+  std::string last_family;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string family = FamilyOf(name);
+    if (family != last_family) {
+      out += "# TYPE " + family + " counter\n";
+      last_family = family;
+    }
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  last_family.clear();
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string family = FamilyOf(name);
+    if (family != last_family) {
+      out += "# TYPE " + family + " gauge\n";
+      last_family = family;
+    }
+    out += name + " " + FormatDouble(value) + "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      cumulative += h.bucket_counts[b];
+      out += h.name + "_bucket{le=\"" + FormatDouble(h.bounds[b]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += h.name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += h.name + "_sum " + FormatDouble(h.sum) + "\n";
+    out += h.name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace iam::obs

@@ -1,0 +1,191 @@
+#ifndef IAM_OBS_METRICS_H_
+#define IAM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace iam::obs {
+
+// Process-wide metrics substrate (DESIGN.md §12). Three metric kinds —
+// counters, gauges, fixed-boundary histograms — live in a named registry and
+// are written from any thread without coordination:
+//
+//   - Counter increments land on a per-thread shard (relaxed atomic add on a
+//     cache line the thread effectively owns), so the EstimateBatch /
+//     ConditionalDistribution hot paths never contend on a shared line.
+//   - Snapshots sum the shards and report metrics in name order, so a
+//     snapshot is deterministic: event counters driven by deterministic work
+//     (queries processed, samples drawn, zero-mass fallbacks) total
+//     identically at any thread count and any interleaving.
+//   - Instrumentation sites cache `Counter*` / `Histogram*` handles once
+//     (registration takes a mutex; increments never do).
+//
+// Metric names follow the Prometheus charset [a-zA-Z_][a-zA-Z0-9_]* with an
+// optional single label, e.g. GetCounter("iam_sampler_zero_mass_total",
+// "column", "latitude") -> `iam_sampler_zero_mass_total{column="latitude"}`.
+
+// Shard index of the calling thread: thread-local ticket modulo kShards.
+// Distinct threads may share a shard (the adds stay atomic); what matters is
+// that a thread keeps hitting the same line.
+inline constexpr uint32_t kMetricShards = 16;  // power of two
+
+uint32_t ThreadShardId();
+
+inline uint32_t ThreadShard() { return ThreadShardId() & (kMetricShards - 1); }
+
+// Monotone event count. Add() is the hot-path entry: one relaxed fetch_add on
+// the caller's shard.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta = 1) {
+    shards_[ThreadShard()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  // Sum over shards. Exact once writers are quiescent; a snapshot taken
+  // mid-update may miss in-flight increments (never double-counts).
+  uint64_t Total() const;
+
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// Last-write-wins scalar (losses, convergence deltas, pool occupancy).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);  // CAS loop; gauges are not hot-path metrics
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Mergeable summary of one histogram (or of several merged together):
+// per-bucket counts plus count/sum. Bucket i covers (bounds[i-1], bounds[i]];
+// the final bucket is the +Inf overflow. Merging adds counts bucket-wise, so
+// merge is associative and commutative — the property that lets per-thread
+// or per-process snapshots combine in any order (unit-tested).
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;            // ascending boundaries
+  std::vector<uint64_t> bucket_counts;   // bounds.size() + 1 entries
+  uint64_t count = 0;
+  double sum = 0.0;
+
+  // Linear-interpolation quantile from the bucket counts, so snapshots
+  // report p95/p99 without retaining individual samples. q in [0, 1].
+  // Overflow-bucket mass resolves to the last finite boundary.
+  double Quantile(double q) const;
+  double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+  // Adds `other` into this summary; boundaries must match.
+  void Merge(const HistogramSnapshot& other);
+};
+
+// Fixed-boundary histogram, sharded like Counter: Record() bucket-searches
+// (binary, ~20 boundaries) and lands two relaxed atomic adds plus one CAS
+// on the caller's shard.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;  // name field left empty
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<uint64_t>> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// Default latency boundaries for the *_seconds histograms: 1/2.5/5 steps from
+// 1 microsecond to 100 seconds.
+std::span<const double> LatencyBounds();
+
+// Ordered (name-sorted) snapshot of every registered metric.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}} with
+// per-histogram count/sum/mean/p50/p95/p99. Deterministic key order.
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+
+// Prometheus text exposition format (# TYPE lines, _bucket/_sum/_count
+// expansions for histograms, cumulative le= buckets).
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
+
+// Name-keyed registry. Registration (GetX) locks; returned references stay
+// valid for the registry's lifetime, so call sites resolve once and cache.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // The process-global registry every built-in instrumentation point uses.
+  static MetricRegistry& Global();
+
+  Counter& GetCounter(const std::string& name) IAM_EXCLUDES(mu_);
+  Counter& GetCounter(const std::string& name, const std::string& label_key,
+                      const std::string& label_value) IAM_EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name) IAM_EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name, const std::string& label_key,
+                  const std::string& label_value) IAM_EXCLUDES(mu_);
+  // Boundaries are fixed at first registration; later calls with the same
+  // name must pass matching boundaries.
+  Histogram& GetHistogram(const std::string& name,
+                          std::span<const double> bounds) IAM_EXCLUDES(mu_);
+
+  MetricsSnapshot Snapshot() const IAM_EXCLUDES(mu_);
+
+  // Zeroes every registered metric (tests measure deltas from a clean
+  // slate). Handles stay valid.
+  void ResetAll() IAM_EXCLUDES(mu_);
+
+ private:
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      IAM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ IAM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      IAM_GUARDED_BY(mu_);
+};
+
+}  // namespace iam::obs
+
+#endif  // IAM_OBS_METRICS_H_

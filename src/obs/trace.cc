@@ -1,0 +1,147 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+namespace iam::obs {
+
+namespace {
+
+std::string FormatMicros(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+// JSON string escaping for span names (names are literals, but keep the
+// export well-formed for any input).
+std::string EscapeJson(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+TraceRecorder::TraceRecorder() = default;
+
+TraceRecorder::ThreadBuffer& TraceRecorder::BufferForThisThread() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    buffer = owned.get();
+    util::MutexLock lock(mu_);
+    buffer->tid = static_cast<int>(buffers_.size());
+    buffers_.push_back(std::move(owned));
+  }
+  return *buffer;
+}
+
+void TraceRecorder::Record(const char* name, double ts_us, double dur_us) {
+  ThreadBuffer& buffer = BufferForThisThread();
+  TraceEvent event;
+  event.name = name;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.tid = buffer.tid;
+  util::MutexLock lock(buffer.mu);
+  buffer.events.push_back(event);
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<TraceEvent> all;
+  {
+    util::MutexLock lock(mu_);
+    for (const auto& buffer : buffers_) {
+      util::MutexLock buffer_lock(buffer->mu);
+      all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return std::strcmp(a.name, b.name) < 0;
+            });
+  return all;
+}
+
+std::string TraceRecorder::ToChromeTracingJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + EscapeJson(e.name) +
+           "\",\"cat\":\"iam\",\"ph\":\"X\",\"ts\":" + FormatMicros(e.ts_us) +
+           ",\"dur\":" + FormatMicros(e.dur_us) +
+           ",\"pid\":1,\"tid\":" + std::to_string(e.tid) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceRecorder::WriteChromeTracingJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << ToChromeTracingJson();
+  return static_cast<bool>(out);
+}
+
+std::vector<PhaseStats> TraceRecorder::Phases() const {
+  std::map<std::string, PhaseStats> by_name;
+  for (const TraceEvent& e : Events()) {
+    PhaseStats& stats = by_name[e.name];
+    if (stats.count == 0) stats.name = e.name;
+    ++stats.count;
+    const double ms = e.dur_us / 1e3;
+    stats.total_ms += ms;
+    stats.max_ms = std::max(stats.max_ms, ms);
+  }
+  std::vector<PhaseStats> phases;
+  phases.reserve(by_name.size());
+  for (auto& [name, stats] : by_name) phases.push_back(std::move(stats));
+  std::sort(phases.begin(), phases.end(),
+            [](const PhaseStats& a, const PhaseStats& b) {
+              if (a.total_ms != b.total_ms) return a.total_ms > b.total_ms;
+              return a.name < b.name;
+            });
+  return phases;
+}
+
+std::string TraceRecorder::PhaseTable() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-32s %8s %12s %12s %12s\n", "phase",
+                "count", "total ms", "mean ms", "max ms");
+  out += line;
+  for (const PhaseStats& p : Phases()) {
+    std::snprintf(line, sizeof(line), "%-32s %8llu %12.3f %12.3f %12.3f\n",
+                  p.name.c_str(), static_cast<unsigned long long>(p.count),
+                  p.total_ms, p.MeanMs(), p.max_ms);
+    out += line;
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  util::MutexLock lock(mu_);
+  for (const auto& buffer : buffers_) {
+    util::MutexLock buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+}  // namespace iam::obs

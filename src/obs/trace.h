@@ -1,0 +1,141 @@
+#ifndef IAM_OBS_TRACE_H_
+#define IAM_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/stopwatch.h"
+#include "util/thread_annotations.h"
+
+namespace iam::obs {
+
+// Scoped tracing (DESIGN.md §12). TraceSpan is an RAII marker around a phase
+// of work; completed spans are appended to a per-thread buffer (one short
+// uncontended lock per span end) owned by the process-global TraceRecorder,
+// which exports them as chrome://tracing "Trace Event Format" JSON — load the
+// file at chrome://tracing or https://ui.perfetto.dev — or as a flat
+// per-phase table.
+//
+// Tracing is off by default: a disabled TraceSpan costs one relaxed atomic
+// load and touches no clock, so spans can stay compiled into hot paths.
+// Spans nest naturally (the viewer stacks by ts/dur containment), and
+// Pause()/Resume() exclude blocked time from the recorded duration.
+
+// One completed span. `name` must point at storage that outlives the
+// recorder — instrumentation sites pass string literals.
+struct TraceEvent {
+  const char* name = nullptr;
+  double ts_us = 0.0;   // start, microseconds since the recorder epoch
+  double dur_us = 0.0;  // accumulated (unpaused) duration, microseconds
+  int tid = 0;          // recorder-assigned thread id
+};
+
+// Per-phase aggregation of a set of events (the flat table export).
+struct PhaseStats {
+  std::string name;
+  uint64_t count = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+  double MeanMs() const {
+    return count > 0 ? total_ms / static_cast<double>(count) : 0.0;
+  }
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Microseconds since the recorder's construction (monotonic clock).
+  double NowMicros() const { return epoch_.ElapsedMicros(); }
+
+  // Appends a completed span to the calling thread's buffer.
+  void Record(const char* name, double ts_us, double dur_us);
+
+  // All recorded events, sorted by (ts, tid, name) so the export is stable
+  // regardless of which buffer a thread landed in.
+  std::vector<TraceEvent> Events() const;
+
+  // chrome://tracing JSON: {"traceEvents":[{"name":...,"ph":"X",...}],...}.
+  std::string ToChromeTracingJson() const;
+  // Writes ToChromeTracingJson() to `path`; false on I/O failure.
+  bool WriteChromeTracingJson(const std::string& path) const;
+
+  // Per-phase totals over all recorded events, sorted by total time
+  // descending, plus a printable table.
+  std::vector<PhaseStats> Phases() const;
+  std::string PhaseTable() const;
+
+  // Drops all recorded events (buffers stay registered; the epoch is kept).
+  void Clear();
+
+ private:
+  struct ThreadBuffer {
+    util::Mutex mu;
+    int tid = 0;
+    std::vector<TraceEvent> events IAM_GUARDED_BY(mu);
+  };
+
+  ThreadBuffer& BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  Stopwatch epoch_;  // never paused; all timestamps are relative to it
+
+  mutable util::Mutex mu_;
+  // Buffers are never removed (a dead thread's events stay exportable);
+  // pointers handed to threads remain stable.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ IAM_GUARDED_BY(mu_);
+};
+
+// RAII span over the enclosing scope. Captures the enabled flag at
+// construction, so a span is recorded iff tracing was on when it started.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name), active_(TraceRecorder::Global().enabled()) {
+    if (active_) {
+      start_us_ = TraceRecorder::Global().NowMicros();
+      watch_.Restart();
+    }
+  }
+
+  ~TraceSpan() {
+    if (active_) {
+      TraceRecorder::Global().Record(name_, start_us_, watch_.ElapsedMicros());
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Excludes the paused stretch from the recorded duration (the span still
+  // covers it on the timeline via ts).
+  void Pause() {
+    if (active_) watch_.Pause();
+  }
+  void Resume() {
+    if (active_) watch_.Resume();
+  }
+
+ private:
+  const char* name_;
+  const bool active_;
+  double start_us_ = 0.0;
+  Stopwatch watch_;
+};
+
+}  // namespace iam::obs
+
+#endif  // IAM_OBS_TRACE_H_

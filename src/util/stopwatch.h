@@ -5,15 +5,45 @@
 
 namespace iam {
 
-// Wall-clock stopwatch used by the benchmark harness and the training loops.
+// Wall-clock stopwatch used by the benchmark harness, the training loops and
+// the obs::TraceSpan layer. Starts running at construction. Pause/Resume
+// accumulate across stops, so a span can exclude time spent blocked (e.g.
+// waiting on the thread pool) from its duration.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}
 
-  void Restart() { start_ = Clock::now(); }
+  // Zeroes the accumulated time and starts running from now.
+  void Restart() {
+    accumulated_ = 0.0;
+    running_ = true;
+    start_ = Clock::now();
+  }
 
+  // Stops accumulating; idempotent while paused.
+  void Pause() {
+    if (!running_) return;
+    accumulated_ +=
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    running_ = false;
+  }
+
+  // Continues accumulating from now; idempotent while running.
+  void Resume() {
+    if (running_) return;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  bool running() const { return running_; }
+
+  // Accumulated running time (live segment included while running).
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    double elapsed = accumulated_;
+    if (running_) {
+      elapsed += std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+    return elapsed;
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
@@ -22,6 +52,8 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  double accumulated_ = 0.0;
+  bool running_ = true;
 };
 
 }  // namespace iam

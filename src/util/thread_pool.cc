@@ -2,9 +2,44 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/macros.h"
+#include "util/stopwatch.h"
 
 namespace iam::util {
+
+namespace {
+
+// Registered once; increments are shard-local relaxed adds (see
+// obs/metrics.h). The event counters (jobs, indices) are deterministic for
+// deterministic work; chunks and the latency histograms describe the runtime
+// topology and legitimately vary with the thread count.
+struct PoolMetrics {
+  obs::Counter& jobs;
+  obs::Counter& indices;
+  obs::Counter& chunks;
+  obs::Gauge& workers_busy;
+  obs::Histogram& job_seconds;
+  obs::Histogram& chunk_seconds;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics metrics = [] {
+      obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+      return PoolMetrics{
+          reg.GetCounter("iam_pool_jobs_total"),
+          reg.GetCounter("iam_pool_indices_total"),
+          reg.GetCounter("iam_pool_chunks_total"),
+          reg.GetGauge("iam_pool_workers_busy"),
+          reg.GetHistogram("iam_pool_job_seconds", obs::LatencyBounds()),
+          reg.GetHistogram("iam_pool_chunk_seconds", obs::LatencyBounds()),
+      };
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
@@ -32,7 +67,12 @@ void ThreadPool::RunChunk(int worker, const Body& body, size_t n) const {
   const size_t t = static_cast<size_t>(num_threads_);
   const size_t begin = n * worker / t;
   const size_t end = n * (worker + 1) / t;
+  if (begin >= end) return;
+  PoolMetrics& metrics = PoolMetrics::Get();
+  Stopwatch watch;
   for (size_t i = begin; i < end; ++i) body(i, worker);
+  metrics.chunks.Add();
+  metrics.chunk_seconds.Record(watch.ElapsedSeconds());
 }
 
 void ThreadPool::WorkerLoop(int worker) {
@@ -60,10 +100,17 @@ void ThreadPool::WorkerLoop(int worker) {
 
 void ThreadPool::ParallelFor(size_t n, const Body& body) {
   if (n == 0) return;
+  PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.jobs.Add();
+  metrics.indices.Add(n);
+  Stopwatch watch;
   if (num_threads_ == 1) {
-    for (size_t i = 0; i < n; ++i) body(i, 0);
+    RunChunk(/*worker=*/0, body, n);
+    metrics.job_seconds.Record(watch.ElapsedSeconds());
     return;
   }
+  obs::TraceSpan span("pool.parallel_for");
+  metrics.workers_busy.Set(static_cast<double>(num_threads_));
   {
     MutexLock lock(mutex_);
     IAM_CHECK_MSG(body_ == nullptr, "reentrant ParallelFor is not supported");
@@ -74,10 +121,15 @@ void ThreadPool::ParallelFor(size_t n, const Body& body) {
   }
   work_ready_.notify_all();
   RunChunk(/*worker=*/0, body, n);
+  // The caller's own chunk is done; what remains is the barrier wait on the
+  // background workers — excluded from the span's duration.
+  span.Pause();
   MutexLock lock(mutex_);
   while (workers_running_ != 0) lock.Wait(work_done_);
   body_ = nullptr;
   job_size_ = 0;
+  metrics.workers_busy.Set(0.0);
+  metrics.job_seconds.Record(watch.ElapsedSeconds());
 }
 
 }  // namespace iam::util

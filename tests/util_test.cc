@@ -8,6 +8,7 @@
 #include "util/quantiles.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace iam {
 namespace {
@@ -189,6 +190,72 @@ TEST(QuantilesTest, ErrorReportFields) {
   EXPECT_NEAR(r.mean, 50.5, 1e-9);
   EXPECT_NEAR(r.p95, 95.05, 0.5);
   EXPECT_EQ(r.count, 100u);
+}
+
+TEST(StopwatchTest, RunsAtConstruction) {
+  Stopwatch w;
+  EXPECT_TRUE(w.running());
+  // Monotone while running.
+  const double a = w.ElapsedSeconds();
+  const double b = w.ElapsedSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+TEST(StopwatchTest, PauseFreezesElapsed) {
+  Stopwatch w;
+  w.Pause();
+  EXPECT_FALSE(w.running());
+  const double frozen = w.ElapsedSeconds();
+  // Burn some wall time; the paused watch must not see it. Exact equality is
+  // intended: a paused watch reads only its accumulated total.
+  Stopwatch wall;
+  while (wall.ElapsedMillis() < 2.0) {
+  }
+  EXPECT_EQ(w.ElapsedSeconds(), frozen);
+  // Pause is idempotent.
+  w.Pause();
+  EXPECT_EQ(w.ElapsedSeconds(), frozen);
+}
+
+TEST(StopwatchTest, ResumeAccumulatesAcrossSegments) {
+  Stopwatch w;
+  Stopwatch wall;
+  while (wall.ElapsedMillis() < 1.0) {
+  }
+  w.Pause();
+  const double first_segment = w.ElapsedSeconds();
+  EXPECT_GE(first_segment, 1e-3);
+  w.Resume();
+  EXPECT_TRUE(w.running());
+  // Resume is idempotent: a second Resume must not reset the live segment.
+  w.Resume();
+  wall.Restart();
+  while (wall.ElapsedMillis() < 1.0) {
+  }
+  w.Pause();
+  // Both segments accumulate.
+  EXPECT_GE(w.ElapsedSeconds(), first_segment + 1e-3);
+}
+
+TEST(StopwatchTest, RestartZeroesAccumulation) {
+  Stopwatch w;
+  Stopwatch wall;
+  while (wall.ElapsedMillis() < 2.0) {
+  }
+  w.Pause();
+  EXPECT_GE(w.ElapsedMillis(), 2.0);
+  w.Restart();
+  EXPECT_TRUE(w.running());
+  EXPECT_LT(w.ElapsedMillis(), 2.0);
+}
+
+TEST(StopwatchTest, UnitConversions) {
+  Stopwatch w;
+  w.Pause();
+  const double s = w.ElapsedSeconds();
+  EXPECT_DOUBLE_EQ(w.ElapsedMillis(), s * 1e3);
+  EXPECT_DOUBLE_EQ(w.ElapsedMicros(), s * 1e6);
 }
 
 }  // namespace
