@@ -7,6 +7,7 @@
 
 #include "data/synthetic.h"
 #include "obs/metrics.h"
+#include "util/json.h"
 #include "estimator/bayesnet.h"
 #include "estimator/kde.h"
 #include "estimator/mhist.h"
@@ -35,24 +36,24 @@ std::string JsonOutPath(int* argc, char** argv) {
   return path;
 }
 
-bool MergeMetricsIntoJson(const std::string& path) {
-  const std::string metrics =
-      obs::MetricsToJson(obs::MetricRegistry::Global().Snapshot());
+bool MergeJsonSection(const std::string& path, const std::string& key,
+                      const std::string& value_json) {
   std::string contents;
   {
     std::ifstream in(path, std::ios::binary);
     if (in) contents.assign(std::istreambuf_iterator<char>(in), {});
   }
-  const size_t close = contents.find_last_of('}');
-  if (close == std::string::npos) {
-    contents = "{\"iam_metrics\":" + metrics + "}\n";
-  } else {
-    contents.insert(close, ",\"iam_metrics\":" + metrics + "\n");
-  }
+  contents = util::UpsertTopLevelKey(contents, key, value_json);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
   out << contents;
   return out.good();
+}
+
+bool MergeMetricsIntoJson(const std::string& path) {
+  return MergeJsonSection(
+      path, "iam_metrics",
+      obs::MetricsToJson(obs::MetricRegistry::Global().Snapshot()));
 }
 
 int BenchThreads() {

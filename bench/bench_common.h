@@ -38,11 +38,19 @@ int BenchThreads();
 // the machine-readable file, e.g. BENCH_kernels.json at the repo root.
 std::string JsonOutPath(int* argc, char** argv);
 
+// Inserts or replaces one top-level section of a JSON results file
+// (util::UpsertTopLevelKey), so several sections — or several binaries
+// appending to one BENCH_*.json — compose without clobbering each other and
+// re-runs replace their own section instead of duplicating the key. Creates
+// the file holding just that section when absent or malformed. Returns false
+// on I/O failure.
+bool MergeJsonSection(const std::string& path, const std::string& key,
+                      const std::string& value_json);
+
 // Splices the current global metrics snapshot (obs::MetricsToJson) into an
-// existing JSON results file — e.g. one google-benchmark just wrote — as a
-// top-level "iam_metrics" key inserted before the file's closing '}'. Creates
-// the file holding just the metrics object when absent or malformed. Returns
-// false on I/O failure.
+// existing JSON results file — e.g. one google-benchmark just wrote — as the
+// top-level "iam_metrics" section (MergeJsonSection semantics: replaced on
+// re-run, never duplicated). Returns false on I/O failure.
 bool MergeMetricsIntoJson(const std::string& path);
 
 // Builds one of the single-table datasets: "wisdm", "twi", "higgs".

@@ -1,0 +1,308 @@
+// Serving-path benchmark (DESIGN.md §13): an in-process EstimatorServer with
+// an open-loop loadgen over real loopback sockets.
+//
+//   bench_serve [--json BENCH_serve.json] [--quick]
+//
+// Three experiments:
+//   1. QPS sweep at the default batcher config — accepted/rejected counts and
+//      client-observed latency percentiles per offered rate. Offered load
+//      beyond capacity shows admission control holding the accepted-request
+//      p99 down while the reject rate absorbs the excess.
+//   2. Batching ablation: the same offered load against max_batch=1 vs the
+//      default — dynamic micro-batching must win on achieved throughput and
+//      show a mean batch size > 1.
+//   3. Hot-swap under load: swaps mid-burst; every accepted request succeeds
+//      and answers with one of the two model versions.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/metrics.h"
+#include "serve/batcher.h"
+#include "serve/client.h"
+#include "serve/demo.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "util/quantiles.h"
+#include "util/stopwatch.h"
+
+namespace iam::bench {
+namespace {
+
+struct LoadResult {
+  int accepted = 0;
+  int rejected = 0;
+  int failed = 0;
+  double wall_seconds = 0.0;
+  ErrorReport latency_ms;        // accepted requests only
+  double achieved_qps = 0.0;     // accepted / wall
+  double mean_batch_size = 0.0;  // from serve metrics deltas
+};
+
+struct MetricsSnapshot {
+  double accepted = 0.0;
+  double batches = 0.0;
+};
+
+MetricsSnapshot TakeSnapshot() {
+  const serve::ServeMetrics& m = serve::ServeMetrics::Get();
+  return {static_cast<double>(m.accepted.Total()),
+          static_cast<double>(m.batches.Total())};
+}
+
+// Open-loop(ish) load: `threads` workers share one global schedule — request
+// i is due at i/qps seconds — each worker owning the requests congruent to
+// its index. Workers sleep until a request is due, so offered load tracks
+// `qps` until the server saturates and the workers themselves fall behind.
+LoadResult RunLoad(int port, const std::vector<std::string>& predicates,
+                   int total_requests, double qps, int threads) {
+  std::vector<std::vector<double>> latencies(threads);
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> failed{0};
+
+  const MetricsSnapshot before = TakeSnapshot();
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      serve::Client client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        failed.fetch_add((total_requests - w + threads - 1) / threads);
+        return;
+      }
+      for (int i = w; i < total_requests; i += threads) {
+        const double due = static_cast<double>(i) / qps;
+        for (;;) {
+          // Sleep the full remaining time (re-checking after each wake)
+          // instead of polling: dozens of pacing threads spinning on short
+          // sleeps would steal the CPU the server needs.
+          const double remaining = due - wall.ElapsedSeconds();
+          if (remaining <= 0.0) break;
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(remaining));
+        }
+        Stopwatch rtt;
+        const auto reply = client.Estimate(
+            predicates[static_cast<size_t>(i) % predicates.size()]);
+        if (!reply.ok()) {
+          failed.fetch_add(1);
+          continue;
+        }
+        if (reply->overloaded) {
+          rejected.fetch_add(1);
+          continue;
+        }
+        accepted.fetch_add(1);
+        latencies[static_cast<size_t>(w)].push_back(rtt.ElapsedMillis());
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  LoadResult result;
+  result.wall_seconds = wall.ElapsedSeconds();
+  result.accepted = accepted.load();
+  result.rejected = rejected.load();
+  result.failed = failed.load();
+  std::vector<double> all;
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  result.latency_ms = MakeErrorReport(all);
+  result.achieved_qps =
+      result.wall_seconds > 0 ? result.accepted / result.wall_seconds : 0.0;
+  const MetricsSnapshot after = TakeSnapshot();
+  const double batches = after.batches - before.batches;
+  result.mean_batch_size =
+      batches > 0 ? (after.accepted - before.accepted) / batches : 0.0;
+  return result;
+}
+
+std::string LoadResultJson(const LoadResult& r, double offered_qps) {
+  std::ostringstream out;
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"offered_qps\": %.6g, \"accepted\": %d, \"rejected\": %d, "
+      "\"failed\": %d, \"achieved_qps\": %.6g, \"mean_batch_size\": %.6g, "
+      "\"latency_ms\": {\"mean\": %.6g, \"median\": %.6g, \"p95\": %.6g, "
+      "\"p99\": %.6g, \"max\": %.6g}}",
+      offered_qps, r.accepted, r.rejected, r.failed, r.achieved_qps,
+      r.mean_batch_size, r.latency_ms.mean, r.latency_ms.median,
+      r.latency_ms.p95, r.latency_ms.p99, r.latency_ms.max);
+  out << buf;
+  return out.str();
+}
+
+void PrintLoadRow(const char* label, double offered_qps,
+                  const LoadResult& r) {
+  std::printf(
+      "%-18s %8.0f %9d %9d %8.1f %8.2f %8.2f %8.2f %8.2f\n", label,
+      offered_qps, r.accepted, r.rejected, r.achieved_qps, r.mean_batch_size,
+      r.latency_ms.median, r.latency_ms.p95, r.latency_ms.p99);
+}
+
+}  // namespace
+}  // namespace iam::bench
+
+int main(int argc, char** argv) {
+  using namespace iam;
+  const std::string json_path = bench::JsonOutPath(&argc, argv);
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  std::printf("training demo model...\n");
+  std::unique_ptr<core::ArDensityEstimator> model =
+      serve::TrainDemoEstimator();
+  // Micro-batching's throughput win comes from fanning one EstimateBatch out
+  // across the model's worker pool — a solo request can only ever use one
+  // worker — so the served model gets several threads even when the bench
+  // default (IAM_BENCH_THREADS) is the paper's serial setting.
+  const int model_threads = std::max(bench::BenchThreads(), 4);
+  serve::ModelRegistry registry(std::move(model), "", model_threads);
+  const std::vector<std::string> predicates = serve::DemoPredicates(256, 99);
+  // More loadgen connections than queue slots, so offered load beyond
+  // capacity actually overflows the queue instead of parking in the clients.
+  const int kLoadThreads = 64;
+  const int sweep_requests = quick ? 600 : 3000;
+
+  // --- 1. QPS sweep, default batching. --------------------------------------
+  serve::ServerOptions options;
+  options.batcher.queue_capacity = 16;
+  std::vector<std::string> sweep_rows;
+  {
+    serve::EstimatorServer server(registry, options);
+    const Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "\n### Serving QPS sweep (max_batch=%d, max_delay=%.0fus, "
+        "queue=%d)\n",
+        options.batcher.max_batch, options.batcher.max_delay_s * 1e6,
+        options.batcher.queue_capacity);
+    std::printf("%-18s %8s %9s %9s %8s %8s %8s %8s %8s\n", "config",
+                "offered", "accepted", "rejected", "qps", "batch", "p50ms",
+                "p95ms", "p99ms");
+    for (const double qps : {200.0, 1000.0, 5000.0, 20000.0}) {
+      const bench::LoadResult r = bench::RunLoad(
+          server.port(), predicates, sweep_requests, qps, kLoadThreads);
+      bench::PrintLoadRow("sweep", qps, r);
+      sweep_rows.push_back(bench::LoadResultJson(r, qps));
+    }
+    server.Shutdown();
+  }
+
+  // --- 2. Batching ablation: max_batch=1 vs default, same offered load. -----
+  std::string ablation_json;
+  {
+    const double qps = 20000.0;
+    serve::ServerOptions unbatched = options;
+    unbatched.batcher.max_batch = 1;
+    bench::LoadResult base, batched;
+    {
+      serve::EstimatorServer server(registry, unbatched);
+      if (!server.Start().ok()) return 1;
+      base = bench::RunLoad(server.port(), predicates, sweep_requests, qps,
+                            kLoadThreads);
+      server.Shutdown();
+    }
+    {
+      serve::EstimatorServer server(registry, options);
+      if (!server.Start().ok()) return 1;
+      batched = bench::RunLoad(server.port(), predicates, sweep_requests, qps,
+                               kLoadThreads);
+      server.Shutdown();
+    }
+    std::printf("\n### Micro-batching ablation (offered %.0f qps)\n", qps);
+    std::printf("%-18s %8s %9s %9s %8s %8s %8s %8s %8s\n", "config",
+                "offered", "accepted", "rejected", "qps", "batch", "p50ms",
+                "p95ms", "p99ms");
+    bench::PrintLoadRow("max_batch=1", qps, base);
+    bench::PrintLoadRow("dynamic", qps, batched);
+    std::printf("micro-batching speedup: %.2fx throughput, mean batch %.2f\n",
+                base.achieved_qps > 0
+                    ? batched.achieved_qps / base.achieved_qps
+                    : 0.0,
+                batched.mean_batch_size);
+    ablation_json = "{\"offered_qps\": 20000, \"max_batch_1\": " +
+                    bench::LoadResultJson(base, qps) +
+                    ", \"dynamic\": " + bench::LoadResultJson(batched, qps) +
+                    "}";
+  }
+
+  // --- 3. Hot-swap under load. ----------------------------------------------
+  std::string swap_json;
+  {
+    serve::EstimatorServer server(registry, options);
+    if (!server.Start().ok()) return 1;
+    const uint64_t version_before = registry.Current()->version;
+    std::atomic<bool> done{false};
+    std::thread swapper([&] {
+      // Re-install a freshly trained generation mid-burst.
+      std::unique_ptr<core::ArDensityEstimator> next =
+          serve::TrainDemoEstimator(2000, 7);
+      registry.Swap(std::move(next), "bench-swap");
+      done.store(true);
+    });
+    const bench::LoadResult under_swap = bench::RunLoad(
+        server.port(), predicates, sweep_requests, 1000.0, kLoadThreads);
+    swapper.join();
+    const uint64_t version_after = registry.Current()->version;
+    server.Shutdown();
+    std::printf("\n### Hot-swap under load\n");
+    std::printf(
+        "version %llu -> %llu; accepted %d, rejected %d, failed %d\n",
+        static_cast<unsigned long long>(version_before),
+        static_cast<unsigned long long>(version_after), under_swap.accepted,
+        under_swap.rejected, under_swap.failed);
+    if (under_swap.failed != 0) {
+      std::fprintf(stderr, "FAIL: accepted requests were lost in the swap\n");
+      return 1;
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"version_before\": %llu, \"version_after\": %llu, "
+                  "\"accepted\": %d, \"rejected\": %d, \"failed\": %d}",
+                  static_cast<unsigned long long>(version_before),
+                  static_cast<unsigned long long>(version_after),
+                  under_swap.accepted, under_swap.rejected, under_swap.failed);
+    swap_json = buf;
+  }
+
+  if (!json_path.empty()) {
+    std::string sweep = "[";
+    for (size_t i = 0; i < sweep_rows.size(); ++i) {
+      if (i > 0) sweep += ", ";
+      sweep += sweep_rows[i];
+    }
+    sweep += "]";
+    bool ok = bench::MergeJsonSection(json_path, "serve_sweep", sweep);
+    ok = bench::MergeJsonSection(json_path, "serve_batching", ablation_json) &&
+         ok;
+    ok = bench::MergeJsonSection(json_path, "serve_hot_swap", swap_json) && ok;
+    ok = bench::MergeMetricsIntoJson(json_path) && ok;
+    if (!ok) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nresults written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,255 @@
+// The estimator service binary (DESIGN.md §13) and its companion client
+// commands:
+//
+//   serve_cli serve --model <model.iam> [--port N] [--max-batch N]
+//                   [--max-delay-us N] [--queue-capacity N] [--threads N]
+//   serve_cli serve --demo [--model-out <model.iam>] [...same flags]
+//       Runs the service until SIGINT/SIGTERM or a kShutdown frame, then
+//       drains gracefully. Prints "listening on <addr>:<port>" once ready.
+//       SIGHUP hot-swaps the model by re-loading the file it was started
+//       from (or --model-out for --demo) — in-flight batches finish on the
+//       old generation.
+//
+//   serve_cli estimate <port> "<predicates>"     one estimate round trip
+//   serve_cli swap     <port> <model.iam>        hot-swap via control frame
+//   serve_cli metrics  <port>                    Prometheus export
+//   serve_cli shutdown <port>                    ask the server to drain
+//
+// Client commands connect to 127.0.0.1. Predicates use the SQL-style grammar
+// of query::ParsePredicates, e.g.
+//   serve_cli estimate 7421 "latitude BETWEEN 35 AND 45 AND longitude <= -100"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/ar_density_estimator.h"
+#include "serve/client.h"
+#include "serve/demo.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+volatile std::sig_atomic_t g_hup_signal = 0;
+
+void OnStopSignal(int) { g_stop_signal = 1; }
+void OnHupSignal(int) { g_hup_signal = 1; }
+
+bool FlagValue(int argc, char** argv, int* i, const char* name,
+               std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strcmp(argv[*i], name) == 0) {
+    if (*i + 1 >= argc) return false;
+    *out = argv[++*i];
+    return true;
+  }
+  if (std::strncmp(argv[*i], name, len) == 0 && argv[*i][len] == '=') {
+    *out = argv[*i] + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Serve(int argc, char** argv) {
+  std::string model_path;
+  std::string model_out;
+  bool demo = false;
+  iam::serve::ServerOptions options;
+  int threads = 1;
+  for (int i = 2; i < argc; ++i) {
+    std::string value;
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else if (FlagValue(argc, argv, &i, "--model", &model_path)) {
+    } else if (FlagValue(argc, argv, &i, "--model-out", &model_out)) {
+    } else if (FlagValue(argc, argv, &i, "--port", &value)) {
+      options.port = std::atoi(value.c_str());
+    } else if (FlagValue(argc, argv, &i, "--max-batch", &value)) {
+      options.batcher.max_batch = std::atoi(value.c_str());
+    } else if (FlagValue(argc, argv, &i, "--max-delay-us", &value)) {
+      options.batcher.max_delay_s = std::atof(value.c_str()) * 1e-6;
+    } else if (FlagValue(argc, argv, &i, "--queue-capacity", &value)) {
+      options.batcher.queue_capacity = std::atoi(value.c_str());
+    } else if (FlagValue(argc, argv, &i, "--threads", &value)) {
+      threads = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (!demo && model_path.empty()) {
+    std::fprintf(stderr, "serve needs --model <path> or --demo\n");
+    return 2;
+  }
+
+  std::unique_ptr<iam::core::ArDensityEstimator> model;
+  std::string source = model_path;
+  if (demo) {
+    std::fprintf(stderr, "training demo model...\n");
+    model = iam::serve::TrainDemoEstimator();
+    if (!model_out.empty()) {
+      const iam::Status saved = model->Save(model_out);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+        return 1;
+      }
+      source = model_out;  // SIGHUP reloads from here
+    }
+  } else {
+    auto loaded = iam::core::ArDensityEstimator::Load(model_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    model = std::move(loaded.value());
+  }
+
+  iam::serve::ModelRegistry registry(std::move(model), source, threads);
+  iam::serve::EstimatorServer server(registry, options);
+  const iam::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, OnStopSignal);
+  std::signal(SIGTERM, OnStopSignal);
+  std::signal(SIGHUP, OnHupSignal);
+  std::printf("listening on %s:%d\n", options.bind_address.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  while (g_stop_signal == 0 && !server.shutdown_requested()) {
+    if (g_hup_signal != 0) {
+      g_hup_signal = 0;
+      const std::string path = registry.Current()->source;
+      if (path.empty()) {
+        std::fprintf(stderr, "SIGHUP ignored: no model file to reload\n");
+      } else {
+        const auto swapped = registry.SwapFromFile(path);
+        if (swapped.ok()) {
+          std::fprintf(stderr, "hot-swapped %s -> version %llu\n",
+                       path.c_str(),
+                       static_cast<unsigned long long>(*swapped));
+        } else {
+          std::fprintf(stderr, "hot-swap failed (still serving): %s\n",
+                       swapped.status().ToString().c_str());
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  std::printf("shutdown complete\n");
+  return 0;
+}
+
+int WithClient(int port,
+               int (*body)(iam::serve::Client&, const std::string&),
+               const std::string& arg) {
+  iam::serve::Client client;
+  const iam::Status connected = client.Connect("127.0.0.1", port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 connected.ToString().c_str());
+    return 1;
+  }
+  return body(client, arg);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: serve_cli serve --model <model.iam> | --demo [flags]\n"
+               "       serve_cli estimate <port> \"<predicates>\"\n"
+               "       serve_cli swap <port> <model.iam>\n"
+               "       serve_cli metrics <port>\n"
+               "       serve_cli shutdown <port>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "serve") return Serve(argc, argv);
+  if (argc < 3) return Usage();
+  const int port = std::atoi(argv[2]);
+
+  if (command == "estimate") {
+    if (argc < 4) return Usage();
+    return WithClient(port,
+                      [](iam::serve::Client& client, const std::string& q) {
+                        const auto reply = client.Estimate(q);
+                        if (!reply.ok()) {
+                          std::fprintf(stderr, "%s\n",
+                                       reply.status().ToString().c_str());
+                          return 1;
+                        }
+                        if (reply->overloaded) {
+                          std::printf("overloaded\n");
+                          return 3;
+                        }
+                        std::printf("selectivity %.10g (model version %llu)\n",
+                                    reply->selectivity,
+                                    static_cast<unsigned long long>(
+                                        reply->model_version));
+                        return 0;
+                      },
+                      argv[3]);
+  }
+  if (command == "swap") {
+    if (argc < 4) return Usage();
+    return WithClient(port,
+                      [](iam::serve::Client& client, const std::string& path) {
+                        const auto version = client.Swap(path);
+                        if (!version.ok()) {
+                          std::fprintf(stderr, "%s\n",
+                                       version.status().ToString().c_str());
+                          return 1;
+                        }
+                        std::printf("model version %llu\n",
+                                    static_cast<unsigned long long>(*version));
+                        return 0;
+                      },
+                      argv[3]);
+  }
+  if (command == "metrics") {
+    return WithClient(port,
+                      [](iam::serve::Client& client, const std::string&) {
+                        const auto text = client.Metrics();
+                        if (!text.ok()) {
+                          std::fprintf(stderr, "%s\n",
+                                       text.status().ToString().c_str());
+                          return 1;
+                        }
+                        std::fputs(text->c_str(), stdout);
+                        return 0;
+                      },
+                      "");
+  }
+  if (command == "shutdown") {
+    return WithClient(port,
+                      [](iam::serve::Client& client, const std::string&) {
+                        const iam::Status status = client.RequestShutdown();
+                        if (!status.ok()) {
+                          std::fprintf(stderr, "%s\n",
+                                       status.ToString().c_str());
+                          return 1;
+                        }
+                        std::printf("server draining\n");
+                        return 0;
+                      },
+                      "");
+  }
+  return Usage();
+}

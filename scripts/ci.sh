@@ -8,21 +8,26 @@
 #                  default/native pair is the bit-compatibility contract of
 #                  DESIGN.md §10 — exact equality in the first, tolerance-
 #                  based in the second — so both must stay green.
-#   4. ubsan       IAM_SANITIZE=undefined, quick gate (ctest -LE slow).
+#   4. ubsan       IAM_SANITIZE=undefined, quick gate (ctest -LE 'slow|net').
 #   5. werror      clang-only: -Wthread-safety -Werror build (IAM_WERROR=ON),
 #                  no test run — this is the lock-discipline gate; breaking
 #                  an annotation fails the build itself.
 #   6. tsan-obs    TSan quick gate over the concurrency-sensitive tests
-#                  (obs_test, race_test, threadpool_test) — the sharded
-#                  metrics and per-thread trace buffers must stay race-free.
+#                  (obs_test, race_test, threadpool_test, plus the serve
+#                  micro-batcher and hot-swap suites) — sharded metrics,
+#                  trace buffers and the serving lock dance must stay
+#                  race-free.
 #   7. obs smoke   model_cli demo --metrics=FILE: asserts the Prometheus
 #                  export is non-empty and has no duplicate metric names.
-#   8. sanitize    optional, IAM_CI_SANITIZE=thread|address: quick gate under
+#   8. serve smoke boots the estimator service (serve_cli serve --demo) on
+#                  loopback, runs a client burst + metrics scrape, and
+#                  asserts a clean drain shutdown.
+#   9. sanitize    optional, IAM_CI_SANITIZE=thread|address: quick gate under
 #                  that sanitizer on top of the above.
 #
-# Sanitizer configs run `ctest -LE slow` (the `slow` label marks the
-# multi-second training/VBGMM cases) so a full CI round stays bounded; the
-# default and native configs always run everything.
+# Sanitizer configs run `ctest -LE 'slow|net'` (`slow` marks the multi-second
+# training/VBGMM cases, `net` the loopback-socket serving tests) so a full CI
+# round stays bounded; the default and native configs always run everything.
 #
 # clang is optional: stages 1 and 5 degrade to a skip on a gcc-only host.
 # Set IAM_CI_REQUIRE_CLANG=1 (the clang CI lane does) to turn a missing
@@ -69,7 +74,9 @@ run_config "${prefix}-default" --
 run_config "${prefix}-native" -- -DIAM_NATIVE=ON
 
 # --- Stage 4: UBSan quick gate. --------------------------------------------
-run_config "${prefix}-ubsan" -LE slow -- -DIAM_SANITIZE=undefined
+# The "net" label (loopback-socket serving tests) joins "slow" in the quick
+# exclusion; the default/native configs above run both.
+run_config "${prefix}-ubsan" -LE 'slow|net' -- -DIAM_SANITIZE=undefined
 
 # --- Stage 5: thread-safety -Werror build (clang only). --------------------
 if command -v clang++ >/dev/null 2>&1; then
@@ -88,9 +95,12 @@ fi
 
 # --- Stage 6: TSan gate on the observability + concurrency tests. ----------
 # The sharded metric registry and per-thread trace buffers are written from
-# every pool worker; this gate proves them race-free under load.
+# every pool worker, and the serving layer's micro-batcher and hot-swap path
+# are lock dances by construction; this gate proves them race-free under
+# load. (MicroBatcherTest/ServeSwapTest are the serve concurrency suites —
+# the swap-under-load test must stay TSan-clean.)
 run_config "${prefix}-tsan-obs" -LE slow -R \
-  '^(CounterTest|RegistryTest|HistogramTest|ExportTest|TraceTest|ObsDeterminismTest|RaceTest|ThreadPoolTest)\.' \
+  '^(CounterTest|RegistryTest|HistogramTest|ExportTest|TraceTest|ObsDeterminismTest|RaceTest|ThreadPoolTest|MicroBatcherTest|ServeSwapTest)\.' \
   -- -DIAM_SANITIZE=thread
 
 # --- Stage 7: metrics-export smoke test. -----------------------------------
@@ -114,10 +124,71 @@ if [[ -n "${dup_families}" ]]; then
 fi
 echo "obs smoke OK ($(grep -c '^# TYPE ' "${metrics_file}") metric families)"
 
-# --- Stage 8: optional sanitizer quick gate. -------------------------------
-# IAM_CI_SANITIZE=thread or address; slow cases excluded to bound runtime.
+# --- Stage 8: serve smoke test. --------------------------------------------
+# Boots the estimator service on loopback with the demo model, fires a burst
+# of fixed-seed client round trips plus a metrics scrape through serve_cli's
+# client commands, then asserts a clean drain shutdown (exit 0 after the
+# shutdown frame) and that the Prometheus export parses.
+echo "=== serve smoke: serve_cli demo server + client burst ==="
+serve_log="$(mktemp)"
+serve_metrics="$(mktemp)"
+trap 'rm -f "${metrics_file}" "${serve_log}" "${serve_metrics}"' EXIT
+"${prefix}-default/examples/serve_cli" serve --demo --port 0 \
+  --max-delay-us 500 >"${serve_log}" 2>/dev/null &
+serve_pid=$!
+serve_port=""
+for _ in $(seq 1 600); do
+  serve_port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+                  "${serve_log}")"
+  [[ -n "${serve_port}" ]] && break
+  if ! kill -0 "${serve_pid}" 2>/dev/null; then
+    echo "ci: FATAL: serve_cli exited before listening" >&2
+    cat "${serve_log}" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "${serve_port}" ]]; then
+  echo "ci: FATAL: serve_cli never reported its port" >&2
+  kill "${serve_pid}" 2>/dev/null || true
+  exit 1
+fi
+for i in 30 35 40 45; do
+  "${prefix}-default/examples/serve_cli" estimate "${serve_port}" \
+    "latitude >= ${i} AND longitude <= -90" >/dev/null
+done
+"${prefix}-default/examples/serve_cli" metrics "${serve_port}" \
+  >"${serve_metrics}"
+if ! grep -q '^iam_serve_accepted_total 4$' "${serve_metrics}"; then
+  echo "ci: FATAL: serve metrics missing/unexpected accepted counter:" >&2
+  grep 'iam_serve' "${serve_metrics}" >&2 || true
+  exit 1
+fi
+dup_serve_families="$(grep '^# TYPE ' "${serve_metrics}" | awk '{print $3}' \
+                        | sort | uniq -d)"
+if [[ -n "${dup_serve_families}" ]]; then
+  echo "ci: FATAL: duplicate metric families in serve export:" >&2
+  echo "${dup_serve_families}" >&2
+  exit 1
+fi
+"${prefix}-default/examples/serve_cli" shutdown "${serve_port}" >/dev/null
+if ! wait "${serve_pid}"; then
+  echo "ci: FATAL: serve_cli did not drain cleanly" >&2
+  cat "${serve_log}" >&2
+  exit 1
+fi
+if ! grep -q '^shutdown complete$' "${serve_log}"; then
+  echo "ci: FATAL: serve_cli exited without completing its drain" >&2
+  cat "${serve_log}" >&2
+  exit 1
+fi
+echo "serve smoke OK (port ${serve_port})"
+
+# --- Stage 9: optional sanitizer quick gate. -------------------------------
+# IAM_CI_SANITIZE=thread or address; slow and net cases excluded to bound
+# runtime.
 if [[ -n "${IAM_CI_SANITIZE:-}" ]]; then
-  run_config "${prefix}-${IAM_CI_SANITIZE}" -LE slow -- \
+  run_config "${prefix}-${IAM_CI_SANITIZE}" -LE 'slow|net' -- \
     "-DIAM_SANITIZE=${IAM_CI_SANITIZE}"
 fi
 

@@ -115,11 +115,11 @@ ban "default-seeded local Rng in library code — pass an explicit seed" \
 ban "raw std::mutex outside util/ — use the annotated util::Mutex" \
     'std::mutex|std::lock_guard|std::unique_lock|std::scoped_lock' \
     src/ar src/bucketize src/core src/data src/estimator src/gmm src/join \
-    src/nn src/obs src/optimizer src/query
+    src/nn src/obs src/optimizer src/query src/serve
 ban "raw clocks outside util/ & obs/ — time through util::Stopwatch" \
     'std::chrono::system_clock|steady_clock::now\(' \
     src/ar src/bucketize src/core src/data src/estimator src/gmm src/join \
-    src/nn src/optimizer src/query tests bench examples
+    src/nn src/optimizer src/query src/serve tests bench examples
 
 if [[ "${failed}" == "0" ]]; then
   echo "lint OK"

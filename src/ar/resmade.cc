@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <sstream>
+#include <string_view>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -490,52 +492,78 @@ Status ReadMatrixInto(std::istream& in, nn::Matrix& m) {
 
 }  // namespace
 
+// Envelope identity of a persisted ResMade (util::WriteEnvelope): bump
+// kResMadeFormatVersion on any payload layout change so old builds reject new
+// files with a clean "unsupported format version" instead of misparsing.
+constexpr std::string_view kResMadeMagic = "IAMRMADE";
+constexpr uint32_t kResMadeFormatVersion = 1;
+
 void ResMade::Serialize(std::ostream& out) const {
-  WriteVector(out, domains_);
-  WriteVector(out, config_.hidden_sizes);
-  WritePod<uint8_t>(out, config_.residual ? 1 : 0);
-  WritePod<double>(out, config_.wildcard_prob);
-  WritePod<int32_t>(out, config_.one_hot_max_domain);
-  WritePod<int32_t>(out, config_.embedding_dim);
+  std::ostringstream payload;
+  WriteVector(payload, domains_);
+  WriteVector(payload, config_.hidden_sizes);
+  WritePod<uint8_t>(payload, config_.residual ? 1 : 0);
+  WritePod<double>(payload, config_.wildcard_prob);
+  WritePod<int32_t>(payload, config_.one_hot_max_domain);
+  WritePod<int32_t>(payload, config_.embedding_dim);
 
   for (int c = 0; c < num_columns(); ++c) {
-    if (!encodings_[c].one_hot) WriteMatrix(out, embeddings_[c].value);
+    if (!encodings_[c].one_hot) WriteMatrix(payload, embeddings_[c].value);
   }
   for (const nn::MaskedLinear& layer : hidden_) {
-    WriteMatrix(out, layer.weight().value);
-    WriteMatrix(out, layer.bias().value);
+    WriteMatrix(payload, layer.weight().value);
+    WriteMatrix(payload, layer.bias().value);
   }
-  WriteMatrix(out, output_.weight().value);
-  WriteMatrix(out, output_.bias().value);
+  WriteMatrix(payload, output_.weight().value);
+  WriteMatrix(payload, output_.bias().value);
+  WriteEnvelope(out, kResMadeMagic, kResMadeFormatVersion, payload.str());
 }
 
 Result<std::unique_ptr<ResMade>> ResMade::Deserialize(std::istream& in) {
+  Result<std::string> payload =
+      ReadEnvelope(in, kResMadeMagic, kResMadeFormatVersion);
+  if (!payload.ok()) return payload.status();
+  std::istringstream body(std::move(payload.value()));
+
   std::vector<int> domains;
   ResMadeConfig config;
   uint8_t residual = 1;
-  IAM_RETURN_IF_ERROR(ReadVector(in, &domains));
-  IAM_RETURN_IF_ERROR(ReadVector(in, &config.hidden_sizes));
-  IAM_RETURN_IF_ERROR(ReadPod(in, &residual));
-  IAM_RETURN_IF_ERROR(ReadPod(in, &config.wildcard_prob));
-  IAM_RETURN_IF_ERROR(ReadPod(in, &config.one_hot_max_domain));
-  IAM_RETURN_IF_ERROR(ReadPod(in, &config.embedding_dim));
+  IAM_RETURN_IF_ERROR(ReadVector(body, &domains));
+  IAM_RETURN_IF_ERROR(ReadVector(body, &config.hidden_sizes));
+  IAM_RETURN_IF_ERROR(ReadPod(body, &residual));
+  IAM_RETURN_IF_ERROR(ReadPod(body, &config.wildcard_prob));
+  IAM_RETURN_IF_ERROR(ReadPod(body, &config.one_hot_max_domain));
+  IAM_RETURN_IF_ERROR(ReadPod(body, &config.embedding_dim));
   config.residual = residual != 0;
   if (domains.size() < 2 || config.hidden_sizes.empty()) {
     return Status::IoError("inconsistent ResMade blob");
+  }
+  for (const int d : domains) {
+    if (d < 1 || d > (1 << 24)) {
+      return Status::IoError("implausible domain size in ResMade blob");
+    }
+  }
+  for (const int h : config.hidden_sizes) {
+    if (h < 1 || h > (1 << 20)) {
+      return Status::IoError("implausible hidden size in ResMade blob");
+    }
+  }
+  if (config.embedding_dim < 1 || config.embedding_dim > (1 << 16)) {
+    return Status::IoError("implausible embedding dim in ResMade blob");
   }
 
   auto made = std::make_unique<ResMade>(domains, config, /*seed=*/0);
   for (int c = 0; c < made->num_columns(); ++c) {
     if (!made->encodings_[c].one_hot) {
-      IAM_RETURN_IF_ERROR(ReadMatrixInto(in, made->embeddings_[c].value));
+      IAM_RETURN_IF_ERROR(ReadMatrixInto(body, made->embeddings_[c].value));
     }
   }
   for (nn::MaskedLinear& layer : made->hidden_) {
-    IAM_RETURN_IF_ERROR(ReadMatrixInto(in, layer.weight().value));
-    IAM_RETURN_IF_ERROR(ReadMatrixInto(in, layer.bias().value));
+    IAM_RETURN_IF_ERROR(ReadMatrixInto(body, layer.weight().value));
+    IAM_RETURN_IF_ERROR(ReadMatrixInto(body, layer.bias().value));
   }
-  IAM_RETURN_IF_ERROR(ReadMatrixInto(in, made->output_.weight().value));
-  IAM_RETURN_IF_ERROR(ReadMatrixInto(in, made->output_.bias().value));
+  IAM_RETURN_IF_ERROR(ReadMatrixInto(body, made->output_.weight().value));
+  IAM_RETURN_IF_ERROR(ReadMatrixInto(body, made->output_.bias().value));
   // The parameters changed under the model: stale transposed-weight caches
   // in any reused workspace must miss against the new version.
   made->BumpWeightVersion();

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include <fstream>
+#include <sstream>
+#include <string_view>
 
 #include "bucketize/laplace_reducer.h"
 #include "core/sampling_utils.h"
@@ -636,13 +638,19 @@ ArDensityEstimator::AggregateResult ArDensityEstimator::EstimateAggregate(
 }
 
 namespace {
-constexpr char kModelMagic[] = "IAMMODEL1";
+// Envelope identity of the composite model snapshot (everything the serving
+// path loads: column metadata, dictionaries, reducers, AR weights). Version 2
+// replaced the bare magic-string header of the original format with the
+// checksummed util::WriteEnvelope container; old files fail the magic check
+// cleanly.
+constexpr std::string_view kModelMagic = "IAMMODEL";
+constexpr uint32_t kModelFormatVersion = 2;
 }  // namespace
 
 Status ArDensityEstimator::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  WriteString(out, kModelMagic);
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  std::ostringstream out;
   WriteString(out, options_.display_name);
   WritePod<uint8_t>(out, options_.use_domain_reduction ? 1 : 0);
   WritePod<uint8_t>(out, options_.biased_sampling ? 1 : 0);
@@ -672,17 +680,19 @@ Status ArDensityEstimator::Save(const std::string& path) const {
   WriteVector(out, model_col_owner_);
   WriteVector(out, model_col_role_);
   made_->Serialize(out);
-  if (!out) return Status::IoError("write failed for " + path);
+  WriteEnvelope(file, kModelMagic, kModelFormatVersion, out.str());
+  if (!file) return Status::IoError("write failed for " + path);
   return Status::Ok();
 }
 
 Result<std::unique_ptr<ArDensityEstimator>> ArDensityEstimator::Load(
     const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-  std::string magic;
-  IAM_RETURN_IF_ERROR(ReadString(in, &magic));
-  if (magic != kModelMagic) return Status::IoError("not an IAM model file");
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open " + path);
+  Result<std::string> payload =
+      ReadEnvelope(file, kModelMagic, kModelFormatVersion);
+  if (!payload.ok()) return payload.status();
+  std::istringstream in(std::move(payload.value()));
 
   // NOLINT(iam-naked-new): the Load() constructor is private, so
   // std::make_unique cannot reach it; ownership is taken on the same line.

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <vector>
@@ -169,6 +170,40 @@ Result<Query> ParsePredicates(const data::Table& table,
     query.predicates.push_back({c, lo[c], hi[c]});
   }
   return query;
+}
+
+namespace {
+
+// Shortest decimal form that parses back (via strtod) to exactly `v`:
+// max_digits10 significant digits always round-trip a double.
+std::string FormatBound(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ToString(const data::Table& table, const Query& query) {
+  std::string out;
+  for (const Predicate& p : query.predicates) {
+    const bool lo_finite = std::isfinite(p.lo);
+    const bool hi_finite = std::isfinite(p.hi);
+    if (!lo_finite && !hi_finite) continue;  // unconstrained: no grammar form
+    if (!out.empty()) out += " AND ";
+    const std::string& name = table.column(p.column).name;
+    if (lo_finite && hi_finite && p.lo == p.hi) {
+      out += name + " = " + FormatBound(p.lo);
+    } else if (lo_finite && hi_finite) {
+      out += name + " BETWEEN " + FormatBound(p.lo) + " AND " +
+             FormatBound(p.hi);
+    } else if (hi_finite) {
+      out += name + " <= " + FormatBound(p.hi);
+    } else {
+      out += name + " >= " + FormatBound(p.lo);
+    }
+  }
+  return out;
 }
 
 }  // namespace iam::query

@@ -22,6 +22,17 @@ namespace iam::query {
 Result<Query> ParsePredicates(const data::Table& table,
                               const std::string& text);
 
+// Prints a query back in the exact grammar ParsePredicates accepts — the wire
+// format of the serving layer, whose text payloads rely on the round trip
+// ParsePredicates(table, ToString(table, q)) == q (property-tested). Bounds
+// print with max_digits10 precision, so nextafter-adjusted strict bounds
+// survive the trip bit-exactly. Fully bounded intervals render as BETWEEN,
+// half-open ones as <= / >=, points as =; a predicate with both bounds
+// infinite constrains nothing and is omitted. A query whose predicates are
+// all omitted prints as "" (which ParsePredicates rejects — the grammar has
+// no empty query).
+std::string ToString(const data::Table& table, const Query& query);
+
 }  // namespace iam::query
 
 #endif  // IAM_QUERY_PARSER_H_

@@ -1,0 +1,137 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace iam::serve {
+
+ServeMetrics& ServeMetrics::Get() {
+  static constexpr double kBatchBounds[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  static ServeMetrics metrics = [] {
+    obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+    return ServeMetrics{
+        reg.GetCounter("iam_serve_accepted_total"),
+        reg.GetCounter("iam_serve_rejected_total"),
+        reg.GetCounter("iam_serve_batches_total"),
+        reg.GetGauge("iam_serve_queue_depth"),
+        reg.GetHistogram("iam_serve_batch_size", kBatchBounds),
+        reg.GetHistogram("iam_serve_queue_wait_seconds", obs::LatencyBounds()),
+        reg.GetHistogram("iam_serve_batch_exec_seconds", obs::LatencyBounds()),
+    };
+  }();
+  return metrics;
+}
+
+MicroBatcher::MicroBatcher(ModelRegistry& registry, BatcherOptions options)
+    : registry_(registry),
+      options_([&options] {
+        options.max_batch = std::max(options.max_batch, 1);
+        options.queue_capacity = std::max(options.queue_capacity, 0);
+        options.max_delay_s = std::max(options.max_delay_s, 0.0);
+        return options;
+      }()),
+      metrics_(ServeMetrics::Get()),
+      worker_([this] { WorkerLoop(); }) {}
+
+MicroBatcher::~MicroBatcher() { DrainAndStop(); }
+
+MicroBatcher::Response MicroBatcher::Estimate(const query::Query& q) {
+  Waiter waiter;
+  waiter.query = &q;
+  {
+    util::MutexLock lock(mu_);
+    if (stop_) {
+      return {Status::FailedPrecondition("batcher is draining"), false, 0.0,
+              0};
+    }
+    if (static_cast<int>(queue_.size()) >= options_.queue_capacity) {
+      metrics_.rejected.Add();
+      return {Status::Ok(), /*overloaded=*/true, 0.0, 0};
+    }
+    queue_.push_back(&waiter);
+    metrics_.accepted.Add();
+    metrics_.queue_depth.Set(static_cast<double>(queue_.size()));
+    work_cv_.notify_one();
+    while (!waiter.done) lock.Wait(done_cv_);
+  }
+  return {Status::Ok(), false, waiter.selectivity, waiter.model_version};
+}
+
+void MicroBatcher::WorkerLoop() {
+  std::vector<Waiter*> batch;
+  std::vector<query::Query> queries;
+  for (;;) {
+    batch.clear();
+    queries.clear();
+    {
+      util::MutexLock lock(mu_);
+      while (queue_.empty() && !stop_) lock.Wait(work_cv_);
+      if (queue_.empty()) return;  // stopped and fully drained
+      // Coalesce: hold the flush until the batch fills or the head of the
+      // queue hits its delay budget. During a drain, flush immediately.
+      while (static_cast<int>(queue_.size()) < options_.max_batch && !stop_) {
+        const double remaining =
+            options_.max_delay_s - queue_.front()->queued.ElapsedSeconds();
+        if (remaining <= 0.0) break;
+        lock.WaitFor(work_cv_, remaining);
+      }
+      const size_t take = std::min(queue_.size(),
+                                   static_cast<size_t>(options_.max_batch));
+      batch.assign(queue_.begin(),
+                   queue_.begin() + static_cast<ptrdiff_t>(take));
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<ptrdiff_t>(take));
+      metrics_.queue_depth.Set(static_cast<double>(queue_.size()));
+    }
+
+    // Snapshot the model once per batch: a concurrent hot-swap replaces the
+    // registry's pointer but this batch drains on the generation it started
+    // with; the old model dies here (not under any lock) when the last
+    // snapshot drops.
+    const std::shared_ptr<LoadedModel> model = registry_.Current();
+    queries.reserve(batch.size());
+    for (Waiter* waiter : batch) {
+      metrics_.queue_wait_seconds.Record(waiter->queued.ElapsedSeconds());
+      queries.push_back(*waiter->query);
+    }
+    metrics_.batch_size.Record(static_cast<double>(batch.size()));
+    Stopwatch exec;
+    const std::vector<double> selectivities =
+        model->estimator->EstimateBatch(queries);
+    metrics_.batch_exec_seconds.Record(exec.ElapsedSeconds());
+    metrics_.batches.Add();
+
+    {
+      util::MutexLock lock(mu_);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        batch[i]->selectivity = selectivities[i];
+        batch[i]->model_version = model->version;
+        batch[i]->done = true;
+      }
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void MicroBatcher::DrainAndStop() {
+  {
+    util::MutexLock lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  // join_mu_ makes the drain idempotent and safe to race (Shutdown and the
+  // destructor can both land here): exactly one caller joins.
+  util::MutexLock join(join_mu_);
+  if (worker_.joinable()) worker_.join();
+}
+
+int MicroBatcher::queue_depth() const {
+  util::MutexLock lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+}  // namespace iam::serve

@@ -1,0 +1,120 @@
+#ifndef IAM_SERVE_BATCHER_H_
+#define IAM_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <thread>
+
+#include "query/query.h"
+#include "serve/model_registry.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/thread_annotations.h"
+
+namespace iam::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace iam::obs
+
+namespace iam::serve {
+
+struct BatcherOptions {
+  // Flush when this many requests have coalesced...
+  int max_batch = 32;
+  // ...or when the oldest queued request has waited this long, whichever
+  // comes first. The classic dynamic micro-batching trade: larger batches
+  // amortize the model's per-batch cost (thread-pool fan-out, shared
+  // scratch), the deadline bounds the latency a lonely request can pay.
+  double max_delay_s = 2e-3;
+  // Admission watermark: a request arriving while this many are already
+  // queued is fast-rejected (kOverloaded) instead of queued, which keeps the
+  // latency of *accepted* requests bounded when offered load exceeds
+  // capacity.
+  int queue_capacity = 512;
+};
+
+// Instrumentation handles of the serving layer, resolved once from the
+// global registry (DESIGN.md §12 idiom).
+struct ServeMetrics {
+  obs::Counter& accepted;
+  obs::Counter& rejected;
+  obs::Counter& batches;
+  obs::Gauge& queue_depth;
+  obs::Histogram& batch_size;
+  obs::Histogram& queue_wait_seconds;
+  obs::Histogram& batch_exec_seconds;
+
+  static ServeMetrics& Get();
+};
+
+// The dynamic micro-batching queue: concurrent callers (one connection
+// thread each) block in Estimate() while their queries coalesce; a single
+// worker thread flushes the queue into one Estimator::EstimateBatch call per
+// micro-batch, against the registry's current model snapshot. Requests never
+// straddle batches, and a model swap takes effect at the next flush — never
+// mid-batch.
+//
+// Note on determinism: EstimateBatch seeds each query's sampler from its
+// index within the batch, so an estimate under dynamic batching depends on
+// the batch composition — i.e. on arrival timing. Every such estimate equals
+// some fixed-batch estimate of the same model; a solo request (batch of one)
+// reproduces Estimator::Estimate bit-exactly.
+class MicroBatcher {
+ public:
+  MicroBatcher(ModelRegistry& registry, BatcherOptions options);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  struct Response {
+    Status status;  // non-OK only when the batcher is already stopped
+    bool overloaded = false;
+    double selectivity = 0.0;
+    uint64_t model_version = 0;
+  };
+
+  // Blocking: coalesces the query into the next micro-batch and waits for
+  // its flush, or fast-rejects when the queue is at capacity.
+  Response Estimate(const query::Query& q) IAM_EXCLUDES(mu_);
+
+  // Stops admission, flushes everything already queued (in max_batch-sized
+  // batches), and joins the worker. Idempotent; called by the destructor.
+  void DrainAndStop() IAM_EXCLUDES(mu_);
+
+  // Requests queued right now (tests poll this to stage overload scenarios).
+  int queue_depth() const IAM_EXCLUDES(mu_);
+
+  const BatcherOptions& options() const { return options_; }
+
+ private:
+  struct Waiter {
+    const query::Query* query = nullptr;
+    Stopwatch queued;  // running since enqueue; read at dequeue
+    bool done = false;
+    double selectivity = 0.0;
+    uint64_t model_version = 0;
+  };
+
+  void WorkerLoop() IAM_EXCLUDES(mu_);
+
+  ModelRegistry& registry_;
+  const BatcherOptions options_;
+  ServeMetrics& metrics_;
+
+  mutable util::Mutex mu_;
+  std::condition_variable work_cv_;  // worker: arrivals / stop
+  std::condition_variable done_cv_;  // waiters: batch completed
+  std::deque<Waiter*> queue_ IAM_GUARDED_BY(mu_);
+  bool stop_ IAM_GUARDED_BY(mu_) = false;
+
+  util::Mutex join_mu_;  // serializes the DrainAndStop join
+  std::thread worker_;   // started last, joined by DrainAndStop
+};
+
+}  // namespace iam::serve
+
+#endif  // IAM_SERVE_BATCHER_H_

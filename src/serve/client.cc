@@ -1,0 +1,127 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace iam::serve {
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Client::Connect(const std::string& host, int port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status failed =
+        Status::IoError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  fd_ = fd;
+  return Status::Ok();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Frame> Client::RoundTrip(FrameType type, const std::string& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  Status status = WriteFrame(fd_, {type, payload});
+  if (!status.ok()) return status;
+  Frame response;
+  status = ReadFrame(fd_, &response);
+  if (!status.ok()) return status;
+  return response;
+}
+
+Result<Client::EstimateReply> Client::Estimate(const std::string& predicates) {
+  Result<Frame> response = RoundTrip(FrameType::kEstimate, predicates);
+  if (!response.ok()) return response.status();
+  switch (response->type) {
+    case FrameType::kEstimateOk: {
+      EstimateReply reply;
+      const Status decoded = DecodeEstimatePayload(
+          response->payload, &reply.selectivity, &reply.model_version);
+      if (!decoded.ok()) return decoded;
+      return reply;
+    }
+    case FrameType::kOverloaded: {
+      EstimateReply reply;
+      reply.overloaded = true;
+      return reply;
+    }
+    case FrameType::kError:
+      return Status::Internal("server error: " + response->payload);
+    default:
+      return Status::Internal("unexpected response frame type " +
+                              std::to_string(static_cast<int>(response->type)));
+  }
+}
+
+Result<uint64_t> Client::Swap(const std::string& model_path) {
+  Result<Frame> response = RoundTrip(FrameType::kSwap, model_path);
+  if (!response.ok()) return response.status();
+  if (response->type == FrameType::kError) {
+    return Status::Internal("server error: " + response->payload);
+  }
+  if (response->type != FrameType::kOk) {
+    return Status::Internal("unexpected response frame type " +
+                            std::to_string(static_cast<int>(response->type)));
+  }
+  // The acknowledgement reads "version N".
+  constexpr std::string_view kPrefix = "version ";
+  if (response->payload.rfind(kPrefix, 0) != 0) {
+    return Status::Internal("malformed swap acknowledgement: " +
+                            response->payload);
+  }
+  return static_cast<uint64_t>(
+      std::strtoull(response->payload.c_str() + kPrefix.size(), nullptr, 10));
+}
+
+Result<std::string> Client::Metrics() {
+  Result<Frame> response = RoundTrip(FrameType::kMetrics, "");
+  if (!response.ok()) return response.status();
+  if (response->type != FrameType::kOk) {
+    return Status::Internal("server error: " + response->payload);
+  }
+  return response->payload;
+}
+
+Status Client::RequestShutdown() {
+  Result<Frame> response = RoundTrip(FrameType::kShutdown, "");
+  if (!response.ok()) return response.status();
+  if (response->type != FrameType::kOk) {
+    return Status::Internal("server error: " + response->payload);
+  }
+  return Status::Ok();
+}
+
+}  // namespace iam::serve

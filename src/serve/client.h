@@ -1,0 +1,57 @@
+#ifndef IAM_SERVE_CLIENT_H_
+#define IAM_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace iam::serve {
+
+// Blocking client for the estimator service: one TCP connection, one
+// outstanding request at a time (the loadgen and the tests open many clients
+// to exercise micro-batching). Not thread-safe; use one Client per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  struct EstimateReply {
+    bool overloaded = false;  // admission-control fast-reject
+    double selectivity = 0.0;
+    uint64_t model_version = 0;
+  };
+
+  // Estimates one predicate string. A server-side kError (parse failure,
+  // draining) surfaces as a non-OK Status carrying the server's message.
+  Result<EstimateReply> Estimate(const std::string& predicates);
+
+  // Hot-swaps the server onto the model snapshot at `model_path` (a path on
+  // the server's filesystem); returns the new model version.
+  Result<uint64_t> Swap(const std::string& model_path);
+
+  // The server's Prometheus metrics export.
+  Result<std::string> Metrics();
+
+  // Asks the server to drain and exit (acknowledged before the drain).
+  Status RequestShutdown();
+
+ private:
+  Result<Frame> RoundTrip(FrameType type, const std::string& payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace iam::serve
+
+#endif  // IAM_SERVE_CLIENT_H_

@@ -1,0 +1,26 @@
+#ifndef IAM_SERVE_DEMO_H_
+#define IAM_SERVE_DEMO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ar_density_estimator.h"
+
+namespace iam::serve {
+
+// Shared fixture for serve_cli --demo, bench_serve, the serve tests and the
+// CI smoke stage: a small IAM estimator trained on synthetic TWI. Fixed seed;
+// fast enough to train in a few seconds.
+std::unique_ptr<core::ArDensityEstimator> TrainDemoEstimator(
+    size_t rows = 3000, uint64_t seed = 5);
+
+// Deterministic predicate strings against the demo schema, rendered through
+// query::ToString so every consumer also exercises the printer->parser round
+// trip on the wire.
+std::vector<std::string> DemoPredicates(int count, uint64_t seed);
+
+}  // namespace iam::serve
+
+#endif  // IAM_SERVE_DEMO_H_

@@ -1,0 +1,51 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace iam::serve {
+
+ModelRegistry::ModelRegistry(std::unique_ptr<core::ArDensityEstimator> model,
+                             std::string source, int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads),
+      swaps_(obs::MetricRegistry::Global().GetCounter(
+          "iam_serve_model_swaps_total")) {
+  Swap(std::move(model), std::move(source));
+}
+
+std::shared_ptr<LoadedModel> ModelRegistry::Current() const {
+  util::MutexLock lock(mu_);
+  return current_;
+}
+
+Result<uint64_t> ModelRegistry::SwapFromFile(const std::string& path) {
+  Result<std::unique_ptr<core::ArDensityEstimator>> loaded =
+      core::ArDensityEstimator::Load(path);
+  if (!loaded.ok()) return loaded.status();
+  return Swap(std::move(loaded.value()), path);
+}
+
+uint64_t ModelRegistry::Swap(std::unique_ptr<core::ArDensityEstimator> model,
+                             std::string source) {
+  model->set_num_threads(num_threads_);
+  auto installed = std::make_shared<LoadedModel>();
+  installed->schema = model->SchemaTable();
+  installed->estimator = std::move(model);
+  installed->source = std::move(source);
+  std::shared_ptr<LoadedModel> replaced;
+  uint64_t version = 0;
+  {
+    util::MutexLock lock(mu_);
+    version = ++versions_issued_;
+    installed->version = version;
+    // Keep the old generation alive past the lock: its destructor may tear
+    // down a thread pool, which must not run under mu_.
+    replaced = std::move(current_);
+    current_ = std::move(installed);
+  }
+  if (replaced != nullptr) swaps_.Add();  // initial install is not a swap
+  return version;
+}
+
+}  // namespace iam::serve

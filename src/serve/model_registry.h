@@ -1,0 +1,72 @@
+#ifndef IAM_SERVE_MODEL_REGISTRY_H_
+#define IAM_SERVE_MODEL_REGISTRY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/ar_density_estimator.h"
+#include "data/table.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace iam::obs {
+class Counter;
+}  // namespace iam::obs
+
+namespace iam::serve {
+
+// One installed model generation: the estimator, its schema (for parsing
+// predicate text without the training data), and a monotone version number
+// that responses echo so clients — and the hot-swap tests — can tell which
+// generation answered.
+struct LoadedModel {
+  std::unique_ptr<core::ArDensityEstimator> estimator;
+  data::Table schema;
+  uint64_t version = 0;
+  std::string source;  // path it came from, or a caller-supplied tag
+};
+
+// Holds the current model behind a shared_ptr and swaps it atomically. The
+// batcher takes a snapshot per micro-batch, so a swap never interrupts an
+// in-flight batch: the old generation finishes its batch on the old model
+// and is destroyed when the last snapshot drops (on the batcher thread, not
+// under the registry lock).
+//
+// Swaps assume same-schema models (a reload/retrain of the same table) —
+// queries parsed against generation N's schema may execute on generation
+// N+1 if a swap lands between parse and flush.
+class ModelRegistry {
+ public:
+  // Installs the initial model as version 1. `num_threads` is applied to
+  // this and every later model (Estimator::set_num_threads) so micro-batches
+  // fan out across the pool.
+  ModelRegistry(std::unique_ptr<core::ArDensityEstimator> model,
+                std::string source, int num_threads = 1);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  // The current generation. Never null.
+  std::shared_ptr<LoadedModel> Current() const IAM_EXCLUDES(mu_);
+
+  // Loads a model snapshot from disk and installs it; a corrupt or
+  // unreadable file leaves the current model serving and returns the load
+  // error. On success returns the new version.
+  Result<uint64_t> SwapFromFile(const std::string& path) IAM_EXCLUDES(mu_);
+
+  // Installs an already-built model; returns its version.
+  uint64_t Swap(std::unique_ptr<core::ArDensityEstimator> model,
+                std::string source) IAM_EXCLUDES(mu_);
+
+ private:
+  const int num_threads_;
+  obs::Counter& swaps_;
+  mutable util::Mutex mu_;
+  std::shared_ptr<LoadedModel> current_ IAM_GUARDED_BY(mu_);
+  uint64_t versions_issued_ IAM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace iam::serve
+
+#endif  // IAM_SERVE_MODEL_REGISTRY_H_

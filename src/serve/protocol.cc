@@ -1,0 +1,154 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace iam::serve {
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(std::string_view in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t GetU64(std::string_view in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+// Reads exactly n bytes; kNotFound on EOF at offset 0 (orderly hangup),
+// kIoError on a mid-buffer EOF or a socket error.
+Status ReadExactly(int fd, char* data, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, data + got, n - got);
+    if (r == 0) {
+      return got == 0 ? Status::NotFound("connection closed")
+                      : Status::IoError("connection truncated mid-frame");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("read: ") + std::strerror(errno));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::Ok();
+}
+
+Status WriteAll(int fd, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a peer that hung up yields EPIPE instead of killing the
+    // process with SIGPIPE.
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(5 + frame.payload.size());
+  PutU32(&out, static_cast<uint32_t>(1 + frame.payload.size()));
+  out.push_back(static_cast<char>(frame.type));
+  out.append(frame.payload);
+  return out;
+}
+
+Result<size_t> DecodeFrame(std::string_view buffer, Frame* frame) {
+  if (buffer.size() < 4) return size_t{0};
+  const uint32_t length = GetU32(buffer);
+  if (length == 0) return Status::IoError("zero-length frame");
+  if (length > 1 + kMaxPayloadBytes) {
+    return Status::IoError("oversized frame (" + std::to_string(length) +
+                           " bytes)");
+  }
+  if (buffer.size() < 4 + static_cast<size_t>(length)) return size_t{0};
+  frame->type = static_cast<FrameType>(buffer[4]);
+  frame->payload.assign(buffer.substr(5, length - 1));
+  return static_cast<size_t>(4 + length);
+}
+
+Status ReadFrame(int fd, Frame* frame) {
+  char header[4];
+  IAM_RETURN_IF_ERROR(ReadExactly(fd, header, 4));
+  const uint32_t length = GetU32(std::string_view(header, 4));
+  if (length == 0) return Status::IoError("zero-length frame");
+  if (length > 1 + kMaxPayloadBytes) {
+    return Status::IoError("oversized frame (" + std::to_string(length) +
+                           " bytes)");
+  }
+  std::string body(length, '\0');
+  const Status read = ReadExactly(fd, body.data(), length);
+  if (!read.ok()) {
+    // Truncation after a complete header is never an orderly hangup.
+    return read.code() == StatusCode::kNotFound
+               ? Status::IoError("connection truncated mid-frame")
+               : read;
+  }
+  frame->type = static_cast<FrameType>(body[0]);
+  frame->payload.assign(body, 1, length - 1);
+  return Status::Ok();
+}
+
+Status WriteFrame(int fd, const Frame& frame) {
+  if (frame.payload.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  const std::string bytes = EncodeFrame(frame);
+  return WriteAll(fd, bytes.data(), bytes.size());
+}
+
+std::string EncodeEstimatePayload(double selectivity,
+                                  uint64_t model_version) {
+  std::string out;
+  out.reserve(16);
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(selectivity));
+  std::memcpy(&bits, &selectivity, sizeof(bits));
+  PutU64(&out, bits);
+  PutU64(&out, model_version);
+  return out;
+}
+
+Status DecodeEstimatePayload(std::string_view payload, double* selectivity,
+                             uint64_t* model_version) {
+  if (payload.size() != 16) {
+    return Status::IoError("estimate payload must be 16 bytes, got " +
+                           std::to_string(payload.size()));
+  }
+  const uint64_t bits = GetU64(payload);
+  std::memcpy(selectivity, &bits, sizeof(*selectivity));
+  *model_version = GetU64(payload.substr(8));
+  return Status::Ok();
+}
+
+}  // namespace iam::serve

@@ -1,0 +1,68 @@
+#ifndef IAM_SERVE_PROTOCOL_H_
+#define IAM_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace iam::serve {
+
+// Wire protocol of the estimator service (DESIGN.md §13). Every message is a
+// length-prefixed frame:
+//
+//   uint32 LE frame length (type byte + payload) | uint8 type | payload
+//
+// Request payloads are text (predicates in the query::ParsePredicates
+// grammar, filesystem paths); the estimate response payload is binary
+// (selectivity + model version), everything else is text. The protocol is
+// strictly request/response per frame, but frames from one connection may be
+// pipelined — the server answers in submission order.
+
+// Upper bound on a frame payload; a header announcing more is malformed and
+// closes the connection (a desynchronized byte stream can otherwise demand
+// gigabytes).
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+
+enum class FrameType : uint8_t {
+  // Requests.
+  kEstimate = 1,  // payload: predicate text
+  kSwap = 2,      // payload: path of the model snapshot to hot-swap in
+  kMetrics = 3,   // payload: empty; response carries the Prometheus export
+  kShutdown = 4,  // payload: empty; server drains and exits
+
+  // Responses.
+  kEstimateOk = 65,  // payload: f64 selectivity | u64 model version (LE)
+  kOk = 66,          // payload: informational text (swap: "version <N>")
+  kError = 67,       // payload: human-readable Status text
+  kOverloaded = 68,  // payload: empty — admission-control fast-reject
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+// Serialized bytes of one frame (header + payload).
+std::string EncodeFrame(const Frame& frame);
+
+// Parses one frame from the front of `buffer`. Returns the number of bytes
+// consumed, 0 when the buffer does not yet hold a complete frame, or an
+// error for a malformed header (zero-length or oversized frame).
+Result<size_t> DecodeFrame(std::string_view buffer, Frame* frame);
+
+// Blocking fd transport. EOF on a frame boundary surfaces as kNotFound
+// ("connection closed") so callers can tell an orderly hangup from a
+// mid-frame truncation (kIoError).
+Status ReadFrame(int fd, Frame* frame);
+Status WriteFrame(int fd, const Frame& frame);
+
+// kEstimateOk payload codec.
+std::string EncodeEstimatePayload(double selectivity, uint64_t model_version);
+Status DecodeEstimatePayload(std::string_view payload, double* selectivity,
+                             uint64_t* model_version);
+
+}  // namespace iam::serve
+
+#endif  // IAM_SERVE_PROTOCOL_H_

@@ -1,0 +1,179 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "query/parser.h"
+
+namespace iam::serve {
+
+EstimatorServer::EstimatorServer(ModelRegistry& registry,
+                                 ServerOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      batcher_(registry, options_.batcher) {}
+
+EstimatorServer::~EstimatorServer() { Shutdown(); }
+
+Status EstimatorServer::Start() {
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address " +
+                                   options_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status failed =
+        Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  if (::listen(fd, options_.listen_backlog) != 0) {
+    const Status failed =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status failed =
+        Status::IoError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void EstimatorServer::AcceptLoop() {
+  obs::Counter& connections = obs::MetricRegistry::Global().GetCounter(
+      "iam_serve_connections_total");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Shutdown() shut the listener down; every other failure also ends
+      // the accept loop (the server keeps serving open connections).
+      return;
+    }
+    connections.Add();
+    util::MutexLock lock(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+Frame EstimatorServer::HandleFrame(const Frame& request) {
+  switch (request.type) {
+    case FrameType::kEstimate: {
+      // Parse against the current generation's schema. A swap between parse
+      // and flush executes the query on the next generation — same-schema by
+      // the registry contract, so column indices stay valid.
+      const std::shared_ptr<LoadedModel> model = registry_.Current();
+      Result<query::Query> parsed =
+          query::ParsePredicates(model->schema, request.payload);
+      if (!parsed.ok()) {
+        obs::MetricRegistry::Global()
+            .GetCounter("iam_serve_parse_errors_total")
+            .Add();
+        return {FrameType::kError, parsed.status().ToString()};
+      }
+      const MicroBatcher::Response response = batcher_.Estimate(*parsed);
+      if (!response.status.ok()) {
+        return {FrameType::kError, response.status.ToString()};
+      }
+      if (response.overloaded) return {FrameType::kOverloaded, ""};
+      return {FrameType::kEstimateOk,
+              EncodeEstimatePayload(response.selectivity,
+                                    response.model_version)};
+    }
+    case FrameType::kSwap: {
+      const Result<uint64_t> swapped = registry_.SwapFromFile(request.payload);
+      if (!swapped.ok()) return {FrameType::kError, swapped.status().ToString()};
+      return {FrameType::kOk, "version " + std::to_string(*swapped)};
+    }
+    case FrameType::kMetrics:
+      return {FrameType::kOk, obs::MetricsToPrometheus(
+                                  obs::MetricRegistry::Global().Snapshot())};
+    case FrameType::kShutdown:
+      shutdown_requested_.store(true, std::memory_order_release);
+      return {FrameType::kOk, "draining"};
+    default:
+      return {FrameType::kError,
+              "unknown frame type " +
+                  std::to_string(static_cast<int>(request.type))};
+  }
+}
+
+void EstimatorServer::ServeConnection(int fd) {
+  Frame request;
+  for (;;) {
+    const Status read = ReadFrame(fd, &request);
+    if (!read.ok()) break;  // orderly hangup, truncation, or drain unblock
+    const Frame response = HandleFrame(request);
+    if (!WriteFrame(fd, response).ok()) break;
+  }
+  ::close(fd);
+  util::MutexLock lock(conn_mu_);
+  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                  conn_fds_.end());
+}
+
+void EstimatorServer::Shutdown() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    // A second caller (destructor after an explicit Shutdown) still waits
+    // for the batcher, which is idempotent.
+    batcher_.DrainAndStop();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // shutdown() reliably unblocks a blocking accept(); close() alone does
+    // not on Linux.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Unblock connections parked in ReadFrame: SHUT_RD makes their pending
+  // read return EOF while responses already being written still flush.
+  std::vector<std::thread> workers;
+  {
+    util::MutexLock lock(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+    workers.swap(conn_threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  batcher_.DrainAndStop();
+}
+
+}  // namespace iam::serve

@@ -1,0 +1,81 @@
+#ifndef IAM_SERVE_SERVER_H_
+#define IAM_SERVE_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/model_registry.h"
+#include "serve/protocol.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace iam::serve {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  // 0: kernel-assigned ephemeral port; see port()
+  int listen_backlog = 64;
+  BatcherOptions batcher;
+};
+
+// The long-lived estimator service (DESIGN.md §13): a TCP listener that
+// speaks the serve::protocol frames, one thread per connection, all estimate
+// traffic funneled through one MicroBatcher so concurrent clients share
+// micro-batches. Model hot-swap goes through the shared ModelRegistry —
+// either a kSwap control frame handled here, or an out-of-band
+// registry.SwapFromFile (serve_cli's SIGHUP path); in-flight batches drain on
+// the generation they started with.
+class EstimatorServer {
+ public:
+  EstimatorServer(ModelRegistry& registry, ServerOptions options);
+  ~EstimatorServer();  // Shutdown() if still running
+
+  EstimatorServer(const EstimatorServer&) = delete;
+  EstimatorServer& operator=(const EstimatorServer&) = delete;
+
+  // Binds, listens and starts the accept thread. Fails cleanly when the
+  // address or port is unavailable.
+  Status Start();
+
+  // The bound port (resolves port 0 after Start()).
+  int port() const { return port_; }
+
+  // True once a client sent kShutdown. The server keeps running — the
+  // owning binary observes this and calls Shutdown(), so the acknowledgement
+  // can reach the requesting client first.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  // Graceful drain: stop accepting, unblock idle connections, answer
+  // everything already queued, join every thread. Idempotent.
+  void Shutdown();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  // One request frame -> one response frame.
+  Frame HandleFrame(const Frame& request);
+
+  ModelRegistry& registry_;
+  const ServerOptions options_;
+  MicroBatcher batcher_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::thread accept_thread_;
+
+  util::Mutex conn_mu_;
+  std::vector<std::thread> conn_threads_ IAM_GUARDED_BY(conn_mu_);
+  std::vector<int> conn_fds_ IAM_GUARDED_BY(conn_mu_);
+};
+
+}  // namespace iam::serve
+
+#endif  // IAM_SERVE_SERVER_H_

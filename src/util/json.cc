@@ -1,0 +1,145 @@
+#include "util/json.h"
+
+#include <cstdio>
+
+namespace iam::util {
+namespace {
+
+// Advances past the string whose opening quote is at `i` (document[i] == '"');
+// returns the index one past the closing quote, or npos on a truncated
+// string.
+size_t SkipString(std::string_view doc, size_t i) {
+  for (++i; i < doc.size(); ++i) {
+    if (doc[i] == '\\') {
+      ++i;  // skip the escaped character
+    } else if (doc[i] == '"') {
+      return i + 1;
+    }
+  }
+  return std::string_view::npos;
+}
+
+// Advances past one JSON value starting at `i` (first non-space byte of the
+// value); returns the index one past its last byte, or npos on malformed
+// input. Scalars run until a top-level ',' or '}' delimiter.
+size_t SkipValue(std::string_view doc, size_t i) {
+  if (i >= doc.size()) return std::string_view::npos;
+  if (doc[i] == '"') return SkipString(doc, i);
+  if (doc[i] == '{' || doc[i] == '[') {
+    int depth = 0;
+    for (; i < doc.size(); ++i) {
+      const char c = doc[i];
+      if (c == '"') {
+        i = SkipString(doc, i);
+        if (i == std::string_view::npos) return std::string_view::npos;
+        --i;  // the loop increment moves past the closing quote
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (--depth == 0) return i + 1;
+      }
+    }
+    return std::string_view::npos;
+  }
+  // Number / true / false / null: ends before the next delimiter.
+  while (i < doc.size() && doc[i] != ',' && doc[i] != '}' && doc[i] != ']') {
+    ++i;
+  }
+  return i;
+}
+
+size_t SkipSpace(std::string_view doc, size_t i) {
+  while (i < doc.size() &&
+         (doc[i] == ' ' || doc[i] == '\t' || doc[i] == '\n' ||
+          doc[i] == '\r')) {
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace
+
+std::string UpsertTopLevelKey(std::string_view document, std::string_view key,
+                              std::string_view value_json) {
+  const std::string entry =
+      "\"" + JsonEscape(key) + "\":" + std::string(value_json);
+  const size_t open = document.find('{');
+  const size_t close = document.find_last_of('}');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return "{" + entry + "}\n";
+  }
+
+  // Walk the top-level members looking for `key`.
+  size_t i = SkipSpace(document, open + 1);
+  bool any_member = false;
+  while (i < document.size() && document[i] == '"') {
+    const size_t key_start = i;
+    const size_t key_end = SkipString(document, i);
+    if (key_end == std::string_view::npos) break;
+    size_t colon = SkipSpace(document, key_end);
+    if (colon >= document.size() || document[colon] != ':') break;
+    const size_t value_start = SkipSpace(document, colon + 1);
+    const size_t value_end = SkipValue(document, value_start);
+    if (value_end == std::string_view::npos) break;
+    any_member = true;
+    // Compare the raw key bytes (escaped form) — bench section names are
+    // plain identifiers, so escaped and unescaped forms coincide.
+    const std::string_view raw_key =
+        document.substr(key_start + 1, key_end - key_start - 2);
+    if (raw_key == key) {
+      std::string result(document.substr(0, value_start));
+      result.append(value_json);
+      result.append(document.substr(value_end));
+      return result;
+    }
+    i = SkipSpace(document, value_end);
+    if (i < document.size() && document[i] == ',') {
+      i = SkipSpace(document, i + 1);
+    } else {
+      break;
+    }
+  }
+
+  // Not found: splice before the closing brace.
+  std::string result(document.substr(0, close));
+  if (any_member) result.append(",");
+  result.append(entry);
+  result.append(document.substr(close));
+  return result;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace iam::util

@@ -1,0 +1,34 @@
+#ifndef IAM_UTIL_JSON_H_
+#define IAM_UTIL_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace iam::util {
+
+// Inserts or replaces one top-level key of a JSON object document, preserving
+// every other byte of the file. This is the primitive behind the bench
+// harness's multi-section result files (BENCH_*.json): several binaries — or
+// several runs of one binary — each merge their own section into a shared
+// file without clobbering the others and without ever emitting a duplicate
+// key.
+//
+//   - `document` is expected to be a JSON object (possibly with surrounding
+//     whitespace). Anything that does not contain a top-level {...} — the
+//     empty string, a fresh file, garbage — is replaced by a new object
+//     holding just the given key.
+//   - If `key` already exists at the top level, its value (scanned with full
+//     string/escape and brace/bracket awareness, so nested objects and
+//     strings containing '}' are fine) is replaced by `value_json`.
+//   - Otherwise `"key":value_json` is appended before the closing brace.
+//
+// `value_json` must itself be a valid JSON value; it is spliced verbatim.
+std::string UpsertTopLevelKey(std::string_view document, std::string_view key,
+                              std::string_view value_json);
+
+// Escapes a string for inclusion in a JSON document (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace iam::util
+
+#endif  // IAM_UTIL_JSON_H_

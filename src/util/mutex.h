@@ -1,6 +1,7 @@
 #ifndef IAM_UTIL_MUTEX_H_
 #define IAM_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -44,6 +45,15 @@ class IAM_SCOPED_CAPABILITY MutexLock {
   // keeping the predicate in the enclosing scope, where TSA can check the
   // guarded reads against the held capability.
   void Wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+  // Timed variant: returns false when `seconds` elapsed without a
+  // notification (callers re-check both predicate and deadline either way —
+  // spurious wakeups and notify-then-timeout races make the return value a
+  // hint, not a verdict).
+  bool WaitFor(std::condition_variable& cv, double seconds) {
+    return cv.wait_for(lock_, std::chrono::duration<double>(seconds)) ==
+           std::cv_status::no_timeout;
+  }
 
  private:
   std::unique_lock<std::mutex> lock_;

@@ -1,0 +1,63 @@
+#include "util/serialize.h"
+
+#include "util/macros.h"
+
+namespace iam {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void WriteEnvelope(std::ostream& out, std::string_view magic8,
+                   uint32_t version, std::string_view payload) {
+  IAM_CHECK(magic8.size() == 8);
+  out.write(magic8.data(), 8);
+  WritePod<uint32_t>(out, version);
+  WritePod<uint64_t>(out, payload.size());
+  WritePod<uint64_t>(out, Fnv1a64(payload));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+Result<std::string> ReadEnvelope(std::istream& in, std::string_view magic8,
+                                 uint32_t max_supported_version,
+                                 uint32_t* version_out) {
+  IAM_CHECK(magic8.size() == 8);
+  char magic[8] = {};
+  in.read(magic, 8);
+  if (!in) return Status::IoError("truncated stream reading magic");
+  if (std::string_view(magic, 8) != magic8) {
+    return Status::IoError("bad magic: expected '" + std::string(magic8) +
+                           "'");
+  }
+  uint32_t version = 0;
+  uint64_t size = 0;
+  uint64_t digest = 0;
+  IAM_RETURN_IF_ERROR(ReadPod(in, &version));
+  IAM_RETURN_IF_ERROR(ReadPod(in, &size));
+  IAM_RETURN_IF_ERROR(ReadPod(in, &digest));
+  if (version == 0 || version > max_supported_version) {
+    return Status::IoError("unsupported format version " +
+                           std::to_string(version) + " (max supported " +
+                           std::to_string(max_supported_version) + ")");
+  }
+  if (size > (1ULL << 34)) {
+    return Status::IoError("implausible payload size");
+  }
+  std::string payload(size, '\0');
+  if (size > 0) {
+    in.read(payload.data(), static_cast<std::streamsize>(size));
+    if (!in) return Status::IoError("truncated payload");
+  }
+  if (Fnv1a64(payload) != digest) {
+    return Status::IoError("payload checksum mismatch (corrupted file)");
+  }
+  if (version_out != nullptr) *version_out = version;
+  return payload;
+}
+
+}  // namespace iam

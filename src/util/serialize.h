@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -71,6 +72,29 @@ inline Status ReadString(std::istream& in, std::string* s) {
   }
   return Status::Ok();
 }
+
+// 64-bit FNV-1a over a byte span. Not cryptographic; used as a corruption
+// check on persisted model payloads (a flipped bit or truncated tail changes
+// the digest with overwhelming probability).
+uint64_t Fnv1a64(std::string_view data);
+
+// Checksummed, versioned container for persisted blobs:
+//
+//   [8-byte magic][u32 format version][u64 payload size][u64 FNV-1a][payload]
+//
+// Writers serialize their payload into a buffer first; readers validate the
+// magic, the version range, the declared size and the digest before any field
+// of the payload is interpreted, so a truncated, bit-flipped or foreign file
+// yields a clean Status instead of a half-constructed model.
+void WriteEnvelope(std::ostream& out, std::string_view magic8,
+                   uint32_t version, std::string_view payload);
+
+// Reads and validates one envelope; `*version_out` (optional) receives the
+// stored format version. Versions above `max_supported_version` are rejected
+// ("file written by a newer build").
+Result<std::string> ReadEnvelope(std::istream& in, std::string_view magic8,
+                                 uint32_t max_supported_version,
+                                 uint32_t* version_out = nullptr);
 
 }  // namespace iam
 

@@ -177,5 +177,64 @@ TEST(QueryTest, DebugStringNamesColumns) {
   EXPECT_NE(q.DebugString(t).find("a"), std::string::npos);
 }
 
+TEST(ToStringTest, RendersEveryOperatorShape) {
+  const data::Table t = TinyTable();
+  EXPECT_EQ(ToString(t, Query{{{.column = 0, .lo = 1.0, .hi = 1.0}}}),
+            "a = 1");
+  EXPECT_EQ(ToString(t, Query{{{.column = 1, .lo = 2.0, .hi = 4.0}}}),
+            "x BETWEEN 2 AND 4");
+  EXPECT_EQ(ToString(t, Query{{{.column = 1, .lo = -kInf, .hi = 4.0}}}),
+            "x <= 4");
+  EXPECT_EQ(ToString(t, Query{{{.column = 1, .lo = 2.0, .hi = kInf}}}),
+            "x >= 2");
+  EXPECT_EQ(ToString(t, Query{{{.column = 0, .lo = 0.0, .hi = 0.0},
+                               {.column = 1, .lo = 1.5, .hi = kInf}}}),
+            "a = 0 AND x >= 1.5");
+  // A predicate with both bounds infinite constrains nothing and is omitted;
+  // an all-omitted query prints empty, which the parser rejects (the wire
+  // protocol never produces it).
+  EXPECT_EQ(ToString(t, Query{{{.column = 1, .lo = -kInf, .hi = kInf}}}), "");
+}
+
+TEST(ToStringTest, StrictBoundsSurviveTheRoundTrip) {
+  const data::Table t = TinyTable();
+  // "x < 4" maps hi to nextafter(4, -inf): 17 significant digits must bring
+  // that exact double back through the printer and strtod.
+  const auto strict = ParsePredicates(t, "x < 4");
+  ASSERT_TRUE(strict.ok());
+  const auto round = ParsePredicates(t, ToString(t, *strict));
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round->predicates.size(), 1u);
+  EXPECT_EQ(round->predicates[0].hi, strict->predicates[0].hi);  // bit-exact
+  EXPECT_LT(round->predicates[0].hi, 4.0);
+}
+
+// Property: over generated workloads on all three synthetic schemas,
+// ParsePredicates(t, ToString(t, q)) reproduces q exactly. This is the
+// serving layer's wire-format contract.
+TEST(ToStringTest, ParsePrintRoundTripIsIdentity) {
+  Rng rng(2022);
+  WorkloadOptions options;
+  options.num_queries = 120;
+  const data::Table tables[] = {data::MakeSynTwi(400, 3),
+                                data::MakeSynWisdm(400, 4),
+                                data::MakeSynHiggs(400, 5)};
+  for (const data::Table& t : tables) {
+    const std::vector<Query> workload = GenerateWorkload(t, options, rng);
+    for (const Query& q : workload) {
+      const std::string text = ToString(t, q);
+      const auto round = ParsePredicates(t, text);
+      ASSERT_TRUE(round.ok())
+          << "\"" << text << "\": " << round.status().ToString();
+      ASSERT_EQ(round->predicates.size(), q.predicates.size()) << text;
+      for (size_t i = 0; i < q.predicates.size(); ++i) {
+        EXPECT_EQ(round->predicates[i].column, q.predicates[i].column);
+        EXPECT_EQ(round->predicates[i].lo, q.predicates[i].lo) << text;
+        EXPECT_EQ(round->predicates[i].hi, q.predicates[i].hi) << text;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace iam::query

@@ -1,0 +1,199 @@
+// End-to-end tests of the estimator service over real loopback sockets.
+// Everything here carries the ctest label "net" (see tests/CMakeLists.txt):
+// the quick sanitizer gates exclude it, the default configs and the TSan
+// serve gate run it.
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ar_density_estimator.h"
+#include "query/parser.h"
+#include "serve/client.h"
+#include "serve/demo.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+
+namespace iam::serve {
+namespace {
+
+constexpr char kPredicate[] = "latitude >= 35 AND longitude <= -100";
+
+ModelRegistry& SharedRegistry() {
+  static ModelRegistry registry(TrainDemoEstimator(1200, 11), "");
+  return registry;
+}
+
+Client ConnectedClient(const EstimatorServer& server) {
+  Client client;
+  const Status connected = client.Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(connected.ok()) << connected.ToString();
+  return client;
+}
+
+TEST(ServeEndToEndTest, EstimateMatchesDirectCall) {
+  EstimatorServer server(SharedRegistry(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client client = ConnectedClient(server);
+
+  const auto parsed =
+      query::ParsePredicates(SharedRegistry().Current()->schema, kPredicate);
+  ASSERT_TRUE(parsed.ok());
+  const double direct =
+      SharedRegistry().Current()->estimator->Estimate(*parsed);
+
+  const auto reply = client.Estimate(kPredicate);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_FALSE(reply->overloaded);
+  // A lone request forms a batch of one, which is seeded exactly like the
+  // library's Estimate(): the wire adds no numeric drift.
+  EXPECT_EQ(reply->selectivity, direct);
+  EXPECT_EQ(reply->model_version, SharedRegistry().Current()->version);
+  server.Shutdown();
+}
+
+TEST(ServeEndToEndTest, ParseErrorReturnsTypedError) {
+  EstimatorServer server(SharedRegistry(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client client = ConnectedClient(server);
+
+  const auto reply = client.Estimate("no_such_column = 1");
+  EXPECT_FALSE(reply.ok());
+  // The connection survives a bad request.
+  const auto ok_reply = client.Estimate(kPredicate);
+  EXPECT_TRUE(ok_reply.ok()) << ok_reply.status().ToString();
+  server.Shutdown();
+}
+
+TEST(ServeEndToEndTest, MetricsFrameExportsPrometheus) {
+  EstimatorServer server(SharedRegistry(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client client = ConnectedClient(server);
+  ASSERT_TRUE(client.Estimate(kPredicate).ok());
+
+  const auto text = client.Metrics();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("# TYPE iam_serve_accepted_total counter"),
+            std::string::npos);
+  EXPECT_NE(text->find("iam_serve_batch_size"), std::string::npos);
+  server.Shutdown();
+}
+
+TEST(ServeEndToEndTest, OverloadedServerFastRejects) {
+  ServerOptions options;
+  options.batcher.queue_capacity = 0;  // every request is one too many
+  EstimatorServer server(SharedRegistry(), options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client = ConnectedClient(server);
+  const auto reply = client.Estimate(kPredicate);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_TRUE(reply->overloaded);
+  server.Shutdown();
+}
+
+TEST(ServeEndToEndTest, SwapViaControlFrame) {
+  // A private registry: this test moves the served version forward.
+  ModelRegistry registry(TrainDemoEstimator(1200, 11), "");
+  EstimatorServer server(registry, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client client = ConnectedClient(server);
+
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "iam_serve_swap_model.iam").string();
+  ASSERT_TRUE(registry.Current()->estimator->Save(path).ok());
+
+  const auto version = client.Swap(path);
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(*version, 2u);
+
+  const auto bad = client.Swap("/nonexistent/model.iam");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(registry.Current()->version, 2u);  // failed swap kept serving
+
+  const auto reply = client.Estimate(kPredicate);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->model_version, 2u);
+  server.Shutdown();
+  std::remove(path.c_str());
+}
+
+TEST(ServeEndToEndTest, ShutdownFrameRequestsDrain) {
+  EstimatorServer server(SharedRegistry(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.shutdown_requested());
+  Client client = ConnectedClient(server);
+  ASSERT_TRUE(client.RequestShutdown().ok());
+  EXPECT_TRUE(server.shutdown_requested());
+  server.Shutdown();
+  // Drained: the listener is gone and queued work was answered before the
+  // batcher stopped.
+  Client late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", server.port()).ok());
+}
+
+// The concurrency test the TSan serve gate runs: clients hammer the server
+// while the model is hot-swapped mid-burst. No accepted request may be lost,
+// and every response must come from exactly one of the two generations.
+TEST(ServeSwapTest, HotSwapUnderLoadLosesNothing) {
+  ModelRegistry registry(TrainDemoEstimator(1200, 11), "");
+  ServerOptions options;
+  options.batcher.max_delay_s = 1e-4;  // many small batches -> many snapshots
+  EstimatorServer server(registry, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 40;
+  std::unique_ptr<core::ArDensityEstimator> next =
+      TrainDemoEstimator(1200, 12);
+
+  std::atomic<int> failures{0};
+  std::atomic<int> started{0};
+  std::atomic<bool> bad_version{false};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        failures.fetch_add(kRequestsPerClient);
+        return;
+      }
+      started.fetch_add(1);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const auto reply = client.Estimate(kPredicate);
+        if (!reply.ok() || reply->overloaded) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (reply->model_version != 1 && reply->model_version != 2) {
+          bad_version.store(true);
+        }
+      }
+    });
+  }
+  // Swap once the burst is in full flight.
+  while (started.load() < kClients) std::this_thread::yield();
+  const uint64_t v2 = registry.Swap(std::move(next), "swapped");
+  EXPECT_EQ(v2, 2u);
+
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_FALSE(bad_version.load());
+
+  // After the swap every new request answers from the new generation.
+  Client client = ConnectedClient(server);
+  const auto reply = client.Estimate(kPredicate);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->model_version, 2u);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace iam::serve

@@ -1,0 +1,203 @@
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "query/parser.h"
+#include "serve/batcher.h"
+#include "serve/demo.h"
+#include "serve/model_registry.h"
+#include "serve/protocol.h"
+
+namespace iam::serve {
+namespace {
+
+// One small trained model shared by every batcher test in this binary
+// (training dominates the suite's runtime; the tests only need *a* model).
+ModelRegistry& SharedRegistry() {
+  static ModelRegistry registry(TrainDemoEstimator(1200, 11), "");
+  return registry;
+}
+
+query::Query DemoQuery() {
+  const auto parsed =
+      query::ParsePredicates(SharedRegistry().Current()->schema,
+                             "latitude >= 35 AND longitude <= -100");
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+// --- Wire protocol. ---------------------------------------------------------
+
+TEST(ProtocolTest, FrameRoundTrip) {
+  const std::string binary{"\x00\x01\xff payload", 11};
+  for (const Frame frame : {Frame{FrameType::kEstimate, "latitude >= 35"},
+                            Frame{FrameType::kMetrics, ""},
+                            Frame{FrameType::kEstimateOk, binary}}) {
+    const std::string encoded = EncodeFrame(frame);
+    Frame decoded;
+    const Result<size_t> consumed = DecodeFrame(encoded, &decoded);
+    ASSERT_TRUE(consumed.ok()) << consumed.status().ToString();
+    EXPECT_EQ(*consumed, encoded.size());
+    EXPECT_EQ(decoded.type, frame.type);
+    EXPECT_EQ(decoded.payload, frame.payload);
+  }
+}
+
+TEST(ProtocolTest, BackToBackFramesDecodeInOrder) {
+  const std::string stream = EncodeFrame({FrameType::kEstimate, "a"}) +
+                             EncodeFrame({FrameType::kShutdown, ""});
+  Frame first;
+  const Result<size_t> used = DecodeFrame(stream, &first);
+  ASSERT_TRUE(used.ok());
+  EXPECT_EQ(first.type, FrameType::kEstimate);
+  Frame second;
+  const Result<size_t> rest =
+      DecodeFrame(std::string_view(stream).substr(*used), &second);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(second.type, FrameType::kShutdown);
+  EXPECT_EQ(*used + *rest, stream.size());
+}
+
+TEST(ProtocolTest, IncompleteBufferAsksForMore) {
+  const std::string encoded =
+      EncodeFrame({FrameType::kEstimate, "latitude >= 35"});
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    Frame frame;
+    const Result<size_t> consumed =
+        DecodeFrame(std::string_view(encoded).substr(0, len), &frame);
+    ASSERT_TRUE(consumed.ok()) << "prefix " << len;
+    EXPECT_EQ(*consumed, 0u) << "prefix " << len;
+  }
+}
+
+TEST(ProtocolTest, MalformedHeadersRejected) {
+  // Length 0 cannot even hold the type byte.
+  const std::string zero{"\x00\x00\x00\x00", 4};
+  Frame frame;
+  EXPECT_FALSE(DecodeFrame(zero, &frame).ok());
+
+  // A length announcing more than kMaxPayloadBytes is a desynchronized or
+  // hostile stream, not a frame to wait for.
+  uint32_t huge = kMaxPayloadBytes + 2;
+  std::string oversized(4, '\0');
+  std::memcpy(oversized.data(), &huge, 4);
+  EXPECT_FALSE(DecodeFrame(oversized, &frame).ok());
+}
+
+TEST(ProtocolTest, EstimatePayloadRoundTrip) {
+  const double selectivities[] = {0.0, 1.0, 1e-17, 0.123456789012345678};
+  for (const double s : selectivities) {
+    const std::string payload = EncodeEstimatePayload(s, 42);
+    double sel = -1.0;
+    uint64_t version = 0;
+    ASSERT_TRUE(DecodeEstimatePayload(payload, &sel, &version).ok());
+    EXPECT_EQ(sel, s);  // bit-exact
+    EXPECT_EQ(version, 42u);
+  }
+  double sel = 0.0;
+  uint64_t version = 0;
+  EXPECT_FALSE(DecodeEstimatePayload("short", &sel, &version).ok());
+}
+
+// --- Model registry. --------------------------------------------------------
+
+TEST(ModelRegistryTest, SwapBumpsVersionAndKeepsOldSnapshotAlive) {
+  ModelRegistry registry(TrainDemoEstimator(1200, 11), "first");
+  const std::shared_ptr<LoadedModel> first = registry.Current();
+  EXPECT_EQ(first->version, 1u);
+  EXPECT_EQ(first->source, "first");
+
+  const uint64_t v2 = registry.Swap(TrainDemoEstimator(1200, 12), "second");
+  EXPECT_EQ(v2, 2u);
+  EXPECT_EQ(registry.Current()->version, 2u);
+
+  // The snapshot taken before the swap is still the old generation and still
+  // answers queries — this is what lets in-flight batches drain.
+  EXPECT_EQ(first->version, 1u);
+  const auto q = query::ParsePredicates(first->schema, "latitude >= 40");
+  ASSERT_TRUE(q.ok());
+  const double estimate = first->estimator->Estimate(*q);
+  EXPECT_GE(estimate, 0.0);
+  EXPECT_LE(estimate, 1.0);
+}
+
+TEST(ModelRegistryTest, FailedSwapFromFileKeepsServing) {
+  ModelRegistry& registry = SharedRegistry();
+  const uint64_t version = registry.Current()->version;
+  const auto swapped = registry.SwapFromFile("/nonexistent/model.iam");
+  EXPECT_FALSE(swapped.ok());
+  EXPECT_EQ(registry.Current()->version, version);
+}
+
+// --- Micro-batcher. ---------------------------------------------------------
+
+TEST(MicroBatcherTest, SoloRequestMatchesDirectEstimate) {
+  const query::Query q = DemoQuery();
+  // A batch of one is seeded exactly like Estimate(); the serving path must
+  // be bit-identical to the library path for a lone request.
+  const double direct = SharedRegistry().Current()->estimator->Estimate(q);
+
+  MicroBatcher batcher(SharedRegistry(), BatcherOptions{});
+  const MicroBatcher::Response response = batcher.Estimate(q);
+  batcher.DrainAndStop();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_FALSE(response.overloaded);
+  EXPECT_EQ(response.selectivity, direct);
+  EXPECT_EQ(response.model_version, SharedRegistry().Current()->version);
+}
+
+TEST(MicroBatcherTest, CoalescesConcurrentRequests) {
+  constexpr int kClients = 8;
+  BatcherOptions options;
+  options.max_batch = kClients;
+  options.max_delay_s = 0.2;  // long enough for all clients to queue up
+  MicroBatcher batcher(SharedRegistry(), options);
+
+  const query::Query q = DemoQuery();
+  const uint64_t batches_before = ServeMetrics::Get().batches.Total();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&] {
+      const MicroBatcher::Response r = batcher.Estimate(q);
+      if (!r.status.ok() || r.overloaded) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  batcher.DrainAndStop();
+
+  EXPECT_EQ(failures.load(), 0);
+  // All kClients answered in fewer than kClients flushes — i.e. they shared
+  // micro-batches. (Exactly one flush in the common case; the bound stays
+  // robust on a loaded machine.)
+  const uint64_t batches = ServeMetrics::Get().batches.Total() - batches_before;
+  EXPECT_GE(batches, 1u);
+  EXPECT_LT(batches, static_cast<uint64_t>(kClients));
+}
+
+TEST(MicroBatcherTest, ZeroCapacityFastRejectsEverything) {
+  BatcherOptions options;
+  options.queue_capacity = 0;
+  MicroBatcher batcher(SharedRegistry(), options);
+  const MicroBatcher::Response response = batcher.Estimate(DemoQuery());
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_TRUE(response.overloaded);
+  batcher.DrainAndStop();
+}
+
+TEST(MicroBatcherTest, DrainStopsAdmissionAndIsIdempotent) {
+  MicroBatcher batcher(SharedRegistry(), BatcherOptions{});
+  batcher.DrainAndStop();
+  batcher.DrainAndStop();  // second drain is a no-op
+  const MicroBatcher::Response response = batcher.Estimate(DemoQuery());
+  EXPECT_FALSE(response.status.ok());
+}
+
+}  // namespace
+}  // namespace iam::serve

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/json.h"
 #include "util/math_util.h"
 #include "util/quantiles.h"
 #include "util/random.h"
@@ -256,6 +257,54 @@ TEST(StopwatchTest, UnitConversions) {
   const double s = w.ElapsedSeconds();
   EXPECT_DOUBLE_EQ(w.ElapsedMillis(), s * 1e3);
   EXPECT_DOUBLE_EQ(w.ElapsedMicros(), s * 1e6);
+}
+
+TEST(JsonUpsertTest, CreatesObjectFromNothing) {
+  EXPECT_EQ(util::UpsertTopLevelKey("", "a", "1"), "{\"a\":1}\n");
+  EXPECT_EQ(util::UpsertTopLevelKey("not json at all", "a", "[1, 2]"),
+            "{\"a\":[1, 2]}\n");
+}
+
+TEST(JsonUpsertTest, AppendsNewKeyKeepingExistingBytes) {
+  const std::string doc = "{\n  \"benchmarks\": [{\"name\": \"x\"}]\n}\n";
+  const std::string merged = util::UpsertTopLevelKey(doc, "iam_metrics", "{}");
+  EXPECT_NE(merged.find("\"benchmarks\": [{\"name\": \"x\"}]"),
+            std::string::npos);
+  EXPECT_NE(merged.find("\"iam_metrics\":{}"), std::string::npos);
+}
+
+TEST(JsonUpsertTest, ReplacesExistingKeyOnly) {
+  const std::string doc =
+      "{\"keep\": {\"nested\": \"}\"}, \"swap\": [1, {\"deep\": 2}]}";
+  const std::string merged = util::UpsertTopLevelKey(doc, "swap", "\"new\"");
+  // The tricky bytes — a brace inside a string, nested containers — survive.
+  EXPECT_NE(merged.find("\"keep\": {\"nested\": \"}\"}"), std::string::npos);
+  EXPECT_NE(merged.find("\"swap\": \"new\""), std::string::npos);
+  EXPECT_EQ(merged.find("\"deep\""), std::string::npos);
+  // Upserting twice never duplicates the key.
+  const std::string again = util::UpsertTopLevelKey(merged, "swap", "2");
+  EXPECT_EQ(again.find("\"new\""), std::string::npos);
+  size_t count = 0;
+  for (size_t pos = 0; (pos = again.find("\"swap\"", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(JsonUpsertTest, KeyNameInsideStringValueIsNotAKey) {
+  const std::string doc = "{\"note\": \"contains \\\"target\\\" in text\"}";
+  const std::string merged = util::UpsertTopLevelKey(doc, "target", "7");
+  // The quoted mention must not be mistaken for the key: a real entry is
+  // appended instead.
+  EXPECT_NE(merged.find("\"target\":7"), std::string::npos);
+  EXPECT_NE(merged.find("contains \\\"target\\\" in text"), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(util::JsonEscape("plain"), "plain");
+  EXPECT_EQ(util::JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(util::JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
 }
 
 }  // namespace
