@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "query/query.h"
+#include "util/quantiles.h"
 #include "util/stopwatch.h"
 
 namespace iam::bench {
@@ -27,11 +29,19 @@ struct ScalingRow {
   bool bit_identical = true;         // vs the 1-thread estimates
 };
 
+struct PooledRow {
+  std::string mode;
+  double ms_per_query = 0.0;
+  bool bit_identical = true;  // vs the legacy per-query oracle
+  ErrorReport qerror;
+};
+
 struct Results {
   std::vector<int> batch_sizes;
   std::vector<Table7Row> table7;
   std::vector<int> thread_counts;
   std::vector<ScalingRow> scaling;
+  std::vector<PooledRow> pooled;
 };
 
 Results Run() {
@@ -107,6 +117,58 @@ Results Run() {
     std::printf(" %9.2fx\n", row.ms_per_query[0] / row.ms_per_query[2]);
     results.scaling.push_back(std::move(row));
   }
+
+  // Pooled cross-query sampler ablation (IAM, batch = 128, DESIGN.md §14):
+  // the legacy per-query oracle vs the pooled megabatch at a fixed budget
+  // (bit-identical by contract), then prefix sharing and adaptive CI early
+  // stopping stacked on top. Adaptive reorders the RNG draw stream so it is
+  // approximate — the q-error column shows it stays within the paper table's
+  // accuracy band.
+  std::printf("\n### Pooled sampler ablation (IAM, batch=128, ms/query)\n");
+  std::printf("%-16s %10s %10s  %s\n", "mode", "ms/query", "bit-equal",
+              "q-error");
+  core::ArDensityEstimator iam(join_sample, BenchIamOptions());
+  iam.Train();
+  iam.set_num_threads(BenchThreads());
+  struct Mode {
+    const char* name;
+    bool pooled;
+    bool prefix;
+    int adaptive;
+  };
+  constexpr Mode kModes[] = {{"legacy", false, false, 0},
+                             {"pooled", true, false, 0},
+                             {"pooled+prefix", true, true, 0},
+                             {"adaptive", true, true, 32}};
+  constexpr int kReps = 3;
+  std::vector<double> legacy_estimates;
+  for (const Mode& mode : kModes) {
+    iam.set_sampler_mode(mode.pooled, mode.prefix, mode.adaptive);
+    std::vector<double> estimates = iam.EstimateBatch(test.queries);  // warm
+    Stopwatch watch;
+    for (int rep = 0; rep < kReps; ++rep) iam.EstimateBatch(test.queries);
+    PooledRow row;
+    row.mode = mode.name;
+    row.ms_per_query =
+        watch.ElapsedMillis() /
+        static_cast<double>(kReps * test.queries.size());
+    if (mode.name == std::string("legacy")) legacy_estimates = estimates;
+    row.bit_identical = estimates == legacy_estimates;
+    std::vector<double> errors;
+    errors.reserve(estimates.size());
+    for (size_t i = 0; i < estimates.size(); ++i) {
+      errors.push_back(query::QError(test.true_selectivities[i], estimates[i],
+                                     join_sample.num_rows()));
+    }
+    row.qerror = MakeErrorReport(errors);
+    std::printf("%-16s %10.3f %10s  %s\n", mode.name, row.ms_per_query,
+                row.bit_identical ? "yes" : "no",
+                FormatErrorReport(row.qerror).c_str());
+    results.pooled.push_back(std::move(row));
+  }
+  std::printf("adaptive speedup vs legacy: %.2fx\n",
+              results.pooled.front().ms_per_query /
+                  results.pooled.back().ms_per_query);
   return results;
 }
 
@@ -153,7 +215,33 @@ bool WriteJson(const Results& results, const std::string& path) {
     out += results.scaling[i].bit_identical ? "true" : "false";
     out += "}";
   }
-  out += "\n  ]}\n}\n";
+  out += "\n  ]},\n  \"pooled_sampler\": {\"estimator\": \"iam\", "
+         "\"batch_size\": 128, \"rows\": [";
+  for (size_t i = 0; i < results.pooled.size(); ++i) {
+    const PooledRow& row = results.pooled[i];
+    if (i > 0) out += ", ";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\n    {\"mode\": \"%s\", \"ms_per_query\": %.6g, "
+                  "\"bit_identical_to_legacy\": %s, \"qerror\": "
+                  "{\"mean\": %.6g, \"median\": %.6g, \"p95\": %.6g, "
+                  "\"p99\": %.6g, \"max\": %.6g}}",
+                  row.mode.c_str(), row.ms_per_query,
+                  row.bit_identical ? "true" : "false", row.qerror.mean,
+                  row.qerror.median, row.qerror.p95, row.qerror.p99,
+                  row.qerror.max);
+    out += buf;
+  }
+  if (!results.pooled.empty()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf),
+                  "\n  ], \"adaptive_speedup_vs_legacy\": %.6g}\n}\n",
+                  results.pooled.front().ms_per_query /
+                      results.pooled.back().ms_per_query);
+    out += buf;
+  } else {
+    out += "\n  ]}\n}\n";
+  }
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) return false;
   file << out;

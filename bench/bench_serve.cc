@@ -286,6 +286,52 @@ int main(int argc, char** argv) {
     swap_json = buf;
   }
 
+  // --- 4. Pooled sampler under serving load. --------------------------------
+  // Same offered load, three sampler modes of the served model: the legacy
+  // per-query oracle, the pooled megabatch at a fixed budget (bit-exact
+  // default), and pooled with prefix sharing + adaptive CI early stopping.
+  // The coalesced micro-batches are exactly the megabatches the pooled
+  // sampler amortizes, so batching and pooling compound here.
+  std::string pooled_json;
+  {
+    // Flip the served estimator's sampler mode between runs; the server is
+    // idle in between, and set_sampler_mode takes the estimator's batch
+    // mutex, so even a straggling batch would serialize cleanly.
+    const std::shared_ptr<serve::LoadedModel> current = registry.Current();
+    core::ArDensityEstimator* raw = current->estimator.get();
+    const double qps = 5000.0;
+    struct ServeMode {
+      const char* label;
+      const char* key;
+      bool pooled;
+      bool prefix;
+      int adaptive;
+    };
+    constexpr ServeMode kServeModes[] = {
+        {"legacy", "legacy", false, false, 0},
+        {"pooled", "pooled", true, true, 0},
+        {"pooled+adaptive", "pooled_adaptive", true, true, 32}};
+    std::printf("\n### Pooled sampler under serving load (offered %.0f qps)\n",
+                qps);
+    std::printf("%-18s %8s %9s %9s %8s %8s %8s %8s %8s\n", "config",
+                "offered", "accepted", "rejected", "qps", "batch", "p50ms",
+                "p95ms", "p99ms");
+    pooled_json = "{\"offered_qps\": 5000";
+    for (const ServeMode& mode : kServeModes) {
+      raw->set_sampler_mode(mode.pooled, mode.prefix, mode.adaptive);
+      serve::EstimatorServer server(registry, options);
+      if (!server.Start().ok()) return 1;
+      const bench::LoadResult r = bench::RunLoad(
+          server.port(), predicates, sweep_requests, qps, kLoadThreads);
+      server.Shutdown();
+      bench::PrintLoadRow(mode.label, qps, r);
+      pooled_json += std::string(", \"") + mode.key +
+                     "\": " + bench::LoadResultJson(r, qps);
+    }
+    pooled_json += "}";
+    raw->set_sampler_mode(true, true, 0);  // restore the defaults
+  }
+
   if (!json_path.empty()) {
     std::string sweep = "[";
     for (size_t i = 0; i < sweep_rows.size(); ++i) {
@@ -297,6 +343,7 @@ int main(int argc, char** argv) {
     ok = bench::MergeJsonSection(json_path, "serve_batching", ablation_json) &&
          ok;
     ok = bench::MergeJsonSection(json_path, "serve_hot_swap", swap_json) && ok;
+    ok = bench::MergeJsonSection(json_path, "serve_pooled", pooled_json) && ok;
     ok = bench::MergeMetricsIntoJson(json_path) && ok;
     if (!ok) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

@@ -100,8 +100,18 @@ fi
 # load. (MicroBatcherTest/ServeSwapTest are the serve concurrency suites —
 # the swap-under-load test must stay TSan-clean.)
 run_config "${prefix}-tsan-obs" -LE slow -R \
-  '^(CounterTest|RegistryTest|HistogramTest|ExportTest|TraceTest|ObsDeterminismTest|RaceTest|ThreadPoolTest|MicroBatcherTest|ServeSwapTest)\.' \
+  '^(CounterTest|RegistryTest|HistogramTest|ExportTest|TraceTest|ObsDeterminismTest|RaceTest|ThreadPoolTest|MicroBatcherTest|ServeSwapTest|PooledSamplerTest)\.' \
   -- -DIAM_SANITIZE=thread
+
+# --- Stage 6b: pooled-sampler gate. ----------------------------------------
+# The pooled cross-query sampler must stay bit-identical to the legacy
+# per-query oracle at a fixed budget (DESIGN.md §14) — the megabatch,
+# prefix-sharing, fallback-isolation, and adaptive-determinism suites run on
+# the default (portable, exact-equality) build. The same suite rides the
+# TSan gate above for race coverage of the shared pooled scratch.
+echo "=== pooled-sampler gate: legacy-vs-pooled bit-exactness ==="
+ctest --test-dir "${prefix}-default" --output-on-failure -j "${jobs}" \
+  -R '^PooledSamplerTest\.'
 
 # --- Stage 7: metrics-export smoke test. -----------------------------------
 # Runs the end-to-end demo with --metrics and asserts the Prometheus text

@@ -215,25 +215,37 @@ void ResMade::EncodeInput(const std::vector<std::vector<int>>& batch,
   }
 }
 
+void ResMade::EncodeRowSparse(const int* row, nn::SparseRows& sx) const {
+  for (int c = 0; c < num_columns(); ++c) {
+    const ColumnEncoding& enc = encodings_[c];
+    const int value = row[c];
+    IAM_DCHECK(value >= 0 && value <= domains_[c]);
+    if (enc.one_hot) {
+      sx.Push(enc.input_offset + value, 1.0f);
+    } else {
+      const float* emb = embeddings_[c].value.row(value);
+      for (int k = 0; k < enc.width; ++k) {
+        sx.Push(enc.input_offset + k, emb[k]);
+      }
+    }
+  }
+  sx.EndRow();
+}
+
 void ResMade::EncodeInputSparse(const std::vector<std::vector<int>>& batch,
                                 nn::SparseRows& sx) const {
   sx.Reset(input_width_);
   for (const std::vector<int>& row : batch) {
     IAM_DCHECK(static_cast<int>(row.size()) == num_columns());
-    for (int c = 0; c < num_columns(); ++c) {
-      const ColumnEncoding& enc = encodings_[c];
-      const int value = row[c];
-      IAM_DCHECK(value >= 0 && value <= domains_[c]);
-      if (enc.one_hot) {
-        sx.Push(enc.input_offset + value, 1.0f);
-      } else {
-        const float* emb = embeddings_[c].value.row(value);
-        for (int k = 0; k < enc.width; ++k) {
-          sx.Push(enc.input_offset + k, emb[k]);
-        }
-      }
-    }
-    sx.EndRow();
+    EncodeRowSparse(row.data(), sx);
+  }
+}
+
+void ResMade::EncodeInputSparse(EncodedView batch, nn::SparseRows& sx) const {
+  IAM_DCHECK(batch.rows == 0 || batch.stride >= num_columns());
+  sx.Reset(input_width_);
+  for (int r = 0; r < batch.rows; ++r) {
+    EncodeRowSparse(batch.data + static_cast<size_t>(r) * batch.stride, sx);
   }
 }
 
@@ -404,36 +416,39 @@ double ResMade::TrainStep(const std::vector<std::vector<int>>& batch,
   return mean_loss;
 }
 
-void ResMade::ConditionalDistribution(
-    const std::vector<std::vector<int>>& inputs, int col, nn::Matrix& probs,
-    Context& ctx) const {
-  IAM_CHECK(col >= 0 && col < num_columns());
+void ResMade::ConditionalDistributionImpl(int col, nn::Matrix& probs,
+                                          Context& ctx) const {
   nn::EvalWorkspace& ws = ctx.ws;
-  RefreshTransposedWeights(ws);
-  EncodeInputSparse(inputs, ws.sparse_input);
   const nn::Matrix& hidden = ForwardHiddenEval(ws);
 
   // The output layer is evaluated just for `col`'s logits block, which keeps
   // progressive sampling cheap when other columns have large domains
   // (factorized sub-columns can have thousands of logits): the strip kernel
   // runs over the [off, off + dom) column slice of the transposed weights.
-  const int b = static_cast<int>(inputs.size());
   const int dom = domains_[col];
   const int off = encodings_[col].logit_offset;
   const nn::Matrix& wt_out = ws.wt.back();
   const std::span<const float> bias = BiasSpan(output_).subspan(off, dom);
   nn::LinearForwardTSlice(hidden, wt_out.data() + off, wt_out.cols(),
                           wt_out.rows(), dom, bias, ws.output);
+  nn::SoftmaxRows(ws.output, probs);
+}
 
-  probs.ResizeUninitialized(b, dom);
-  std::vector<double> scratch(dom);
-  for (int r = 0; r < b; ++r) {
-    const float* lrow = ws.output.row(r);
-    scratch.assign(lrow, lrow + dom);
-    SoftmaxInPlace(scratch);
-    float* prow = probs.row(r);
-    for (int j = 0; j < dom; ++j) prow[j] = static_cast<float>(scratch[j]);
-  }
+void ResMade::ConditionalDistribution(
+    const std::vector<std::vector<int>>& inputs, int col, nn::Matrix& probs,
+    Context& ctx) const {
+  IAM_CHECK(col >= 0 && col < num_columns());
+  RefreshTransposedWeights(ctx.ws);
+  EncodeInputSparse(inputs, ctx.ws.sparse_input);
+  ConditionalDistributionImpl(col, probs, ctx);
+}
+
+void ResMade::ConditionalDistribution(EncodedView inputs, int col,
+                                      nn::Matrix& probs, Context& ctx) const {
+  IAM_CHECK(col >= 0 && col < num_columns());
+  RefreshTransposedWeights(ctx.ws);
+  EncodeInputSparse(inputs, ctx.ws.sparse_input);
+  ConditionalDistributionImpl(col, probs, ctx);
 }
 
 void ResMade::ConditionalDistribution(

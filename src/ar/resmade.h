@@ -17,6 +17,17 @@
 
 namespace iam::ar {
 
+// Non-owning view of a row-major encoded batch: row r is the num_columns()
+// ints starting at data + r * stride (stride >= num_columns lets callers
+// point straight into a wider pooled sample matrix without gathering into
+// vector<vector<int>> first). This is the input shape of the pooled
+// cross-query sampler's one-GEMM-per-column rounds (DESIGN.md §14).
+struct EncodedView {
+  const int* data = nullptr;
+  int rows = 0;
+  int stride = 0;
+};
+
 // Configuration of the ResMADE autoregressive density model. Defaults follow
 // the paper (Section 6.1.2): four hidden layers of 256-128-128-256 units,
 // residual connections between equal-width layers, wildcard-skipping inputs.
@@ -91,6 +102,13 @@ class ResMade {
   // Convenience overload with a throwaway context (tests, examples).
   void ConditionalDistribution(const std::vector<std::vector<int>>& inputs,
                                int col, nn::Matrix& probs) const;
+  // Batched overload over a flat row-major view — same semantics and
+  // bit-identical per-row results (every kernel on the eval path processes
+  // batch rows independently in fixed index order), so the pooled sampler
+  // can slice one megabatch into arbitrary row ranges and still reproduce
+  // the per-query path exactly.
+  void ConditionalDistribution(EncodedView inputs, int col, nn::Matrix& probs,
+                               Context& ctx) const;
 
   // log \hat P(tuple) = sum_i log \hat P(t_i | t_<i). For tests/examples.
   double LogProb(const std::vector<int>& tuple, Context& ctx) const;
@@ -121,6 +139,15 @@ class ResMade {
   // increasing within a row.
   void EncodeInputSparse(const std::vector<std::vector<int>>& batch,
                          nn::SparseRows& sx) const;
+  void EncodeInputSparse(EncodedView batch, nn::SparseRows& sx) const;
+  // Appends one encoded row (num_columns() ints) to `sx` — the shared body
+  // of both EncodeInputSparse overloads.
+  void EncodeRowSparse(const int* row, nn::SparseRows& sx) const;
+
+  // Post-encode tail of ConditionalDistribution: hidden stack over
+  // ctx.ws.sparse_input, `col`'s logits slice, row-wise softmax into probs.
+  void ConditionalDistributionImpl(int col, nn::Matrix& probs,
+                                   Context& ctx) const;
 
   // Rebuilds the workspace's transposed-weight cache (hidden layers plus the
   // output layer) when it does not match weight_version_. Cheap when fresh.

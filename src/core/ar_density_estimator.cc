@@ -20,10 +20,22 @@
 
 namespace iam::core {
 
-using sampling::RangeSum;
-using sampling::SampleInRange;
+using sampling::RangeSumFloored;
+using sampling::SampleInRangeFloored;
 
 namespace {
+
+// Fixed GEMM slice granularity of the pooled sampler. A constant — never
+// derived from the thread count — so the slice partition, the pool's
+// job/index counters, and the bitwise results are all invariant to how many
+// workers execute the slices (DESIGN.md §14).
+constexpr int kSliceRows = 256;
+
+// Transient conditional-matrix budget (floats) per pooled round. EstimateBatch
+// splits a batch into query groups so unique_rows * max_domain stays around
+// 64 MB; splitting is bit-neutral because every query's estimate depends only
+// on (seed, global query index).
+constexpr size_t kPooledProbBudgetFloats = size_t{16} << 20;
 
 // Progressive-sampler and training telemetry. All of these are *semantic*
 // counters: their totals depend only on (model, queries, seed), never on the
@@ -49,6 +61,38 @@ struct CoreMetrics {
           reg.GetGauge("iam_core_epoch_loss"),
           reg.GetHistogram("iam_core_train_epoch_seconds",
                            obs::LatencyBounds()),
+      };
+    }();
+    return metrics;
+  }
+};
+
+// Pooled-sampler telemetry (DESIGN.md §14). These are semantic too: round
+// structure, prefix hits, GEMM sizes, and early stops are all functions of
+// (model, queries, options, seed) alone, never of the thread count, so the
+// obs determinism suite can assert them across pool sizes.
+struct PooledMetrics {
+  obs::Counter& prefix_hits;
+  obs::Counter& gemm_rows;
+  obs::Counter& early_stops;
+  obs::Histogram& round_rows;       // live rows per (column, round)
+  obs::Histogram& gemm_rows_hist;   // unique rows per pooled GEMM
+  obs::Histogram& query_samples;    // samples a query actually used
+
+  static PooledMetrics& Get() {
+    static PooledMetrics metrics = [] {
+      obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+      static const std::vector<double> kRowBounds = {
+          1, 4, 16, 64, 256, 1024, 4096, 16384, 65536};
+      static const std::vector<double> kSampleBounds = {
+          8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+      return PooledMetrics{
+          reg.GetCounter("iam_sampler_prefix_hits_total"),
+          reg.GetCounter("iam_sampler_gemm_rows_total"),
+          reg.GetCounter("iam_sampler_early_stops_total"),
+          reg.GetHistogram("iam_sampler_round_rows", kRowBounds),
+          reg.GetHistogram("iam_sampler_gemm_rows", kRowBounds),
+          reg.GetHistogram("iam_sampler_query_samples", kSampleBounds),
       };
     }();
     return metrics;
@@ -476,68 +520,13 @@ ArDensityEstimator::QueryRun ArDensityEstimator::RunQuerySampling(
 
     made_->ConditionalDistribution(gather, m, scratch.probs, scratch.ctx);
 
-    const int base = col.factor_base;
-    const int max_code = col.dict.size() - 1;
     for (size_t g = 0; g < gather_rows.size(); ++g) {
       const int row = gather_rows[g];
       const float* prow = scratch.probs.row(static_cast<int>(g));
-      double mass = 0.0;
-      int sampled = -1;
+      const int high = role == 1 ? run.samples[row][m - 1] : 0;
+      const DrawOutcome draw = DrawCoordinate(col, con, role, high, prow, rng);
 
-      if (col.kind == TableColumn::Kind::kReduced) {
-        // IAM's bias-corrected step: multiply the AR conditional over
-        // component ids by \hat P_GMM(R_i), record the inner product, draw
-        // the next coordinate from the normalized product (Section 5.2).
-        const int dom = static_cast<int>(con.mass.size());
-        for (int j = 0; j < dom; ++j) {
-          mass += static_cast<double>(prow[j]) * con.mass[j];
-        }
-        if (mass > 0.0) {
-          if (options_.biased_sampling) {
-            // Ablation: vanilla progressive sampling ignores the range mass
-            // when drawing the coordinate (biased; Theorem 5.1's foil).
-            double psum = 0.0;
-            for (int j = 0; j < dom; ++j) psum += prow[j];
-            sampled = SampleInRange(prow, 0, dom - 1, psum, rng.Uniform());
-          } else {
-            const double target = rng.Uniform() * mass;
-            double acc = 0.0;
-            for (int j = 0; j < dom; ++j) {
-              const double w = static_cast<double>(prow[j]) * con.mass[j];
-              if (w <= 0.0) continue;
-              acc += w;
-              sampled = j;
-              if (acc >= target) break;
-            }
-          }
-        }
-      } else {
-        // Vanilla progressive sampling over a contiguous code range.
-        int first = con.code_lo;
-        int last = con.code_hi;
-        if (col.kind == TableColumn::Kind::kFactorized) {
-          if (role == 0) {
-            first = con.code_lo / base;
-            last = con.code_hi / base;
-          } else {
-            // Low sub-column: bounds depend on the sampled high sub-column.
-            const int h = run.samples[row][m - 1];
-            first = h == con.code_lo / base ? con.code_lo % base : 0;
-            last = h == con.code_hi / base ? con.code_hi % base : base - 1;
-            if (h == max_code / base) {
-              last = std::min(last, max_code % base);
-            }
-          }
-        }
-        if (first <= last) {
-          mass = RangeSum(prow, first, last);
-          if (mass > 0.0) {
-            sampled = SampleInRange(prow, first, last, mass, rng.Uniform());
-          }
-        }
-      }
-
-      if (sampled < 0 || mass <= 0.0) {
+      if (draw.sampled < 0 || draw.mass <= 0.0) {
         run.weights[row] = 0.0;
         if (owner < static_cast<int>(fallback_counters_.size())) {
           fallback_counters_[owner]->Add();
@@ -545,19 +534,90 @@ ArDensityEstimator::QueryRun ArDensityEstimator::RunQuerySampling(
         // Leave the wildcard in place; the row is skipped from now on.
         continue;
       }
-      run.weights[row] *= mass;
-      run.samples[row][m] = sampled;
+      run.weights[row] *= draw.mass;
+      run.samples[row][m] = draw.sampled;
     }
   }
 
   return run;
 }
 
+ArDensityEstimator::DrawOutcome ArDensityEstimator::DrawCoordinate(
+    const TableColumn& col, const Constraint& con, int role, int high,
+    const float* prow, Rng& rng) const {
+  // floor == 0 keeps the floored helpers bit-identical to the unfloored
+  // originals (see core/sampling_utils.h), so the default configuration
+  // reproduces the seed sampler exactly.
+  const float floor = options_.min_conditional_prob > 0.0
+                          ? static_cast<float>(options_.min_conditional_prob)
+                          : 0.0f;
+  DrawOutcome out;
+  if (col.kind == TableColumn::Kind::kReduced) {
+    // IAM's bias-corrected step: multiply the AR conditional over
+    // component ids by \hat P_GMM(R_i), record the inner product, draw
+    // the next coordinate from the normalized product (Section 5.2).
+    const int dom = static_cast<int>(con.mass.size());
+    for (int j = 0; j < dom; ++j) {
+      if (prow[j] > floor) {
+        out.mass += static_cast<double>(prow[j]) * con.mass[j];
+      }
+    }
+    if (out.mass > 0.0) {
+      if (options_.biased_sampling) {
+        // Ablation: vanilla progressive sampling ignores the range mass
+        // when drawing the coordinate (biased; Theorem 5.1's foil).
+        const double psum = RangeSumFloored(prow, 0, dom - 1, floor);
+        out.sampled = SampleInRangeFloored(prow, 0, dom - 1, psum,
+                                           rng.Uniform(), floor);
+      } else {
+        const double target = rng.Uniform() * out.mass;
+        double acc = 0.0;
+        for (int j = 0; j < dom; ++j) {
+          if (prow[j] <= floor) continue;
+          const double w = static_cast<double>(prow[j]) * con.mass[j];
+          if (w <= 0.0) continue;
+          acc += w;
+          out.sampled = j;
+          if (acc >= target) break;
+        }
+      }
+    }
+  } else {
+    // Vanilla progressive sampling over a contiguous code range.
+    int first = con.code_lo;
+    int last = con.code_hi;
+    if (col.kind == TableColumn::Kind::kFactorized) {
+      const int base = col.factor_base;
+      const int max_code = col.dict.size() - 1;
+      if (role == 0) {
+        first = con.code_lo / base;
+        last = con.code_hi / base;
+      } else {
+        // Low sub-column: bounds depend on the sampled high sub-column.
+        first = high == con.code_lo / base ? con.code_lo % base : 0;
+        last = high == con.code_hi / base ? con.code_hi % base : base - 1;
+        if (high == max_code / base) {
+          last = std::min(last, max_code % base);
+        }
+      }
+    }
+    if (first <= last) {
+      out.mass = RangeSumFloored(prow, first, last, floor);
+      if (out.mass > 0.0) {
+        out.sampled = SampleInRangeFloored(prow, first, last, out.mass,
+                                           rng.Uniform(), floor);
+      }
+    }
+  }
+  return out;
+}
+
 std::vector<double> ArDensityEstimator::EstimateBatch(
     std::span<const query::Query> qs) {
   // Serializes concurrent batch calls (each still parallel internally) and
   // covers the per-worker scratch slots. Determinism makes the interleaving
-  // unobservable: every query's estimate depends only on (seed, query index).
+  // unobservable: every query's estimate depends only on (seed, query index)
+  // on both sampling paths.
   obs::TraceSpan span("core.estimate_batch");
   estimator::BatchMetrics& batch_metrics = estimator::BatchMetrics::Get();
   Stopwatch batch_watch;
@@ -565,26 +625,311 @@ std::vector<double> ArDensityEstimator::EstimateBatch(
   EnsureScratch();
   const int sp = options_.progressive_samples;
   std::vector<double> estimates(qs.size(), 0.0);
-  // One deterministic Rng per query (seed ^ query index) and one sampling
-  // pass per query: the result is independent of the thread count and of the
-  // other queries in the batch.
-  pool().ParallelFor(qs.size(), [&](size_t qi, int worker) {
-    Stopwatch query_watch;
-    Rng rng(options_.seed ^ static_cast<uint64_t>(qi));
-    const QueryRun run =
-        RunQuerySampling(qs[qi], /*force_active_col=*/-1, rng,
-                         scratch_[worker]);
-    if (!run.dead) {
-      double total = 0.0;
-      for (int s = 0; s < sp; ++s) total += run.weights[s];
-      estimates[qi] = Clamp(total / sp, 0.0, 1.0);
+  if (options_.pooled_sampler) {
+    // Group size caps the transient conditional matrices of one pooled round
+    // at ~kPooledProbBudgetFloats. Splitting the batch is bit-neutral (query
+    // estimates are functions of (seed, global query index) alone); it only
+    // bounds how much cross-query amortization a single round can see.
+    int max_dom = 1;
+    for (int m = 0; m < made_->num_columns(); ++m) {
+      max_dom = std::max(max_dom, made_->domain_size(m));
     }
-    batch_metrics.query_seconds.Record(query_watch.ElapsedSeconds());
-  });
+    const size_t rows_cap = std::max<size_t>(
+        std::max(sp, 1),
+        kPooledProbBudgetFloats / static_cast<size_t>(max_dom));
+    const size_t group = std::max<size_t>(1, rows_cap / std::max(sp, 1));
+    for (size_t begin = 0; begin < qs.size(); begin += group) {
+      EstimateBatchPooled(qs, begin, std::min(qs.size(), begin + group),
+                          estimates);
+    }
+    // Per-query latency under pooling is the amortized batch time: exactly
+    // one Record per query, matching the legacy path's semantic count.
+    if (!qs.empty()) {
+      const double per_query =
+          batch_watch.ElapsedSeconds() / static_cast<double>(qs.size());
+      for (size_t qi = 0; qi < qs.size(); ++qi) {
+        batch_metrics.query_seconds.Record(per_query);
+      }
+    }
+  } else {
+    // Legacy per-query oracle: one deterministic Rng per query
+    // (seed ^ query index) and one whole sampling pass per query.
+    pool().ParallelFor(qs.size(), [&](size_t qi, int worker) {
+      Stopwatch query_watch;
+      Rng rng(options_.seed ^ static_cast<uint64_t>(qi));
+      const QueryRun run =
+          RunQuerySampling(qs[qi], /*force_active_col=*/-1, rng,
+                           scratch_[worker]);
+      if (!run.dead) {
+        double total = 0.0;
+        for (int s = 0; s < sp; ++s) total += run.weights[s];
+        estimates[qi] = Clamp(total / sp, 0.0, 1.0);
+      }
+      batch_metrics.query_seconds.Record(query_watch.ElapsedSeconds());
+    });
+  }
   batch_metrics.queries.Add(qs.size());
   batch_metrics.batches.Add();
   batch_metrics.batch_seconds.Record(batch_watch.ElapsedSeconds());
   return estimates;
+}
+
+void ArDensityEstimator::EstimateBatchPooled(std::span<const query::Query> qs,
+                                             size_t q_begin, size_t q_end,
+                                             std::vector<double>& estimates) {
+  const int nq = static_cast<int>(q_end - q_begin);
+  if (nq <= 0) return;
+  const int num_model_cols = static_cast<int>(model_col_owner_.size());
+  const int sp = options_.progressive_samples;
+  CoreMetrics& metrics = CoreMetrics::Get();
+  PooledMetrics& pooled_metrics = PooledMetrics::Get();
+  PooledScratch& ps = pooled_;
+
+  metrics.sampler_queries.Add(static_cast<uint64_t>(nq));
+  ps.queries.resize(nq);
+  // Phase 0: per-query constraints and Rngs, parallel over queries. Rngs are
+  // seeded by the *global* batch index so group splitting and the legacy
+  // path agree on every draw sequence.
+  pool().ParallelFor(nq, [&](size_t i, int) {
+    PooledQuery& pq = ps.queries[i];
+    pq.constraints = BuildConstraints(qs[q_begin + i]);
+    pq.rng = Rng(options_.seed ^ static_cast<uint64_t>(q_begin + i));
+    pq.dead = false;
+    pq.done = false;
+    pq.early_stopped = false;
+    pq.samples_done = 0;
+    pq.weight_sum = 0.0;
+    pq.weight_sq = 0.0;
+    for (const Constraint& con : pq.constraints) {
+      if (con.impossible) pq.dead = true;
+    }
+    if (pq.dead) {
+      pq.done = true;
+      metrics.sampler_dead_queries.Add();
+    }
+  });
+
+  // Pooled sample matrix: query i's sample row s lives at flat row
+  // i * sp + s. Every value starts as its column's wildcard token (wildcard
+  // skipping — unqueried columns are never materialized), weights at 1.
+  ps.wildcard_row.resize(num_model_cols);
+  for (int m = 0; m < num_model_cols; ++m) {
+    ps.wildcard_row[m] = made_->wildcard_token(m);
+  }
+  const size_t total_rows = static_cast<size_t>(nq) * sp;
+  ps.samples.resize(total_rows * num_model_cols);
+  for (size_t r = 0; r < total_rows; ++r) {
+    std::copy(ps.wildcard_row.begin(), ps.wildcard_row.end(),
+              ps.samples.begin() + r * num_model_cols);
+  }
+  ps.weights.assign(total_rows, 1.0);
+
+  const bool adaptive = options_.adaptive_min_samples > 0;
+  // Every still-running query has completed sample rows [0, cursor): waves
+  // advance all of them in lockstep, so per-query draw order stays exactly
+  // column-major over that query's own rows — the legacy order. With the
+  // fixed budget there is a single wave of sp rows and the pooled sampler is
+  // bit-identical to the per-query path; adaptive budgets chunk the rows
+  // (min samples, then doubling), which reorders draws across waves but
+  // remains deterministic in (seed, query index).
+  int cursor = 0;
+  while (cursor < sp) {
+    ps.wave_queries.clear();
+    for (int i = 0; i < nq; ++i) {
+      if (!ps.queries[i].done) ps.wave_queries.push_back(i);
+    }
+    if (ps.wave_queries.empty()) break;
+    const int wave =
+        adaptive
+            ? std::min(cursor == 0 ? std::min(options_.adaptive_min_samples,
+                                              sp)
+                                   : cursor,
+                       sp - cursor)
+            : sp;
+
+    for (int m = 0; m < num_model_cols; ++m) {
+      const int owner = model_col_owner_[m];
+      const int role = model_col_role_[m];
+      const TableColumn& col = columns_[owner];
+
+      // Gather this wave's live rows, query-major then row-ascending: the
+      // same visit order as the legacy sampler, so each query's rng draws
+      // line up one-to-one.
+      ps.live_rows.clear();
+      ps.draw_queries.clear();
+      ps.seg_begin.clear();
+      ps.seg_end.clear();
+      for (const int i : ps.wave_queries) {
+        if (!ps.queries[i].constraints[owner].active) continue;
+        const int begin = static_cast<int>(ps.live_rows.size());
+        const size_t base = static_cast<size_t>(i) * sp;
+        for (int s = cursor; s < cursor + wave; ++s) {
+          if (ps.weights[base + s] <= 0.0) continue;
+          ps.live_rows.push_back(static_cast<int>(base + s));
+        }
+        if (static_cast<int>(ps.live_rows.size()) == begin) continue;
+        ps.draw_queries.push_back(i);
+        ps.seg_begin.push_back(begin);
+        ps.seg_end.push_back(static_cast<int>(ps.live_rows.size()));
+      }
+      const int live = static_cast<int>(ps.live_rows.size());
+      if (live == 0) continue;
+      metrics.sampler_samples.Add(static_cast<uint64_t>(live));
+      pooled_metrics.round_rows.Record(live);
+
+      // Exact prefix sharing: rows agreeing on model columns [0, m) have
+      // bitwise-identical encoded inputs (columns >= m are still wildcard
+      // in every row), hence bitwise-identical conditionals — evaluate one
+      // representative per distinct prefix.
+      int unique = 0;
+      ps.unique_of.resize(live);
+      ps.unique_data.resize(static_cast<size_t>(live) * num_model_cols);
+      if (options_.prefix_sharing) {
+        ps.unique_hash.clear();
+        ps.unique_next.clear();
+        size_t buckets = 16;
+        while (buckets < static_cast<size_t>(live) * 2) buckets <<= 1;
+        ps.bucket_head.assign(buckets, -1);
+        const uint64_t mask = buckets - 1;
+        for (int g = 0; g < live; ++g) {
+          const int* row = ps.samples.data() +
+                           static_cast<size_t>(ps.live_rows[g]) *
+                               num_model_cols;
+          uint64_t h = 1469598103934665603ull;  // FNV-1a over the prefix
+          for (int c = 0; c < m; ++c) {
+            h ^= static_cast<uint32_t>(row[c]);
+            h *= 1099511628211ull;
+          }
+          int uid = ps.bucket_head[h & mask];
+          while (uid >= 0) {
+            if (ps.unique_hash[uid] == h &&
+                std::equal(row, row + m,
+                           ps.unique_data.begin() +
+                               static_cast<size_t>(uid) * num_model_cols)) {
+              break;
+            }
+            uid = ps.unique_next[uid];
+          }
+          if (uid < 0) {
+            uid = unique++;
+            std::copy(row, row + num_model_cols,
+                      ps.unique_data.begin() +
+                          static_cast<size_t>(uid) * num_model_cols);
+            ps.unique_hash.push_back(h);
+            ps.unique_next.push_back(ps.bucket_head[h & mask]);
+            ps.bucket_head[h & mask] = uid;
+          }
+          ps.unique_of[g] = uid;
+        }
+        pooled_metrics.prefix_hits.Add(static_cast<uint64_t>(live - unique));
+      } else {
+        unique = live;
+        for (int g = 0; g < live; ++g) {
+          ps.unique_of[g] = g;
+          const int* row = ps.samples.data() +
+                           static_cast<size_t>(ps.live_rows[g]) *
+                               num_model_cols;
+          std::copy(row, row + num_model_cols,
+                    ps.unique_data.begin() +
+                        static_cast<size_t>(g) * num_model_cols);
+        }
+      }
+
+      // One pooled GEMM per column per round, cut into kSliceRows slices:
+      // per-row kernel results are bitwise invariant to the slicing, and the
+      // fixed granularity keeps the pool's job/index counters semantic.
+      const int num_slices = (unique + kSliceRows - 1) / kSliceRows;
+      if (static_cast<int>(ps.slice_probs.size()) < num_slices) {
+        ps.slice_probs.resize(num_slices);
+      }
+      pooled_metrics.gemm_rows.Add(static_cast<uint64_t>(unique));
+      pooled_metrics.gemm_rows_hist.Record(unique);
+      pool().ParallelFor(num_slices, [&](size_t si, int worker) {
+        const int r0 = static_cast<int>(si) * kSliceRows;
+        const ar::EncodedView view{
+            ps.unique_data.data() + static_cast<size_t>(r0) * num_model_cols,
+            std::min(kSliceRows, unique - r0), num_model_cols};
+        made_->ConditionalDistribution(view, m, ps.slice_probs[si],
+                                       scratch_[worker].ctx);
+      });
+
+      // Draws: parallel across queries, sequential within a query (it owns
+      // its rng stream), rows ascending — the legacy order again.
+      pool().ParallelFor(ps.draw_queries.size(), [&](size_t di, int) {
+        const int i = ps.draw_queries[di];
+        PooledQuery& pq = ps.queries[i];
+        const Constraint& con = pq.constraints[owner];
+        for (int g = ps.seg_begin[di]; g < ps.seg_end[di]; ++g) {
+          const int row = ps.live_rows[g];
+          const int uid = ps.unique_of[g];
+          const float* prow =
+              ps.slice_probs[uid / kSliceRows].row(uid % kSliceRows);
+          int* srow =
+              ps.samples.data() + static_cast<size_t>(row) * num_model_cols;
+          const int high = role == 1 ? srow[m - 1] : 0;
+          const DrawOutcome draw =
+              DrawCoordinate(col, con, role, high, prow, pq.rng);
+          if (draw.sampled < 0 || draw.mass <= 0.0) {
+            ps.weights[row] = 0.0;
+            if (owner < static_cast<int>(fallback_counters_.size())) {
+              fallback_counters_[owner]->Add();
+            }
+            continue;
+          }
+          ps.weights[row] *= draw.mass;
+          srow[m] = draw.sampled;
+        }
+      });
+    }
+
+    // Wave end: fold the finished rows into each query's running estimate
+    // (ascending row order — the legacy summation order) and, under
+    // adaptive budgets, stop queries whose confidence interval converged.
+    cursor += wave;
+    for (const int i : ps.wave_queries) {
+      PooledQuery& pq = ps.queries[i];
+      const size_t base = static_cast<size_t>(i) * sp;
+      for (int s = cursor - wave; s < cursor; ++s) {
+        const double w = ps.weights[base + s];
+        pq.weight_sum += w;
+        pq.weight_sq += w * w;
+      }
+      pq.samples_done = cursor;
+      if (cursor >= sp) {
+        pq.done = true;
+        continue;
+      }
+      if (adaptive && pq.samples_done >= 2) {
+        const double n = pq.samples_done;
+        const double mean = pq.weight_sum / n;
+        const double var =
+            std::max((pq.weight_sq - n * mean * mean) / (n - 1.0), 0.0);
+        const double half = options_.adaptive_ci_z * std::sqrt(var / n);
+        if (half <=
+            options_.adaptive_ci_rel * mean + options_.adaptive_ci_abs) {
+          pq.done = true;
+          pq.early_stopped = true;
+          pooled_metrics.early_stops.Add();
+        }
+      }
+    }
+  }
+
+  for (int i = 0; i < nq; ++i) {
+    const PooledQuery& pq = ps.queries[i];
+    if (pq.dead || pq.samples_done <= 0) continue;  // estimate stays 0
+    estimates[q_begin + i] =
+        Clamp(pq.weight_sum / pq.samples_done, 0.0, 1.0);
+    pooled_metrics.query_samples.Record(pq.samples_done);
+  }
+}
+
+void ArDensityEstimator::set_sampler_mode(bool pooled, bool prefix_sharing,
+                                          int adaptive_min_samples) {
+  util::MutexLock lock(batch_mu_);
+  options_.pooled_sampler = pooled;
+  options_.prefix_sharing = prefix_sharing;
+  options_.adaptive_min_samples = adaptive_min_samples;
 }
 
 ArDensityEstimator::AggregateResult ArDensityEstimator::EstimateAggregate(

@@ -71,6 +71,36 @@ struct ArEstimatorOptions {
   // Estimates are bit-identical at any thread count: every query gets its own
   // deterministic Rng (seed ^ query index) and its own sampling pass.
   int num_threads = 1;
+
+  // --- Pooled cross-query sampling (DESIGN.md §14). -------------------------
+  // EstimateBatch pools every in-flight query into one sample megabatch and
+  // drives column-major rounds — one large GEMM per column per round instead
+  // of one small GEMM per (query, column). Bit-identical to the per-query
+  // path at a fixed budget; false runs the legacy per-query oracle.
+  bool pooled_sampler = true;
+  // Within a round, sample rows with identical sampled prefixes (the dedup
+  // key is the encoded prefix, i.e. model columns [0, round)) share one
+  // conditional-distribution evaluation. Exact, not approximate: equal
+  // prefixes give bitwise-equal conditionals. Counted by
+  // iam_sampler_prefix_hits_total.
+  bool prefix_sharing = true;
+  // > 0 enables adaptive budgets in the pooled sampler: every query starts
+  // with this many sample rows, the budget doubles each round, and sampling
+  // stops early once the running estimate's confidence interval converges
+  // (or progressive_samples is reached). Deterministic per options.seed and
+  // invariant to the thread count — convergence depends only on the query's
+  // own draws. 0 = fixed budget, the bit-exactness regime.
+  int adaptive_min_samples = 0;
+  // Early-stop rule: stop once z * stderr(mean weight) is at most
+  // rel * mean + abs.
+  double adaptive_ci_z = 1.96;
+  double adaptive_ci_rel = 0.05;
+  double adaptive_ci_abs = 1e-5;
+  // Conditional probabilities at or below this floor are treated as exact
+  // zeros by both sampling paths (core/sampling_utils.h floored variants).
+  // 0 disables the floor bitwise; the zero-mass fallback regression tests
+  // use it as a deterministic trigger.
+  double min_conditional_prob = 0.0;
   // Ablation switch: when true, the next coordinate of a reduced column is
   // drawn from the *uncorrected* AR conditional (the vanilla progressive
   // sampler the paper proves biased on IAM in Section 5.2) instead of the
@@ -143,6 +173,10 @@ class ArDensityEstimator : public estimator::Estimator {
     return columns_[table_col].reducer.get();
   }
   const ArEstimatorOptions& options() const { return options_; }
+  // Flips the pooled-sampler knobs on a live estimator (bench/serve A/B
+  // comparisons). Serialized against in-flight batches by the batch mutex.
+  void set_sampler_mode(bool pooled, bool prefix_sharing,
+                        int adaptive_min_samples);
   // Source-table schema (names/types), preserved through Save/Load so a
   // reloaded model can parse predicate strings without the original data.
   const std::vector<std::string>& column_names() const {
@@ -196,6 +230,61 @@ class ArDensityEstimator : public estimator::Estimator {
   // Grows the per-worker scratch vector to the pool size.
   void EnsureScratch() IAM_REQUIRES(batch_mu_);
 
+  // One draw of a query's next coordinate for the model column owned by
+  // `col` (`role` = sub-column role, `high` = the already-sampled high
+  // sub-column value, used only for factorized low columns). Shared by the
+  // legacy per-query and the pooled cross-query samplers so the two paths
+  // are bit-identical by construction. sampled < 0 or mass <= 0 means the
+  // row hit the zero-mass wildcard fallback.
+  struct DrawOutcome {
+    int sampled = -1;
+    double mass = 0.0;
+  };
+  DrawOutcome DrawCoordinate(const TableColumn& col, const Constraint& con,
+                             int role, int high, const float* prow,
+                             Rng& rng) const;
+
+  // One in-flight query's pooled-sampler state (DESIGN.md §14).
+  struct PooledQuery {
+    std::vector<Constraint> constraints;
+    Rng rng{0};
+    bool dead = false;
+    bool done = false;          // no further sampling rounds needed
+    bool early_stopped = false;
+    int samples_done = 0;       // rows finished in completed waves
+    double weight_sum = 0.0;
+    double weight_sq = 0.0;
+  };
+  // Buffers of the pooled cross-query sampler, cached across batches so a
+  // solo Estimate() stops paying per-call allocation (the QueryRun the
+  // legacy path builds per query). All row-major, flat:
+  //   samples  [group_rows, M]  pooled sample matrix (M = model columns)
+  //   weights  [group_rows]     running per-row likelihood weights
+  struct PooledScratch {
+    std::vector<PooledQuery> queries;
+    std::vector<int> samples;
+    std::vector<double> weights;
+    std::vector<int> wildcard_row;   // per-model-column wildcard tokens
+    std::vector<int> wave_queries;   // queries still sampling this wave
+    std::vector<int> live_rows;      // rows gathered for the current column
+    std::vector<int> draw_queries;   // queries with a non-empty segment
+    std::vector<int> seg_begin;      // per draw-query range into live_rows
+    std::vector<int> seg_end;
+    std::vector<int> unique_of;      // live index -> unique row id
+    std::vector<int> unique_data;    // [U, M] compacted unique rows (GEMM in)
+    std::vector<uint64_t> unique_hash;
+    std::vector<int> unique_next;    // dedup hash chains
+    std::vector<int> bucket_head;
+    std::vector<nn::Matrix> slice_probs;  // per-GEMM-slice conditionals
+  };
+  // Pooled EstimateBatch engine: column-major rounds over one megabatch,
+  // prefix-shared conditionals, optional adaptive budgets. Processes
+  // queries [q_begin, q_end) of qs into estimates (the caller splits the
+  // batch into groups bounding the transient probability-matrix memory).
+  void EstimateBatchPooled(std::span<const query::Query> qs, size_t q_begin,
+                           size_t q_end, std::vector<double>& estimates)
+      IAM_REQUIRES(batch_mu_);
+
   ArDensityEstimator() : rng_(0) {}  // for Load()
 
   // Resolves the per-column labeled counters (zero-mass wildcard fallbacks,
@@ -240,6 +329,8 @@ class ArDensityEstimator : public estimator::Estimator {
   // batch_mu_, so two external callers never share a slot even though the
   // pool hands out the same worker ids to both.
   std::vector<InferenceScratch> scratch_ IAM_GUARDED_BY(batch_mu_);
+  // Pooled-sampler buffers, reused across batches (same guard as scratch_).
+  PooledScratch pooled_ IAM_GUARDED_BY(batch_mu_);
 };
 
 }  // namespace iam::core

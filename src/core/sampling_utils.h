@@ -21,7 +21,8 @@ inline double RangeSum(const float* probs, int first, int last) {
 // negative, or sum <= 0). When rounding makes the accumulated mass fall
 // short of u * sum, the draw clamps to the last positive-probability index
 // rather than walking off the range. A plain index is returned only when it
-// carries positive probability.
+// carries positive probability. (Kept as the golden unfloored semantics; the
+// samplers call the floored variants below.)
 inline int SampleInRange(const float* probs, int first, int last, double sum,
                          double u) {
   IAM_DCHECK(first <= last);
@@ -36,6 +37,38 @@ inline int SampleInRange(const float* probs, int first, int last, double sum,
     if (acc >= target) return j;
   }
   return last_positive;  // -1 iff the whole range had zero mass
+}
+
+// Floored variants: entries at or below `floor` are treated as exact zeros.
+// The samplers use these when ArEstimatorOptions::min_conditional_prob > 0 —
+// a numerical-hygiene knob that keeps denormal AR probabilities from leaking
+// into sample weights, and the deterministic trigger the zero-mass fallback
+// regression tests use. With floor == 0.0 both reduce to the plain versions
+// bitwise (adding a 0.0f entry never moves a non-negative accumulator), so
+// the samplers call these unconditionally with a zero floor by default.
+inline double RangeSumFloored(const float* probs, int first, int last,
+                              float floor) {
+  double sum = 0.0;
+  for (int j = first; j <= last; ++j) {
+    if (probs[j] > floor) sum += probs[j];
+  }
+  return sum;
+}
+
+inline int SampleInRangeFloored(const float* probs, int first, int last,
+                                double sum, double u, float floor) {
+  IAM_DCHECK(first <= last);
+  if (sum <= 0.0) return -1;
+  const double target = u * sum;
+  double acc = 0.0;
+  int last_positive = -1;
+  for (int j = first; j <= last; ++j) {
+    if (probs[j] <= floor) continue;
+    acc += probs[j];
+    last_positive = j;
+    if (acc >= target) return j;
+  }
+  return last_positive;
 }
 
 }  // namespace iam::core::sampling

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/math_util.h"
+
 namespace iam::nn {
 
 // --- Reference kernels (the seed implementations, kept verbatim). ----------
@@ -233,6 +235,21 @@ void LinearForwardTSlice(const Matrix& x, const float* wt, int ldw, int in,
                          int out, std::span<const float> bias, Matrix& y) {
   IAM_CHECK(ldw >= out);
   ForwardTImpl<false>(x, wt, ldw, in, out, bias, y);
+}
+
+void SoftmaxRows(const Matrix& logits, Matrix& probs) {
+  const int rows = logits.rows();
+  const int cols = logits.cols();
+  IAM_CHECK(&logits != &probs);
+  probs.ResizeUninitialized(rows, cols);
+  std::vector<double> scratch(static_cast<size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    const float* lrow = logits.row(r);
+    scratch.assign(lrow, lrow + cols);
+    SoftmaxInPlace(scratch);
+    float* prow = probs.row(r);
+    for (int j = 0; j < cols; ++j) prow[j] = static_cast<float>(scratch[j]);
+  }
 }
 
 void TransposeInto(const Matrix& src, Matrix& dst) {

@@ -75,6 +75,15 @@ void LinearForwardTSlice(const Matrix& x, const float* wt, int ldw, int in,
 // dst = src^T; dst is resized to [src.cols, src.rows].
 void TransposeInto(const Matrix& src, Matrix& dst);
 
+// probs.row(r) = softmax(logits.row(r)) for every batch row, computed per
+// row in double precision with the max subtracted (exactly the scalar
+// SoftmaxInPlace recipe, in ascending index order), then narrowed to float.
+// Rows are independent, so results are bitwise invariant to how a batch is
+// split — the property the pooled cross-query sampler's GEMM slicing and
+// prefix dedup rely on (DESIGN.md §14). probs is resized to logits' shape;
+// logits and probs must not alias.
+void SoftmaxRows(const Matrix& logits, Matrix& probs);
+
 // --- Sparse input rows. ----------------------------------------------------
 
 // CSR-style batch of sparse rows: ResMade::EncodeInput emits one entry per

@@ -21,6 +21,7 @@ ServeMetrics& ServeMetrics::Get() {
         reg.GetHistogram("iam_serve_batch_size", kBatchBounds),
         reg.GetHistogram("iam_serve_queue_wait_seconds", obs::LatencyBounds()),
         reg.GetHistogram("iam_serve_batch_exec_seconds", obs::LatencyBounds()),
+        reg.GetHistogram("iam_serve_query_exec_seconds", obs::LatencyBounds()),
     };
   }();
   return metrics;
@@ -102,7 +103,10 @@ void MicroBatcher::WorkerLoop() {
     Stopwatch exec;
     const std::vector<double> selectivities =
         model->estimator->EstimateBatch(queries);
-    metrics_.batch_exec_seconds.Record(exec.ElapsedSeconds());
+    const double exec_seconds = exec.ElapsedSeconds();
+    metrics_.batch_exec_seconds.Record(exec_seconds);
+    metrics_.query_exec_seconds.Record(exec_seconds /
+                                       static_cast<double>(batch.size()));
     metrics_.batches.Add();
 
     {

@@ -46,6 +46,10 @@ struct ServeMetrics {
   obs::Histogram& batch_size;
   obs::Histogram& queue_wait_seconds;
   obs::Histogram& batch_exec_seconds;
+  // Batch execution time amortized per query — the number the pooled
+  // cross-query sampler moves: coalescing now compounds with sampling
+  // instead of only saving queueing overhead.
+  obs::Histogram& query_exec_seconds;
 
   static ServeMetrics& Get();
 };

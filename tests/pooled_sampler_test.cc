@@ -1,0 +1,244 @@
+// Tests for the pooled cross-query progressive sampler (DESIGN.md §14):
+// bit-exactness against the legacy per-query oracle at a fixed budget (with
+// and without prefix sharing, on both the IAM bias-corrected path and the
+// NeuroCard factorized path), zero-mass fallback isolation inside a
+// megabatch, adaptive early-stop determinism across thread counts, and
+// serialization of concurrent pooled callers.
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ar_density_estimator.h"
+#include "core/presets.h"
+#include "data/synthetic.h"
+#include "obs/metrics.h"
+#include "query/query.h"
+
+namespace iam::core {
+namespace {
+
+// Small-but-real model: same shape the obs determinism suite uses, fast to
+// train, with reduced (x/y/z) and raw (subject/activity) columns.
+ArEstimatorOptions FastIamOptions() {
+  ArEstimatorOptions opts = IamDefaults(8);
+  opts.made.hidden_sizes = {32, 32};
+  opts.epochs = 1;
+  opts.batch_size = 128;
+  opts.progressive_samples = 64;
+  opts.gmm_samples_per_component = 1000;
+  opts.large_domain_threshold = 200;
+  opts.num_threads = 1;
+  return opts;
+}
+
+// Factorized baseline: small factor base so the low sub-column's
+// high-dependent code bounds (the trickiest draw path) get real coverage.
+ArEstimatorOptions FastNeurocardOptions() {
+  ArEstimatorOptions opts = NeurocardDefaults();
+  opts.made.hidden_sizes = {32, 32};
+  opts.epochs = 1;
+  opts.batch_size = 128;
+  opts.progressive_samples = 64;
+  opts.large_domain_threshold = 200;
+  opts.factor_bits = 6;
+  opts.num_threads = 1;
+  return opts;
+}
+
+std::vector<query::Query> MixedWorkload() {
+  std::vector<query::Query> qs;
+  // Range queries over the continuous columns (reduced under IAM,
+  // factorized under the baseline).
+  for (int i = 0; i < 6; ++i) {
+    qs.push_back(query::Query{
+        {{.column = 2, .lo = -2.0 - i, .hi = 3.0 + 2.0 * i}}});
+  }
+  // Multi-predicate queries: categorical range and a continuous range.
+  for (int i = 0; i < 4; ++i) {
+    qs.push_back(query::Query{{{.column = 0, .lo = 10.0, .hi = 30.0 + i},
+                               {.column = 3, .lo = -1.0, .hi = 4.0 + i}}});
+  }
+  // An unsatisfiable predicate exercises the dead-query path.
+  qs.push_back(query::Query{{{.column = 1, .lo = 9.0, .hi = 3.0}}});
+  return qs;
+}
+
+uint64_t CounterTotal(const std::string& prefix) {
+  uint64_t total = 0;
+  const obs::MetricsSnapshot snap = obs::MetricRegistry::Global().Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind(prefix, 0) == 0) total += value;
+  }
+  return total;
+}
+
+TEST(PooledSamplerTest, PooledMatchesLegacyBitExactOnIam) {
+  const data::Table table = data::MakeSynWisdm(3000, 77);
+  ArDensityEstimator est(table, FastIamOptions());
+  est.TrainEpoch();
+  const std::vector<query::Query> qs = MixedWorkload();
+
+  est.set_sampler_mode(/*pooled=*/false, /*prefix_sharing=*/false,
+                       /*adaptive_min_samples=*/0);
+  const std::vector<double> legacy = est.EstimateBatch(qs);
+
+  est.set_sampler_mode(true, /*prefix_sharing=*/false, 0);
+  const std::vector<double> pooled = est.EstimateBatch(qs);
+
+  obs::MetricRegistry::Global().ResetAll();
+  est.set_sampler_mode(true, /*prefix_sharing=*/true, 0);
+  const std::vector<double> shared = est.EstimateBatch(qs);
+
+  // At a fixed budget the pooled sampler reproduces the per-query oracle
+  // bitwise, prefix sharing included (equal prefixes share one bitwise-equal
+  // conditional).
+  EXPECT_EQ(legacy, pooled);
+  EXPECT_EQ(legacy, shared);
+  // The dead query really died, live queries produced probabilities.
+  EXPECT_EQ(legacy.back(), 0.0);
+  EXPECT_GT(legacy.front(), 0.0);
+  // Prefix sharing actually deduplicated (column 0 alone collapses every
+  // live row to one evaluation), so the pooled GEMMs saw fewer rows than
+  // the sampler drew.
+  EXPECT_GT(CounterTotal("iam_sampler_prefix_hits_total"), 0u);
+  EXPECT_LT(CounterTotal("iam_sampler_gemm_rows_total"),
+            CounterTotal("iam_sampler_samples_total"));
+}
+
+TEST(PooledSamplerTest, PooledMatchesLegacyBitExactOnNeurocard) {
+  const data::Table table = data::MakeSynWisdm(3000, 78);
+  ArDensityEstimator est(table, FastNeurocardOptions());
+  est.TrainEpoch();
+  const std::vector<query::Query> qs = MixedWorkload();
+
+  est.set_sampler_mode(false, false, 0);
+  const std::vector<double> legacy = est.EstimateBatch(qs);
+  est.set_sampler_mode(true, true, 0);
+  const std::vector<double> pooled = est.EstimateBatch(qs);
+
+  EXPECT_EQ(legacy, pooled);
+  EXPECT_GT(legacy.front(), 0.0);
+}
+
+TEST(PooledSamplerTest, SoloEstimateMatchesBatchOfOne) {
+  const data::Table table = data::MakeSynWisdm(2000, 79);
+  ArDensityEstimator est(table, FastIamOptions());
+  est.TrainEpoch();
+  const query::Query q{{{.column = 2, .lo = -1.0, .hi = 5.0}}};
+
+  const double solo = est.Estimate(q);
+  const std::vector<double> batch = est.EstimateBatch({&q, 1});
+  // Solo estimates ride the pooled path's cached scratch; repeated calls
+  // must not drift as buffers are reused.
+  EXPECT_DOUBLE_EQ(solo, batch[0]);
+  EXPECT_DOUBLE_EQ(solo, est.Estimate(q));
+  est.set_sampler_mode(false, false, 0);
+  EXPECT_DOUBLE_EQ(solo, est.Estimate(q));
+}
+
+TEST(PooledSamplerTest, ZeroMassFallbackDoesNotPerturbSiblings) {
+  ArEstimatorOptions opts = FastIamOptions();
+  // Probability floor: any coordinate whose admissible conditionals all sit
+  // at or below 0.1 hits the zero-mass wildcard fallback deterministically.
+  opts.min_conditional_prob = 0.1;
+  const data::Table table = data::MakeSynWisdm(3000, 80);
+  ArDensityEstimator est(table, opts);
+  est.TrainEpoch();
+
+  // Two guaranteed-alive siblings first: x is reduced to 8 buckets, so some
+  // bucket always carries conditional probability >= 1/8 > 0.1, and a wide
+  // range keeps every bucket's range mass positive.
+  std::vector<query::Query> qs;
+  qs.push_back(query::Query{{{.column = 2, .lo = -1e6, .hi = 1e6}}});
+  qs.push_back(query::Query{{{.column = 3, .lo = -1e6, .hi = 1e6}}});
+  // Eleven single-subject equality queries: 51 subjects share probability
+  // mass 1, so at most ten can exceed the 0.1 floor — at least one of these
+  // must die through the fallback, poisoning the megabatch.
+  for (int v = 0; v < 11; ++v) {
+    qs.push_back(query::Query{
+        {{.column = 0, .lo = static_cast<double>(v),
+          .hi = static_cast<double>(v)}}});
+  }
+
+  obs::MetricRegistry::Global().ResetAll();
+  const std::vector<double> pooled = est.EstimateBatch(qs);
+  EXPECT_GT(CounterTotal("iam_sampler_zero_mass_fallbacks_total"), 0u);
+  EXPECT_GT(pooled[0], 0.0);
+  EXPECT_GT(pooled[1], 0.0);
+
+  // Sibling isolation: the siblings keep bit-identical estimates whether or
+  // not the fallback-poisoned queries ride in the same megabatch...
+  const std::vector<double> siblings_only =
+      est.EstimateBatch(std::span<const query::Query>(qs.data(), 2));
+  EXPECT_DOUBLE_EQ(pooled[0], siblings_only[0]);
+  EXPECT_DOUBLE_EQ(pooled[1], siblings_only[1]);
+
+  // ...and the whole megabatch, fallbacks included, matches the legacy
+  // per-query path bitwise.
+  est.set_sampler_mode(false, false, 0);
+  const std::vector<double> legacy = est.EstimateBatch(qs);
+  EXPECT_EQ(legacy, pooled);
+}
+
+TEST(PooledSamplerTest, AdaptiveEarlyStopDeterministicAcrossThreads) {
+  ArEstimatorOptions opts = FastIamOptions();
+  const data::Table table = data::MakeSynWisdm(3000, 81);
+  ArDensityEstimator est(table, opts);
+  est.TrainEpoch();
+
+  std::vector<query::Query> qs = MixedWorkload();
+  qs.push_back(query::Query{{{.column = 2, .lo = -1e6, .hi = 1e6}}});
+
+  // Fixed-budget reference for the sampling volume.
+  obs::MetricRegistry::Global().ResetAll();
+  est.EstimateBatch(qs);
+  const uint64_t fixed_samples = CounterTotal("iam_sampler_samples_total");
+
+  // Adaptive budgets: start at 8 rows, double per wave, stop on CI
+  // convergence. The wide full-range query converges immediately (its
+  // weights are nearly constant), so early stops must fire.
+  est.set_sampler_mode(true, true, /*adaptive_min_samples=*/8);
+
+  std::vector<double> baseline_estimates;
+  uint64_t baseline_samples = 0;
+  for (const int threads : {1, 2, 8}) {
+    est.set_num_threads(threads);
+    obs::MetricRegistry::Global().ResetAll();
+    const std::vector<double> estimates = est.EstimateBatch(qs);
+    const uint64_t samples = CounterTotal("iam_sampler_samples_total");
+    if (threads == 1) {
+      baseline_estimates = estimates;
+      baseline_samples = samples;
+      EXPECT_GT(CounterTotal("iam_sampler_early_stops_total"), 0u);
+      // Early stopping actually trimmed the sampling volume.
+      EXPECT_LT(samples, fixed_samples);
+    } else {
+      EXPECT_EQ(estimates, baseline_estimates) << "threads " << threads;
+      EXPECT_EQ(samples, baseline_samples) << "threads " << threads;
+    }
+  }
+}
+
+TEST(PooledSamplerTest, ConcurrentPooledCallersSerializeCleanly) {
+  const data::Table table = data::MakeSynWisdm(2000, 82);
+  ArEstimatorOptions opts = FastIamOptions();
+  opts.num_threads = 2;
+  ArDensityEstimator est(table, opts);
+  est.TrainEpoch();
+  const std::vector<query::Query> qs = MixedWorkload();
+
+  std::vector<double> r1, r2;
+  std::thread other([&] { r2 = est.EstimateBatch(qs); });
+  r1 = est.EstimateBatch(qs);
+  other.join();
+  // The batch mutex serializes the two pooled megabatches over the shared
+  // scratch; determinism makes the interleaving unobservable.
+  EXPECT_EQ(r1, r2);
+}
+
+}  // namespace
+}  // namespace iam::core
