@@ -1,9 +1,10 @@
-// Serving-path benchmark (DESIGN.md §13): an in-process EstimatorServer with
-// an open-loop loadgen over real loopback sockets.
+// Serving-path benchmark (DESIGN.md §13/§15): an in-process EstimatorServer
+// with open-loop loadgens over real loopback sockets.
 //
 //   bench_serve [--json BENCH_serve.json] [--quick]
+//               [--connections N] [--pipeline D]
 //
-// Three experiments:
+// Experiments:
 //   1. QPS sweep at the default batcher config — accepted/rejected counts and
 //      client-observed latency percentiles per offered rate. Offered load
 //      beyond capacity shows admission control holding the accepted-request
@@ -13,6 +14,14 @@
 //      show a mean batch size > 1.
 //   3. Hot-swap under load: swaps mid-burst; every accepted request succeeds
 //      and answers with one of the two model versions.
+//   4. Pooled sampler modes under serving load (applied to every replica).
+//   5. Shard scaling: the pipelined loadgen sweeps offered load up to 100k
+//      QPS against 1/2/4/8 batcher shards. Explicit reject rate per point;
+//      achieved QPS must hold flat past saturation (graceful degradation,
+//      not a cliff).
+//   6. TCP_NODELAY ablation: pipelined responses with Nagle re-enabled on
+//      the server sockets stall on the client's delayed ACKs; the p50 delta
+//      is the measured effect.
 
 #include <algorithm>
 #include <atomic>
@@ -20,6 +29,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -46,6 +56,7 @@ struct LoadResult {
   double wall_seconds = 0.0;
   ErrorReport latency_ms;        // accepted requests only
   double achieved_qps = 0.0;     // accepted / wall
+  double reject_rate = 0.0;      // rejected / issued
   double mean_batch_size = 0.0;  // from serve metrics deltas
 };
 
@@ -58,6 +69,31 @@ MetricsSnapshot TakeSnapshot() {
   const serve::ServeMetrics& m = serve::ServeMetrics::Get();
   return {static_cast<double>(m.accepted.Total()),
           static_cast<double>(m.batches.Total())};
+}
+
+LoadResult FinishLoad(const std::vector<std::vector<double>>& latencies,
+                      int accepted, int rejected, int failed,
+                      double wall_seconds, const MetricsSnapshot& before) {
+  LoadResult result;
+  result.wall_seconds = wall_seconds;
+  result.accepted = accepted;
+  result.rejected = rejected;
+  result.failed = failed;
+  std::vector<double> all;
+  for (const auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  result.latency_ms = MakeErrorReport(all);
+  result.achieved_qps =
+      result.wall_seconds > 0 ? result.accepted / result.wall_seconds : 0.0;
+  const int issued = accepted + rejected + failed;
+  result.reject_rate =
+      issued > 0 ? static_cast<double>(rejected) / issued : 0.0;
+  const MetricsSnapshot after = TakeSnapshot();
+  const double batches = after.batches - before.batches;
+  result.mean_batch_size =
+      batches > 0 ? (after.accepted - before.accepted) / batches : 0.0;
+  return result;
 }
 
 // Open-loop(ish) load: `threads` workers share one global schedule — request
@@ -111,23 +147,95 @@ LoadResult RunLoad(int port, const std::vector<std::string>& predicates,
   }
   for (std::thread& t : workers) t.join();
 
-  LoadResult result;
-  result.wall_seconds = wall.ElapsedSeconds();
-  result.accepted = accepted.load();
-  result.rejected = rejected.load();
-  result.failed = failed.load();
-  std::vector<double> all;
-  for (const auto& per_thread : latencies) {
-    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  return FinishLoad(latencies, accepted.load(), rejected.load(),
+                    failed.load(), wall.ElapsedSeconds(), before);
+}
+
+// Pipelined open-loop load: `connections` workers each keep up to `depth`
+// estimate frames in flight on one connection (the SendEstimate /
+// ReceiveEstimate split), sharing the same global schedule as RunLoad.
+// Sends stay paced until the window fills; a full window blocks on a receive
+// (the honest saturation behavior: the client cannot push more frames), and
+// replies that arrive while a send is not yet due are drained opportunistically
+// so the window keeps moving.
+LoadResult RunPipelinedLoad(int port,
+                            const std::vector<std::string>& predicates,
+                            int total_requests, double qps, int connections,
+                            int depth) {
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(connections));
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> failed{0};
+
+  const MetricsSnapshot before = TakeSnapshot();
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(connections));
+  for (int w = 0; w < connections; ++w) {
+    workers.emplace_back([&, w] {
+      serve::Client client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        failed.fetch_add((total_requests - w + connections - 1) / connections);
+        return;
+      }
+      std::deque<Stopwatch> inflight;  // send time of each outstanding frame
+      bool dead = false;
+      auto receive_one = [&] {
+        const auto reply = client.ReceiveEstimate();
+        const double ms = inflight.front().ElapsedMillis();
+        inflight.pop_front();
+        if (!reply.ok()) {
+          failed.fetch_add(1);
+          dead = true;
+          return;
+        }
+        if (reply->overloaded) {
+          rejected.fetch_add(1);
+          return;
+        }
+        accepted.fetch_add(1);
+        latencies[static_cast<size_t>(w)].push_back(ms);
+      };
+      for (int i = w; i < total_requests && !dead; i += connections) {
+        const double due = static_cast<double>(i) / qps;
+        while (!dead) {
+          const double remaining = due - wall.ElapsedSeconds();
+          if (remaining <= 0.0) break;
+          if (inflight.empty()) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(remaining));
+            continue;
+          }
+          // Wait for the next due time, but surface replies as they land.
+          const int poll_ms = std::max(
+              1, static_cast<int>(std::min(remaining * 1e3, 10.0)));
+          const auto ready = client.ReplyReady(poll_ms);
+          if (!ready.ok()) {
+            dead = true;
+          } else if (*ready) {
+            receive_one();
+          }
+        }
+        while (!dead && static_cast<int>(inflight.size()) >= depth) {
+          receive_one();
+        }
+        if (dead) break;
+        inflight.emplace_back();
+        if (!client.SendEstimate(
+                     predicates[static_cast<size_t>(i) % predicates.size()])
+                 .ok()) {
+          inflight.pop_back();
+          failed.fetch_add(1);
+          dead = true;
+        }
+      }
+      while (!dead && !inflight.empty()) receive_one();
+    });
   }
-  result.latency_ms = MakeErrorReport(all);
-  result.achieved_qps =
-      result.wall_seconds > 0 ? result.accepted / result.wall_seconds : 0.0;
-  const MetricsSnapshot after = TakeSnapshot();
-  const double batches = after.batches - before.batches;
-  result.mean_batch_size =
-      batches > 0 ? (after.accepted - before.accepted) / batches : 0.0;
-  return result;
+  for (std::thread& t : workers) t.join();
+  return FinishLoad(latencies, accepted.load(), rejected.load(),
+                    failed.load(), wall.ElapsedSeconds(), before);
 }
 
 std::string LoadResultJson(const LoadResult& r, double offered_qps) {
@@ -136,12 +244,14 @@ std::string LoadResultJson(const LoadResult& r, double offered_qps) {
   std::snprintf(
       buf, sizeof(buf),
       "{\"offered_qps\": %.6g, \"accepted\": %d, \"rejected\": %d, "
-      "\"failed\": %d, \"achieved_qps\": %.6g, \"mean_batch_size\": %.6g, "
+      "\"failed\": %d, \"achieved_qps\": %.6g, \"reject_rate\": %.6g, "
+      "\"mean_batch_size\": %.6g, "
       "\"latency_ms\": {\"mean\": %.6g, \"median\": %.6g, \"p95\": %.6g, "
       "\"p99\": %.6g, \"max\": %.6g}}",
       offered_qps, r.accepted, r.rejected, r.failed, r.achieved_qps,
-      r.mean_batch_size, r.latency_ms.mean, r.latency_ms.median,
-      r.latency_ms.p95, r.latency_ms.p99, r.latency_ms.max);
+      r.reject_rate, r.mean_batch_size, r.latency_ms.mean,
+      r.latency_ms.median, r.latency_ms.p95, r.latency_ms.p99,
+      r.latency_ms.max);
   out << buf;
   return out.str();
 }
@@ -161,9 +271,19 @@ int main(int argc, char** argv) {
   using namespace iam;
   const std::string json_path = bench::JsonOutPath(&argc, argv);
   bool quick = false;
+  int connections = 16;   // pipelined loadgen: concurrent connections
+  int pipeline_depth = 32;  // in-flight frames per connection
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
+      connections = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--pipeline") == 0 && i + 1 < argc) {
+      pipeline_depth = std::atoi(argv[++i]);
+    }
   }
+  connections = std::max(connections, 1);
+  pipeline_depth = std::max(pipeline_depth, 1);
 
   std::printf("training demo model...\n");
   std::unique_ptr<core::ArDensityEstimator> model =
@@ -173,7 +293,11 @@ int main(int argc, char** argv) {
   // worker — so the served model gets several threads even when the bench
   // default (IAM_BENCH_THREADS) is the paper's serial setting.
   const int model_threads = std::max(bench::BenchThreads(), 4);
-  serve::ModelRegistry registry(std::move(model), "", model_threads);
+  // Enough replicas for the widest shard sweep below: every shard worker
+  // flushes against its own estimator instance.
+  constexpr int kMaxShards = 8;
+  serve::ModelRegistry registry(std::move(model), "", model_threads,
+                                kMaxShards);
   const std::vector<std::string> predicates = serve::DemoPredicates(256, 99);
   // More loadgen connections than queue slots, so offered load beyond
   // capacity actually overflows the queue instead of parking in the clients.
@@ -294,11 +418,18 @@ int main(int argc, char** argv) {
   // sampler amortizes, so batching and pooling compound here.
   std::string pooled_json;
   {
-    // Flip the served estimator's sampler mode between runs; the server is
-    // idle in between, and set_sampler_mode takes the estimator's batch
-    // mutex, so even a straggling batch would serialize cleanly.
-    const std::shared_ptr<serve::LoadedModel> current = registry.Current();
-    core::ArDensityEstimator* raw = current->estimator.get();
+    // Flip the sampler mode of EVERY replica between runs — a sharded server
+    // snapshots one replica per shard, so a mode set only on replica 0 would
+    // silently benchmark a mixed-mode generation. The server is idle in
+    // between, and set_sampler_mode takes each estimator's batch mutex, so
+    // even a straggling batch would serialize cleanly.
+    const auto set_sampler_mode_all = [&registry](bool pooled, bool prefix,
+                                                  int adaptive) {
+      for (int i = 0; i < registry.replicas(); ++i) {
+        registry.Current(i)->estimator->set_sampler_mode(pooled, prefix,
+                                                         adaptive);
+      }
+    };
     const double qps = 5000.0;
     struct ServeMode {
       const char* label;
@@ -318,7 +449,7 @@ int main(int argc, char** argv) {
                 "p95ms", "p99ms");
     pooled_json = "{\"offered_qps\": 5000";
     for (const ServeMode& mode : kServeModes) {
-      raw->set_sampler_mode(mode.pooled, mode.prefix, mode.adaptive);
+      set_sampler_mode_all(mode.pooled, mode.prefix, mode.adaptive);
       serve::EstimatorServer server(registry, options);
       if (!server.Start().ok()) return 1;
       const bench::LoadResult r = bench::RunLoad(
@@ -329,7 +460,104 @@ int main(int argc, char** argv) {
                      "\": " + bench::LoadResultJson(r, qps);
     }
     pooled_json += "}";
-    raw->set_sampler_mode(true, true, 0);  // restore the defaults
+    set_sampler_mode_all(true, true, 0);  // restore the defaults
+  }
+
+  // --- 5. Shard scaling: pipelined loadgen, offered up to 100k QPS. ---------
+  // Each shard adds its own queue, worker thread and model replica. On a
+  // multi-core host the workers flush in parallel; on a single-core host the
+  // residual gain comes from N× aggregate admission capacity. Either way the
+  // acceptance bar is graceful degradation: achieved QPS must hold flat from
+  // saturation through 100k offered, with the excess absorbed as explicit
+  // fast-rejects.
+  std::string shards_json = "[";
+  {
+    const int shard_requests = quick ? 4000 : 20000;
+    std::printf(
+        "\n### Shard scaling, pipelined loadgen (%d connections x depth %d)\n",
+        connections, pipeline_depth);
+    std::printf("%-18s %8s %9s %9s %8s %8s %8s %8s %8s\n", "config",
+                "offered", "accepted", "rejected", "qps", "batch", "p50ms",
+                "p95ms", "p99ms");
+    bool first_entry = true;
+    for (const int shards : {1, 2, 4, 8}) {
+      serve::ServerOptions sharded = options;
+      sharded.num_shards = shards;
+      serve::EstimatorServer server(registry, sharded);
+      if (!server.Start().ok()) return 1;
+      std::string points = "[";
+      double saturated_qps = 0.0;
+      double top_qps = 0.0;
+      bool first_point = true;
+      for (const double qps : {20000.0, 50000.0, 100000.0}) {
+        const bench::LoadResult r =
+            bench::RunPipelinedLoad(server.port(), predicates, shard_requests,
+                                    qps, connections, pipeline_depth);
+        char label[32];
+        std::snprintf(label, sizeof(label), "shards=%d", shards);
+        bench::PrintLoadRow(label, qps, r);
+        if (!first_point) points += ", ";
+        first_point = false;
+        points += bench::LoadResultJson(r, qps);
+        saturated_qps = std::max(saturated_qps, r.achieved_qps);
+        top_qps = r.achieved_qps;
+      }
+      points += "]";
+      if (saturated_qps > 0.0 && top_qps < 0.8 * saturated_qps) {
+        std::fprintf(stderr,
+                     "WARN: shards=%d achieved QPS dropped past saturation "
+                     "(%.0f -> %.0f at 100k offered)\n",
+                     shards, saturated_qps, top_qps);
+      }
+      if (!first_entry) shards_json += ", ";
+      first_entry = false;
+      shards_json += "{\"shards\": " + std::to_string(shards) +
+                     ", \"connections\": " + std::to_string(connections) +
+                     ", \"pipeline_depth\": " +
+                     std::to_string(pipeline_depth) + ", \"points\": " +
+                     points + "}";
+      server.Shutdown();
+    }
+  }
+  shards_json += "]";
+
+  // --- 6. TCP_NODELAY ablation. ---------------------------------------------
+  // Pipelined responses are where Nagle hurts: with several responses in
+  // flight, a Nagled server socket holds the next small response until the
+  // client's delayed ACK.
+  std::string nodelay_json;
+  {
+    const double qps = 2000.0;
+    const int ablation_requests = quick ? 1000 : 4000;
+    bench::LoadResult nagled, nodelay;
+    {
+      serve::ServerOptions no_nodelay = options;
+      no_nodelay.tcp_nodelay = false;
+      serve::EstimatorServer server(registry, no_nodelay);
+      if (!server.Start().ok()) return 1;
+      nagled = bench::RunPipelinedLoad(server.port(), predicates,
+                                       ablation_requests, qps, 4, 8);
+      server.Shutdown();
+    }
+    {
+      serve::EstimatorServer server(registry, options);
+      if (!server.Start().ok()) return 1;
+      nodelay = bench::RunPipelinedLoad(server.port(), predicates,
+                                        ablation_requests, qps, 4, 8);
+      server.Shutdown();
+    }
+    std::printf("\n### TCP_NODELAY ablation (pipelined, offered %.0f qps)\n",
+                qps);
+    std::printf("%-18s %8s %9s %9s %8s %8s %8s %8s %8s\n", "config",
+                "offered", "accepted", "rejected", "qps", "batch", "p50ms",
+                "p95ms", "p99ms");
+    bench::PrintLoadRow("nagle", qps, nagled);
+    bench::PrintLoadRow("nodelay", qps, nodelay);
+    std::printf("nodelay p50 effect: %.2fms -> %.2fms\n",
+                nagled.latency_ms.median, nodelay.latency_ms.median);
+    nodelay_json = "{\"offered_qps\": 2000, \"nagle\": " +
+                   bench::LoadResultJson(nagled, qps) + ", \"nodelay\": " +
+                   bench::LoadResultJson(nodelay, qps) + "}";
   }
 
   if (!json_path.empty()) {
@@ -344,6 +572,9 @@ int main(int argc, char** argv) {
          ok;
     ok = bench::MergeJsonSection(json_path, "serve_hot_swap", swap_json) && ok;
     ok = bench::MergeJsonSection(json_path, "serve_pooled", pooled_json) && ok;
+    ok = bench::MergeJsonSection(json_path, "serve_shards", shards_json) && ok;
+    ok = bench::MergeJsonSection(json_path, "serve_nodelay", nodelay_json) &&
+         ok;
     ok = bench::MergeMetricsIntoJson(json_path) && ok;
     if (!ok) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());

@@ -3,14 +3,18 @@
 //
 //   serve_cli serve --model <model.iam> [--port N] [--max-batch N]
 //                   [--max-delay-us N] [--queue-capacity N] [--threads N]
+//                   [--shards N] [--listen-backlog N] [--max-pipeline N]
 //   serve_cli serve --demo [--model-out <model.iam>] [...same flags]
 //       Runs the service until SIGINT/SIGTERM or a kShutdown frame, then
 //       drains gracefully. Prints "listening on <addr>:<port>" once ready.
 //       SIGHUP hot-swaps the model by re-loading the file it was started
 //       from (or --model-out for --demo) — in-flight batches finish on the
-//       old generation.
+//       old generation. --shards N runs N batcher shards, each with its own
+//       queue, worker and model replica.
 //
 //   serve_cli estimate <port> "<predicates>"     one estimate round trip
+//   serve_cli burst    <port> "<predicates>" <n> n pipelined estimates on
+//                                                one connection
 //   serve_cli swap     <port> <model.iam>        hot-swap via control frame
 //   serve_cli metrics  <port>                    Prometheus export
 //   serve_cli shutdown <port>                    ask the server to drain
@@ -79,6 +83,12 @@ int Serve(int argc, char** argv) {
       options.batcher.queue_capacity = std::atoi(value.c_str());
     } else if (FlagValue(argc, argv, &i, "--threads", &value)) {
       threads = std::atoi(value.c_str());
+    } else if (FlagValue(argc, argv, &i, "--shards", &value)) {
+      options.num_shards = std::atoi(value.c_str());
+    } else if (FlagValue(argc, argv, &i, "--listen-backlog", &value)) {
+      options.listen_backlog = std::atoi(value.c_str());
+    } else if (FlagValue(argc, argv, &i, "--max-pipeline", &value)) {
+      options.max_pipeline = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -112,7 +122,10 @@ int Serve(int argc, char** argv) {
     model = std::move(loaded.value());
   }
 
-  iam::serve::ModelRegistry registry(std::move(model), source, threads);
+  // One model replica per shard so shard workers flush batches in parallel
+  // instead of serializing on one estimator's batch mutex.
+  iam::serve::ModelRegistry registry(std::move(model), source, threads,
+                                     options.num_shards);
   iam::serve::EstimatorServer server(registry, options);
   const iam::Status started = server.Start();
   if (!started.ok()) {
@@ -170,10 +183,48 @@ int Usage() {
   std::fprintf(stderr,
                "usage: serve_cli serve --model <model.iam> | --demo [flags]\n"
                "       serve_cli estimate <port> \"<predicates>\"\n"
+               "       serve_cli burst <port> \"<predicates>\" <count>\n"
                "       serve_cli swap <port> <model.iam>\n"
                "       serve_cli metrics <port>\n"
                "       serve_cli shutdown <port>\n");
   return 2;
+}
+
+// Pipelined burst: write all requests before reading any reply, exercising
+// the server's in-flight frame slots and submission-order response path.
+int Burst(iam::serve::Client& client, const std::string& predicates,
+          int count) {
+  for (int i = 0; i < count; ++i) {
+    const iam::Status sent = client.SendEstimate(predicates);
+    if (!sent.ok()) {
+      std::fprintf(stderr, "send %d failed: %s\n", i,
+                   sent.ToString().c_str());
+      return 1;
+    }
+  }
+  int ok = 0;
+  int overloaded = 0;
+  for (int i = 0; i < count; ++i) {
+    const auto reply = client.ReceiveEstimate();
+    if (!reply.ok()) {
+      std::fprintf(stderr, "receive %d failed: %s\n", i,
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    if (reply->overloaded) {
+      ++overloaded;
+    } else {
+      ++ok;
+      if (i + 1 == count) {
+        std::printf("selectivity %.10g (model version %llu)\n",
+                    reply->selectivity,
+                    static_cast<unsigned long long>(reply->model_version));
+      }
+    }
+  }
+  std::printf("burst done: %d ok, %d overloaded of %d pipelined\n", ok,
+              overloaded, count);
+  return overloaded == count ? 3 : 0;
 }
 
 }  // namespace
@@ -206,6 +257,19 @@ int main(int argc, char** argv) {
                         return 0;
                       },
                       argv[3]);
+  }
+  if (command == "burst") {
+    if (argc < 5) return Usage();
+    const int count = std::atoi(argv[4]);
+    if (count <= 0) return Usage();
+    iam::serve::Client client;
+    const iam::Status connected = client.Connect("127.0.0.1", port);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   connected.ToString().c_str());
+      return 1;
+    }
+    return Burst(client, argv[3], count);
   }
   if (command == "swap") {
     if (argc < 4) return Usage();

@@ -20,8 +20,10 @@
 #   7. obs smoke   model_cli demo --metrics=FILE: asserts the Prometheus
 #                  export is non-empty and has no duplicate metric names.
 #   8. serve smoke boots the estimator service (serve_cli serve --demo) on
-#                  loopback, runs a client burst + metrics scrape, and
-#                  asserts a clean drain shutdown.
+#                  loopback with two batcher shards, runs client round trips,
+#                  a pipelined burst with a hot-swap racing it, and a metrics
+#                  scrape (global + per-shard series), and asserts a clean
+#                  drain shutdown.
 #   9. sanitize    optional, IAM_CI_SANITIZE=thread|address: quick gate under
 #                  that sanitizer on top of the above.
 #
@@ -97,10 +99,12 @@ fi
 # The sharded metric registry and per-thread trace buffers are written from
 # every pool worker, and the serving layer's micro-batcher and hot-swap path
 # are lock dances by construction; this gate proves them race-free under
-# load. (MicroBatcherTest/ServeSwapTest are the serve concurrency suites —
-# the swap-under-load test must stay TSan-clean.)
+# load. (MicroBatcherTest/ShardedBatcherTest/ServeShardTest/ServeSwapTest
+# are the serve concurrency suites — shard spill, the event loop's completion
+# queue, and the swap-under-load tests must stay TSan-clean;
+# ServePipelineTest exercises the loop's partial-read/partial-write paths.)
 run_config "${prefix}-tsan-obs" -LE slow -R \
-  '^(CounterTest|RegistryTest|HistogramTest|ExportTest|TraceTest|ObsDeterminismTest|RaceTest|ThreadPoolTest|MicroBatcherTest|ServeSwapTest|PooledSamplerTest)\.' \
+  '^(CounterTest|RegistryTest|HistogramTest|ExportTest|TraceTest|ObsDeterminismTest|RaceTest|ThreadPoolTest|MicroBatcherTest|ShardedBatcherTest|ServeShardTest|ServeSwapTest|ServePipelineTest|PooledSamplerTest)\.' \
   -- -DIAM_SANITIZE=thread
 
 # --- Stage 6b: pooled-sampler gate. ----------------------------------------
@@ -135,16 +139,22 @@ fi
 echo "obs smoke OK ($(grep -c '^# TYPE ' "${metrics_file}") metric families)"
 
 # --- Stage 8: serve smoke test. --------------------------------------------
-# Boots the estimator service on loopback with the demo model, fires a burst
-# of fixed-seed client round trips plus a metrics scrape through serve_cli's
-# client commands, then asserts a clean drain shutdown (exit 0 after the
-# shutdown frame) and that the Prometheus export parses.
+# Boots the estimator service on loopback with the demo model and TWO batcher
+# shards, fires fixed-seed client round trips plus a metrics scrape through
+# serve_cli's client commands, then races a pipelined burst against a
+# hot-swap control frame (swap under load must lose nothing), re-scrapes the
+# per-shard metric series, and asserts a clean drain shutdown (exit 0 after
+# the shutdown frame) and that the Prometheus export parses.
 echo "=== serve smoke: serve_cli demo server + client burst ==="
 serve_log="$(mktemp)"
 serve_metrics="$(mktemp)"
-trap 'rm -f "${metrics_file}" "${serve_log}" "${serve_metrics}"' EXIT
+serve_model="$(mktemp)"
+burst_log="$(mktemp)"
+trap 'rm -f "${metrics_file}" "${serve_log}" "${serve_metrics}" \
+            "${serve_model}" "${burst_log}"' EXIT
 "${prefix}-default/examples/serve_cli" serve --demo --port 0 \
-  --max-delay-us 500 >"${serve_log}" 2>/dev/null &
+  --max-delay-us 500 --shards 2 --model-out "${serve_model}" \
+  >"${serve_log}" 2>/dev/null &
 serve_pid=$!
 serve_port=""
 for _ in $(seq 1 600); do
@@ -179,6 +189,50 @@ dup_serve_families="$(grep '^# TYPE ' "${serve_metrics}" | awk '{print $3}' \
 if [[ -n "${dup_serve_families}" ]]; then
   echo "ci: FATAL: duplicate metric families in serve export:" >&2
   echo "${dup_serve_families}" >&2
+  exit 1
+fi
+# Hot-swap under load: a pipelined 64-deep burst on one connection races a
+# kSwap control frame. The burst must come back whole — 64 ok, 0 overloaded,
+# 0 dropped — with every response in submission order (serve_cli burst
+# verifies the pairing; a lost or reordered frame fails the receive loop).
+"${prefix}-default/examples/serve_cli" burst "${serve_port}" \
+  "latitude >= 30 AND longitude <= -90" 64 >"${burst_log}" &
+burst_pid=$!
+if ! "${prefix}-default/examples/serve_cli" swap "${serve_port}" \
+       "${serve_model}" >/dev/null; then
+  echo "ci: FATAL: hot-swap control frame failed" >&2
+  kill "${burst_pid}" 2>/dev/null || true
+  exit 1
+fi
+if ! wait "${burst_pid}"; then
+  echo "ci: FATAL: pipelined burst failed during hot-swap" >&2
+  cat "${burst_log}" >&2
+  exit 1
+fi
+if ! grep -q '^burst done: 64 ok, 0 overloaded of 64 pipelined$' \
+       "${burst_log}"; then
+  echo "ci: FATAL: hot-swap under load lost or rejected requests:" >&2
+  cat "${burst_log}" >&2
+  exit 1
+fi
+# Per-shard series: both shards registered their labeled queue gauge, and the
+# burst traffic landed on a shard's labeled accepted counter (global
+# iam_serve_accepted_total stays the unlabeled sum — checked above).
+"${prefix}-default/examples/serve_cli" metrics "${serve_port}" \
+  >"${serve_metrics}"
+for series in 'iam_serve_queue_depth{shard="0"}' \
+              'iam_serve_queue_depth{shard="1"}' \
+              'iam_serve_shard_accepted_total{shard="0"}' \
+              'iam_serve_shard_accepted_total{shard="1"}'; do
+  if ! grep -qF "${series}" "${serve_metrics}"; then
+    echo "ci: FATAL: serve export missing per-shard series ${series}:" >&2
+    grep 'iam_serve' "${serve_metrics}" >&2 || true
+    exit 1
+  fi
+done
+if ! grep -q '^iam_serve_model_swaps_total 1$' "${serve_metrics}"; then
+  echo "ci: FATAL: hot-swap not reflected in iam_serve_model_swaps_total" >&2
+  grep 'iam_serve_model' "${serve_metrics}" >&2 || true
   exit 1
 fi
 "${prefix}-default/examples/serve_cli" shutdown "${serve_port}" >/dev/null

@@ -227,6 +227,23 @@ Histogram& MetricRegistry::GetHistogram(const std::string& name,
   return *slot;
 }
 
+Histogram& MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& label_key,
+                                        const std::string& label_value,
+                                        std::span<const double> bounds) {
+  const std::string full = LabeledName(name, label_key, label_value);
+  util::MutexLock lock(mu_);
+  auto& slot = histograms_[full];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(bounds);
+  } else {
+    IAM_CHECK_MSG(slot->bounds() ==
+                      std::vector<double>(bounds.begin(), bounds.end()),
+                  "histogram re-registered with different boundaries");
+  }
+  return *slot;
+}
+
 MetricsSnapshot MetricRegistry::Snapshot() const {
   // std::map iteration is name-ordered, which makes the snapshot layout (and
   // every export derived from it) independent of registration order and of
@@ -307,17 +324,33 @@ std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
     }
     out += name + " " + FormatDouble(value) + "\n";
   }
+  last_family.clear();
   for (const HistogramSnapshot& h : snapshot.histograms) {
-    out += "# TYPE " + h.name + " histogram\n";
+    // A labeled series `family{k="v"}` renders as family_bucket{k="v",le=...}
+    // / family_sum{k="v"} / family_count{k="v"}; the # TYPE header is still
+    // one per family (labeled siblings arrive contiguously, name-sorted).
+    const std::string family = FamilyOf(h.name);
+    const size_t brace = h.name.find('{');
+    const std::string labels =  // without braces, e.g. `shard="0"`
+        brace == std::string::npos
+            ? ""
+            : h.name.substr(brace + 1, h.name.size() - brace - 2);
+    const std::string suffix = labels.empty() ? "" : "{" + labels + "}";
+    if (family != last_family) {
+      out += "# TYPE " + family + " histogram\n";
+      last_family = family;
+    }
     uint64_t cumulative = 0;
+    const std::string le_prefix =
+        family + "_bucket{" + (labels.empty() ? "" : labels + ",") + "le=\"";
     for (size_t b = 0; b < h.bounds.size(); ++b) {
       cumulative += h.bucket_counts[b];
-      out += h.name + "_bucket{le=\"" + FormatDouble(h.bounds[b]) + "\"} " +
+      out += le_prefix + FormatDouble(h.bounds[b]) + "\"} " +
              std::to_string(cumulative) + "\n";
     }
-    out += h.name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
-    out += h.name + "_sum " + FormatDouble(h.sum) + "\n";
-    out += h.name + "_count " + std::to_string(h.count) + "\n";
+    out += le_prefix + "+Inf\"} " + std::to_string(h.count) + "\n";
+    out += family + "_sum" + suffix + " " + FormatDouble(h.sum) + "\n";
+    out += family + "_count" + suffix + " " + std::to_string(h.count) + "\n";
   }
   return out;
 }

@@ -170,6 +170,15 @@ class MetricRegistry {
   // name must pass matching boundaries.
   Histogram& GetHistogram(const std::string& name,
                           std::span<const double> bounds) IAM_EXCLUDES(mu_);
+  // Labeled series, e.g. GetHistogram("iam_serve_batch_size", "shard", "0",
+  // ...) -> `iam_serve_batch_size{shard="0"}`. Series of one family share the
+  // Prometheus # TYPE header and render the `le` bucket label merged into the
+  // series' label block; the name-sorted snapshot keeps sibling shards
+  // contiguous and deterministic.
+  Histogram& GetHistogram(const std::string& name,
+                          const std::string& label_key,
+                          const std::string& label_value,
+                          std::span<const double> bounds) IAM_EXCLUDES(mu_);
 
   MetricsSnapshot Snapshot() const IAM_EXCLUDES(mu_);
 

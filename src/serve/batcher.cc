@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <memory>
-#include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -10,24 +11,37 @@
 namespace iam::serve {
 
 ServeMetrics& ServeMetrics::Get() {
-  static constexpr double kBatchBounds[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
   static ServeMetrics metrics = [] {
     obs::MetricRegistry& reg = obs::MetricRegistry::Global();
     return ServeMetrics{
         reg.GetCounter("iam_serve_accepted_total"),
         reg.GetCounter("iam_serve_rejected_total"),
+        reg.GetCounter("iam_serve_spilled_total"),
         reg.GetCounter("iam_serve_batches_total"),
-        reg.GetGauge("iam_serve_queue_depth"),
-        reg.GetHistogram("iam_serve_batch_size", kBatchBounds),
-        reg.GetHistogram("iam_serve_queue_wait_seconds", obs::LatencyBounds()),
-        reg.GetHistogram("iam_serve_batch_exec_seconds", obs::LatencyBounds()),
-        reg.GetHistogram("iam_serve_query_exec_seconds", obs::LatencyBounds()),
     };
   }();
   return metrics;
 }
 
-MicroBatcher::MicroBatcher(ModelRegistry& registry, BatcherOptions options)
+ShardMetrics ShardMetrics::Get(int shard) {
+  static constexpr double kBatchBounds[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  const std::string s = std::to_string(shard);
+  return ShardMetrics{
+      reg.GetCounter("iam_serve_shard_accepted_total", "shard", s),
+      reg.GetGauge("iam_serve_queue_depth", "shard", s),
+      reg.GetHistogram("iam_serve_batch_size", "shard", s, kBatchBounds),
+      reg.GetHistogram("iam_serve_queue_wait_seconds", "shard", s,
+                       obs::LatencyBounds()),
+      reg.GetHistogram("iam_serve_batch_exec_seconds", "shard", s,
+                       obs::LatencyBounds()),
+      reg.GetHistogram("iam_serve_query_exec_seconds", "shard", s,
+                       obs::LatencyBounds()),
+  };
+}
+
+MicroBatcher::MicroBatcher(ModelRegistry& registry, BatcherOptions options,
+                           int shard_index)
     : registry_(registry),
       options_([&options] {
         options.max_batch = std::max(options.max_batch, 1);
@@ -35,36 +49,61 @@ MicroBatcher::MicroBatcher(ModelRegistry& registry, BatcherOptions options)
         options.max_delay_s = std::max(options.max_delay_s, 0.0);
         return options;
       }()),
-      metrics_(ServeMetrics::Get()),
+      shard_index_(shard_index),
+      totals_(ServeMetrics::Get()),
+      metrics_(ShardMetrics::Get(shard_index)),
       worker_([this] { WorkerLoop(); }) {}
 
 MicroBatcher::~MicroBatcher() { DrainAndStop(); }
 
+bool MicroBatcher::TryQueue(query::Query&& query, Callback&& done) {
+  util::MutexLock lock(mu_);
+  if (stop_ || static_cast<int>(queue_.size()) >= options_.queue_capacity) {
+    return false;
+  }
+  queue_.push_back(Request{std::move(query), std::move(done), Stopwatch{}});
+  const int depth = static_cast<int>(queue_.size());
+  depth_.store(depth, std::memory_order_relaxed);
+  totals_.accepted.Add();
+  metrics_.accepted.Add();
+  metrics_.queue_depth.Set(static_cast<double>(depth));
+  work_cv_.notify_one();
+  return true;
+}
+
 MicroBatcher::Response MicroBatcher::Estimate(const query::Query& q) {
-  Waiter waiter;
-  waiter.query = &q;
-  {
-    util::MutexLock lock(mu_);
-    if (stop_) {
+  struct Waiter {
+    util::Mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Response response;
+  } waiter;
+  const bool queued = TryQueue(query::Query(q), [&waiter](const Response& r) {
+    util::MutexLock lock(waiter.mu);
+    waiter.response = r;
+    waiter.done = true;
+    waiter.cv.notify_one();
+  });
+  if (!queued) {
+    if (stopped()) {
       return {Status::FailedPrecondition("batcher is draining"), false, 0.0,
               0};
     }
-    if (static_cast<int>(queue_.size()) >= options_.queue_capacity) {
-      metrics_.rejected.Add();
-      return {Status::Ok(), /*overloaded=*/true, 0.0, 0};
-    }
-    queue_.push_back(&waiter);
-    metrics_.accepted.Add();
-    metrics_.queue_depth.Set(static_cast<double>(queue_.size()));
-    work_cv_.notify_one();
-    while (!waiter.done) lock.Wait(done_cv_);
+    totals_.rejected.Add();
+    return {Status::Ok(), /*overloaded=*/true, 0.0, 0};
   }
-  return {Status::Ok(), false, waiter.selectivity, waiter.model_version};
+  util::MutexLock lock(waiter.mu);
+  while (!waiter.done) lock.Wait(waiter.cv);
+  return waiter.response;
 }
 
 void MicroBatcher::WorkerLoop() {
-  std::vector<Waiter*> batch;
+  std::vector<Request> batch;
   std::vector<query::Query> queries;
+  // The worker's generation snapshot: taken once, refreshed only when the
+  // registry's version atomic moved — a flush in steady state costs one
+  // relaxed load instead of a mutex acquisition.
+  std::shared_ptr<LoadedModel> model = registry_.Current(shard_index_);
   for (;;) {
     batch.clear();
     queries.clear();
@@ -76,28 +115,29 @@ void MicroBatcher::WorkerLoop() {
       // queue hits its delay budget. During a drain, flush immediately.
       while (static_cast<int>(queue_.size()) < options_.max_batch && !stop_) {
         const double remaining =
-            options_.max_delay_s - queue_.front()->queued.ElapsedSeconds();
+            options_.max_delay_s - queue_.front().queued.ElapsedSeconds();
         if (remaining <= 0.0) break;
         lock.WaitFor(work_cv_, remaining);
       }
       const size_t take = std::min(queue_.size(),
                                    static_cast<size_t>(options_.max_batch));
-      batch.assign(queue_.begin(),
-                   queue_.begin() + static_cast<ptrdiff_t>(take));
-      queue_.erase(queue_.begin(),
-                   queue_.begin() + static_cast<ptrdiff_t>(take));
-      metrics_.queue_depth.Set(static_cast<double>(queue_.size()));
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      const int depth = static_cast<int>(queue_.size());
+      depth_.store(depth, std::memory_order_relaxed);
+      metrics_.queue_depth.Set(static_cast<double>(depth));
     }
 
-    // Snapshot the model once per batch: a concurrent hot-swap replaces the
-    // registry's pointer but this batch drains on the generation it started
-    // with; the old model dies here (not under any lock) when the last
-    // snapshot drops.
-    const std::shared_ptr<LoadedModel> model = registry_.Current();
+    if (model->version != registry_.current_version()) {
+      model = registry_.Current(shard_index_);
+    }
     queries.reserve(batch.size());
-    for (Waiter* waiter : batch) {
-      metrics_.queue_wait_seconds.Record(waiter->queued.ElapsedSeconds());
-      queries.push_back(*waiter->query);
+    for (Request& request : batch) {
+      metrics_.queue_wait_seconds.Record(request.queued.ElapsedSeconds());
+      queries.push_back(std::move(request.query));
     }
     metrics_.batch_size.Record(static_cast<double>(batch.size()));
     Stopwatch exec;
@@ -107,21 +147,20 @@ void MicroBatcher::WorkerLoop() {
     metrics_.batch_exec_seconds.Record(exec_seconds);
     metrics_.query_exec_seconds.Record(exec_seconds /
                                        static_cast<double>(batch.size()));
-    metrics_.batches.Add();
+    totals_.batches.Add();
 
-    {
-      util::MutexLock lock(mu_);
-      for (size_t i = 0; i < batch.size(); ++i) {
-        batch[i]->selectivity = selectivities[i];
-        batch[i]->model_version = model->version;
-        batch[i]->done = true;
-      }
+    // Callbacks run on the worker thread, outside every lock: they post
+    // completions to the event loop (or wake a blocking Estimate waiter) and
+    // must be free to take their own locks.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].done(
+          Response{Status::Ok(), false, selectivities[i], model->version});
     }
-    done_cv_.notify_all();
   }
 }
 
 void MicroBatcher::DrainAndStop() {
+  stop_flag_.store(true, std::memory_order_release);
   {
     util::MutexLock lock(mu_);
     stop_ = true;
@@ -131,11 +170,6 @@ void MicroBatcher::DrainAndStop() {
   // destructor can both land here): exactly one caller joins.
   util::MutexLock join(join_mu_);
   if (worker_.joinable()) worker_.join();
-}
-
-int MicroBatcher::queue_depth() const {
-  util::MutexLock lock(mu_);
-  return static_cast<int>(queue_.size());
 }
 
 }  // namespace iam::serve

@@ -2,6 +2,8 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -41,6 +43,10 @@ Status Client::Connect(const std::string& host, int port) {
     ::close(fd);
     return failed;
   }
+  // Without this, Nagle holds each small request frame until the server's
+  // delayed ACK (~40 ms) on an un-pipelined connection.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
   return Status::Ok();
 }
@@ -62,28 +68,60 @@ Result<Frame> Client::RoundTrip(FrameType type, const std::string& payload) {
   return response;
 }
 
-Result<Client::EstimateReply> Client::Estimate(const std::string& predicates) {
-  Result<Frame> response = RoundTrip(FrameType::kEstimate, predicates);
-  if (!response.ok()) return response.status();
-  switch (response->type) {
+namespace {
+
+Result<Client::EstimateReply> DecodeEstimateResponse(const Frame& response) {
+  switch (response.type) {
     case FrameType::kEstimateOk: {
-      EstimateReply reply;
+      Client::EstimateReply reply;
       const Status decoded = DecodeEstimatePayload(
-          response->payload, &reply.selectivity, &reply.model_version);
+          response.payload, &reply.selectivity, &reply.model_version);
       if (!decoded.ok()) return decoded;
       return reply;
     }
     case FrameType::kOverloaded: {
-      EstimateReply reply;
+      Client::EstimateReply reply;
       reply.overloaded = true;
       return reply;
     }
     case FrameType::kError:
-      return Status::Internal("server error: " + response->payload);
+      return Status::Internal("server error: " + response.payload);
     default:
       return Status::Internal("unexpected response frame type " +
-                              std::to_string(static_cast<int>(response->type)));
+                              std::to_string(static_cast<int>(response.type)));
   }
+}
+
+}  // namespace
+
+Result<Client::EstimateReply> Client::Estimate(const std::string& predicates) {
+  Result<Frame> response = RoundTrip(FrameType::kEstimate, predicates);
+  if (!response.ok()) return response.status();
+  return DecodeEstimateResponse(*response);
+}
+
+Status Client::SendEstimate(const std::string& predicates) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  return WriteFrame(fd_, {FrameType::kEstimate, predicates});
+}
+
+Result<Client::EstimateReply> Client::ReceiveEstimate() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  Frame response;
+  const Status read = ReadFrame(fd_, &response);
+  if (!read.ok()) return read;
+  return DecodeEstimateResponse(response);
+}
+
+Result<bool> Client::ReplyReady(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  pollfd pfd{fd_, POLLIN, 0};
+  const int n = ::poll(&pfd, 1, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return false;
+    return Status::IoError(std::string("poll: ") + std::strerror(errno));
+  }
+  return n > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
 }
 
 Result<uint64_t> Client::Swap(const std::string& model_path) {

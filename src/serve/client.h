@@ -9,9 +9,12 @@
 
 namespace iam::serve {
 
-// Blocking client for the estimator service: one TCP connection, one
-// outstanding request at a time (the loadgen and the tests open many clients
-// to exercise micro-batching). Not thread-safe; use one Client per thread.
+// Blocking client for the estimator service: one TCP connection. The
+// round-trip helpers (Estimate/Swap/Metrics/RequestShutdown) keep one
+// outstanding request; the SendEstimate/ReceiveEstimate split pipelines many
+// in-flight estimates on the same connection — the server answers in
+// submission order, so N sends followed by N receives pair up positionally.
+// Not thread-safe; use one Client per thread.
 class Client {
  public:
   Client() = default;
@@ -35,6 +38,19 @@ class Client {
   // Estimates one predicate string. A server-side kError (parse failure,
   // draining) surfaces as a non-OK Status carrying the server's message.
   Result<EstimateReply> Estimate(const std::string& predicates);
+
+  // Pipelining split of Estimate: SendEstimate writes the request frame and
+  // returns without waiting; ReceiveEstimate blocks for the next reply.
+  // Replies arrive in submission order — interleave freely, receive in the
+  // order sent. Each SendEstimate must eventually be paired with exactly one
+  // ReceiveEstimate.
+  Status SendEstimate(const std::string& predicates);
+  Result<EstimateReply> ReceiveEstimate();
+
+  // True when at least one reply byte is readable (poll with `timeout_ms`;
+  // 0 = non-blocking probe). Lets a loadgen thread top up its pipeline
+  // instead of blocking in ReceiveEstimate.
+  Result<bool> ReplyReady(int timeout_ms = 0);
 
   // Hot-swaps the server onto the model snapshot at `model_path` (a path on
   // the server's filesystem); returns the new model version.

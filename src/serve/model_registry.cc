@@ -1,50 +1,118 @@
 #include "serve/model_registry.h"
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
 #include <utility>
 
 #include "obs/metrics.h"
 
 namespace iam::serve {
+namespace {
+
+// Clones an estimator through a temp-file serialize/deserialize round trip
+// (Save/Load are the only clone path the estimator exposes). Every copy
+// loads from the same serialized bytes, so the copies are estimate-identical
+// to each other — though not necessarily to the in-memory donor, because
+// serialization rounds parameters. Returns empty when the model cannot be
+// serialized or re-loaded — callers degrade to sharing the original.
+std::vector<std::unique_ptr<core::ArDensityEstimator>> CloneViaTempFile(
+    const core::ArDensityEstimator& model, int copies) {
+  std::vector<std::unique_ptr<core::ArDensityEstimator>> clones;
+  if (copies <= 0) return clones;
+  std::error_code ec;
+  const std::filesystem::path dir = std::filesystem::temp_directory_path(ec);
+  if (ec) return clones;
+  const std::filesystem::path path =
+      dir / ("iam_registry_clone_" + std::to_string(::getpid()) + "_" +
+             std::to_string(reinterpret_cast<uintptr_t>(&model)) + ".iam");
+  if (!model.Save(path.string()).ok()) return clones;
+  for (int i = 0; i < copies; ++i) {
+    auto loaded = core::ArDensityEstimator::Load(path.string());
+    if (!loaded.ok()) {
+      clones.clear();
+      break;
+    }
+    clones.push_back(std::move(loaded.value()));
+  }
+  std::filesystem::remove(path, ec);
+  return clones;
+}
+
+}  // namespace
 
 ModelRegistry::ModelRegistry(std::unique_ptr<core::ArDensityEstimator> model,
-                             std::string source, int num_threads)
+                             std::string source, int num_threads,
+                             int replicas)
     : num_threads_(num_threads < 1 ? 1 : num_threads),
+      replicas_(replicas < 1 ? 1 : replicas),
       swaps_(obs::MetricRegistry::Global().GetCounter(
           "iam_serve_model_swaps_total")) {
   Swap(std::move(model), std::move(source));
 }
 
-std::shared_ptr<LoadedModel> ModelRegistry::Current() const {
+std::shared_ptr<LoadedModel> ModelRegistry::Current(int shard) const {
   util::MutexLock lock(mu_);
-  return current_;
+  return current_[static_cast<size_t>(shard < 0 ? 0 : shard) %
+                  current_.size()];
 }
 
 Result<uint64_t> ModelRegistry::SwapFromFile(const std::string& path) {
-  Result<std::unique_ptr<core::ArDensityEstimator>> loaded =
-      core::ArDensityEstimator::Load(path);
-  if (!loaded.ok()) return loaded.status();
-  return Swap(std::move(loaded.value()), path);
+  // Load every replica before touching the installed generation, so a file
+  // that corrupts mid-read (or disappears between loads) cannot install a
+  // partial generation.
+  std::vector<std::unique_ptr<core::ArDensityEstimator>> models;
+  models.reserve(static_cast<size_t>(replicas_));
+  for (int i = 0; i < replicas_; ++i) {
+    Result<std::unique_ptr<core::ArDensityEstimator>> loaded =
+        core::ArDensityEstimator::Load(path);
+    if (!loaded.ok()) return loaded.status();
+    models.push_back(std::move(loaded.value()));
+  }
+  return Install(std::move(models), path);
 }
 
 uint64_t ModelRegistry::Swap(std::unique_ptr<core::ArDensityEstimator> model,
                              std::string source) {
-  model->set_num_threads(num_threads_);
-  auto installed = std::make_shared<LoadedModel>();
-  installed->schema = model->SchemaTable();
-  installed->estimator = std::move(model);
-  installed->source = std::move(source);
-  std::shared_ptr<LoadedModel> replaced;
+  std::vector<std::unique_ptr<core::ArDensityEstimator>> models;
+  if (replicas_ > 1) {
+    // All replicas — including replica 0 — load from the same serialized
+    // bytes, discarding the donor: a round trip rounds parameters, so mixing
+    // the in-memory donor with loaded clones would make a solo request's
+    // answer depend on which shard's connection carried it.
+    models = CloneViaTempFile(*model, replicas_);  // empty on failure
+  }
+  if (models.empty()) models.push_back(std::move(model));
+  return Install(std::move(models), std::move(source));
+}
+
+uint64_t ModelRegistry::Install(
+    std::vector<std::unique_ptr<core::ArDensityEstimator>> models,
+    std::string source) {
+  std::vector<std::shared_ptr<LoadedModel>> generation;
+  generation.reserve(models.size());
+  for (auto& model : models) {
+    model->set_num_threads(num_threads_);
+    auto installed = std::make_shared<LoadedModel>();
+    installed->schema = model->SchemaTable();
+    installed->estimator = std::move(model);
+    installed->source = source;
+    generation.push_back(std::move(installed));
+  }
+  std::vector<std::shared_ptr<LoadedModel>> replaced;
   uint64_t version = 0;
   {
     util::MutexLock lock(mu_);
     version = ++versions_issued_;
-    installed->version = version;
+    for (auto& replica : generation) replica->version = version;
     // Keep the old generation alive past the lock: its destructor may tear
     // down a thread pool, which must not run under mu_.
     replaced = std::move(current_);
-    current_ = std::move(installed);
+    current_ = std::move(generation);
+    current_version_.store(version, std::memory_order_release);
   }
-  if (replaced != nullptr) swaps_.Add();  // initial install is not a swap
+  if (!replaced.empty()) swaps_.Add();  // initial install is not a swap
   return version;
 }
 

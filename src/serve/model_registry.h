@@ -1,8 +1,11 @@
 #ifndef IAM_SERVE_MODEL_REGISTRY_H_
 #define IAM_SERVE_MODEL_REGISTRY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/ar_density_estimator.h"
 #include "data/table.h"
@@ -27,10 +30,17 @@ struct LoadedModel {
   std::string source;  // path it came from, or a caller-supplied tag
 };
 
-// Holds the current model behind a shared_ptr and swaps it atomically. The
-// batcher takes a snapshot per micro-batch, so a swap never interrupts an
-// in-flight batch: the old generation finishes its batch on the old model
-// and is destroyed when the last snapshot drops (on the batcher thread, not
+// Holds the current model generation and swaps it atomically. A generation is
+// a set of `replicas` independent estimator instances sharing one version
+// number: batcher shard i snapshots replica i % replicas, so shard workers
+// never serialize on one estimator's batch mutex (Estimator::EstimateBatch is
+// serialized per *instance*, DESIGN.md §8/§11). With replicas == 1 every
+// shard shares the single instance — correct, just serialized.
+//
+// Shard workers take a snapshot per flush and refresh it only when
+// current_version() (one relaxed atomic load, no lock) moved, so a swap never
+// interrupts an in-flight batch: the old generation finishes its batch on the
+// old replicas and dies when the last snapshot drops (on a worker thread, not
 // under the registry lock).
 //
 // Swaps assume same-schema models (a reload/retrain of the same table) —
@@ -39,31 +49,57 @@ struct LoadedModel {
 class ModelRegistry {
  public:
   // Installs the initial model as version 1. `num_threads` is applied to
-  // this and every later model (Estimator::set_num_threads) so micro-batches
-  // fan out across the pool.
+  // every replica of this and every later generation
+  // (Estimator::set_num_threads) so micro-batches fan out across a pool.
+  // `replicas` > 1 builds the generation from a serialize/deserialize round
+  // trip: every replica — including replica 0 — loads from the same
+  // serialized bytes, so all replicas answer identically (a round trip
+  // rounds parameters, so the in-memory donor is discarded rather than mixed
+  // in). A model that cannot be cloned (no Save support for its config)
+  // falls back to sharing the one instance.
   ModelRegistry(std::unique_ptr<core::ArDensityEstimator> model,
-                std::string source, int num_threads = 1);
+                std::string source, int num_threads = 1, int replicas = 1);
 
   ModelRegistry(const ModelRegistry&) = delete;
   ModelRegistry& operator=(const ModelRegistry&) = delete;
 
-  // The current generation. Never null.
-  std::shared_ptr<LoadedModel> Current() const IAM_EXCLUDES(mu_);
+  // The current generation's replica for `shard` (shard % replicas). Never
+  // null.
+  std::shared_ptr<LoadedModel> Current(int shard) const IAM_EXCLUDES(mu_);
+  // Replica 0 — the parse-schema / single-shard snapshot.
+  std::shared_ptr<LoadedModel> Current() const { return Current(0); }
 
-  // Loads a model snapshot from disk and installs it; a corrupt or
-  // unreadable file leaves the current model serving and returns the load
-  // error. On success returns the new version.
+  // Version of the current generation: one relaxed load, no lock. Shard
+  // workers poll this per flush and only touch the mutex when it moved.
+  uint64_t current_version() const {
+    return current_version_.load(std::memory_order_acquire);
+  }
+
+  int replicas() const { return replicas_; }
+
+  // Loads a model snapshot from disk (`replicas` independent instances) and
+  // installs it; a corrupt or unreadable file leaves the current generation
+  // serving and returns the load error. On success returns the new version.
   Result<uint64_t> SwapFromFile(const std::string& path) IAM_EXCLUDES(mu_);
 
-  // Installs an already-built model; returns its version.
+  // Installs an already-built model; returns its version. Extra replicas are
+  // cloned through a temp-file serialize/deserialize round trip; if cloning
+  // fails the generation serves the single shared instance.
   uint64_t Swap(std::unique_ptr<core::ArDensityEstimator> model,
                 std::string source) IAM_EXCLUDES(mu_);
 
  private:
+  uint64_t Install(
+      std::vector<std::unique_ptr<core::ArDensityEstimator>> models,
+      std::string source) IAM_EXCLUDES(mu_);
+
   const int num_threads_;
+  const int replicas_;
   obs::Counter& swaps_;
+  std::atomic<uint64_t> current_version_{0};
   mutable util::Mutex mu_;
-  std::shared_ptr<LoadedModel> current_ IAM_GUARDED_BY(mu_);
+  // One LoadedModel per replica, all carrying the generation's version.
+  std::vector<std::shared_ptr<LoadedModel>> current_ IAM_GUARDED_BY(mu_);
   uint64_t versions_issued_ IAM_GUARDED_BY(mu_) = 0;
 };
 

@@ -76,11 +76,15 @@ Status WriteAll(int fd, const char* data, size_t n) {
 
 std::string EncodeFrame(const Frame& frame) {
   std::string out;
-  out.reserve(5 + frame.payload.size());
-  PutU32(&out, static_cast<uint32_t>(1 + frame.payload.size()));
-  out.push_back(static_cast<char>(frame.type));
-  out.append(frame.payload);
+  AppendFrame(&out, frame);
   return out;
+}
+
+void AppendFrame(std::string* out, const Frame& frame) {
+  out->reserve(out->size() + 5 + frame.payload.size());
+  PutU32(out, static_cast<uint32_t>(1 + frame.payload.size()));
+  out->push_back(static_cast<char>(frame.type));
+  out->append(frame.payload);
 }
 
 Result<size_t> DecodeFrame(std::string_view buffer, Frame* frame) {

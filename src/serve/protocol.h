@@ -47,6 +47,10 @@ struct Frame {
 // Serialized bytes of one frame (header + payload).
 std::string EncodeFrame(const Frame& frame);
 
+// Appends the serialized frame to `out` — the event loop's per-connection
+// write buffers grow in place instead of allocating a temporary per response.
+void AppendFrame(std::string* out, const Frame& frame);
+
 // Parses one frame from the front of `buffer`. Returns the number of bytes
 // consumed, 0 when the buffer does not yet hold a complete frame, or an
 // error for a malformed header (zero-length or oversized frame).

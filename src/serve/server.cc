@@ -1,7 +1,11 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -12,14 +16,57 @@
 
 #include "obs/metrics.h"
 #include "query/parser.h"
+#include "util/stopwatch.h"
 
 namespace iam::serve {
+namespace {
+
+// epoll user-data ids of the two non-connection fds.
+constexpr uint64_t kListenerId = 0;
+constexpr uint64_t kWakeId = 1;
+
+// Read at most this much per EPOLLIN event so one firehose connection cannot
+// starve the rest of the loop; level-triggered epoll re-fires for the rest.
+constexpr size_t kMaxReadPerEvent = 256 * 1024;
+
+// Compact read/write buffers once the consumed prefix passes this.
+constexpr size_t kCompactThreshold = 64 * 1024;
+
+struct LoopMetrics {
+  obs::Counter& connections;
+  obs::Counter& partial_writes;
+  obs::Counter& parse_errors;
+  obs::Gauge& open_connections;
+
+  static LoopMetrics& Get() {
+    static LoopMetrics metrics = [] {
+      obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+      return LoopMetrics{
+          reg.GetCounter("iam_serve_connections_total"),
+          reg.GetCounter("iam_serve_partial_writes_total"),
+          reg.GetCounter("iam_serve_parse_errors_total"),
+          reg.GetGauge("iam_serve_open_connections"),
+      };
+    }();
+    return metrics;
+  }
+};
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::IoError(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 EstimatorServer::EstimatorServer(ModelRegistry& registry,
                                  ServerOptions options)
     : registry_(registry),
       options_(std::move(options)),
-      batcher_(registry, options_.batcher) {}
+      shards_(registry, options_.batcher, options_.num_shards) {}
 
 EstimatorServer::~EstimatorServer() { Shutdown(); }
 
@@ -47,7 +94,7 @@ Status EstimatorServer::Start() {
     ::close(fd);
     return failed;
   }
-  if (::listen(fd, options_.listen_backlog) != 0) {
+  if (::listen(fd, std::max(options_.listen_backlog, 1)) != 0) {
     const Status failed =
         Status::IoError(std::string("listen: ") + std::strerror(errno));
     ::close(fd);
@@ -61,119 +108,430 @@ Status EstimatorServer::Start() {
     ::close(fd);
     return failed;
   }
+  Status nonblocking = SetNonBlocking(fd);
+  if (!nonblocking.ok()) {
+    ::close(fd);
+    return nonblocking;
+  }
+
+  const int epfd = ::epoll_create1(0);
+  if (epfd < 0) {
+    ::close(fd);
+    return Status::IoError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+  }
+  const int wakefd = ::eventfd(0, EFD_NONBLOCK);
+  if (wakefd < 0) {
+    ::close(fd);
+    ::close(epfd);
+    return Status::IoError(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerId;
+  ::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev);
+  ev.data.u64 = kWakeId;
+  ::epoll_ctl(epfd, EPOLL_CTL_ADD, wakefd, &ev);
+
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  epoll_fd_ = epfd;
+  wake_fd_ = wakefd;
+  parse_model_ = registry_.Current();
+  loop_thread_ = std::thread([this] { LoopThread(); });
   return Status::Ok();
 }
 
-void EstimatorServer::AcceptLoop() {
-  obs::Counter& connections = obs::MetricRegistry::Global().GetCounter(
-      "iam_serve_connections_total");
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      // Shutdown() shut the listener down; every other failure also ends
-      // the accept loop (the server keeps serving open connections).
-      return;
-    }
-    connections.Add();
-    util::MutexLock lock(conn_mu_);
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      return;
-    }
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
-  }
-}
-
-Frame EstimatorServer::HandleFrame(const Frame& request) {
-  switch (request.type) {
-    case FrameType::kEstimate: {
-      // Parse against the current generation's schema. A swap between parse
-      // and flush executes the query on the next generation — same-schema by
-      // the registry contract, so column indices stay valid.
-      const std::shared_ptr<LoadedModel> model = registry_.Current();
-      Result<query::Query> parsed =
-          query::ParsePredicates(model->schema, request.payload);
-      if (!parsed.ok()) {
-        obs::MetricRegistry::Global()
-            .GetCounter("iam_serve_parse_errors_total")
-            .Add();
-        return {FrameType::kError, parsed.status().ToString()};
-      }
-      const MicroBatcher::Response response = batcher_.Estimate(*parsed);
-      if (!response.status.ok()) {
-        return {FrameType::kError, response.status.ToString()};
-      }
-      if (response.overloaded) return {FrameType::kOverloaded, ""};
-      return {FrameType::kEstimateOk,
-              EncodeEstimatePayload(response.selectivity,
-                                    response.model_version)};
-    }
-    case FrameType::kSwap: {
-      const Result<uint64_t> swapped = registry_.SwapFromFile(request.payload);
-      if (!swapped.ok()) return {FrameType::kError, swapped.status().ToString()};
-      return {FrameType::kOk, "version " + std::to_string(*swapped)};
-    }
-    case FrameType::kMetrics:
-      return {FrameType::kOk, obs::MetricsToPrometheus(
-                                  obs::MetricRegistry::Global().Snapshot())};
-    case FrameType::kShutdown:
-      shutdown_requested_.store(true, std::memory_order_release);
-      return {FrameType::kOk, "draining"};
-    default:
-      return {FrameType::kError,
-              "unknown frame type " +
-                  std::to_string(static_cast<int>(request.type))};
-  }
-}
-
-void EstimatorServer::ServeConnection(int fd) {
-  Frame request;
+void EstimatorServer::LoopThread() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  bool draining = false;
+  Stopwatch drain_clock;
   for (;;) {
-    const Status read = ReadFrame(fd, &request);
-    if (!read.ok()) break;  // orderly hangup, truncation, or drain unblock
-    const Frame response = HandleFrame(request);
-    if (!WriteFrame(fd, response).ok()) break;
+    if (stopping_.load(std::memory_order_acquire) && !draining) {
+      // Drain transition: stop accepting, stop reading new frames, keep
+      // running until every in-flight response is flushed.
+      draining = true;
+      drain_clock.Restart();
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      // Collect ids first: PumpConnection may close (and erase) entries.
+      std::vector<uint64_t> ids;
+      ids.reserve(conns_.size());
+      for (auto& [id, conn] : conns_) {
+        conn->read_shut = true;
+        ids.push_back(id);
+      }
+      for (const uint64_t id : ids) {
+        auto it = conns_.find(id);
+        if (it != conns_.end()) PumpConnection(id, *it->second);
+      }
+    }
+    if (draining) {
+      if (conns_.empty()) return;
+      if (drain_clock.ElapsedSeconds() > options_.drain_timeout_s) {
+        // Peers that never read their responses do not get to hold the
+        // process open forever.
+        std::vector<uint64_t> ids;
+        ids.reserve(conns_.size());
+        for (auto& [id, conn] : conns_) ids.push_back(id);
+        for (const uint64_t id : ids) CloseConnection(id);
+        return;
+      }
+    }
+
+    const int n =
+        ::epoll_wait(epoll_fd_, events, kMaxEvents, draining ? 50 : -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll fd destroyed under us — only happens on teardown bugs
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kListenerId) {
+        if (!draining) HandleAccept();
+        continue;
+      }
+      if (id == kWakeId) {
+        uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      Connection& conn = *it->second;
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        CloseConnection(id);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) HandleReadable(id, conn);
+      auto again = conns_.find(id);
+      if (again != conns_.end() &&
+          (events[i].events & EPOLLOUT) != 0) {
+        PumpConnection(id, *again->second);
+      }
+    }
+    DrainCompletions();
   }
-  ::close(fd);
-  util::MutexLock lock(conn_mu_);
-  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
-                  conn_fds_.end());
 }
 
-void EstimatorServer::Shutdown() {
-  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
-    // A second caller (destructor after an explicit Shutdown) still waits
-    // for the batcher, which is idempotent.
-    batcher_.DrainAndStop();
+void EstimatorServer::HandleAccept() {
+  LoopMetrics& metrics = LoopMetrics::Get();
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      // EAGAIN: queue drained. Anything else: transient (ECONNABORTED,
+      // EMFILE) — keep the loop alive either way.
+      return;
+    }
+    if (options_.tcp_nodelay) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->home_shard = static_cast<int>(
+        accept_round_robin_++ %
+        static_cast<uint64_t>(shards_.num_shards()));
+    conn->epoll_events = EPOLLIN;
+    const uint64_t id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(id, std::move(conn));
+    metrics.connections.Add();
+    metrics.open_connections.Set(static_cast<double>(conns_.size()));
+  }
+}
+
+void EstimatorServer::HandleReadable(uint64_t id, Connection& conn) {
+  size_t total = 0;
+  char buf[16 * 1024];
+  while (!conn.read_shut && total < kMaxReadPerEvent &&
+         static_cast<int>(conn.pending.size()) < options_.max_pipeline) {
+    const ssize_t r = ::read(conn.fd, buf, sizeof(buf));
+    if (r > 0) {
+      conn.in.append(buf, static_cast<size_t>(r));
+      total += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      // Orderly (half-)close: answer everything already received, then
+      // close once the responses are flushed.
+      conn.read_shut = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(id);
     return;
   }
-  if (listen_fd_ >= 0) {
-    // shutdown() reliably unblocks a blocking accept(); close() alone does
-    // not on Linux.
-    ::shutdown(listen_fd_, SHUT_RDWR);
+  PumpConnection(id, conn);
+}
+
+bool EstimatorServer::DispatchBuffered(uint64_t id, Connection& conn) {
+  while (static_cast<int>(conn.pending.size()) < options_.max_pipeline) {
+    Frame frame;
+    const Result<size_t> consumed = DecodeFrame(
+        std::string_view(conn.in).substr(conn.in_off), &frame);
+    if (!consumed.ok()) return false;  // malformed framing: close
+    if (*consumed == 0) break;         // incomplete frame: wait for bytes
+    conn.in_off += *consumed;
+    DispatchFrame(id, conn, std::move(frame));
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (conn.in_off == conn.in.size()) {
+    conn.in.clear();
+    conn.in_off = 0;
+  } else if (conn.in_off > kCompactThreshold) {
+    conn.in.erase(0, conn.in_off);
+    conn.in_off = 0;
   }
-  // Unblock connections parked in ReadFrame: SHUT_RD makes their pending
-  // read return EOF while responses already being written still flush.
-  std::vector<std::thread> workers;
+  return true;
+}
+
+void EstimatorServer::DispatchFrame(uint64_t id, Connection& conn,
+                                    Frame frame) {
+  // Every request frame claims the next response slot; responses flush
+  // strictly in slot order, which is the pipelining ordering contract —
+  // regardless of which shard, side thread, or inline handler finishes
+  // first.
+  const uint64_t seq = conn.head_seq + conn.pending.size();
+  conn.pending.emplace_back();
+  switch (frame.type) {
+    case FrameType::kEstimate: {
+      if (shards_.saturated()) {
+        // Shared overload signal: reject before parsing — under global
+        // overload the per-request cost is one depth scan and one frame,
+        // so achieved throughput stays flat instead of cliff-shaping.
+        ServeMetrics::Get().rejected.Add();
+        CompleteSlot(id, seq, Frame{FrameType::kOverloaded, ""});
+        return;
+      }
+      // Parse against the current generation's schema (refreshed on the
+      // version atomic). A swap between parse and flush executes the query
+      // on the next generation — same-schema by the registry contract, so
+      // column indices stay valid.
+      if (parse_model_->version != registry_.current_version()) {
+        parse_model_ = registry_.Current();
+      }
+      Result<query::Query> parsed =
+          query::ParsePredicates(parse_model_->schema, frame.payload);
+      if (!parsed.ok()) {
+        LoopMetrics::Get().parse_errors.Add();
+        CompleteSlot(id, seq,
+                     Frame{FrameType::kError, parsed.status().ToString()});
+        return;
+      }
+      shards_.Submit(
+          conn.home_shard, std::move(*parsed),
+          [this, id, seq](const MicroBatcher::Response& r) {
+            Frame response;
+            if (!r.status.ok()) {
+              response = {FrameType::kError, r.status.ToString()};
+            } else if (r.overloaded) {
+              response = {FrameType::kOverloaded, ""};
+            } else {
+              response = {FrameType::kEstimateOk,
+                          EncodeEstimatePayload(r.selectivity,
+                                                r.model_version)};
+            }
+            PostCompletion({id, seq, std::move(response)});
+          });
+      return;
+    }
+    case FrameType::kSwap: {
+      // Loading a model is disk + deserialize work — a side thread keeps the
+      // event loop responsive; the slot keeps the response ordered.
+      std::thread swapper([this, id, seq, path = std::move(frame.payload)] {
+        const Result<uint64_t> swapped = registry_.SwapFromFile(path);
+        Frame response =
+            swapped.ok()
+                ? Frame{FrameType::kOk,
+                        "version " + std::to_string(*swapped)}
+                : Frame{FrameType::kError, swapped.status().ToString()};
+        PostCompletion({id, seq, std::move(response)});
+      });
+      util::MutexLock lock(swap_mu_);
+      swap_threads_.push_back(std::move(swapper));
+      return;
+    }
+    case FrameType::kMetrics:
+      CompleteSlot(id, seq,
+                   Frame{FrameType::kOk,
+                         obs::MetricsToPrometheus(
+                             obs::MetricRegistry::Global().Snapshot())});
+      return;
+    case FrameType::kShutdown:
+      shutdown_requested_.store(true, std::memory_order_release);
+      CompleteSlot(id, seq, Frame{FrameType::kOk, "draining"});
+      return;
+    default:
+      CompleteSlot(id, seq,
+                   Frame{FrameType::kError,
+                         "unknown frame type " +
+                             std::to_string(static_cast<int>(frame.type))});
+      return;
+  }
+}
+
+void EstimatorServer::CompleteSlot(uint64_t id, uint64_t seq, Frame response) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;  // connection died before its answer
+  Connection& conn = *it->second;
+  if (seq < conn.head_seq) return;
+  const uint64_t index = seq - conn.head_seq;
+  if (index >= conn.pending.size()) return;
+  conn.pending[index].done = true;
+  conn.pending[index].response = std::move(response);
+}
+
+void EstimatorServer::PumpConnection(uint64_t id, Connection& conn) {
+  LoopMetrics& metrics = LoopMetrics::Get();
+  for (;;) {
+    // 1. Decode + dispatch whatever is buffered (below the pipeline cap).
+    if (!conn.read_shut && !DispatchBuffered(id, conn)) {
+      CloseConnection(id);
+      return;
+    }
+    // 2. Encode completed head slots — submission order, by construction.
+    while (!conn.pending.empty() && conn.pending.front().done) {
+      AppendFrame(&conn.out, conn.pending.front().response);
+      conn.pending.pop_front();
+      ++conn.head_seq;
+    }
+    // 3. Write what the socket accepts; EAGAIN parks the rest on EPOLLOUT.
+    bool wrote = false;
+    while (conn.out_off < conn.out.size()) {
+      const ssize_t w =
+          ::send(conn.fd, conn.out.data() + conn.out_off,
+                 conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          metrics.partial_writes.Add();
+          break;
+        }
+        CloseConnection(id);
+        return;
+      }
+      conn.out_off += static_cast<size_t>(w);
+      wrote = true;
+    }
+    if (conn.out_off == conn.out.size()) {
+      conn.out.clear();
+      conn.out_off = 0;
+    } else if (conn.out_off > kCompactThreshold) {
+      conn.out.erase(0, conn.out_off);
+      conn.out_off = 0;
+    }
+    // 4. Writing may have freed pipeline slots; go decode more if there are
+    // complete frames already buffered. Otherwise the pump is done.
+    const bool more_to_dispatch =
+        !conn.read_shut && conn.in_off < conn.in.size() &&
+        static_cast<int>(conn.pending.size()) < options_.max_pipeline;
+    if (!(wrote && more_to_dispatch)) break;
+  }
+  if (conn.read_shut && conn.pending.empty() &&
+      conn.out_off == conn.out.size()) {
+    // Nothing left to answer and nothing left to flush.
+    CloseConnection(id);
+    return;
+  }
+  UpdateInterest(id, conn);
+}
+
+void EstimatorServer::UpdateInterest(uint64_t id, Connection& conn) {
+  uint32_t want = 0;
+  if (!conn.read_shut &&
+      static_cast<int>(conn.pending.size()) < options_.max_pipeline) {
+    want |= EPOLLIN;
+  }
+  if (conn.out_off < conn.out.size()) want |= EPOLLOUT;
+  if (want == conn.epoll_events) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0) {
+    conn.epoll_events = want;
+  }
+}
+
+void EstimatorServer::CloseConnection(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  LoopMetrics::Get().open_connections.Set(
+      static_cast<double>(conns_.size()));
+}
+
+void EstimatorServer::PostCompletion(Completion completion) {
   {
-    util::MutexLock lock(conn_mu_);
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
-    workers.swap(conn_threads_);
+    util::MutexLock lock(completions_mu_);
+    completions_.push_back(std::move(completion));
   }
-  for (std::thread& t : workers) {
-    if (t.joinable()) t.join();
+  const uint64_t one = 1;
+  // A full eventfd counter (impossible here) would drop the wake; the loop's
+  // drain-timeout pass is the backstop either way.
+  [[maybe_unused]] const ssize_t w =
+      ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EstimatorServer::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    util::MutexLock lock(completions_mu_);
+    batch.swap(completions_);
   }
-  batcher_.DrainAndStop();
+  if (batch.empty()) return;
+  // Fill every slot first, then pump each touched connection once — a
+  // pipelined burst completes with one write per connection, not one per
+  // response.
+  std::vector<uint64_t> touched;
+  touched.reserve(batch.size());
+  for (Completion& completion : batch) {
+    CompleteSlot(completion.conn_id, completion.seq,
+                 std::move(completion.response));
+    touched.push_back(completion.conn_id);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const uint64_t id : touched) {
+    auto it = conns_.find(id);
+    if (it != conns_.end()) PumpConnection(id, *it->second);
+  }
+}
+
+bool EstimatorServer::DrainComplete() { return conns_.empty(); }
+
+void EstimatorServer::Shutdown() {
+  util::MutexLock lock(shutdown_mu_);
+  if (listen_fd_ < 0) return;  // never started, or already shut down
+  stopping_.store(true, std::memory_order_release);
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t w = ::write(wake_fd_, &one, sizeof(one));
+  // Shard drain answers everything already queued; the callbacks post
+  // completions the still-running loop flushes to the sockets.
+  shards_.DrainAndStop();
+  {
+    util::MutexLock swap_lock(swap_mu_);
+    for (std::thread& t : swap_threads_) {
+      if (t.joinable()) t.join();
+    }
+    swap_threads_.clear();
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
+  ::close(listen_fd_);
+  ::close(epoll_fd_);
+  ::close(wake_fd_);
+  listen_fd_ = -1;
+  epoll_fd_ = -1;
+  wake_fd_ = -1;
 }
 
 }  // namespace iam::serve

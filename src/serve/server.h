@@ -2,13 +2,18 @@
 #define IAM_SERVE_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/batcher.h"
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
+#include "serve/shards.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -18,17 +23,40 @@ namespace iam::serve {
 struct ServerOptions {
   std::string bind_address = "127.0.0.1";
   int port = 0;  // 0: kernel-assigned ephemeral port; see port()
-  int listen_backlog = 64;
+  int listen_backlog = 256;
+  // Disable Nagle on accepted sockets. Small request/response frames with
+  // the peer's delayed ACKs otherwise serialize at ~40 ms per round trip on
+  // an un-pipelined connection; bench_serve's nodelay ablation measures it.
+  bool tcp_nodelay = true;
+  // Number of MicroBatcher shards. Connections are assigned a home shard
+  // round-robin at accept; each shard owns its own queue, worker thread and
+  // model replica (ModelRegistry replicas should be >= num_shards for
+  // parallel flushes).
+  int num_shards = 1;
+  // Per-connection cap on decoded-but-unanswered frames. Past it the loop
+  // stops reading that socket (natural TCP backpressure) until responses
+  // drain below the cap.
+  int max_pipeline = 1024;
+  // Graceful-drain budget: connections whose peers never read their pending
+  // responses are force-closed after this long during Shutdown.
+  double drain_timeout_s = 10.0;
   BatcherOptions batcher;
 };
 
-// The long-lived estimator service (DESIGN.md §13): a TCP listener that
-// speaks the serve::protocol frames, one thread per connection, all estimate
-// traffic funneled through one MicroBatcher so concurrent clients share
-// micro-batches. Model hot-swap goes through the shared ModelRegistry —
-// either a kSwap control frame handled here, or an out-of-band
-// registry.SwapFromFile (serve_cli's SIGHUP path); in-flight batches drain on
-// the generation they started with.
+// The long-lived estimator service (DESIGN.md §15): one epoll event-loop
+// thread owns the listener and every connection socket (all non-blocking,
+// level-triggered) with per-connection read/write buffers and the
+// incremental frame decoder; estimate frames fan out to N MicroBatcher
+// shards (ShardSet) whose workers post completions back through an
+// eventfd-woken queue. Frames on one connection may be pipelined — many
+// in-flight kEstimate frames — and responses are written strictly in
+// submission order via per-connection ordered slots, with partial-write
+// handling on the non-blocking response path.
+//
+// Model hot-swap goes through the shared ModelRegistry — either a kSwap
+// control frame (loaded on a side thread so a slow disk read never stalls
+// the loop), or an out-of-band registry.SwapFromFile (serve_cli's SIGHUP
+// path); shard workers refresh their snapshot at the next flush.
 class EstimatorServer {
  public:
   EstimatorServer(ModelRegistry& registry, ServerOptions options);
@@ -37,7 +65,7 @@ class EstimatorServer {
   EstimatorServer(const EstimatorServer&) = delete;
   EstimatorServer& operator=(const EstimatorServer&) = delete;
 
-  // Binds, listens and starts the accept thread. Fails cleanly when the
+  // Binds, listens and starts the event-loop thread. Fails cleanly when the
   // address or port is unavailable.
   Status Start();
 
@@ -51,29 +79,87 @@ class EstimatorServer {
     return shutdown_requested_.load(std::memory_order_acquire);
   }
 
-  // Graceful drain: stop accepting, unblock idle connections, answer
-  // everything already queued, join every thread. Idempotent.
+  // Graceful drain: stop accepting, stop reading new frames, answer and
+  // flush everything already in flight (bounded by drain_timeout_s), drain
+  // the shards, join every thread. Idempotent.
   void Shutdown();
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
-  // One request frame -> one response frame.
-  Frame HandleFrame(const Frame& request);
+  // One connection's event-loop state. Owned by the loop thread; completions
+  // reference connections by id (never by fd — fds are reused by the kernel)
+  // through the loop's id map.
+  struct Connection {
+    int fd = -1;
+    int home_shard = 0;
+    std::string in;       // unparsed request bytes
+    size_t in_off = 0;    // decoded prefix of `in` (compacted lazily)
+    std::string out;      // encoded responses not yet written
+    size_t out_off = 0;   // written prefix of `out` (compacted lazily)
+    // Pipelining: one slot per received frame, answered in submission order.
+    // head_seq is the sequence number of pending.front().
+    struct Slot {
+      bool done = false;
+      Frame response;
+    };
+    std::deque<Slot> pending;
+    uint64_t head_seq = 0;
+    bool read_shut = false;  // peer EOF or server drain: no more requests
+    uint32_t epoll_events = 0;
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    Frame response;
+  };
+
+  void LoopThread();
+  void HandleAccept();
+  void HandleReadable(uint64_t id, Connection& conn);
+  // Decodes and dispatches frames buffered in conn.in (up to max_pipeline
+  // in-flight); returns false when the connection must close (framing
+  // error).
+  bool DispatchBuffered(uint64_t id, Connection& conn);
+  void DispatchFrame(uint64_t id, Connection& conn, Frame frame);
+  // Fills the slot for (id, seq); PumpConnection does the flushing.
+  void CompleteSlot(uint64_t id, uint64_t seq, Frame response);
+  // The per-connection driver: dispatch buffered frames, encode completed
+  // head slots in submission order, write what the socket accepts (partial
+  // writes park the rest on EPOLLOUT), re-arm epoll interest, and close once
+  // a read-shut connection has flushed its last response. May erase the
+  // connection — callers must re-look-up `id` afterwards.
+  void PumpConnection(uint64_t id, Connection& conn);
+  void UpdateInterest(uint64_t id, Connection& conn);
+  void CloseConnection(uint64_t id);
+  void PostCompletion(Completion completion);
+  void DrainCompletions();
+  bool DrainComplete();
 
   ModelRegistry& registry_;
   const ServerOptions options_;
-  MicroBatcher batcher_;
+  ShardSet shards_;
 
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: completions posted / shutdown requested
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shutdown_requested_{false};
-  std::thread accept_thread_;
+  std::thread loop_thread_;
 
-  util::Mutex conn_mu_;
-  std::vector<std::thread> conn_threads_ IAM_GUARDED_BY(conn_mu_);
-  std::vector<int> conn_fds_ IAM_GUARDED_BY(conn_mu_);
+  // Loop-thread state (no locking: only LoopThread touches it).
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake fd
+  uint64_t accept_round_robin_ = 0;
+  std::shared_ptr<LoadedModel> parse_model_;  // refreshed on version change
+
+  util::Mutex completions_mu_;
+  std::vector<Completion> completions_ IAM_GUARDED_BY(completions_mu_);
+
+  util::Mutex swap_mu_;  // kSwap side threads, joined at Shutdown
+  std::vector<std::thread> swap_threads_ IAM_GUARDED_BY(swap_mu_);
+
+  util::Mutex shutdown_mu_;  // serializes Shutdown / destructor
 };
 
 }  // namespace iam::serve

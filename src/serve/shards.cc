@@ -1,0 +1,67 @@
+#include "serve/shards.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace iam::serve {
+
+ShardSet::ShardSet(ModelRegistry& registry, const BatcherOptions& options,
+                   int num_shards) {
+  const int n = std::max(num_shards, 1);
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<MicroBatcher>(registry, options, i));
+  }
+}
+
+void ShardSet::Submit(int home_shard, query::Query query,
+                      MicroBatcher::Callback done) {
+  const size_t n = shards_.size();
+  const size_t home = static_cast<size_t>(home_shard < 0 ? 0 : home_shard) % n;
+  // TryQueue leaves query/done untouched when it returns false, so the slow
+  // path below can still spill the same objects to a sibling.
+  if (shards_[home]->TryQueue(std::move(query), std::move(done))) return;
+  if (shards_[home]->stopped()) {
+    done(MicroBatcher::Response{
+        Status::FailedPrecondition("batcher is draining"), false, 0.0, 0});
+    return;
+  }
+  // Spill: cheapest sibling by approximate depth. Depths move under us —
+  // a failed TryQueue on the chosen sibling is a plain reject, not a retry
+  // loop (bounded admission cost beats perfect placement under overload).
+  size_t best = home;
+  int best_depth = shards_[home]->ApproxQueueDepth();
+  for (size_t i = 0; i < n; ++i) {
+    if (i == home) continue;
+    const int depth = shards_[i]->ApproxQueueDepth();
+    if (depth < best_depth) {
+      best = i;
+      best_depth = depth;
+    }
+  }
+  if (best != home &&
+      shards_[best]->TryQueue(std::move(query), std::move(done))) {
+    ServeMetrics::Get().spilled.Add();
+    return;
+  }
+  ServeMetrics::Get().rejected.Add();
+  done(MicroBatcher::Response{Status::Ok(), /*overloaded=*/true, 0.0, 0});
+}
+
+bool ShardSet::saturated() const {
+  for (const auto& shard : shards_) {
+    if (shard->ApproxQueueDepth() < shard->options().queue_capacity &&
+        !shard->stopped()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ShardSet::DrainAndStop() {
+  for (auto& shard : shards_) shard->DrainAndStop();
+}
+
+}  // namespace iam::serve

@@ -1,0 +1,63 @@
+#ifndef IAM_SERVE_SHARDS_H_
+#define IAM_SERVE_SHARDS_H_
+
+#include <memory>
+#include <vector>
+
+#include "query/query.h"
+#include "serve/batcher.h"
+#include "serve/model_registry.h"
+
+namespace iam::serve {
+
+// N independent MicroBatcher shards behind one admission policy. Each shard
+// owns its own bounded queue, its own worker thread, and its own model
+// snapshot (replica shard % registry.replicas()); connections get a home
+// shard round-robin at accept time so a connection's estimates normally
+// coalesce on one queue.
+//
+// Admission degrades gracefully instead of cliff-shaping:
+//   1. the home shard admits if its queue has room;
+//   2. a full home shard *spills* to the least-loaded sibling (one relaxed
+//      atomic load per shard) — transient imbalance moves work instead of
+//      rejecting it;
+//   3. only when every shard is at capacity does the request fast-reject
+//      with kOverloaded.
+// saturated() exposes step 3's condition as the shared overload signal: the
+// event loop checks it before even parsing a request, so the per-request
+// cost under global overload is one queue-depth scan plus one response
+// frame — offered load beyond capacity cannot drag achieved throughput
+// down.
+class ShardSet {
+ public:
+  ShardSet(ModelRegistry& registry, const BatcherOptions& options,
+           int num_shards);
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  // Admits `query` per the policy above. The callback fires exactly once:
+  // from the admitting shard's worker after its batch flushed, or inline
+  // (before Submit returns) with overloaded=true on a global reject or a
+  // non-OK status when the set is draining.
+  void Submit(int home_shard, query::Query query, MicroBatcher::Callback done);
+
+  // True while every shard's queue is at capacity — the shared overload
+  // signal. One relaxed load per shard; approximate by construction (a slot
+  // may free up mid-scan), which only costs one request a cheap reject.
+  bool saturated() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  MicroBatcher& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+
+  // Drains every shard (all pending callbacks fire) and joins the workers.
+  // Idempotent.
+  void DrainAndStop();
+
+ private:
+  std::vector<std::unique_ptr<MicroBatcher>> shards_;
+};
+
+}  // namespace iam::serve
+
+#endif  // IAM_SERVE_SHARDS_H_

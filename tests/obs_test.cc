@@ -175,6 +175,41 @@ TEST(ExportTest, PrometheusFormat) {
   EXPECT_EQ(type_y, 1u);
 }
 
+TEST(ExportTest, PrometheusLabeledHistograms) {
+  MetricRegistry reg;
+  const std::vector<double> bounds = {1.0, 10.0};
+  reg.GetHistogram("iam_wait_seconds", "shard", "0", bounds).Record(0.5);
+  Histogram& s1 = reg.GetHistogram("iam_wait_seconds", "shard", "1", bounds);
+  s1.Record(5.0);
+  s1.Record(100.0);
+
+  const std::string text = MetricsToPrometheus(reg.Snapshot());
+  // The `le` bucket label merges into the series' own label block; _sum and
+  // _count keep the plain label block after the expanded family name.
+  EXPECT_NE(text.find("iam_wait_seconds_bucket{shard=\"0\",le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("iam_wait_seconds_bucket{shard=\"0\",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("iam_wait_seconds_bucket{shard=\"1\",le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("iam_wait_seconds_bucket{shard=\"1\",le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("iam_wait_seconds_sum{shard=\"0\"} 0.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("iam_wait_seconds_count{shard=\"1\"} 2\n"),
+            std::string::npos);
+  // One # TYPE header covers both shards, and no malformed name (a label
+  // block before _bucket) leaks into the exposition.
+  size_t type_lines = 0;
+  for (size_t pos = text.find("# TYPE iam_wait_seconds histogram");
+       pos != std::string::npos;
+       pos = text.find("# TYPE iam_wait_seconds histogram", pos + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_EQ(text.find("}_bucket"), std::string::npos);
+}
+
 TEST(ExportTest, JsonShape) {
   MetricRegistry reg;
   reg.GetCounter("iam_x_total").Add(3);

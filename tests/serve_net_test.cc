@@ -3,7 +3,14 @@
 // the quick sanitizer gates exclude it, the default configs and the TSan
 // serve gate run it.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -14,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include "core/ar_density_estimator.h"
+#include "obs/metrics.h"
 #include "query/parser.h"
 #include "serve/client.h"
 #include "serve/demo.h"
@@ -35,6 +43,46 @@ Client ConnectedClient(const EstimatorServer& server) {
   const Status connected = client.Connect("127.0.0.1", server.port());
   EXPECT_TRUE(connected.ok()) << connected.ToString();
   return client;
+}
+
+// Raw client socket for the wire-level tests (arbitrary byte chunking, frames
+// the Client class would never send). rcvbuf_bytes > 0 shrinks SO_RCVBUF
+// before connecting, which pins the advertised window small — the lever that
+// forces the server into short writes.
+int RawConnect(int port, int rcvbuf_bytes = 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (rcvbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  return fd;
+}
+
+void SendAll(int fd, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    ASSERT_GT(w, 0);
+    sent += static_cast<size_t>(w);
+  }
+}
+
+uint64_t GlobalCounterValue(const std::string& name) {
+  for (const auto& [counter_name, value] :
+       obs::MetricRegistry::Global().Snapshot().counters) {
+    if (counter_name == name) return value;
+  }
+  return 0;
 }
 
 TEST(ServeEndToEndTest, EstimateMatchesDirectCall) {
@@ -192,6 +240,189 @@ TEST(ServeSwapTest, HotSwapUnderLoadLosesNothing) {
   const auto reply = client.Estimate(kPredicate);
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(reply->model_version, 2u);
+  server.Shutdown();
+}
+
+// --- Wire-level event-loop behavior. ----------------------------------------
+
+// The incremental decoder must reassemble a frame arriving in any two chunks.
+// Splitting one request at every byte boundary (with a pause so the loop
+// observes the partial frame) covers header/payload splits exhaustively; the
+// final dribble sends a frame one byte per send().
+TEST(ServePipelineTest, FramesSurviveEveryByteBoundarySplit) {
+  EstimatorServer server(SharedRegistry(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const auto parsed =
+      query::ParsePredicates(SharedRegistry().Current()->schema, kPredicate);
+  ASSERT_TRUE(parsed.ok());
+  const double direct =
+      SharedRegistry().Current()->estimator->Estimate(*parsed);
+
+  const std::string wire = EncodeFrame({FrameType::kEstimate, kPredicate});
+  const int fd = RawConnect(server.port());
+  for (size_t split = 1; split < wire.size(); ++split) {
+    SendAll(fd, wire.data(), split);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    SendAll(fd, wire.data() + split, wire.size() - split);
+    Frame response;
+    ASSERT_TRUE(ReadFrame(fd, &response).ok()) << "split " << split;
+    ASSERT_EQ(response.type, FrameType::kEstimateOk) << response.payload;
+    double selectivity = -1.0;
+    uint64_t version = 0;
+    ASSERT_TRUE(
+        DecodeEstimatePayload(response.payload, &selectivity, &version).ok());
+    EXPECT_EQ(selectivity, direct) << "split " << split;
+  }
+  for (const char byte : wire) SendAll(fd, &byte, 1);
+  Frame response;
+  ASSERT_TRUE(ReadFrame(fd, &response).ok());
+  EXPECT_EQ(response.type, FrameType::kEstimateOk);
+  ::close(fd);
+  server.Shutdown();
+}
+
+// Pipelining ordering contract: responses come back in submission order even
+// when request kinds complete through different paths (shard worker, inline
+// error, inline metrics). The unknown-type frames echo their type number, so
+// each response is attributable to its request.
+TEST(ServePipelineTest, InterleavedResponsesArriveInSubmissionOrder) {
+  EstimatorServer server(SharedRegistry(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const int fd = RawConnect(server.port());
+
+  std::string wire;
+  AppendFrame(&wire, {FrameType::kEstimate, kPredicate});
+  AppendFrame(&wire, {static_cast<FrameType>(42), ""});
+  AppendFrame(&wire, {FrameType::kMetrics, ""});
+  AppendFrame(&wire, {static_cast<FrameType>(43), ""});
+  AppendFrame(&wire, {FrameType::kEstimate, kPredicate});
+  SendAll(fd, wire.data(), wire.size());
+
+  Frame responses[5];
+  for (Frame& response : responses) {
+    ASSERT_TRUE(ReadFrame(fd, &response).ok());
+  }
+  EXPECT_EQ(responses[0].type, FrameType::kEstimateOk);
+  EXPECT_EQ(responses[1].type, FrameType::kError);
+  EXPECT_NE(responses[1].payload.find("unknown frame type 42"),
+            std::string::npos);
+  EXPECT_EQ(responses[2].type, FrameType::kOk);
+  EXPECT_NE(responses[2].payload.find("# TYPE"), std::string::npos);
+  EXPECT_EQ(responses[3].type, FrameType::kError);
+  EXPECT_NE(responses[3].payload.find("unknown frame type 43"),
+            std::string::npos);
+  EXPECT_EQ(responses[4].type, FrameType::kEstimateOk);
+  ::close(fd);
+  server.Shutdown();
+}
+
+// Short-write recovery: a client with a tiny receive buffer pipelines many
+// kMetrics requests (multi-KB responses) without reading. The server's
+// non-blocking sends hit EAGAIN, park on EPOLLOUT, and must resume cleanly —
+// every response intact and in order once the client finally reads.
+TEST(ServePipelineTest, ShortWritesOnResponsePathRecover) {
+  EstimatorServer server(SharedRegistry(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const int fd = RawConnect(server.port(), /*rcvbuf_bytes=*/2048);
+
+  constexpr int kRequests = 256;
+  std::string wire;
+  for (int i = 0; i < kRequests; ++i) {
+    AppendFrame(&wire, {FrameType::kMetrics, ""});
+  }
+  SendAll(fd, wire.data(), wire.size());
+  // Give the server time to answer into the stalled socket.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  for (int i = 0; i < kRequests; ++i) {
+    Frame response;
+    ASSERT_TRUE(ReadFrame(fd, &response).ok()) << "response " << i;
+    ASSERT_EQ(response.type, FrameType::kOk) << "response " << i;
+    EXPECT_NE(response.payload.find("# TYPE"), std::string::npos);
+  }
+  // The stalled window forced at least one partial write.
+  EXPECT_GT(GlobalCounterValue("iam_serve_partial_writes_total"), 0u);
+  ::close(fd);
+  server.Shutdown();
+}
+
+// --- Sharded serving. -------------------------------------------------------
+
+TEST(ServeShardTest, SoloRequestsBitExactAcrossShards) {
+  // One replica per shard: every shard worker owns a clone, and clones are
+  // bit-faithful (serialize round trip), so a solo request answers
+  // identically no matter which shard's connection carried it.
+  ModelRegistry registry(TrainDemoEstimator(1200, 11), "", 1, 4);
+  ServerOptions options;
+  options.num_shards = 4;
+  EstimatorServer server(registry, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto parsed =
+      query::ParsePredicates(registry.Current()->schema, kPredicate);
+  ASSERT_TRUE(parsed.ok());
+  const double direct = registry.Current()->estimator->Estimate(*parsed);
+
+  // Connections take home shards round-robin: eight connections cover every
+  // shard twice.
+  for (int c = 0; c < 8; ++c) {
+    Client client = ConnectedClient(server);
+    const auto reply = client.Estimate(kPredicate);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_FALSE(reply->overloaded);
+    EXPECT_EQ(reply->selectivity, direct) << "connection " << c;
+  }
+  server.Shutdown();
+}
+
+// The multi-shard variant of the TSan-gated swap test: concurrent clients
+// spread over two shards (two model replicas) while the generation swaps
+// mid-burst. Zero lost requests, every answer from generation 1 or 2.
+TEST(ServeSwapTest, HotSwapUnderLoadAcrossShardsLosesNothing) {
+  ModelRegistry registry(TrainDemoEstimator(1200, 11), "", 1, 2);
+  ServerOptions options;
+  options.num_shards = 2;
+  options.batcher.max_delay_s = 1e-4;
+  EstimatorServer server(registry, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 40;
+  std::unique_ptr<core::ArDensityEstimator> next =
+      TrainDemoEstimator(1200, 12);
+
+  std::atomic<int> failures{0};
+  std::atomic<int> started{0};
+  std::atomic<bool> bad_version{false};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        failures.fetch_add(kRequestsPerClient);
+        return;
+      }
+      started.fetch_add(1);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const auto reply = client.Estimate(kPredicate);
+        if (!reply.ok() || reply->overloaded) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (reply->model_version != 1 && reply->model_version != 2) {
+          bad_version.store(true);
+        }
+      }
+    });
+  }
+  while (started.load() < kClients) std::this_thread::yield();
+  const uint64_t v2 = registry.Swap(std::move(next), "swapped");
+  EXPECT_EQ(v2, 2u);
+
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_FALSE(bad_version.load());
   server.Shutdown();
 }
 

@@ -1,4 +1,5 @@
 #include <atomic>
+#include <condition_variable>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -12,6 +13,8 @@
 #include "serve/demo.h"
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
+#include "serve/shards.h"
+#include "util/mutex.h"
 
 namespace iam::serve {
 namespace {
@@ -197,6 +200,132 @@ TEST(MicroBatcherTest, DrainStopsAdmissionAndIsIdempotent) {
   batcher.DrainAndStop();  // second drain is a no-op
   const MicroBatcher::Response response = batcher.Estimate(DemoQuery());
   EXPECT_FALSE(response.status.ok());
+}
+
+// --- Shard set. -------------------------------------------------------------
+
+// Collects async completions from ShardSet::Submit.
+struct CallbackSink {
+  util::Mutex mu;
+  std::condition_variable cv;
+  int ok = 0;
+  int overloaded = 0;
+  int failed = 0;
+
+  MicroBatcher::Callback Make() {
+    return [this](const MicroBatcher::Response& r) {
+      util::MutexLock lock(mu);
+      if (!r.status.ok()) {
+        ++failed;
+      } else if (r.overloaded) {
+        ++overloaded;
+      } else {
+        ++ok;
+      }
+      cv.notify_all();
+    };
+  }
+
+  void WaitForTotal(int n) {
+    util::MutexLock lock(mu);
+    while (ok + overloaded + failed < n) lock.Wait(cv);
+  }
+};
+
+TEST(ShardedBatcherTest, AsyncCallbackMatchesDirectEstimate) {
+  const query::Query q = DemoQuery();
+  const double direct = SharedRegistry().Current()->estimator->Estimate(q);
+
+  BatcherOptions options;
+  options.max_delay_s = 1e-4;
+  ShardSet set(SharedRegistry(), options, 2);
+  util::Mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  MicroBatcher::Response response;
+  set.Submit(1, query::Query(q), [&](const MicroBatcher::Response& r) {
+    util::MutexLock lock(mu);
+    response = r;
+    done = true;
+    cv.notify_one();
+  });
+  {
+    util::MutexLock lock(mu);
+    while (!done) lock.Wait(cv);
+  }
+  set.DrainAndStop();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_FALSE(response.overloaded);
+  // A lone request is a batch of one on whichever shard admitted it, so the
+  // sharded path stays bit-identical to the library's Estimate().
+  EXPECT_EQ(response.selectivity, direct);
+}
+
+TEST(ShardedBatcherTest, SpillsToSiblingThenRejectsWhenAllFull) {
+  // Coalescing holds admitted requests in the shard queue (max_batch and
+  // max_delay both out of reach), so admission fills deterministically.
+  BatcherOptions options;
+  options.max_batch = 64;
+  options.max_delay_s = 30.0;
+  options.queue_capacity = 2;
+  ShardSet set(SharedRegistry(), options, 2);
+  EXPECT_FALSE(set.saturated());
+
+  const uint64_t spilled_before = ServeMetrics::Get().spilled.Total();
+  CallbackSink sink;
+  // All four name shard 0 as home: two land there, two spill to shard 1.
+  for (int i = 0; i < 4; ++i) set.Submit(0, DemoQuery(), sink.Make());
+  EXPECT_EQ(set.shard(0).ApproxQueueDepth(), 2);
+  EXPECT_EQ(set.shard(1).ApproxQueueDepth(), 2);
+  EXPECT_EQ(ServeMetrics::Get().spilled.Total() - spilled_before, 2u);
+
+  // Every queue is at capacity: the shared overload signal trips and the
+  // fifth submission rejects inline.
+  EXPECT_TRUE(set.saturated());
+  set.Submit(0, DemoQuery(), sink.Make());
+  {
+    util::MutexLock lock(sink.mu);
+    EXPECT_EQ(sink.overloaded, 1);
+  }
+
+  // Drain flushes both shards; every admitted callback fires exactly once.
+  set.DrainAndStop();
+  sink.WaitForTotal(5);
+  util::MutexLock lock(sink.mu);
+  EXPECT_EQ(sink.ok, 4);
+  EXPECT_EQ(sink.overloaded, 1);
+  EXPECT_EQ(sink.failed, 0);
+}
+
+TEST(ShardedBatcherTest, StoppedSetFailsSubmissionsInline) {
+  ShardSet set(SharedRegistry(), BatcherOptions{}, 2);
+  set.DrainAndStop();
+  CallbackSink sink;
+  set.Submit(0, DemoQuery(), sink.Make());
+  sink.WaitForTotal(1);
+  util::MutexLock lock(sink.mu);
+  EXPECT_EQ(sink.failed, 1);
+}
+
+TEST(ModelRegistryTest, ReplicasAreIndependentBitExactClones) {
+  ModelRegistry registry(TrainDemoEstimator(1200, 11), "", 1, 3);
+  EXPECT_EQ(registry.replicas(), 3);
+  // Distinct instances (shard workers must not share a batch mutex)...
+  EXPECT_NE(registry.Current(0).get(), registry.Current(1).get());
+  EXPECT_NE(registry.Current(1).get(), registry.Current(2).get());
+  // ...wrapping one generation: same version, shard index wraps.
+  EXPECT_EQ(registry.Current(1)->version, registry.Current(0)->version);
+  EXPECT_EQ(registry.Current(3).get(), registry.Current(0).get());
+
+  // Every replica loads from the same serialized bytes (the in-memory donor
+  // is discarded — a round trip rounds parameters), so a solo request
+  // answers identically no matter which replica serves it.
+  const auto q = query::ParsePredicates(registry.Current()->schema,
+                                        "latitude >= 35 AND longitude <= -100");
+  ASSERT_TRUE(q.ok());
+  const double first = registry.Current(0)->estimator->Estimate(*q);
+  EXPECT_EQ(registry.Current(1)->estimator->Estimate(*q), first);
+  EXPECT_EQ(registry.Current(2)->estimator->Estimate(*q), first);
 }
 
 }  // namespace
