@@ -1,0 +1,102 @@
+// Fuzz harness for the serving wire format (serve/protocol.h). The frame
+// decoder is the first code that touches bytes from an untrusted socket, so
+// it must tolerate arbitrary input fed at arbitrary split points.
+//
+// Oracles, beyond "no sanitizer report":
+//   * Incremental equivalence — feeding the input one byte at a time into an
+//     accumulating buffer decodes the exact same frame sequence (and the
+//     same accept/reject outcome) as decoding the whole buffer at once.
+//     DecodeFrame must be a pure function of the buffer prefix.
+//   * Re-encode identity — every accepted frame re-encodes to exactly the
+//     bytes the decoder consumed for it.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace {
+
+using iam::Result;
+using iam::serve::DecodeFrame;
+using iam::serve::EncodeFrame;
+using iam::serve::Frame;
+
+[[noreturn]] void Fail(const char* message) {
+  std::fprintf(stderr, "fuzz_frame_decoder: oracle violated: %s\n", message);
+  std::abort();
+}
+
+struct DecodeRun {
+  std::vector<Frame> frames;
+  bool rejected = false;
+};
+
+// Decodes frames from the front of `buffer` until it is exhausted, holds
+// only a partial frame, or the decoder rejects the prefix as malformed.
+DecodeRun DecodeAll(std::string buffer) {
+  DecodeRun run;
+  while (true) {
+    Frame frame;
+    const Result<size_t> consumed = DecodeFrame(buffer, &frame);
+    if (!consumed.ok()) {
+      run.rejected = true;
+      return run;
+    }
+    if (*consumed == 0) return run;
+    if (EncodeFrame(frame) != buffer.substr(0, *consumed)) {
+      Fail("accepted frame does not re-encode to the consumed bytes");
+    }
+    run.frames.push_back(frame);
+    buffer.erase(0, *consumed);
+  }
+}
+
+// Same decode loop, but the input arrives one byte at a time — the
+// adversarial-split-point schedule a slow or malicious client produces.
+DecodeRun DecodeByteAtATime(std::string_view input) {
+  DecodeRun run;
+  std::string pending;
+  for (const char byte : input) {
+    pending.push_back(byte);
+    while (true) {
+      Frame frame;
+      const Result<size_t> consumed = DecodeFrame(pending, &frame);
+      if (!consumed.ok()) {
+        run.rejected = true;
+        return run;
+      }
+      if (*consumed == 0) break;
+      run.frames.push_back(frame);
+      pending.erase(0, *consumed);
+    }
+  }
+  return run;
+}
+
+bool SameFrames(const std::vector<Frame>& a, const std::vector<Frame>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].type != b[i].type || a[i].payload != b[i].payload) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  const DecodeRun one_shot = DecodeAll(std::string(input));
+  const DecodeRun incremental = DecodeByteAtATime(input);
+  if (one_shot.rejected != incremental.rejected) {
+    Fail("one-shot and incremental decoding disagree on accept/reject");
+  }
+  if (!SameFrames(one_shot.frames, incremental.frames)) {
+    Fail("one-shot and incremental decoding produced different frames");
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fuzz harness for the predicate grammar (query/parser.h) — the text payload
+// of every kEstimate frame, i.e. attacker-controlled input on the serving
+// path.
+//
+// Oracles, beyond "no sanitizer report":
+//   * Round trip — for accepted text, ParsePredicates(ToString(q)) succeeds
+//     and yields the same query (parser.h documents this as the wire
+//     contract of the serving layer).
+//   * Print fixpoint — printing the reparsed query reproduces the printed
+//     text exactly.
+// An accepted query that prints empty must be genuinely unconstrained
+// (every bound infinite); the grammar has no empty query, so reparsing is
+// skipped for it.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/table.h"
+#include "fuzz_table.h"
+#include "query/parser.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace {
+
+using iam::Result;
+using iam::query::ParsePredicates;
+using iam::query::Query;
+using iam::query::ToString;
+
+[[noreturn]] void Fail(const char* message, const std::string& text) {
+  std::fprintf(stderr, "fuzz_query_parser: oracle violated: %s\n  input: %s\n",
+               message, text.c_str());
+  std::abort();
+}
+
+// Value equality (not bitwise): -0.0 == 0.0 is fine, and NaN bounds cannot
+// occur — the parser's max/min interval narrowing never adopts a NaN
+// literal. Guarded anyway so a future parser change fails loudly here.
+bool SameQuery(const Query& a, const Query& b) {
+  if (a.predicates.size() != b.predicates.size()) return false;
+  for (size_t i = 0; i < a.predicates.size(); ++i) {
+    if (a.predicates[i].column != b.predicates[i].column ||
+        a.predicates[i].lo != b.predicates[i].lo ||
+        a.predicates[i].hi != b.predicates[i].hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool HasNanBound(const Query& q) {
+  for (const iam::query::Predicate& p : q.predicates) {
+    if (std::isnan(p.lo) || std::isnan(p.hi)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const iam::data::Table table = iam::fuzz::MakeFuzzTable();
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  const Result<Query> parsed = ParsePredicates(table, text);
+  if (!parsed.ok()) return 0;
+
+  const std::string printed = ToString(table, *parsed);
+  if (printed.empty()) {
+    for (const iam::query::Predicate& p : parsed->predicates) {
+      if (std::isfinite(p.lo) || std::isfinite(p.hi)) {
+        Fail("constrained query printed as empty", text);
+      }
+    }
+    return 0;
+  }
+
+  const Result<Query> reparsed = ParsePredicates(table, printed);
+  if (!reparsed.ok()) Fail("printer output rejected by parser", printed);
+
+  if (ToString(table, *reparsed) != printed) {
+    Fail("print is not a fixpoint", printed);
+  }
+  if (!HasNanBound(*parsed) && !SameQuery(*parsed, *reparsed)) {
+    Fail("round trip changed the query", text);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+#ifndef IAM_FUZZ_FUZZ_TABLE_H_
+#define IAM_FUZZ_FUZZ_TABLE_H_
+
+#include <utility>
+
+#include "data/table.h"
+
+namespace iam::fuzz {
+
+// Fixed schema the query-parser harness parses against. The seed corpus in
+// fuzz/corpus/query_parser/ is written in terms of these column names, so
+// the schema must stay stable (extending it is fine; renaming is not).
+inline data::Table MakeFuzzTable() {
+  data::Table table("fuzz");
+  data::Column x;
+  x.name = "x";
+  x.type = data::ColumnType::kContinuous;
+  x.values = {0.0, 1.5, -2.25, 7.0};
+  table.AddColumn(std::move(x));
+  data::Column y;
+  y.name = "y";
+  y.type = data::ColumnType::kContinuous;
+  y.values = {-1.0, 0.5, 3.25, 9.0};
+  table.AddColumn(std::move(y));
+  data::Column c;
+  c.name = "c";
+  c.type = data::ColumnType::kCategorical;
+  c.values = {0.0, 1.0, 2.0, 3.0};
+  table.AddColumn(std::move(c));
+  return table;
+}
+
+}  // namespace iam::fuzz
+
+#endif  // IAM_FUZZ_FUZZ_TABLE_H_

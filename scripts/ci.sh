@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point (DESIGN.md §11). Stages, in order:
 #
-#   1. lint        scripts/lint.sh — format + clang-tidy (when clang tooling
-#                  is installed) + the always-on repo-specific grep bans.
+#   1. lint        scripts/lint.sh --all — format + full clang-tidy sweep
+#                  (when clang tooling is installed, including the iam-*
+#                  plugin checks) + the always-on repo-specific grep bans.
 #   2. default     portable build, full ctest.
 #   3. native      IAM_NATIVE=ON (-march=native kernels), full ctest. The
 #                  default/native pair is the bit-compatibility contract of
@@ -24,7 +25,15 @@
 #                  a pipelined burst with a hot-swap racing it, and a metrics
 #                  scrape (global + per-shard series), and asserts a clean
 #                  drain shutdown.
-#   9. sanitize    optional, IAM_CI_SANITIZE=thread|address: quick gate under
+#   9. asan-net    ASan+UBSan over the `net`-labeled loopback serving tests —
+#                  the untrusted-input surface (frame decode, envelope load)
+#                  exercised over real sockets under memory checking.
+#  10. fuzz-smoke  clang only: IAM_FUZZ=ON + ASan build of the libFuzzer
+#                  harnesses (fuzz/), a bounded -runs= round per target
+#                  seeded from the committed corpus, then the corpus-replay
+#                  ctest entries. Findings are minimized into fuzz/corpus/
+#                  and become permanent regressions (DESIGN.md §16).
+#  11. sanitize    optional, IAM_CI_SANITIZE=thread|address: quick gate under
 #                  that sanitizer on top of the above.
 #
 # Sanitizer configs run `ctest -LE 'slow|net'` (`slow` marks the multi-second
@@ -69,7 +78,7 @@ run_config() {
 # writes one, so configure it first and lint against it.
 echo "=== configure ${prefix}-default (for compile_commands.json) ==="
 cmake -B "${prefix}-default" -S . >/dev/null
-scripts/lint.sh "${prefix}-default"
+scripts/lint.sh --all "${prefix}-default"
 
 # --- Stages 2-3: portable + native, full suite. ----------------------------
 run_config "${prefix}-default" --
@@ -103,8 +112,11 @@ fi
 # are the serve concurrency suites — shard spill, the event loop's completion
 # queue, and the swap-under-load tests must stay TSan-clean;
 # ServePipelineTest exercises the loop's partial-read/partial-write paths.)
+# IAM_SANITIZE=thread also arms the lock-rank checker (src/util/lock_rank.h),
+# so every ranked acquisition in these suites is order-checked and the
+# LockRank suites prove the checker itself catches inversions.
 run_config "${prefix}-tsan-obs" -LE slow -R \
-  '^(CounterTest|RegistryTest|HistogramTest|ExportTest|TraceTest|ObsDeterminismTest|RaceTest|ThreadPoolTest|MicroBatcherTest|ShardedBatcherTest|ServeShardTest|ServeSwapTest|ServePipelineTest|PooledSamplerTest)\.' \
+  '^(CounterTest|RegistryTest|HistogramTest|ExportTest|TraceTest|ObsDeterminismTest|RaceTest|ThreadPoolTest|MicroBatcherTest|ShardedBatcherTest|ServeShardTest|ServeSwapTest|ServePipelineTest|PooledSamplerTest|LockRankTest|LockRankDeathTest)\.' \
   -- -DIAM_SANITIZE=thread
 
 # --- Stage 6b: pooled-sampler gate. ----------------------------------------
@@ -248,7 +260,50 @@ if ! grep -q '^shutdown complete$' "${serve_log}"; then
 fi
 echo "serve smoke OK (port ${serve_port})"
 
-# --- Stage 9: optional sanitizer quick gate. -------------------------------
+# --- Stage 9: ASan over the loopback serving tests. ------------------------
+# The `net` label marks the tests that push adversarial and well-formed
+# frames through real sockets — the serving layer's untrusted-input surface.
+# Running exactly that label under ASan+UBSan memory-checks the frame
+# decoder, the envelope loader behind kSwap, and the connection buffers.
+run_config "${prefix}-asan-net" -L net -- -DIAM_SANITIZE=address
+
+# --- Stage 10: bounded fuzz smoke (clang only). ----------------------------
+# Builds the libFuzzer harnesses under ASan+UBSan, runs a bounded round per
+# target seeded from the committed corpus (new inputs land in a scratch dir;
+# a crash fails CI and its input is committed under fuzz/corpus/ as a
+# permanent replay regression), then replays the committed corpus in the
+# same instrumented build.
+if command -v clang++ >/dev/null 2>&1; then
+  fuzz_dir="${prefix}-fuzz"
+  echo "=== configure ${fuzz_dir} (clang, IAM_FUZZ=ON, ASan) ==="
+  cmake -B "${fuzz_dir}" -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DIAM_FUZZ=ON -DIAM_SANITIZE=address >/dev/null
+  echo "=== build ${fuzz_dir} ==="
+  cmake --build "${fuzz_dir}" -j "${jobs}"
+  fuzz_runs="${IAM_CI_FUZZ_RUNS:-20000}"
+  for target in frame_decoder envelope query_parser; do
+    echo "=== fuzz smoke: ${target} (-runs=${fuzz_runs}) ==="
+    fuzz_scratch="$(mktemp -d)"
+    if ! "${fuzz_dir}/fuzz/iam_fuzz_${target}" "-runs=${fuzz_runs}" \
+           -print_final_stats=0 "${fuzz_scratch}" "fuzz/corpus/${target}"; then
+      echo "ci: FATAL: fuzzer found a crash in ${target}; minimize the" \
+           "input into fuzz/corpus/${target}/ and fix" >&2
+      rm -rf "${fuzz_scratch}"
+      exit 1
+    fi
+    rm -rf "${fuzz_scratch}"
+  done
+  ctest --test-dir "${fuzz_dir}" --output-on-failure -j "${jobs}" \
+    -R '^FuzzReplay\.'
+elif [[ "${require_clang}" == "1" ]]; then
+  echo "ci: FATAL: clang++ not found and IAM_CI_REQUIRE_CLANG=1" >&2
+  exit 1
+else
+  echo "ci: clang++ not found; fuzz-smoke stage skipped" \
+       "(IAM_CI_REQUIRE_CLANG=1 enforces)"
+fi
+
+# --- Stage 11: optional sanitizer quick gate. ------------------------------
 # IAM_CI_SANITIZE=thread or address; slow and net cases excluded to bound
 # runtime.
 if [[ -n "${IAM_CI_SANITIZE:-}" ]]; then

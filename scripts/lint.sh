@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Repo lint driver — the static-analysis gate of scripts/ci.sh (DESIGN.md §11).
+# Repo lint driver — the static-analysis gate of scripts/ci.sh (DESIGN.md
+# §11, §16).
 #
-#   scripts/lint.sh [--format-check] [build-dir]
+#   scripts/lint.sh [--format-check] [--all] [build-dir]
 #
 # Stages:
 #   1. clang-format check over every tracked C++ file (--dry-run -Werror).
-#   2. clang-tidy (config in .clang-tidy) over src/ tests/ bench/ examples/,
-#      driven by <build-dir>/compile_commands.json (default build dir: build).
+#   2. clang-tidy (config in .clang-tidy, including the iam-* checks from the
+#      tools/tidy plugin when it has been built), driven by
+#      <build-dir>/compile_commands.json (default build dir: build). By
+#      default only files changed relative to the merge-base with origin/main
+#      are tidied — headers map to their sibling .cc — so an interactive run
+#      takes seconds; --all restores the full sweep (the clang CI lane uses
+#      it). When the plugin is present its selftest runs too.
 #   3. Repo-specific bans, enforced with plain grep so they run everywhere:
 #        - std::rand / srand            (all randomness goes through iam::Rng)
 #        - naked `new`                  (owning allocations use make_unique;
@@ -23,7 +29,11 @@
 #          src/util/ + src/obs/       (all timing goes through util::Stopwatch
 #                                        so traces/latency metrics share one
 #                                        monotonic clock)
-#      A line containing NOLINT is exempt from the grep bans.
+#        - reinterpret_cast in src/ outside the two audited type-punning
+#          sites (util/serialize and serve/protocol — DESIGN.md §16)
+#        - NOLINT without a (check-name) qualifier and a trailing ": reason"
+#          (a bare NOLINT silences everything forever with no audit trail)
+#      A line containing NOLINT is exempt from the other grep bans.
 #
 # --format-check runs stage 1 only.
 #
@@ -34,10 +44,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode="all"
-if [[ "${1:-}" == "--format-check" ]]; then
-  mode="format"
+tidy_scope="changed"
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --format-check) mode="format" ;;
+    --all) tidy_scope="all" ;;
+    *) echo "lint: unknown flag $1" >&2; exit 2 ;;
+  esac
   shift
-fi
+done
 build_dir="${1:-build}"
 require_clang="${IAM_CI_REQUIRE_CLANG:-0}"
 failed=0
@@ -52,7 +67,7 @@ skip_or_die() {  # <tool>
 
 mapfile -t cxx_files < <(git ls-files -- \
   'src/**/*.h' 'src/**/*.cc' 'tests/*.cc' 'bench/*.h' 'bench/*.cc' \
-  'examples/*.cc')
+  'examples/*.cc' 'fuzz/*.h' 'fuzz/*.cc')
 
 # --- Stage 1: format check. ------------------------------------------------
 if command -v clang-format >/dev/null 2>&1; then
@@ -75,13 +90,57 @@ if command -v clang-tidy >/dev/null 2>&1; then
          "configure first: cmake -B ${build_dir} -S ." >&2
     exit 1
   fi
-  echo "=== lint: clang-tidy (${build_dir}/compile_commands.json) ==="
-  mapfile -t tidy_files < <(printf '%s\n' "${cxx_files[@]}" | grep '\.cc$')
-  if ! printf '%s\n' "${tidy_files[@]}" | \
-       xargs -P "$(nproc 2>/dev/null || echo 2)" -n 8 \
-         clang-tidy -p "${build_dir}" --quiet; then
-    echo "lint: clang-tidy findings above — fix or NOLINT(check) with a reason" >&2
-    failed=1
+
+  # The iam-* plugin, when built (tools/tidy; needs clang-tidy dev headers).
+  tidy_load=()
+  plugin="$(ls -t "${build_dir}/tools/tidy/libiam_tidy_checks.so" \
+              build*/tools/tidy/libiam_tidy_checks.so 2>/dev/null \
+              | head -n 1 || true)"
+  if [[ -n "${plugin}" ]]; then
+    tidy_load=(--load="${plugin}")
+    echo "=== lint: iam-* plugin selftest (${plugin}) ==="
+    if ! tools/tidy/selftest.sh "${plugin}"; then
+      failed=1
+    fi
+  fi
+
+  mapfile -t tidy_all < <(printf '%s\n' "${cxx_files[@]}" | grep '\.cc$')
+  tidy_files=()
+  if [[ "${tidy_scope}" == "all" ]]; then
+    tidy_files=("${tidy_all[@]}")
+  else
+    # Changed-files scope: everything touched since the merge-base with
+    # origin/main (committed, staged, unstaged, untracked); a changed header
+    # maps to its sibling .cc so its inline code still gets tidied.
+    base="$(git merge-base origin/main HEAD 2>/dev/null || true)"
+    [[ -n "${base}" ]] || base="HEAD"
+    mapfile -t changed < <( {
+        git diff --name-only "${base}" -- '*.h' '*.cc'
+        git ls-files --others --exclude-standard -- '*.h' '*.cc'
+      } | sort -u)
+    declare -A want=()
+    for f in "${changed[@]}"; do
+      case "${f}" in
+        *.cc) want["${f}"]=1 ;;
+        *.h) [[ -f "${f%.h}.cc" ]] && want["${f%.h}.cc"]=1 ;;
+      esac
+    done
+    for f in "${tidy_all[@]}"; do
+      [[ -n "${want[${f}]:-}" ]] && tidy_files+=("${f}")
+    done
+  fi
+
+  if [[ "${#tidy_files[@]}" -eq 0 ]]; then
+    echo "=== lint: clang-tidy — no changed files (use --all for a sweep) ==="
+  else
+    echo "=== lint: clang-tidy (${#tidy_files[@]} files," \
+         "scope: ${tidy_scope}) ==="
+    if ! printf '%s\n' "${tidy_files[@]}" | \
+         xargs -P "$(nproc 2>/dev/null || echo 2)" -n 8 \
+           clang-tidy -p "${build_dir}" --quiet "${tidy_load[@]}"; then
+      echo "lint: clang-tidy findings above — fix or NOLINT(check): reason" >&2
+      failed=1
+    fi
   fi
 else
   skip_or_die clang-tidy
@@ -105,7 +164,7 @@ ban() {
 }
 
 ban "std::rand/srand — use iam::Rng with an explicit seed" \
-    '\bstd::rand\b|\bsrand\(' src tests bench examples
+    '\bstd::rand\b|\bsrand\(' src tests bench examples fuzz
 ban "naked new in library code — use std::make_unique" \
     '(^|[^:[:alnum:]_])new [A-Za-z_:]+ ?[[({]' src
 ban "printf to stdout in library code — return Status, log via IAM_CHECK" \
@@ -120,6 +179,35 @@ ban "raw clocks outside util/ & obs/ — time through util::Stopwatch" \
     'std::chrono::system_clock|steady_clock::now\(' \
     src/ar src/bucketize src/core src/data src/estimator src/gmm src/join \
     src/nn src/optimizer src/query src/serve tests bench examples
+
+# reinterpret_cast is confined to the two audited type-punning sites
+# (DESIGN.md §16): the serialize helpers and the wire-protocol codec. A new
+# cast anywhere else in src/ must be routed through them (or argued into the
+# allowlist here).
+reinterpret_hits="$(grep -rnE '\breinterpret_cast' src \
+    --include='*.h' --include='*.cc' \
+  | grep -vE '^src/(util/serialize|serve/protocol)\.(h|cc):' \
+  | grep -v 'NOLINT' || true)"
+if [[ -n "${reinterpret_hits}" ]]; then
+  echo "lint: banned pattern (reinterpret_cast outside util/serialize +" \
+       "serve/protocol — type punning is confined to the audited" \
+       "helpers):" >&2
+  echo "${reinterpret_hits}" >&2
+  failed=1
+fi
+
+# Every NOLINT must name its check(s) and carry a same-line ": reason" —
+# `NOLINT(check-name): why` or `NOLINTNEXTLINE(check-name): why`. Bare
+# NOLINTs silence every check forever with no audit trail.
+nolint_hits="$(grep -rn 'NOLINT' src tests bench examples fuzz tools \
+    --include='*.h' --include='*.cc' \
+  | grep -vE 'NOLINT(NEXTLINE)?\([A-Za-z0-9.,* -]+\): [A-Za-z]' || true)"
+if [[ -n "${nolint_hits}" ]]; then
+  echo "lint: banned pattern (NOLINT without '(check-name): reason' —" \
+       "suppressions must name the check and justify themselves):" >&2
+  echo "${nolint_hits}" >&2
+  failed=1
+fi
 
 if [[ "${failed}" == "0" ]]; then
   echo "lint OK"

@@ -488,8 +488,7 @@ namespace {
 void WriteMatrix(std::ostream& out, const nn::Matrix& m) {
   WritePod<int32_t>(out, m.rows());
   WritePod<int32_t>(out, m.cols());
-  out.write(reinterpret_cast<const char*>(m.data()),
-            static_cast<std::streamsize>(m.size() * sizeof(float)));
+  WriteRaw(out, m.data(), static_cast<size_t>(m.size()));
 }
 
 Status ReadMatrixInto(std::istream& in, nn::Matrix& m) {
@@ -499,9 +498,10 @@ Status ReadMatrixInto(std::istream& in, nn::Matrix& m) {
   if (rows != m.rows() || cols != m.cols()) {
     return Status::IoError("matrix shape mismatch in model blob");
   }
-  in.read(reinterpret_cast<char*>(m.data()),
-          static_cast<std::streamsize>(m.size() * sizeof(float)));
-  if (!in) return Status::IoError("truncated matrix in model blob");
+  // The destination shape was allocated from the envelope-validated config,
+  // so the read length is bounded by trusted dimensions, not by the blob.
+  const Status read = ReadRaw(in, m.data(), static_cast<size_t>(m.size()));
+  if (!read.ok()) return Status::IoError("truncated matrix in model blob");
   return Status::Ok();
 }
 

@@ -1034,14 +1034,19 @@ Result<std::unique_ptr<ArDensityEstimator>> ArDensityEstimator::Load(
     const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) return Status::IoError("cannot open " + path);
+  return LoadFromStream(file);
+}
+
+Result<std::unique_ptr<ArDensityEstimator>> ArDensityEstimator::LoadFromStream(
+    std::istream& stream) {
   Result<std::string> payload =
-      ReadEnvelope(file, kModelMagic, kModelFormatVersion);
+      ReadEnvelope(stream, kModelMagic, kModelFormatVersion);
   if (!payload.ok()) return payload.status();
   std::istringstream in(std::move(payload.value()));
 
-  // NOLINT(iam-naked-new): the Load() constructor is private, so
-  // std::make_unique cannot reach it; ownership is taken on the same line.
-  std::unique_ptr<ArDensityEstimator> est(new ArDensityEstimator());  // NOLINT
+  // The Load() constructor is private; make_unique cannot reach it.
+  std::unique_ptr<ArDensityEstimator> est(
+      new ArDensityEstimator());  // NOLINT(iam-naked-new): private ctor
   uint8_t use_reduction = 0, biased = 0;
   IAM_RETURN_IF_ERROR(ReadString(in, &est->options_.display_name));
   IAM_RETURN_IF_ERROR(ReadPod(in, &use_reduction));

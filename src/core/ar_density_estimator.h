@@ -156,6 +156,13 @@ class ArDensityEstimator : public estimator::Estimator {
   Status Save(const std::string& path) const;
   static Result<std::unique_ptr<ArDensityEstimator>> Load(
       const std::string& path);
+  // Stream variant of Load: validates the checksummed envelope and every
+  // payload field from `in` without touching the filesystem. This is the
+  // untrusted-input surface the hot-swap path exposes (kSwap names a file,
+  // but the bytes are attacker-shaped) — fuzzed in fuzz/fuzz_envelope.cc;
+  // any byte stream must yield a model or a clean Status, never a crash.
+  static Result<std::unique_ptr<ArDensityEstimator>> LoadFromStream(
+      std::istream& in);
 
   // --- Introspection (tests, benches). --------------------------------------
   int num_model_columns() const;

@@ -69,7 +69,7 @@ class Estimator {
   // per-query seeding makes them independent of arrival order). Subclass
   // batch entry points take a MutexLock on this before touching pool() or
   // any IAM_GUARDED_BY(batch_mu_) scratch.
-  mutable util::Mutex batch_mu_;
+  mutable util::Mutex batch_mu_{util::LockRank::kEstimatorBatch};
 
   // The lazily constructed pool with num_threads() workers.
   util::ThreadPool& pool() IAM_REQUIRES(batch_mu_);

@@ -187,7 +187,7 @@ class MetricRegistry {
   void ResetAll() IAM_EXCLUDES(mu_);
 
  private:
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::LockRank::kMetricsRegistry};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       IAM_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ IAM_GUARDED_BY(mu_);

@@ -83,7 +83,7 @@ class TraceRecorder {
 
  private:
   struct ThreadBuffer {
-    util::Mutex mu;
+    util::Mutex mu{util::LockRank::kTraceBuffer};
     int tid = 0;
     std::vector<TraceEvent> events IAM_GUARDED_BY(mu);
   };
@@ -93,7 +93,7 @@ class TraceRecorder {
   std::atomic<bool> enabled_{false};
   Stopwatch epoch_;  // never paused; all timestamps are relative to it
 
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::LockRank::kTraceRegistry};
   // Buffers are never removed (a dead thread's events stay exportable);
   // pointers handed to threads remain stable.
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_ IAM_GUARDED_BY(mu_);

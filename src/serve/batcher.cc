@@ -73,7 +73,7 @@ bool MicroBatcher::TryQueue(query::Query&& query, Callback&& done) {
 
 MicroBatcher::Response MicroBatcher::Estimate(const query::Query& q) {
   struct Waiter {
-    util::Mutex mu;
+    util::Mutex mu{util::LockRank::kLeaf};
     std::condition_variable cv;
     bool done = false;
     Response response;

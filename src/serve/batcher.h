@@ -147,14 +147,15 @@ class MicroBatcher {
   ServeMetrics& totals_;
   ShardMetrics metrics_;
 
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::LockRank::kBatcherQueue};
   std::condition_variable work_cv_;  // worker: arrivals / stop
   std::deque<Request> queue_ IAM_GUARDED_BY(mu_);
   bool stop_ IAM_GUARDED_BY(mu_) = false;
   std::atomic<int> depth_{0};
   std::atomic<bool> stop_flag_{false};
 
-  util::Mutex join_mu_;  // serializes the DrainAndStop join
+  // Serializes the DrainAndStop join.
+  util::Mutex join_mu_{util::LockRank::kBatcherJoin};
   std::thread worker_;   // started last, joined by DrainAndStop
 };
 

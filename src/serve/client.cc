@@ -36,8 +36,7 @@ Status Client::Connect(const std::string& host, int port) {
     ::close(fd);
     return Status::InvalidArgument("bad address " + host);
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
+  if (::connect(fd, AsSockaddr(addr), sizeof(addr)) != 0) {
     const Status failed =
         Status::IoError(std::string("connect: ") + std::strerror(errno));
     ::close(fd);

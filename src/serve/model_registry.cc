@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <utility>
@@ -24,9 +25,13 @@ std::vector<std::unique_ptr<core::ArDensityEstimator>> CloneViaTempFile(
   std::error_code ec;
   const std::filesystem::path dir = std::filesystem::temp_directory_path(ec);
   if (ec) return clones;
+  // Process-unique temp name: pid + a monotone counter (two registries — or
+  // two swaps racing in one — never collide on the clone file).
+  static std::atomic<uint64_t> clone_counter{0};
+  const uint64_t clone_id = clone_counter.fetch_add(1);
   const std::filesystem::path path =
       dir / ("iam_registry_clone_" + std::to_string(::getpid()) + "_" +
-             std::to_string(reinterpret_cast<uintptr_t>(&model)) + ".iam");
+             std::to_string(clone_id) + ".iam");
   if (!model.Save(path.string()).ok()) return clones;
   for (int i = 0; i < copies; ++i) {
     auto loaded = core::ArDensityEstimator::Load(path.string());

@@ -97,7 +97,7 @@ class ModelRegistry {
   const int replicas_;
   obs::Counter& swaps_;
   std::atomic<uint64_t> current_version_{0};
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{util::LockRank::kRegistry};
   // One LoadedModel per replica, all carrying the generation's version.
   std::vector<std::shared_ptr<LoadedModel>> current_ IAM_GUARDED_BY(mu_);
   uint64_t versions_issued_ IAM_GUARDED_BY(mu_) = 0;

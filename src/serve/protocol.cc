@@ -143,6 +143,14 @@ std::string EncodeEstimatePayload(double selectivity,
   return out;
 }
 
+const sockaddr* AsSockaddr(const sockaddr_in& addr) {
+  return reinterpret_cast<const sockaddr*>(&addr);
+}
+
+sockaddr* AsMutableSockaddr(sockaddr_in& addr) {
+  return reinterpret_cast<sockaddr*>(&addr);
+}
+
 Status DecodeEstimatePayload(std::string_view payload, double* selectivity,
                              uint64_t* model_version) {
   if (payload.size() != 16) {

@@ -1,6 +1,8 @@
 #ifndef IAM_SERVE_PROTOCOL_H_
 #define IAM_SERVE_PROTOCOL_H_
 
+#include <netinet/in.h>
+
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -66,6 +68,12 @@ Status WriteFrame(int fd, const Frame& frame);
 std::string EncodeEstimatePayload(double selectivity, uint64_t model_version);
 Status DecodeEstimatePayload(std::string_view payload, double* selectivity,
                              uint64_t* model_version);
+
+// sockaddr_in -> sockaddr aliasing as the sockets ABI requires. Kept here so
+// the reinterpret_cast lives in the audited protocol codec — scripts/lint.sh
+// bans type punning elsewhere in src/ (DESIGN.md §16).
+const sockaddr* AsSockaddr(const sockaddr_in& addr);
+sockaddr* AsMutableSockaddr(sockaddr_in& addr);
 
 }  // namespace iam::serve
 

@@ -88,7 +88,7 @@ Status EstimatorServer::Start() {
     return Status::InvalidArgument("bad bind address " +
                                    options_.bind_address);
   }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (::bind(fd, AsSockaddr(addr), sizeof(addr)) != 0) {
     const Status failed =
         Status::IoError(std::string("bind: ") + std::strerror(errno));
     ::close(fd);
@@ -102,7 +102,7 @@ Status EstimatorServer::Start() {
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+  if (::getsockname(fd, AsMutableSockaddr(bound), &len) != 0) {
     const Status failed =
         Status::IoError(std::string("getsockname: ") + std::strerror(errno));
     ::close(fd);

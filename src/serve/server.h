@@ -153,13 +153,15 @@ class EstimatorServer {
   uint64_t accept_round_robin_ = 0;
   std::shared_ptr<LoadedModel> parse_model_;  // refreshed on version change
 
-  util::Mutex completions_mu_;
+  util::Mutex completions_mu_{util::LockRank::kCompletionQueue};
   std::vector<Completion> completions_ IAM_GUARDED_BY(completions_mu_);
 
-  util::Mutex swap_mu_;  // kSwap side threads, joined at Shutdown
+  // kSwap side threads, joined at Shutdown.
+  util::Mutex swap_mu_{util::LockRank::kSwap};
   std::vector<std::thread> swap_threads_ IAM_GUARDED_BY(swap_mu_);
 
-  util::Mutex shutdown_mu_;  // serializes Shutdown / destructor
+  // Serializes Shutdown / destructor.
+  util::Mutex shutdown_mu_{util::LockRank::kShutdown};
 };
 
 }  // namespace iam::serve

@@ -1,0 +1,105 @@
+#include "util/lock_rank.h"
+
+#if defined(IAM_LOCK_RANK) && IAM_LOCK_RANK
+
+#include <execinfo.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace iam::util::lock_rank {
+namespace {
+
+// Frames captured at each ranked acquisition; enough to see through the
+// Mutex/MutexLock wrappers into the calling subsystem.
+constexpr int kMaxFrames = 24;
+
+struct HeldLock {
+  const void* mutex = nullptr;
+  LockRank rank = LockRank::kUnranked;
+  void* frames[kMaxFrames];
+  int num_frames = 0;
+};
+
+// Per-thread stack of ranked locks currently held. Bounded: a thread holding
+// more ranked locks than this is itself a bug worth aborting on.
+constexpr int kMaxHeld = 16;
+
+struct ThreadLockState {
+  HeldLock held[kMaxHeld];
+  int depth = 0;
+};
+
+thread_local ThreadLockState tls;
+
+void PrintStack(const HeldLock& lock, const char* label) {
+  std::fprintf(stderr, "  %s (rank %d) acquired at:\n", label,
+               static_cast<int>(lock.rank));
+  std::fflush(stderr);
+  backtrace_symbols_fd(lock.frames, lock.num_frames, STDERR_FILENO);
+}
+
+[[noreturn]] void ReportInversion(const HeldLock& held,
+                                  const HeldLock& incoming) {
+  std::fprintf(stderr,
+               "FATAL: lock rank inversion: acquiring a rank-%d lock while "
+               "holding a rank-%d lock — acquisition order must strictly "
+               "descend in rank (see src/util/lock_rank.h)\n",
+               static_cast<int>(incoming.rank), static_cast<int>(held.rank));
+  PrintStack(held, "held lock");
+  PrintStack(incoming, "incoming lock");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void NoteAcquire(const void* mutex, LockRank rank) {
+  if (rank == LockRank::kUnranked) return;
+  ThreadLockState& state = tls;
+  HeldLock incoming;
+  incoming.mutex = mutex;
+  incoming.rank = rank;
+  incoming.num_frames = backtrace(incoming.frames, kMaxFrames);
+  for (int i = 0; i < state.depth; ++i) {
+    // Equal ranks are an inversion too: two locks of one rank have no
+    // defined mutual order, so nesting them is exactly the ambiguity the
+    // ranking exists to forbid.
+    if (state.held[i].rank <= rank) ReportInversion(state.held[i], incoming);
+  }
+  if (state.depth >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "FATAL: lock rank checker: thread holds more than %d ranked "
+                 "locks — runaway nesting\n",
+                 kMaxHeld);
+    std::fflush(stderr);
+    std::abort();
+  }
+  state.held[state.depth++] = incoming;
+}
+
+void NoteRelease(const void* mutex, LockRank rank) {
+  if (rank == LockRank::kUnranked) return;
+  ThreadLockState& state = tls;
+  // Locks are almost always released LIFO; scan from the top so the common
+  // case is O(1) but out-of-order release (legal for Mutex::Unlock) works.
+  for (int i = state.depth - 1; i >= 0; --i) {
+    if (state.held[i].mutex != mutex) continue;
+    for (int j = i; j + 1 < state.depth; ++j) {
+      state.held[j] = state.held[j + 1];
+    }
+    --state.depth;
+    return;
+  }
+  std::fprintf(stderr,
+               "FATAL: lock rank checker: releasing a rank-%d lock this "
+               "thread does not hold\n",
+               static_cast<int>(rank));
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace iam::util::lock_rank
+
+#endif  // IAM_LOCK_RANK

@@ -1,0 +1,88 @@
+#ifndef IAM_UTIL_LOCK_RANK_H_
+#define IAM_UTIL_LOCK_RANK_H_
+
+// Debug-build lock-ordering (rank) checking for util::Mutex (DESIGN.md §16).
+//
+// Every mutex is assigned a static LockRank at construction. At runtime each
+// thread keeps a stack of the ranked locks it holds; acquiring a ranked lock
+// while already holding one of equal or lower rank is a rank inversion — the
+// acquisition order disagrees with the global order, so two threads taking
+// the same pair of locks in opposite orders can deadlock. The checker aborts
+// immediately at the inversion (long before the two-thread interleaving that
+// actually deadlocks shows up) and prints the acquisition backtraces of both
+// locks involved.
+//
+// Convention: ranks DESCEND along every legal acquisition chain — the
+// outermost lock of a nesting has the numerically highest rank, and a thread
+// may only acquire a lock whose rank is strictly below every ranked lock it
+// already holds. kUnranked locks are exempt (not tracked); rank ad-hoc local
+// mutexes kLeaf so they still participate as innermost locks.
+//
+// The checker is compiled in only under IAM_LOCK_RANK=1 (the TSan CI lane
+// arms it; -DIAM_LOCK_RANK=ON arms any build). Elsewhere every hook is an
+// empty inline function and Mutex carries no extra state.
+//
+// Current rank assignment (update DESIGN.md §16 when this changes):
+//
+//   kShutdown        server.h shutdown_mu_   joins everything below it
+//   kSwap            server.h swap_mu_       taken under shutdown_mu_
+//   kBatcherQueue    batcher.h mu_           admission / worker queue
+//   kBatcherJoin     batcher.h join_mu_      DrainAndStop worker join
+//   kCompletionQueue server.h completions_mu_
+//   kRegistry        model_registry.h mu_    snapshot load/swap
+//   kEstimatorBatch  estimator.h batch_mu_   serializes EstimateBatch
+//   kThreadPool      thread_pool.h mutex_    taken under batch_mu_
+//   kTraceRegistry   trace.h mu_             iterates the buffers below
+//   kTraceBuffer     trace.h ThreadBuffer::mu
+//   kMetricsRegistry metrics.h mu_           innermost named lock
+//   kLeaf            ad-hoc waiters (e.g. MicroBatcher::Estimate)
+
+#include <cstdint>
+
+namespace iam::util {
+
+enum class LockRank : int32_t {
+  kUnranked = -1,  // exempt from checking (default for unranked mutexes)
+  kLeaf = 50,
+  kMetricsRegistry = 100,
+  kTraceBuffer = 150,
+  kTraceRegistry = 200,
+  kThreadPool = 300,
+  kEstimatorBatch = 400,
+  kRegistry = 500,
+  kCompletionQueue = 600,
+  kBatcherJoin = 650,
+  kBatcherQueue = 700,
+  kSwap = 800,
+  kShutdown = 900,
+};
+
+namespace lock_rank {
+
+// True when the checker is compiled in (IAM_LOCK_RANK=1) — tests use this to
+// decide whether an inversion must abort or is legitimately unobserved.
+constexpr bool Enabled() {
+#if defined(IAM_LOCK_RANK) && IAM_LOCK_RANK
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(IAM_LOCK_RANK) && IAM_LOCK_RANK
+// Called by Mutex/MutexLock immediately BEFORE the underlying lock is taken,
+// so an inversion reports while the thread can still print (not after it
+// deadlocked). Aborts on rank inversion with both acquisition backtraces.
+void NoteAcquire(const void* mutex, LockRank rank);
+// Called after the underlying unlock. Unranked locks are ignored by both.
+void NoteRelease(const void* mutex, LockRank rank);
+#else
+inline void NoteAcquire(const void*, LockRank) {}
+inline void NoteRelease(const void*, LockRank) {}
+#endif
+
+}  // namespace lock_rank
+
+}  // namespace iam::util
+
+#endif  // IAM_UTIL_LOCK_RANK_H_

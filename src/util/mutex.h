@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "util/lock_rank.h"
 #include "util/thread_annotations.h"
 
 namespace iam::util {
@@ -13,18 +14,51 @@ namespace iam::util {
 // synchronization in the library goes through Mutex/MutexLock so clang's
 // -Wthread-safety can verify lock discipline (fields annotated
 // IAM_GUARDED_BY(mu) are only touched with mu held); see DESIGN.md §11.
+//
+// A Mutex may additionally carry a static LockRank (lock_rank.h): under
+// IAM_LOCK_RANK=1 (the TSan CI lane) every ranked acquisition is checked
+// against the locks the thread already holds and a rank inversion — the
+// order that can deadlock — aborts with both acquisition backtraces. The
+// default-constructed Mutex is kUnranked and exempt; see DESIGN.md §16.
 class IAM_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(LockRank rank) { SetRank(rank); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() IAM_ACQUIRE() { mu_.lock(); }
-  void Unlock() IAM_RELEASE() { mu_.unlock(); }
+  void Lock() IAM_ACQUIRE() {
+    lock_rank::NoteAcquire(this, rank());
+    mu_.lock();
+  }
+  void Unlock() IAM_RELEASE() {
+    mu_.unlock();
+    lock_rank::NoteRelease(this, rank());
+  }
+
+  LockRank rank() const {
+#if defined(IAM_LOCK_RANK) && IAM_LOCK_RANK
+    return rank_;
+#else
+    return LockRank::kUnranked;
+#endif
+  }
 
  private:
   friend class MutexLock;
+
+  void SetRank(LockRank rank) {
+#if defined(IAM_LOCK_RANK) && IAM_LOCK_RANK
+    rank_ = rank;
+#else
+    static_cast<void>(rank);
+#endif
+  }
+
   std::mutex mu_;
+#if defined(IAM_LOCK_RANK) && IAM_LOCK_RANK
+  LockRank rank_ = LockRank::kUnranked;
+#endif
 };
 
 // RAII holder for a Mutex, with condition-variable waits. The wait methods
@@ -34,8 +68,12 @@ class IAM_CAPABILITY("mutex") Mutex {
 // guarded state may only be examined before and after, never during).
 class IAM_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) IAM_ACQUIRE(mu) : lock_(mu.mu_) {}
-  ~MutexLock() IAM_RELEASE() = default;
+  explicit MutexLock(Mutex& mu) IAM_ACQUIRE(mu)
+      : lock_((lock_rank::NoteAcquire(&mu, mu.rank()), mu.mu_)), mu_(&mu) {}
+  ~MutexLock() IAM_RELEASE() {
+    lock_.unlock();
+    lock_rank::NoteRelease(mu_, mu_->rank());
+  }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
@@ -57,6 +95,7 @@ class IAM_SCOPED_CAPABILITY MutexLock {
 
  private:
   std::unique_lock<std::mutex> lock_;
+  Mutex* mu_;
 };
 
 }  // namespace iam::util

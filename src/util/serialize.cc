@@ -4,6 +4,21 @@
 
 namespace iam {
 
+Status ReadBytesChunked(std::istream& in, uint64_t count, std::string* out) {
+  out->clear();
+  constexpr uint64_t kChunkBytes = 1ULL << 20;
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    const uint64_t take = std::min(remaining, kChunkBytes);
+    const size_t old_size = out->size();
+    out->resize(old_size + static_cast<size_t>(take));
+    in.read(out->data() + old_size, static_cast<std::streamsize>(take));
+    if (!in) return Status::IoError("truncated stream reading bytes");
+    remaining -= take;
+  }
+  return Status::Ok();
+}
+
 uint64_t Fnv1a64(std::string_view data) {
   uint64_t hash = 0xcbf29ce484222325ULL;
   for (const char c : data) {
@@ -48,10 +63,11 @@ Result<std::string> ReadEnvelope(std::istream& in, std::string_view magic8,
   if (size > (1ULL << 34)) {
     return Status::IoError("implausible payload size");
   }
-  std::string payload(size, '\0');
-  if (size > 0) {
-    in.read(payload.data(), static_cast<std::streamsize>(size));
-    if (!in) return Status::IoError("truncated payload");
+  // Chunked: the declared size is untrusted until the bytes back it (a
+  // 28-byte header can otherwise demand a 16 GiB up-front allocation).
+  std::string payload;
+  if (!ReadBytesChunked(in, size, &payload).ok()) {
+    return Status::IoError("truncated payload");
   }
   if (Fnv1a64(payload) != digest) {
     return Status::IoError("payload checksum mismatch (corrupted file)");

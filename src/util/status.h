@@ -67,8 +67,10 @@ template <typename T>
 class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
-  Result(T value) : data_(std::move(value)) {}  // NOLINT
-  Result(Status status) : data_(std::move(status)) {  // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+  Result(T value) : data_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+  Result(Status status) : data_(std::move(status)) {
     IAM_CHECK(!std::get<Status>(data_).ok());
   }
 

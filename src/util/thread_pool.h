@@ -60,7 +60,7 @@ class ThreadPool {
   const int num_threads_;
   std::vector<std::thread> workers_;
 
-  Mutex mutex_;
+  Mutex mutex_{LockRank::kThreadPool};
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
   // Generation counter: bumping it publishes a new job to the workers.

@@ -1,0 +1,119 @@
+// Tests for the debug lock-ordering checker (src/util/lock_rank.h,
+// DESIGN.md §16). The inversion cases are death tests: the checker's entire
+// contract is "abort at the inversion, before the deadlock", so the test
+// provokes a deliberately inverted acquisition and asserts the process dies
+// with the rank-inversion report. When the checker is compiled out (default
+// build — it arms under IAM_LOCK_RANK=1 / the TSan CI lane), the death
+// cases skip and only the pass-through behaviour is checked.
+
+#include <gtest/gtest.h>
+
+#include "util/lock_rank.h"
+#include "util/mutex.h"
+
+namespace iam::util {
+namespace {
+
+TEST(LockRankTest, DescendingAcquisitionIsClean) {
+  Mutex outer(LockRank::kBatcherQueue);
+  Mutex inner(LockRank::kRegistry);
+  MutexLock outer_lock(outer);
+  MutexLock inner_lock(inner);  // 500 under 700: strictly descending, legal
+  SUCCEED();
+}
+
+TEST(LockRankTest, FullChainDescends) {
+  // The longest real chain in the repo: Shutdown joins the whole stack.
+  Mutex shutdown(LockRank::kShutdown);
+  Mutex swap(LockRank::kSwap);
+  Mutex queue(LockRank::kBatcherQueue);
+  Mutex registry(LockRank::kRegistry);
+  Mutex batch(LockRank::kEstimatorBatch);
+  Mutex pool(LockRank::kThreadPool);
+  Mutex metrics(LockRank::kMetricsRegistry);
+  MutexLock l1(shutdown);
+  MutexLock l2(swap);
+  MutexLock l3(queue);
+  MutexLock l4(registry);
+  MutexLock l5(batch);
+  MutexLock l6(pool);
+  MutexLock l7(metrics);
+  SUCCEED();
+}
+
+TEST(LockRankTest, SequentialReacquisitionIsClean) {
+  // Releasing must pop the per-thread stack: lock low, release, lock high.
+  Mutex low(LockRank::kMetricsRegistry);
+  Mutex high(LockRank::kShutdown);
+  { MutexLock lock(low); }
+  MutexLock lock(high);  // legal: nothing is held any more
+  SUCCEED();
+}
+
+TEST(LockRankTest, UnrankedLocksAreExempt) {
+  Mutex unranked;  // default-constructed: kUnranked, not tracked
+  Mutex ranked(LockRank::kLeaf);
+  MutexLock inner(ranked);
+  MutexLock outer(unranked);  // would invert if unranked participated
+  SUCCEED();
+}
+
+TEST(LockRankTest, RawLockUnlockTracksLikeMutexLock) {
+  Mutex outer(LockRank::kBatcherQueue);
+  Mutex inner(LockRank::kRegistry);
+  outer.Lock();
+  inner.Lock();
+  inner.Unlock();
+  outer.Unlock();
+  SUCCEED();
+}
+
+TEST(LockRankDeathTest, InversionAborts) {
+  if (!lock_rank::Enabled()) {
+    GTEST_SKIP() << "lock-rank checker compiled out (IAM_LOCK_RANK=0)";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The canonical deadlock shape: this thread takes registry -> batcher
+  // queue while the serving path takes batcher queue -> registry.
+  EXPECT_DEATH(
+      {
+        Mutex registry(LockRank::kRegistry);
+        Mutex queue(LockRank::kBatcherQueue);
+        MutexLock registry_lock(registry);
+        MutexLock queue_lock(queue);  // rank 700 under rank 500: inversion
+      },
+      "lock rank inversion");
+}
+
+TEST(LockRankDeathTest, EqualRankNestingAborts) {
+  if (!lock_rank::Enabled()) {
+    GTEST_SKIP() << "lock-rank checker compiled out (IAM_LOCK_RANK=0)";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a(LockRank::kLeaf);
+        Mutex b(LockRank::kLeaf);
+        MutexLock a_lock(a);
+        MutexLock b_lock(b);  // two leaves have no mutual order
+      },
+      "lock rank inversion");
+}
+
+TEST(LockRankDeathTest, ReportNamesBothRanks) {
+  if (!lock_rank::Enabled()) {
+    GTEST_SKIP() << "lock-rank checker compiled out (IAM_LOCK_RANK=0)";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex held(LockRank::kEstimatorBatch);
+        Mutex incoming(LockRank::kShutdown);
+        MutexLock held_lock(held);
+        MutexLock incoming_lock(incoming);
+      },
+      "acquiring a rank-900 lock while holding a rank-400 lock");
+}
+
+}  // namespace
+}  // namespace iam::util

@@ -233,5 +233,75 @@ TEST(ModelCorruptionTest, LegacyUnversionedFormatRejected) {
   std::remove(path.c_str());
 }
 
+// Regressions promoted from the fuzz/ harnesses (DESIGN.md §16): readers
+// that honour stream-declared lengths must fail truncated or adversarial
+// inputs with a clean Status, allocating only for bytes that actually
+// arrive. The original finding: ReadEnvelope allocated the full declared
+// payload (up to 16 GiB from a 28-byte header) before reading a single
+// payload byte, and ReadVector resized to the declared element count the
+// same way. The mirror corpus inputs live in fuzz/corpus/envelope/.
+
+TEST(AdversarialInputRegressionTest, HugeDeclaredEnvelopeFailsCleanly) {
+  // Valid magic and version, a digest of zero, and a declared 8 GiB payload
+  // the stream does not contain. Must be a fast, clean failure — the
+  // chunked reader touches at most 1 MiB before hitting EOF.
+  std::stringstream stream;
+  stream.write("TESTMAG8", 8);
+  WritePod<uint32_t>(stream, 1);
+  WritePod<uint64_t>(stream, 8ULL << 30);
+  WritePod<uint64_t>(stream, 0);
+  const Result<std::string> read = ReadEnvelope(stream, "TESTMAG8", 1);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST(AdversarialInputRegressionTest, HugeDeclaredVectorFailsCleanly) {
+  // Element count just under the plausibility cap with an empty body: the
+  // pre-fix reader resized to count*sizeof(double) = 16 GiB up front.
+  std::stringstream stream;
+  WritePod<uint64_t>(stream, (1ULL << 31));
+  std::vector<double> values{1.0, 2.0};  // must be left empty on failure
+  const Status read = ReadVector(stream, &values);
+  EXPECT_EQ(read.code(), StatusCode::kIoError);
+  EXPECT_TRUE(values.empty() || values.size() <= (1ULL << 20));
+}
+
+TEST(AdversarialInputRegressionTest, VectorTruncatedMidChunkFailsCleanly) {
+  // Declared length spans multiple 1 MiB read chunks but the stream ends
+  // inside the second chunk — the multi-chunk path must also fail cleanly.
+  constexpr uint64_t kDeclared = 300000;  // doubles: ~2.3 MiB
+  std::stringstream stream;
+  WritePod<uint64_t>(stream, kDeclared);
+  const std::vector<double> partial(200000, 1.5);
+  stream.write(reinterpret_cast<const char*>(partial.data()),
+               static_cast<std::streamsize>(partial.size() * sizeof(double)));
+  std::vector<double> values;
+  const Status read = ReadVector(stream, &values);
+  EXPECT_EQ(read.code(), StatusCode::kIoError);
+}
+
+TEST(AdversarialInputRegressionTest, ChunkedVectorRoundTripIntact) {
+  // The chunked reader must stay byte-compatible with the writer across the
+  // chunk boundary (> 1 MiB of payload).
+  std::vector<double> original(180000);
+  for (size_t i = 0; i < original.size(); ++i) {
+    original[i] = static_cast<double>(i) * 0.5;
+  }
+  std::stringstream stream;
+  WriteVector(stream, original);
+  std::vector<double> reread;
+  ASSERT_TRUE(ReadVector(stream, &reread).ok());
+  EXPECT_EQ(reread, original);
+}
+
+TEST(AdversarialInputRegressionTest, HugeDeclaredStringFailsCleanly) {
+  std::stringstream stream;
+  WritePod<uint64_t>(stream, (1ULL << 24) - 1);  // just under the cap
+  stream << "only a few actual bytes";
+  std::string value;
+  const Status read = ReadString(stream, &value);
+  EXPECT_EQ(read.code(), StatusCode::kIoError);
+}
+
 }  // namespace
 }  // namespace iam

@@ -426,5 +426,88 @@ TEST(ServeSwapTest, HotSwapUnderLoadAcrossShardsLosesNothing) {
   server.Shutdown();
 }
 
+// Regressions promoted from fuzz/fuzz_frame_decoder.cc (DESIGN.md §16):
+// malformed framing from a raw socket must close exactly that connection —
+// cleanly, with no allocation driven by the adversarial header — while the
+// server keeps serving everyone else. The mirror corpus inputs live in
+// fuzz/corpus/frame_decoder/.
+
+// Reads until the peer closes; returns the number of bytes drained.
+size_t DrainUntilEof(int fd) {
+  size_t drained = 0;
+  char buffer[256];
+  ssize_t r;
+  while ((r = ::read(fd, buffer, sizeof(buffer))) > 0) {
+    drained += static_cast<size_t>(r);
+  }
+  EXPECT_EQ(r, 0) << "expected orderly close, got error";
+  return drained;
+}
+
+void ExpectStillServing(const EstimatorServer& server) {
+  Client client = ConnectedClient(server);
+  const auto reply = client.Estimate(kPredicate);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_GE(reply->selectivity, 0.0);
+}
+
+TEST(AdversarialFrameRegressionTest, OversizedHeaderClosesConnection) {
+  EstimatorServer server(SharedRegistry(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const int fd = RawConnect(server.port());
+  // 0xffffffff declared frame length: the decoder must reject the header
+  // outright rather than buffer toward 4 GiB.
+  const std::string header(4, '\xff');
+  SendAll(fd, header.data(), header.size());
+  DrainUntilEof(fd);
+  ::close(fd);
+  ExpectStillServing(server);
+  server.Shutdown();
+}
+
+TEST(AdversarialFrameRegressionTest, ZeroLengthFrameClosesConnection) {
+  EstimatorServer server(SharedRegistry(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const int fd = RawConnect(server.port());
+  const std::string header(4, '\0');
+  SendAll(fd, header.data(), header.size());
+  DrainUntilEof(fd);
+  ::close(fd);
+  ExpectStillServing(server);
+  server.Shutdown();
+}
+
+TEST(AdversarialFrameRegressionTest, TruncatedFrameHangupLeavesServerUp) {
+  EstimatorServer server(SharedRegistry(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const int fd = RawConnect(server.port());
+  // A complete header promising 100 bytes, then only 10, then hangup: the
+  // half-frame must be discarded with the connection, poisoning nothing.
+  const std::string wire =
+      EncodeFrame({FrameType::kEstimate, std::string(99, 'x')});
+  SendAll(fd, wire.data(), 14);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ::close(fd);
+  ExpectStillServing(server);
+  server.Shutdown();
+}
+
+TEST(AdversarialFrameRegressionTest, GarbageAfterValidFrameKillsConnection) {
+  EstimatorServer server(SharedRegistry(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const int fd = RawConnect(server.port());
+  // A valid request followed by a malformed header in one burst. Malformed
+  // framing is a protocol violation that kills the connection immediately —
+  // buffered requests on it are dropped, not answered — but the rest of the
+  // server must be untouched.
+  std::string burst = EncodeFrame({FrameType::kEstimate, kPredicate});
+  burst.append(4, '\xff');
+  SendAll(fd, burst.data(), burst.size());
+  DrainUntilEof(fd);
+  ::close(fd);
+  ExpectStillServing(server);
+  server.Shutdown();
+}
+
 }  // namespace
 }  // namespace iam::serve

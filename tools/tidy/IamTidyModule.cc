@@ -1,0 +1,188 @@
+// Repo-specific clang-tidy checks, built as a loadable plugin:
+//
+//   clang-tidy --load=<build>/tools/tidy/libiam_tidy_checks.so \
+//              --checks='iam-*' ...
+//
+// scripts/lint.sh passes --load automatically when the plugin has been
+// built; tools/tidy/selftest.sh asserts each check flags its bad TU and
+// passes its good TU. See DESIGN.md §16 for the invariants behind each
+// check.
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace clang::tidy::iam_checks {
+namespace {
+
+// NOLINTNEXTLINE(google-build-using-namespace): matcher DSL idiom
+using namespace clang::ast_matchers;
+
+// iam-unordered-container-iteration
+//
+// Range-for over std::unordered_{map,set,multimap,multiset} inside a
+// function whose name matches FunctionNameRegex (estimate/serialize-style
+// entry points). Hash-table iteration order is unspecified and varies across
+// libstdc++/libc++ and across runs with hardened hashing, so any output
+// assembled by such a loop is nondeterministic — it breaks bit-reproducible
+// estimates, golden-file serialization tests, and digest-stable envelopes.
+class UnorderedContainerIterationCheck : public ClangTidyCheck {
+ public:
+  UnorderedContainerIterationCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context),
+        FunctionNameRegex(std::string(Options.get(
+            "FunctionNameRegex",
+            "^(Estimate|Serialize|Save|Export|ToString|DebugString)"))) {}
+
+  void storeOptions(ClangTidyOptions::OptionMap& Opts) override {
+    Options.store(Opts, "FunctionNameRegex", FunctionNameRegex);
+  }
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override {
+    const auto UnorderedDecl = classTemplateSpecializationDecl(
+        hasAnyName("::std::unordered_map", "::std::unordered_set",
+                   "::std::unordered_multimap", "::std::unordered_multiset"));
+    const auto UnorderedType = qualType(
+        hasUnqualifiedDesugaredType(recordType(hasDeclaration(UnorderedDecl))));
+    Finder->addMatcher(
+        cxxForRangeStmt(
+            hasRangeInit(expr(anyOf(
+                hasType(UnorderedType),
+                hasType(qualType(references(UnorderedType)))))),
+            forFunction(
+                functionDecl(matchesName(FunctionNameRegex)).bind("func")))
+            .bind("loop"),
+        this);
+  }
+
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override {
+    const auto* Loop = Result.Nodes.getNodeAs<CXXForRangeStmt>("loop");
+    const auto* Func = Result.Nodes.getNodeAs<FunctionDecl>("func");
+    diag(Loop->getBeginLoc(),
+         "range-for over an unordered container in %0: iteration order is "
+         "unspecified, so the produced estimate/serialized output is "
+         "nondeterministic; iterate a sorted copy or an ordered container")
+        << Func;
+  }
+
+ private:
+  const std::string FunctionNameRegex;
+};
+
+// iam-guarded-mutable
+//
+// A `mutable` member of a class that owns a util::Mutex is, in this
+// codebase, almost always shared state written under that mutex from const
+// methods (caches, counters). Without IAM_GUARDED_BY the thread-safety
+// analysis cannot see the association, so unlocked writes compile silently.
+class GuardedMutableCheck : public ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override {
+    const auto MutexField =
+        fieldDecl(hasType(cxxRecordDecl(hasName("::iam::util::Mutex"))));
+    Finder->addMatcher(
+        fieldDecl(hasParent(cxxRecordDecl(has(MutexField)))).bind("field"),
+        this);
+  }
+
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override {
+    const auto* Field = Result.Nodes.getNodeAs<FieldDecl>("field");
+    if (!Field->isMutable()) return;
+    if (Field->hasAttr<GuardedByAttr>()) return;
+    // The mutex members themselves are capabilities, not guarded data.
+    if (const CXXRecordDecl* Record = Field->getType()->getAsCXXRecordDecl()) {
+      if (Record->getQualifiedNameAsString() == "iam::util::Mutex") return;
+    }
+    diag(Field->getLocation(),
+         "mutable member %0 of a Mutex-owning class has no IAM_GUARDED_BY "
+         "annotation; name the protecting mutex (or move the member out of "
+         "the lock's class)")
+        << Field;
+  }
+};
+
+// iam-nondeterministic-rng
+//
+// Every random stream in the repo must be seeded explicitly so runs are
+// reproducible (DESIGN.md §10). Flags: standard engines constructed with
+// their default seed, engines seeded from wall-clock time, and any use of
+// std::random_device.
+class NondeterministicRngCheck : public ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override {
+    const auto EngineDecl = classTemplateSpecializationDecl(
+        hasAnyName("::std::mersenne_twister_engine",
+                   "::std::linear_congruential_engine",
+                   "::std::subtract_with_carry_engine"));
+    const auto EngineConstruct = cxxConstructExpr(
+        hasDeclaration(cxxConstructorDecl(ofClass(EngineDecl))));
+    const auto TimeCall = callExpr(callee(functionDecl(
+        hasAnyName("::time", "::std::time", "::clock", "::std::clock"))));
+    Finder->addMatcher(
+        cxxConstructExpr(EngineConstruct,
+                         anyOf(argumentCountIs(0),
+                               hasArgument(0, cxxDefaultArgExpr())))
+            .bind("default_seed"),
+        this);
+    Finder->addMatcher(
+        cxxConstructExpr(EngineConstruct,
+                         hasArgument(0, expr(anyOf(TimeCall,
+                                                   hasDescendant(TimeCall)))))
+            .bind("time_seed"),
+        this);
+    Finder->addMatcher(
+        varDecl(hasType(cxxRecordDecl(hasName("::std::random_device"))))
+            .bind("random_device"),
+        this);
+  }
+
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override {
+    if (const auto* E = Result.Nodes.getNodeAs<CXXConstructExpr>(
+            "default_seed")) {
+      diag(E->getBeginLoc(),
+           "random engine constructed with its default seed; pass an "
+           "explicit deterministic seed (see util/random.h)");
+      return;
+    }
+    if (const auto* E = Result.Nodes.getNodeAs<CXXConstructExpr>(
+            "time_seed")) {
+      diag(E->getBeginLoc(),
+           "random engine seeded from wall-clock time; runs become "
+           "irreproducible — derive the seed from configuration instead");
+      return;
+    }
+    if (const auto* V = Result.Nodes.getNodeAs<VarDecl>("random_device")) {
+      diag(V->getLocation(),
+           "std::random_device is nondeterministic across runs; derive "
+           "seeds from configuration so results are reproducible");
+    }
+  }
+};
+
+class IamModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories& CheckFactories) override {
+    CheckFactories.registerCheck<UnorderedContainerIterationCheck>(
+        "iam-unordered-container-iteration");
+    CheckFactories.registerCheck<GuardedMutableCheck>("iam-guarded-mutable");
+    CheckFactories.registerCheck<NondeterministicRngCheck>(
+        "iam-nondeterministic-rng");
+  }
+};
+
+}  // namespace
+
+// Static registration runs when clang-tidy dlopens the plugin.
+static ClangTidyModuleRegistry::Add<IamModule> IamModuleRegistration(
+    "iam-module", "IAM repo-specific checks (DESIGN.md §16).");
+
+}  // namespace clang::tidy::iam_checks

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Self-test for the iam-* clang-tidy plugin: every check must flag its
+# violating TU and stay silent on its clean TU. Usage:
+#
+#   tools/tidy/selftest.sh [path/to/libiam_tidy_checks.so]
+#
+# Without an argument the newest plugin under build*/tools/tidy/ is used.
+# Hosts without clang-tidy (or without a built plugin) skip with a message
+# unless IAM_CI_REQUIRE_CLANG=1, matching scripts/ci.sh's clang gating.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+cd "${repo_root}"
+
+skip_or_die() {
+  if [[ "${IAM_CI_REQUIRE_CLANG:-0}" == "1" ]]; then
+    echo "selftest: $1 (IAM_CI_REQUIRE_CLANG=1)" >&2
+    exit 1
+  fi
+  echo "selftest: $1 — skipping"
+  exit 0
+}
+
+command -v clang-tidy >/dev/null 2>&1 || skip_or_die "clang-tidy not found"
+
+plugin="${1:-}"
+if [[ -z "${plugin}" ]]; then
+  plugin="$(ls -t build*/tools/tidy/libiam_tidy_checks.so 2>/dev/null |
+            head -n 1 || true)"
+fi
+[[ -n "${plugin}" && -f "${plugin}" ]] ||
+  skip_or_die "libiam_tidy_checks.so not built"
+
+run_tidy() {  # <check> <file>
+  clang-tidy --load="${plugin}" --checks="-*,$1" --warnings-as-errors='' \
+    "$2" -- -std=c++20 -I"${repo_root}/src" 2>/dev/null || true
+}
+
+failures=0
+
+expect_flag() {  # <check> <file>
+  local out
+  out="$(run_tidy "$1" "$2")"
+  if ! grep -q "\[$1\]" <<<"${out}"; then
+    echo "FAIL: $1 did not flag $2" >&2
+    echo "${out}" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $1 flags $(basename "$2")"
+  fi
+}
+
+expect_clean() {  # <check> <file>
+  local out
+  out="$(run_tidy "$1" "$2")"
+  if grep -q "\[$1\]" <<<"${out}"; then
+    echo "FAIL: $1 falsely flagged $2" >&2
+    echo "${out}" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $1 passes $(basename "$2")"
+  fi
+}
+
+t="tools/tidy/test"
+expect_flag iam-unordered-container-iteration "${t}/unordered_iteration_bad.cc"
+expect_clean iam-unordered-container-iteration \
+  "${t}/unordered_iteration_good.cc"
+expect_flag iam-guarded-mutable "${t}/guarded_mutable_bad.cc"
+expect_clean iam-guarded-mutable "${t}/guarded_mutable_good.cc"
+expect_flag iam-nondeterministic-rng "${t}/rng_bad.cc"
+expect_clean iam-nondeterministic-rng "${t}/rng_good.cc"
+
+if [[ "${failures}" -ne 0 ]]; then
+  echo "selftest: ${failures} failure(s)" >&2
+  exit 1
+fi
+echo "selftest: all iam-* checks behave"

@@ -1,0 +1,23 @@
+// Violating TU for iam-guarded-mutable: a mutable member of a Mutex-owning
+// class without IAM_GUARDED_BY. selftest.sh compiles with -I<repo>/src and
+// asserts the check fires.
+
+#include "util/mutex.h"
+
+namespace {
+
+class HitCache {
+ public:
+  int Get() const {
+    iam::util::MutexLock lock(mu_);
+    return ++hits_;
+  }
+
+ private:
+  mutable iam::util::Mutex mu_;
+  mutable int hits_ = 0;
+};
+
+}  // namespace
+
+int Probe() { return HitCache().Get(); }

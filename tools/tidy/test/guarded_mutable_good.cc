@@ -1,0 +1,23 @@
+// Clean TU for iam-guarded-mutable: the mutable member names its protecting
+// mutex with IAM_GUARDED_BY. selftest.sh asserts no diagnostic.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class HitCache {
+ public:
+  int Get() const {
+    iam::util::MutexLock lock(mu_);
+    return ++hits_;
+  }
+
+ private:
+  mutable iam::util::Mutex mu_;
+  mutable int hits_ IAM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int Probe() { return HitCache().Get(); }

@@ -1,0 +1,14 @@
+// Violating TU for iam-nondeterministic-rng: default-seeded engine,
+// time-seeded engine, and std::random_device. selftest.sh asserts the check
+// fires.
+
+#include <ctime>
+#include <random>
+
+unsigned DrawNondeterministic() {
+  std::mt19937 default_seeded;
+  std::mt19937_64 time_seeded(
+      static_cast<unsigned long long>(std::time(nullptr)));
+  std::random_device device;
+  return default_seeded() + static_cast<unsigned>(time_seeded()) + device();
+}

@@ -1,0 +1,10 @@
+// Clean TU for iam-nondeterministic-rng: every engine gets an explicit
+// deterministic seed. selftest.sh asserts no diagnostic.
+
+#include <random>
+
+unsigned DrawDeterministic(unsigned long long seed) {
+  std::mt19937_64 engine(seed);
+  std::mt19937 engine32(static_cast<unsigned>(seed));
+  return static_cast<unsigned>(engine()) + engine32();
+}

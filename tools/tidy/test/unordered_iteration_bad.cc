@@ -1,0 +1,14 @@
+// Violating TU for iam-unordered-container-iteration: range-for over a hash
+// map inside an Estimate* function. selftest.sh asserts the check fires.
+
+#include <string>
+#include <unordered_map>
+
+double EstimateTotalWeight(
+    const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  for (const auto& entry : weights) {
+    total += entry.second;
+  }
+  return total;
+}

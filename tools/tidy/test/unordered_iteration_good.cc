@@ -1,0 +1,24 @@
+// Clean TU for iam-unordered-container-iteration: unordered iteration is
+// fine outside estimate/serialize-style functions, and those functions may
+// iterate ordered containers freely. selftest.sh asserts no diagnostic.
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+double AccumulateWeights(
+    const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  for (const auto& entry : weights) {
+    total += entry.second;
+  }
+  return total;
+}
+
+double EstimateTotalWeight(const std::map<std::string, double>& weights) {
+  double total = 0.0;
+  for (const auto& entry : weights) {
+    total += entry.second;
+  }
+  return total;
+}
