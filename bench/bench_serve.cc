@@ -38,6 +38,7 @@
 
 #include "bench/bench_common.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "serve/batcher.h"
 #include "serve/client.h"
 #include "serve/demo.h"
@@ -560,6 +561,65 @@ int main(int argc, char** argv) {
                    bench::LoadResultJson(nodelay, qps) + "}";
   }
 
+  // --- 7. Query-log reconciliation (DESIGN.md §17). -------------------------
+  // The diagnostics ring is a second, per-query view of the same work the
+  // aggregate counters sum: one record per accepted request, and the ring's
+  // draw total must equal the iam_sampler_samples_total delta exactly. A
+  // mismatch means lost records or misattributed draws, and fails the bench.
+  std::string querylog_json;
+  {
+    obs::QueryLog& log = obs::QueryLog::Global();
+    obs::Counter& sampler_total =
+        obs::MetricRegistry::Global().GetCounter("iam_sampler_samples_total");
+    const uint64_t accepted_before = serve::ServeMetrics::Get().accepted.Total();
+    const uint64_t appended_before = log.Appended();
+    const uint64_t ring_draws_before = log.TotalDraws();
+    const uint64_t sampler_before = sampler_total.Total();
+
+    serve::EstimatorServer server(registry, options);
+    if (!server.Start().ok()) return 1;
+    const bench::LoadResult r = bench::RunLoad(
+        server.port(), predicates, sweep_requests, 2000.0, kLoadThreads);
+    server.Shutdown();
+
+    const uint64_t accepted =
+        serve::ServeMetrics::Get().accepted.Total() - accepted_before;
+    const uint64_t records = log.Appended() - appended_before;
+    const uint64_t ring_draws = log.TotalDraws() - ring_draws_before;
+    const uint64_t sampler_draws = sampler_total.Total() - sampler_before;
+    const bool records_match = records == accepted;
+    const bool draws_match = ring_draws == sampler_draws;
+    std::printf("\n### Query-log reconciliation (offered 2000 qps)\n");
+    std::printf(
+        "accepted %llu, ring records %llu (%s); sampler draws %llu, "
+        "ring draws %llu (%s)\n",
+        static_cast<unsigned long long>(accepted),
+        static_cast<unsigned long long>(records),
+        records_match ? "match" : "MISMATCH",
+        static_cast<unsigned long long>(sampler_draws),
+        static_cast<unsigned long long>(ring_draws),
+        draws_match ? "match" : "MISMATCH");
+    if (!records_match || !draws_match || r.failed != 0) {
+      std::fprintf(stderr,
+                   "FAIL: query-log diagnostics do not reconcile with the "
+                   "sampler counters\n");
+      return 1;
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"offered_qps\": 2000, \"accepted\": %llu, "
+                  "\"ring_records\": %llu, \"records_match\": %s, "
+                  "\"sampler_draws\": %llu, \"ring_draws\": %llu, "
+                  "\"draws_match\": %s}",
+                  static_cast<unsigned long long>(accepted),
+                  static_cast<unsigned long long>(records),
+                  records_match ? "true" : "false",
+                  static_cast<unsigned long long>(sampler_draws),
+                  static_cast<unsigned long long>(ring_draws),
+                  draws_match ? "true" : "false");
+    querylog_json = buf;
+  }
+
   if (!json_path.empty()) {
     std::string sweep = "[";
     for (size_t i = 0; i < sweep_rows.size(); ++i) {
@@ -574,6 +634,8 @@ int main(int argc, char** argv) {
     ok = bench::MergeJsonSection(json_path, "serve_pooled", pooled_json) && ok;
     ok = bench::MergeJsonSection(json_path, "serve_shards", shards_json) && ok;
     ok = bench::MergeJsonSection(json_path, "serve_nodelay", nodelay_json) &&
+         ok;
+    ok = bench::MergeJsonSection(json_path, "serve_querylog", querylog_json) &&
          ok;
     ok = bench::MergeMetricsIntoJson(json_path) && ok;
     if (!ok) {

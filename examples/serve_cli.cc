@@ -4,19 +4,24 @@
 //   serve_cli serve --model <model.iam> [--port N] [--max-batch N]
 //                   [--max-delay-us N] [--queue-capacity N] [--threads N]
 //                   [--shards N] [--listen-backlog N] [--max-pipeline N]
+//                   [--slow-ms X]
 //   serve_cli serve --demo [--model-out <model.iam>] [...same flags]
 //       Runs the service until SIGINT/SIGTERM or a kShutdown frame, then
 //       drains gracefully. Prints "listening on <addr>:<port>" once ready.
 //       SIGHUP hot-swaps the model by re-loading the file it was started
 //       from (or --model-out for --demo) — in-flight batches finish on the
 //       old generation. --shards N runs N batcher shards, each with its own
-//       queue, worker and model replica.
+//       queue, worker and model replica. --slow-ms X logs every query whose
+//       end-to-end latency reaches X ms to stderr with its sampler
+//       diagnostics and query-log sequence id.
 //
 //   serve_cli estimate <port> "<predicates>"     one estimate round trip
 //   serve_cli burst    <port> "<predicates>" <n> n pipelined estimates on
 //                                                one connection
 //   serve_cli swap     <port> <model.iam>        hot-swap via control frame
 //   serve_cli metrics  <port>                    Prometheus export
+//   serve_cli querylog <port> ["last=N min_ms=X"]  per-query diagnostics as
+//                                                JSON (DESIGN.md §17)
 //   serve_cli shutdown <port>                    ask the server to drain
 //
 // Client commands connect to 127.0.0.1. Predicates use the SQL-style grammar
@@ -89,6 +94,8 @@ int Serve(int argc, char** argv) {
       options.listen_backlog = std::atoi(value.c_str());
     } else if (FlagValue(argc, argv, &i, "--max-pipeline", &value)) {
       options.max_pipeline = std::atoi(value.c_str());
+    } else if (FlagValue(argc, argv, &i, "--slow-ms", &value)) {
+      options.batcher.slow_query_log_s = std::atof(value.c_str()) * 1e-3;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -186,6 +193,7 @@ int Usage() {
                "       serve_cli burst <port> \"<predicates>\" <count>\n"
                "       serve_cli swap <port> <model.iam>\n"
                "       serve_cli metrics <port>\n"
+               "       serve_cli querylog <port> [\"last=N min_ms=X\"]\n"
                "       serve_cli shutdown <port>\n");
   return 2;
 }
@@ -300,6 +308,22 @@ int main(int argc, char** argv) {
                         return 0;
                       },
                       "");
+  }
+  if (command == "querylog") {
+    return WithClient(port,
+                      [](iam::serve::Client& client,
+                         const std::string& filters) {
+                        const auto json = client.QueryLog(filters);
+                        if (!json.ok()) {
+                          std::fprintf(stderr, "%s\n",
+                                       json.status().ToString().c_str());
+                          return 1;
+                        }
+                        std::fputs(json->c_str(), stdout);
+                        std::fputs("\n", stdout);
+                        return 0;
+                      },
+                      argc >= 4 ? argv[3] : "");
   }
   if (command == "shutdown") {
     return WithClient(port,

@@ -14,17 +14,21 @@
 #                  no test run — this is the lock-discipline gate; breaking
 #                  an annotation fails the build itself.
 #   6. tsan-obs    TSan quick gate over the concurrency-sensitive tests
-#                  (obs_test, race_test, threadpool_test, plus the serve
-#                  micro-batcher and hot-swap suites) — sharded metrics,
-#                  trace buffers and the serving lock dance must stay
-#                  race-free.
+#                  (obs_test, query_log_test, race_test, threadpool_test,
+#                  plus the serve micro-batcher and hot-swap suites) —
+#                  sharded metrics, trace buffers, the seqlock query-log
+#                  ring and the serving lock dance must stay race-free.
 #   7. obs smoke   model_cli demo --metrics=FILE: asserts the Prometheus
 #                  export is non-empty and has no duplicate metric names.
 #   8. serve smoke boots the estimator service (serve_cli serve --demo) on
 #                  loopback with two batcher shards, runs client round trips,
 #                  a pipelined burst with a hot-swap racing it, and a metrics
-#                  scrape (global + per-shard series), and asserts a clean
-#                  drain shutdown.
+#                  scrape (global + per-shard series), pulls the query log
+#                  over the kQueryLog frame (record count must equal the
+#                  accepted count, filters must narrow it) and the --slow-ms
+#                  stderr log, and asserts a clean drain shutdown.
+#   8b. bench json python3 (if present): scripts/check_bench_json.py
+#                  schema-checks the committed BENCH_*.json files.
 #   9. asan-net    ASan+UBSan over the `net`-labeled loopback serving tests —
 #                  the untrusted-input surface (frame decode, envelope load)
 #                  exercised over real sockets under memory checking.
@@ -108,7 +112,9 @@ fi
 # The sharded metric registry and per-thread trace buffers are written from
 # every pool worker, and the serving layer's micro-batcher and hot-swap path
 # are lock dances by construction; this gate proves them race-free under
-# load. (MicroBatcherTest/ShardedBatcherTest/ServeShardTest/ServeSwapTest
+# load. QueryLogTest covers the seqlock diagnostics ring — concurrent
+# writers lapping a reader must stay TSan-clean with no torn records.
+# (MicroBatcherTest/ShardedBatcherTest/ServeShardTest/ServeSwapTest
 # are the serve concurrency suites — shard spill, the event loop's completion
 # queue, and the swap-under-load tests must stay TSan-clean;
 # ServePipelineTest exercises the loop's partial-read/partial-write paths.)
@@ -116,7 +122,7 @@ fi
 # so every ranked acquisition in these suites is order-checked and the
 # LockRank suites prove the checker itself catches inversions.
 run_config "${prefix}-tsan-obs" -LE slow -R \
-  '^(CounterTest|RegistryTest|HistogramTest|ExportTest|TraceTest|ObsDeterminismTest|RaceTest|ThreadPoolTest|MicroBatcherTest|ShardedBatcherTest|ServeShardTest|ServeSwapTest|ServePipelineTest|PooledSamplerTest|LockRankTest|LockRankDeathTest)\.' \
+  '^(CounterTest|RegistryTest|HistogramTest|ExportTest|TraceTest|ObsDeterminismTest|QueryLogTest|RaceTest|ThreadPoolTest|MicroBatcherTest|ShardedBatcherTest|ServeShardTest|ServeSwapTest|ServePipelineTest|PooledSamplerTest|LockRankTest|LockRankDeathTest)\.' \
   -- -DIAM_SANITIZE=thread
 
 # --- Stage 6b: pooled-sampler gate. ----------------------------------------
@@ -159,14 +165,20 @@ echo "obs smoke OK ($(grep -c '^# TYPE ' "${metrics_file}") metric families)"
 # the shutdown frame) and that the Prometheus export parses.
 echo "=== serve smoke: serve_cli demo server + client burst ==="
 serve_log="$(mktemp)"
+serve_err="$(mktemp)"
 serve_metrics="$(mktemp)"
 serve_model="$(mktemp)"
 burst_log="$(mktemp)"
-trap 'rm -f "${metrics_file}" "${serve_log}" "${serve_metrics}" \
-            "${serve_model}" "${burst_log}"' EXIT
+querylog_json="$(mktemp)"
+trap 'rm -f "${metrics_file}" "${serve_log}" "${serve_err}" \
+            "${serve_metrics}" "${serve_model}" "${burst_log}" \
+            "${querylog_json}"' EXIT
+# --slow-ms 0.001 makes effectively every request trip the slow-query stderr
+# log, so the smoke test can assert the diagnostic line fires.
 "${prefix}-default/examples/serve_cli" serve --demo --port 0 \
-  --max-delay-us 500 --shards 2 --model-out "${serve_model}" \
-  >"${serve_log}" 2>/dev/null &
+  --max-delay-us 500 --shards 2 --slow-ms 0.001 \
+  --model-out "${serve_model}" \
+  >"${serve_log}" 2>"${serve_err}" &
 serve_pid=$!
 serve_port=""
 for _ in $(seq 1 600); do
@@ -247,6 +259,35 @@ if ! grep -q '^iam_serve_model_swaps_total 1$' "${serve_metrics}"; then
   grep 'iam_serve_model' "${serve_metrics}" >&2 || true
   exit 1
 fi
+# Query-log wire pull (DESIGN.md §17): every accepted request (4 round trips
+# + the 64-deep burst) left exactly one record in the ring, retrievable over
+# the kQueryLog frame, and the filter grammar narrows the pull.
+"${prefix}-default/examples/serve_cli" querylog "${serve_port}" \
+  >"${querylog_json}"
+querylog_records="$(grep -o '"seq":' "${querylog_json}" | wc -l)"
+if [[ "${querylog_records}" -ne 68 ]]; then
+  echo "ci: FATAL: kQueryLog returned ${querylog_records} records," \
+       "expected 68 (= accepted requests)" >&2
+  head -c 2000 "${querylog_json}" >&2 || true
+  exit 1
+fi
+if ! grep -q '"appended":68' "${querylog_json}"; then
+  echo "ci: FATAL: kQueryLog appended total disagrees with accepted count" >&2
+  head -c 2000 "${querylog_json}" >&2 || true
+  exit 1
+fi
+"${prefix}-default/examples/serve_cli" querylog "${serve_port}" "last=5" \
+  >"${querylog_json}"
+if [[ "$(grep -o '"seq":' "${querylog_json}" | wc -l)" -ne 5 ]]; then
+  echo "ci: FATAL: kQueryLog last=5 filter did not return 5 records" >&2
+  head -c 2000 "${querylog_json}" >&2 || true
+  exit 1
+fi
+if ! grep -q 'iam_serve slow query: seq=' "${serve_err}"; then
+  echo "ci: FATAL: --slow-ms produced no slow-query lines on stderr" >&2
+  head -20 "${serve_err}" >&2 || true
+  exit 1
+fi
 "${prefix}-default/examples/serve_cli" shutdown "${serve_port}" >/dev/null
 if ! wait "${serve_pid}"; then
   echo "ci: FATAL: serve_cli did not drain cleanly" >&2
@@ -259,6 +300,17 @@ if ! grep -q '^shutdown complete$' "${serve_log}"; then
   exit 1
 fi
 echo "serve smoke OK (port ${serve_port})"
+
+# --- Stage 8b: committed bench JSON schema check. --------------------------
+# The BENCH_*.json files at the repo root are commitments (overhead bounds,
+# reconciliation flags); the checker fails CI when a section disappears or a
+# committed bound regresses. python3 is optional on minimal hosts.
+if command -v python3 >/dev/null 2>&1; then
+  echo "=== bench json: scripts/check_bench_json.py ==="
+  python3 scripts/check_bench_json.py
+else
+  echo "ci: python3 not found; bench JSON schema check skipped"
+fi
 
 # --- Stage 9: ASan over the loopback serving tests. ------------------------
 # The `net` label marks the tests that push adversarial and well-formed

@@ -517,6 +517,7 @@ ArDensityEstimator::QueryRun ArDensityEstimator::RunQuerySampling(
     if (gather.empty()) continue;
     // One progressive-sampling draw per live row at this AR step.
     metrics.sampler_samples.Add(gather.size());
+    run.draws += gather.size();
 
     made_->ConditionalDistribution(gather, m, scratch.probs, scratch.ctx);
 
@@ -528,6 +529,8 @@ ArDensityEstimator::QueryRun ArDensityEstimator::RunQuerySampling(
 
       if (draw.sampled < 0 || draw.mass <= 0.0) {
         run.weights[row] = 0.0;
+        run.fallbacks += 1;
+        run.fallback_column = owner;
         if (owner < static_cast<int>(fallback_counters_.size())) {
           fallback_counters_[owner]->Add();
         }
@@ -614,10 +617,17 @@ ArDensityEstimator::DrawOutcome ArDensityEstimator::DrawCoordinate(
 
 std::vector<double> ArDensityEstimator::EstimateBatch(
     std::span<const query::Query> qs) {
+  return EstimateBatchDiagnosed(qs, {});
+}
+
+std::vector<double> ArDensityEstimator::EstimateBatchDiagnosed(
+    std::span<const query::Query> qs,
+    std::span<estimator::QueryDiagnostics> diags) {
   // Serializes concurrent batch calls (each still parallel internally) and
   // covers the per-worker scratch slots. Determinism makes the interleaving
   // unobservable: every query's estimate depends only on (seed, query index)
   // on both sampling paths.
+  IAM_CHECK(diags.empty() || diags.size() == qs.size());
   obs::TraceSpan span("core.estimate_batch");
   estimator::BatchMetrics& batch_metrics = estimator::BatchMetrics::Get();
   Stopwatch batch_watch;
@@ -640,7 +650,7 @@ std::vector<double> ArDensityEstimator::EstimateBatch(
     const size_t group = std::max<size_t>(1, rows_cap / std::max(sp, 1));
     for (size_t begin = 0; begin < qs.size(); begin += group) {
       EstimateBatchPooled(qs, begin, std::min(qs.size(), begin + group),
-                          estimates);
+                          estimates, diags);
     }
     // Per-query latency under pooling is the amortized batch time: exactly
     // one Record per query, matching the legacy path's semantic count.
@@ -665,6 +675,16 @@ std::vector<double> ArDensityEstimator::EstimateBatch(
         for (int s = 0; s < sp; ++s) total += run.weights[s];
         estimates[qi] = Clamp(total / sp, 0.0, 1.0);
       }
+      if (!diags.empty()) {
+        estimator::QueryDiagnostics& d = diags[qi];
+        d = estimator::QueryDiagnostics{};
+        d.sampler_draws = run.draws;
+        d.sample_rows = run.dead ? 0 : sp;
+        d.rounds = run.dead ? 0 : 1;  // the legacy path is one fixed wave
+        d.fallbacks = run.fallbacks;
+        d.fallback_column = run.fallback_column;
+        d.dead = run.dead;
+      }
       batch_metrics.query_seconds.Record(query_watch.ElapsedSeconds());
     });
   }
@@ -674,9 +694,10 @@ std::vector<double> ArDensityEstimator::EstimateBatch(
   return estimates;
 }
 
-void ArDensityEstimator::EstimateBatchPooled(std::span<const query::Query> qs,
-                                             size_t q_begin, size_t q_end,
-                                             std::vector<double>& estimates) {
+void ArDensityEstimator::EstimateBatchPooled(
+    std::span<const query::Query> qs, size_t q_begin, size_t q_end,
+    std::vector<double>& estimates,
+    std::span<estimator::QueryDiagnostics> diags) {
   const int nq = static_cast<int>(q_end - q_begin);
   if (nq <= 0) return;
   const int num_model_cols = static_cast<int>(model_col_owner_.size());
@@ -700,6 +721,13 @@ void ArDensityEstimator::EstimateBatchPooled(std::span<const query::Query> qs,
     pq.samples_done = 0;
     pq.weight_sum = 0.0;
     pq.weight_sq = 0.0;
+    pq.draws = 0;
+    pq.prefix_hits = 0;
+    pq.fallbacks = 0;
+    pq.fallback_column = -1;
+    pq.rounds = 0;
+    pq.early_stop_round = -1;
+    pq.ci_half_width = 0.0;
     for (const Constraint& con : pq.constraints) {
       if (con.impossible) pq.dead = true;
     }
@@ -783,6 +811,7 @@ void ArDensityEstimator::EstimateBatchPooled(std::span<const query::Query> qs,
       // representative per distinct prefix.
       int unique = 0;
       ps.unique_of.resize(live);
+      ps.hit_of.assign(live, 0);
       ps.unique_data.resize(static_cast<size_t>(live) * num_model_cols);
       if (options_.prefix_sharing) {
         ps.unique_hash.clear();
@@ -818,6 +847,8 @@ void ArDensityEstimator::EstimateBatchPooled(std::span<const query::Query> qs,
             ps.unique_hash.push_back(h);
             ps.unique_next.push_back(ps.bucket_head[h & mask]);
             ps.bucket_head[h & mask] = uid;
+          } else {
+            ps.hit_of[g] = 1;  // shared an already-seen prefix
           }
           ps.unique_of[g] = uid;
         }
@@ -859,9 +890,15 @@ void ArDensityEstimator::EstimateBatchPooled(std::span<const query::Query> qs,
         const int i = ps.draw_queries[di];
         PooledQuery& pq = ps.queries[i];
         const Constraint& con = pq.constraints[owner];
+        // Per-query diagnostics: the segment [seg_begin, seg_end) is this
+        // query's exact share of the wave's `live` rows, so summing segment
+        // lengths over every (wave, column) step reproduces the process-wide
+        // iam_sampler_samples_total contribution of this query.
+        pq.draws += static_cast<uint64_t>(ps.seg_end[di] - ps.seg_begin[di]);
         for (int g = ps.seg_begin[di]; g < ps.seg_end[di]; ++g) {
           const int row = ps.live_rows[g];
           const int uid = ps.unique_of[g];
+          pq.prefix_hits += ps.hit_of[g];
           const float* prow =
               ps.slice_probs[uid / kSliceRows].row(uid % kSliceRows);
           int* srow =
@@ -871,6 +908,8 @@ void ArDensityEstimator::EstimateBatchPooled(std::span<const query::Query> qs,
               DrawCoordinate(col, con, role, high, prow, pq.rng);
           if (draw.sampled < 0 || draw.mass <= 0.0) {
             ps.weights[row] = 0.0;
+            pq.fallbacks += 1;
+            pq.fallback_column = owner;
             if (owner < static_cast<int>(fallback_counters_.size())) {
               fallback_counters_[owner]->Add();
             }
@@ -895,6 +934,7 @@ void ArDensityEstimator::EstimateBatchPooled(std::span<const query::Query> qs,
         pq.weight_sq += w * w;
       }
       pq.samples_done = cursor;
+      pq.rounds += 1;
       if (cursor >= sp) {
         pq.done = true;
         continue;
@@ -905,10 +945,12 @@ void ArDensityEstimator::EstimateBatchPooled(std::span<const query::Query> qs,
         const double var =
             std::max((pq.weight_sq - n * mean * mean) / (n - 1.0), 0.0);
         const double half = options_.adaptive_ci_z * std::sqrt(var / n);
+        pq.ci_half_width = half;
         if (half <=
             options_.adaptive_ci_rel * mean + options_.adaptive_ci_abs) {
           pq.done = true;
           pq.early_stopped = true;
+          pq.early_stop_round = pq.rounds;
           pooled_metrics.early_stops.Add();
         }
       }
@@ -917,6 +959,19 @@ void ArDensityEstimator::EstimateBatchPooled(std::span<const query::Query> qs,
 
   for (int i = 0; i < nq; ++i) {
     const PooledQuery& pq = ps.queries[i];
+    if (!diags.empty()) {
+      estimator::QueryDiagnostics& d = diags[q_begin + i];
+      d = estimator::QueryDiagnostics{};
+      d.sampler_draws = pq.draws;
+      d.sample_rows = pq.samples_done;
+      d.rounds = pq.rounds;
+      d.early_stop_round = pq.early_stop_round;
+      d.prefix_hits = pq.prefix_hits;
+      d.fallbacks = pq.fallbacks;
+      d.fallback_column = pq.fallback_column;
+      d.dead = pq.dead;
+      d.ci_half_width = pq.ci_half_width;
+    }
     if (pq.dead || pq.samples_done <= 0) continue;  // estimate stays 0
     estimates[q_begin + i] =
         Clamp(pq.weight_sum / pq.samples_done, 0.0, 1.0);

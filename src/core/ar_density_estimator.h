@@ -1,6 +1,7 @@
 #ifndef IAM_CORE_AR_DENSITY_ESTIMATOR_H_
 #define IAM_CORE_AR_DENSITY_ESTIMATOR_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -134,6 +135,13 @@ class ArDensityEstimator : public estimator::Estimator {
   std::string name() const override;
   double Estimate(const query::Query& q) override;
   std::vector<double> EstimateBatch(std::span<const query::Query> qs) override;
+  // Same estimates, plus per-query sampler diagnostics (DESIGN.md §17). The
+  // diagnostic fields are accumulated on both sampling paths whether or not
+  // a caller asks for them, so the two entry points stay bit-identical; the
+  // span only controls the copy-out.
+  std::vector<double> EstimateBatchDiagnosed(
+      std::span<const query::Query> qs,
+      std::span<estimator::QueryDiagnostics> diags) override;
   size_t SizeBytes() const override;
 
   // Approximate aggregation (the paper's future-work extension): estimates
@@ -220,6 +228,10 @@ class ArDensityEstimator : public estimator::Estimator {
     bool dead = false;
     std::vector<std::vector<int>> samples;  // sp rows
     std::vector<double> weights;            // sp
+    // Diagnostics (copied into estimator::QueryDiagnostics on request).
+    uint64_t draws = 0;        // rows drawn across all AR steps
+    int fallbacks = 0;         // zero-mass wildcard fallbacks
+    int fallback_column = -1;  // table column of the last fallback
   };
   // Per-worker inference scratch: one AR evaluation context plus the
   // conditional-probability and gather buffers, reused across queries.
@@ -261,6 +273,16 @@ class ArDensityEstimator : public estimator::Estimator {
     int samples_done = 0;       // rows finished in completed waves
     double weight_sum = 0.0;
     double weight_sq = 0.0;
+    // Diagnostics, accumulated per query (each draw ParallelFor iteration
+    // owns one query, so these need no synchronization and their totals are
+    // thread-count invariant). See DESIGN.md §17.
+    uint64_t draws = 0;         // rows drawn across all (wave, column) steps
+    int prefix_hits = 0;        // rows served from a shared prefix
+    int fallbacks = 0;          // zero-mass wildcard fallbacks
+    int fallback_column = -1;   // table column of the last fallback
+    int rounds = 0;             // waves executed for this query
+    int early_stop_round = -1;  // wave the CI test stopped it at
+    double ci_half_width = 0.0;  // last computed CI half-width
   };
   // Buffers of the pooled cross-query sampler, cached across batches so a
   // solo Estimate() stops paying per-call allocation (the QueryRun the
@@ -278,6 +300,7 @@ class ArDensityEstimator : public estimator::Estimator {
     std::vector<int> seg_begin;      // per draw-query range into live_rows
     std::vector<int> seg_end;
     std::vector<int> unique_of;      // live index -> unique row id
+    std::vector<uint8_t> hit_of;     // live index -> 1 if prefix was shared
     std::vector<int> unique_data;    // [U, M] compacted unique rows (GEMM in)
     std::vector<uint64_t> unique_hash;
     std::vector<int> unique_next;    // dedup hash chains
@@ -288,8 +311,11 @@ class ArDensityEstimator : public estimator::Estimator {
   // prefix-shared conditionals, optional adaptive budgets. Processes
   // queries [q_begin, q_end) of qs into estimates (the caller splits the
   // batch into groups bounding the transient probability-matrix memory).
+  // `diags` is empty or one entry per query of the *full* batch, filled for
+  // [q_begin, q_end).
   void EstimateBatchPooled(std::span<const query::Query> qs, size_t q_begin,
-                           size_t q_end, std::vector<double>& estimates)
+                           size_t q_end, std::vector<double>& estimates,
+                           std::span<estimator::QueryDiagnostics> diags)
       IAM_REQUIRES(batch_mu_);
 
   ArDensityEstimator() : rng_(0) {}  // for Load()

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/macros.h"
 #include "util/math_util.h"
 #include "util/stopwatch.h"
 
@@ -28,6 +29,14 @@ std::vector<double> Estimator::EstimateBatch(
   out.reserve(qs.size());
   for (const query::Query& q : qs) out.push_back(Estimate(q));
   return out;
+}
+
+std::vector<double> Estimator::EstimateBatchDiagnosed(
+    std::span<const query::Query> qs, std::span<QueryDiagnostics> diags) {
+  IAM_CHECK(diags.empty() || diags.size() == qs.size());
+  // Non-sampling estimators have nothing to report beyond the defaults.
+  for (QueryDiagnostics& d : diags) d = QueryDiagnostics{};
+  return EstimateBatch(qs);
 }
 
 void Estimator::set_num_threads(int num_threads) {

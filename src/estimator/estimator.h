@@ -1,6 +1,7 @@
 #ifndef IAM_ESTIMATOR_ESTIMATOR_H_
 #define IAM_ESTIMATOR_ESTIMATOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -33,6 +34,23 @@ struct BatchMetrics {
   static BatchMetrics& Get();
 };
 
+// Per-query sampler diagnostics surfaced by EstimateBatchDiagnosed
+// (DESIGN.md §17): what the progressive sampler actually did for one query.
+// Estimators that do no sampling report the defaults (all-zero, rounds = 0).
+// Filling these is observational only — an estimator must return estimates
+// bit-identical to its plain EstimateBatch for the same queries.
+struct QueryDiagnostics {
+  uint64_t sampler_draws = 0;     // progressive-sampler rows drawn
+  int32_t sample_rows = 0;        // per-wave sample rows configured
+  int32_t rounds = 0;             // adaptive-budget waves executed
+  int32_t early_stop_round = -1;  // wave the CI test stopped it at (-1 none)
+  int32_t prefix_hits = 0;        // prefix-share cache hits
+  int32_t fallbacks = 0;          // zero-mass wildcard fallbacks taken
+  int32_t fallback_column = -1;   // column of the last fallback (-1 none)
+  bool dead = false;              // provably empty (contradictory ranges)
+  double ci_half_width = 0.0;     // CI half-width at stop (0 if never tested)
+};
+
 // Common interface of every selectivity estimator in the evaluation
 // (Section 6.1.2). Estimate() returns a selectivity in [0, 1]; callers apply
 // the paper's 1/|T| floor inside the q-error metric.
@@ -50,6 +68,17 @@ class Estimator {
   // scan-based estimators override this to share forward passes (Table 7)
   // and/or to spread queries across the thread pool.
   virtual std::vector<double> EstimateBatch(std::span<const query::Query> qs);
+
+  // Batched inference with per-query diagnostics. `diags` is either empty
+  // (no collection) or exactly qs.size() entries that the estimator fills
+  // in place. Estimates must be bit-identical to EstimateBatch on the same
+  // queries — diagnostics are a read-only window, never a behavior change.
+  // The default fills the all-zero defaults and delegates to EstimateBatch;
+  // sampling estimators (ArDensityEstimator) override it. Named distinctly
+  // rather than overloaded so subclasses overriding only EstimateBatch do
+  // not hide it.
+  virtual std::vector<double> EstimateBatchDiagnosed(
+      std::span<const query::Query> qs, std::span<QueryDiagnostics> diags);
 
   // Storage footprint of the trained model (Tables 6 and 12).
   virtual size_t SizeBytes() const = 0;

@@ -26,10 +26,16 @@ std::string LabeledName(const std::string& name, const std::string& label_key,
                         const std::string& label_value) {
   IAM_CHECK_MSG(ValidMetricName(name), "bad metric name");
   IAM_CHECK_MSG(ValidMetricName(label_key), "bad label key");
-  IAM_CHECK_MSG(label_value.find('"') == std::string::npos &&
-                    label_value.find('\\') == std::string::npos,
-                "label value must not contain quotes or backslashes");
-  return name + "{" + label_key + "=\"" + label_value + "\"}";
+  // Label values are free-form (column names, user strings): quotes and
+  // backslashes are escaped per the Prometheus exposition format rather
+  // than rejected, so `col"x` renders as label_key="col\"x".
+  std::string escaped;
+  escaped.reserve(label_value.size());
+  for (const char c : label_value) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    escaped += c;
+  }
+  return name + "{" + label_key + "=\"" + escaped + "\"}";
 }
 
 // The metric family a sample line belongs to: the name up to the label block.
@@ -90,10 +96,13 @@ Histogram::Histogram(std::span<const double> bounds)
                 "histogram boundaries must ascend");
   for (Shard& s : shards_) {
     s.buckets = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+    s.exemplars = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
   }
 }
 
-void Histogram::Record(double value) {
+void Histogram::Record(double value) { Record(value, 0); }
+
+void Histogram::Record(double value, uint64_t exemplar_seq) {
   const size_t bucket =
       std::lower_bound(bounds_.begin(), bounds_.end(), value) -
       bounds_.begin();
@@ -104,25 +113,37 @@ void Histogram::Record(double value) {
   while (!s.sum.compare_exchange_weak(sum, sum + value,
                                       std::memory_order_relaxed)) {
   }
+  if (exemplar_seq != 0) {
+    s.exemplars[bucket].store(exemplar_seq, std::memory_order_relaxed);
+  }
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
   HistogramSnapshot snap;
   snap.bounds = bounds_;
   snap.bucket_counts.assign(bounds_.size() + 1, 0);
+  std::vector<uint64_t> exemplars(bounds_.size() + 1, 0);
+  bool any_exemplar = false;
   for (const Shard& s : shards_) {
     for (size_t b = 0; b < s.buckets.size(); ++b) {
       snap.bucket_counts[b] += s.buckets[b].load(std::memory_order_relaxed);
+      // Sequence numbers are monotone, so the max across shards is the most
+      // recently stamped exemplar for the bucket.
+      const uint64_t seq = s.exemplars[b].load(std::memory_order_relaxed);
+      if (seq > exemplars[b]) exemplars[b] = seq;
+      any_exemplar |= seq != 0;
     }
     snap.count += s.count.load(std::memory_order_relaxed);
     snap.sum += s.sum.load(std::memory_order_relaxed);
   }
+  if (any_exemplar) snap.exemplar_seq = std::move(exemplars);
   return snap;
 }
 
 void Histogram::Reset() {
   for (Shard& s : shards_) {
     for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    for (auto& e : s.exemplars) e.store(0, std::memory_order_relaxed);
     s.count.store(0, std::memory_order_relaxed);
     s.sum.store(0.0, std::memory_order_relaxed);
   }
@@ -160,6 +181,14 @@ void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
   }
   count += other.count;
   sum += other.sum;
+  if (!other.exemplar_seq.empty()) {
+    if (exemplar_seq.empty()) {
+      exemplar_seq.assign(bucket_counts.size(), 0);
+    }
+    for (size_t b = 0; b < exemplar_seq.size(); ++b) {
+      exemplar_seq[b] = std::max(exemplar_seq[b], other.exemplar_seq[b]);
+    }
+  }
 }
 
 std::span<const double> LatencyBounds() {
@@ -296,7 +325,18 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
            ",\"mean\":" + FormatDouble(h.Mean()) +
            ",\"p50\":" + FormatDouble(h.Quantile(0.5)) +
            ",\"p95\":" + FormatDouble(h.Quantile(0.95)) +
-           ",\"p99\":" + FormatDouble(h.Quantile(0.99)) + "}";
+           ",\"p99\":" + FormatDouble(h.Quantile(0.99));
+    if (!h.exemplar_seq.empty()) {
+      // Per-bucket query-log sequence ids (0 = none): a slow bucket links
+      // straight to the QueryLog records that landed in it.
+      out += ",\"exemplar_seq\":[";
+      for (size_t b = 0; b < h.exemplar_seq.size(); ++b) {
+        if (b > 0) out += ",";
+        out += std::to_string(h.exemplar_seq[b]);
+      }
+      out += "]";
+    }
+    out += "}";
   }
   out += "}}";
   return out;

@@ -93,6 +93,11 @@ struct HistogramSnapshot {
   std::vector<uint64_t> bucket_counts;   // bounds.size() + 1 entries
   uint64_t count = 0;
   double sum = 0.0;
+  // Per-bucket exemplar: the most recent query-log sequence number recorded
+  // into the bucket (0 = none), so a p99 bucket links to the concrete
+  // QueryLog records behind it (DESIGN.md §17). Empty when the histogram has
+  // never seen an exemplar; otherwise bounds.size() + 1 entries.
+  std::vector<uint64_t> exemplar_seq;
 
   // Linear-interpolation quantile from the bucket counts, so snapshots
   // report p95/p99 without retaining individual samples. q in [0, 1].
@@ -100,7 +105,9 @@ struct HistogramSnapshot {
   double Quantile(double q) const;
   double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
 
-  // Adds `other` into this summary; boundaries must match.
+  // Adds `other` into this summary; boundaries must match. Exemplars take
+  // the bucket-wise max (sequence numbers are monotone, so max = newest);
+  // an empty exemplar vector merges as all-zeros.
   void Merge(const HistogramSnapshot& other);
 };
 
@@ -114,6 +121,10 @@ class Histogram {
   Histogram& operator=(const Histogram&) = delete;
 
   void Record(double value);
+  // Like Record, but also stamps `exemplar_seq` (a QueryLog sequence number)
+  // onto the bucket the value lands in: one extra relaxed store, so tail
+  // buckets stay linked to the newest diagnostic record that hit them.
+  void Record(double value, uint64_t exemplar_seq);
   HistogramSnapshot Snapshot() const;  // name field left empty
   void Reset();
 
@@ -122,6 +133,7 @@ class Histogram {
  private:
   struct alignas(64) Shard {
     std::vector<std::atomic<uint64_t>> buckets;
+    std::vector<std::atomic<uint64_t>> exemplars;
     std::atomic<uint64_t> count{0};
     std::atomic<double> sum{0.0};
   };

@@ -1,0 +1,170 @@
+#include "obs/query_log.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <type_traits>
+
+#include "util/macros.h"
+
+namespace iam::obs {
+
+namespace {
+
+static_assert(std::is_trivially_copyable_v<QueryRecord>,
+              "records round-trip through memcpy");
+
+bool IsPowerOfTwo(size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+QueryLogFilter ParseQueryLogFilter(std::string_view text) {
+  QueryLogFilter filter;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    size_t end = pos;
+    while (end < text.size() && text[end] != ' ') ++end;
+    const std::string_view token = text.substr(pos, end - pos);
+    pos = end;
+    const size_t eq = token.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string_view key = token.substr(0, eq);
+    const std::string value(token.substr(eq + 1));
+    char* parse_end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &parse_end);
+    if (parse_end == value.c_str() || parsed < 0.0) continue;
+    if (key == "last") {
+      filter.last_n = static_cast<size_t>(parsed);
+    } else if (key == "min_ms") {
+      filter.min_total_s = parsed / 1e3;
+    }
+    // Unknown keys are ignored: forward compatibility on the wire.
+  }
+  return filter;
+}
+
+QueryLog::QueryLog(size_t capacity)
+    : capacity_(capacity),
+      mask_(capacity - 1),
+      slots_(std::make_unique<Slot[]>(capacity)) {
+  IAM_CHECK_MSG(IsPowerOfTwo(capacity),
+                "query-log capacity must be a power of two");
+}
+
+QueryLog& QueryLog::Global() {
+  static QueryLog log;
+  return log;
+}
+
+uint64_t QueryLog::Append(const QueryRecord& rec) {
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  total_draws_.fetch_add(rec.sampler_draws, std::memory_order_relaxed);
+
+  QueryRecord stamped = rec;
+  stamped.seq = seq;
+  uint64_t words[kQueryRecordWords];
+  std::memcpy(words, &stamped, sizeof(stamped));
+
+  Slot& slot = slots_[(seq - 1) & mask_];
+  // Per-slot writer hand-off: sequence numbers hit a slot in the order
+  // s, s+capacity, s+2*capacity, ..., so wait until the previous lap has
+  // committed (stamp == 2*(seq-capacity); 0 on the first lap). Without this
+  // a stalled writer's late even-stamp store could mask a lapping writer's
+  // in-progress payload and a reader would accept a torn mix of the two.
+  // The acquire pairs with the predecessor's committing release store.
+  const uint64_t prev_commit =
+      seq > capacity_ ? 2 * (seq - capacity_) : 0;
+  int spins = 0;
+  while (slot.stamp.load(std::memory_order_acquire) != prev_commit) {
+    if (++spins >= 1024) {
+      spins = 0;
+      std::this_thread::yield();
+    }
+  }
+  slot.stamp.store(2 * seq - 1, std::memory_order_relaxed);
+  // Release fence (not a release store on the stamp, which would only order
+  // *prior* accesses): makes the in-progress stamp visible before any
+  // payload word, pairing with the acquire fence in Snapshot — a reader
+  // that copied one of our words re-reads a changed stamp and discards.
+  std::atomic_thread_fence(std::memory_order_release);
+  for (size_t w = 0; w < kQueryRecordWords; ++w) {
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  }
+  slot.stamp.store(2 * seq, std::memory_order_release);
+  return seq;
+}
+
+std::vector<QueryRecord> QueryLog::Snapshot(
+    const QueryLogFilter& filter) const {
+  std::vector<QueryRecord> out;
+  out.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    const uint64_t before = slot.stamp.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) continue;  // empty or mid-write
+    uint64_t words[kQueryRecordWords];
+    for (size_t w = 0; w < kQueryRecordWords; ++w) {
+      words[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.stamp.load(std::memory_order_relaxed) != before) {
+      continue;  // a writer lapped the slot mid-copy; discard
+    }
+    QueryRecord rec;
+    std::memcpy(&rec, words, sizeof(rec));
+    if (rec.total_s < filter.min_total_s) continue;
+    out.push_back(rec);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryRecord& a, const QueryRecord& b) {
+              return a.seq < b.seq;
+            });
+  if (filter.last_n > 0 && out.size() > filter.last_n) {
+    out.erase(out.begin(),
+              out.end() - static_cast<ptrdiff_t>(filter.last_n));
+  }
+  return out;
+}
+
+std::string QueryLogToJson(const std::vector<QueryRecord>& records,
+                           uint64_t appended, size_t capacity) {
+  std::string out = "{\"records\":[";
+  bool first = true;
+  for (const QueryRecord& r : records) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"seq\":" + std::to_string(r.seq) +
+           ",\"shard\":" + std::to_string(r.shard) +
+           ",\"batch_size\":" + std::to_string(r.batch_size) +
+           ",\"model_version\":" + std::to_string(r.model_version) +
+           ",\"sampler_draws\":" + std::to_string(r.sampler_draws) +
+           ",\"sample_rows\":" + std::to_string(r.sample_rows) +
+           ",\"rounds\":" + std::to_string(r.rounds) +
+           ",\"early_stop_round\":" + std::to_string(r.early_stop_round) +
+           ",\"ci_half_width\":" + JsonDouble(r.ci_half_width) +
+           ",\"prefix_hits\":" + std::to_string(r.prefix_hits) +
+           ",\"fallbacks\":" + std::to_string(r.fallbacks) +
+           ",\"fallback_column\":" + std::to_string(r.fallback_column) +
+           ",\"dead\":" + std::to_string(r.dead) +
+           ",\"selectivity\":" + JsonDouble(r.selectivity) +
+           ",\"queue_wait_s\":" + JsonDouble(r.queue_wait_s) +
+           ",\"exec_s\":" + JsonDouble(r.exec_s) +
+           ",\"total_s\":" + JsonDouble(r.total_s) + "}";
+  }
+  out += "],\"appended\":" + std::to_string(appended) +
+         ",\"capacity\":" + std::to_string(capacity) + "}";
+  return out;
+}
+
+}  // namespace iam::obs

@@ -1,0 +1,138 @@
+#ifndef IAM_OBS_QUERY_LOG_H_
+#define IAM_OBS_QUERY_LOG_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iam::obs {
+
+// Request-scoped diagnostics ring (DESIGN.md §17). Every served (or batch-
+// estimated) query appends one fixed-size QueryRecord describing what the
+// sampler actually did for it — samples drawn, adaptive-budget rounds,
+// early-stop round and CI width, prefix-share hits, zero-mass wildcard
+// fallbacks — plus the serving context (shard, batch size, queue-wait /
+// exec / total latency, model version). The ring is always on: the write
+// path is mutex-free (a seqlock-style stamp protocol over plain atomics,
+// like the sharded counters in metrics.h), so it can stay enabled in
+// production; readers snapshot without blocking writers and torn slots are
+// detected and skipped, never returned.
+
+// One query's diagnostics. Trivially copyable by design: the ring stores
+// records as arrays of atomic 64-bit words, so the layout must be a plain
+// bag of 8-byte-aligned scalars.
+struct QueryRecord {
+  uint64_t seq = 0;            // 1-based append order, assigned by the ring
+  uint64_t model_version = 0;  // serving model version (0 outside serve)
+  uint64_t sampler_draws = 0;  // progressive-sampler rows drawn for the query
+  int32_t shard = -1;          // serving shard (-1 outside serve)
+  int32_t batch_size = 0;      // micro-batch the query rode in
+  int32_t sample_rows = 0;     // per-wave sample rows configured
+  int32_t rounds = 0;          // adaptive-budget waves executed
+  int32_t early_stop_round = -1;  // wave at which the CI test stopped it
+  int32_t prefix_hits = 0;        // prefix-share cache hits
+  int32_t fallbacks = 0;          // zero-mass wildcard fallbacks taken
+  int32_t fallback_column = -1;   // column of the last fallback
+  int32_t dead = 0;               // 1 if the query was provably empty
+  int32_t reserved = 0;           // pad to an 8-byte multiple
+  double ci_half_width = 0.0;     // CI half-width at stop (0 if never tested)
+  double selectivity = 0.0;       // the estimate returned
+  double queue_wait_s = 0.0;      // serve only: dequeue minus enqueue
+  double exec_s = 0.0;            // estimator time attributed to the query
+  double total_s = 0.0;           // queue_wait_s + exec_s
+};
+
+static_assert(sizeof(QueryRecord) % sizeof(uint64_t) == 0,
+              "records are stored as whole 64-bit words");
+
+inline constexpr size_t kQueryRecordWords = sizeof(QueryRecord) / 8;
+
+// Wire-filter for snapshots: `last=N` keeps the newest N records, `min_ms=X`
+// drops records whose total latency is below X milliseconds. Unknown tokens
+// are ignored so old clients can talk to newer servers.
+struct QueryLogFilter {
+  size_t last_n = 0;         // 0 = no limit
+  double min_total_s = 0.0;  // 0 = no latency floor
+};
+
+QueryLogFilter ParseQueryLogFilter(std::string_view text);
+
+// Fixed-capacity mutex-free ring of QueryRecords.
+//
+// Write protocol (seqlock per slot): Append claims a global sequence number
+// s with one relaxed fetch_add, then on slot (s-1) & mask waits for the
+// previous lap of the slot to commit (stamp == 2*(s-capacity); slots see
+// sequence numbers in order, so this serializes the rare case of two
+// writers lapping onto the same slot — otherwise a stalled writer's late
+// even stamp could mask its successor's in-progress payload). It then
+// stores stamp 2s-1 (slot in progress), a release fence (the fence — not a
+// release store, which would only order *prior* accesses — makes the odd
+// stamp visible before any payload word), the payload words (relaxed
+// atomic stores), and stamp 2s (release: slot committed, seq = stamp/2).
+// Readers acquire-load the stamp, skip odd/zero stamps, copy the words,
+// and re-load the stamp behind an acquire fence — a changed stamp means a
+// writer touched the slot mid-copy and the copy is discarded. Every
+// payload access is an atomic operation, so the protocol is data-race-free
+// (TSan-clean) and a returned record is always internally consistent.
+class QueryLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit QueryLog(size_t capacity = kDefaultCapacity);
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  // The process-global ring the serving path appends to.
+  static QueryLog& Global();
+
+  // Appends `rec` (its seq field is overwritten with the assigned sequence
+  // number) and returns that 1-based sequence number. Never blocks readers;
+  // a writer only waits if another writer laps onto the same slot mid-write
+  // (capacity appends behind — nanoseconds of spin, and unreachable in
+  // practice at the default capacity).
+  uint64_t Append(const QueryRecord& rec);
+
+  // Copies out every live record passing `filter`, ascending by seq.
+  // Records mid-write or overwritten during the copy are skipped.
+  std::vector<QueryRecord> Snapshot(
+      const QueryLogFilter& filter = QueryLogFilter{}) const;
+
+  // Total records ever appended (monotone; snapshot deltas reconcile with
+  // iam_serve_accepted_total).
+  uint64_t Appended() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+  // Sum of sampler_draws over every record ever appended (reconciles with
+  // iam_sampler_samples_total for served traffic).
+  uint64_t TotalDraws() const {
+    return total_draws_.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> stamp{0};  // 0 empty, odd in-progress, even = 2*seq
+    std::array<std::atomic<uint64_t>, kQueryRecordWords> words{};
+  };
+
+  size_t capacity_;
+  size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> total_draws_{0};
+};
+
+// Renders records as the kQueryLog wire payload:
+// {"records":[{...},...],"appended":N,"capacity":C}. Deterministic key
+// order; shared by the server handler, serve_cli, and the CI wire check.
+std::string QueryLogToJson(const std::vector<QueryRecord>& records,
+                           uint64_t appended, size_t capacity);
+
+}  // namespace iam::obs
+
+#endif  // IAM_OBS_QUERY_LOG_H_

@@ -1,12 +1,15 @@
 #include "serve/batcher.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "estimator/estimator.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 
 namespace iam::serve {
 
@@ -36,6 +39,8 @@ ShardMetrics ShardMetrics::Get(int shard) {
       reg.GetHistogram("iam_serve_batch_exec_seconds", "shard", s,
                        obs::LatencyBounds()),
       reg.GetHistogram("iam_serve_query_exec_seconds", "shard", s,
+                       obs::LatencyBounds()),
+      reg.GetHistogram("iam_serve_query_total_seconds", "shard", s,
                        obs::LatencyBounds()),
   };
 }
@@ -100,6 +105,8 @@ MicroBatcher::Response MicroBatcher::Estimate(const query::Query& q) {
 void MicroBatcher::WorkerLoop() {
   std::vector<Request> batch;
   std::vector<query::Query> queries;
+  std::vector<double> waits;
+  std::vector<estimator::QueryDiagnostics> diags;
   // The worker's generation snapshot: taken once, refreshed only when the
   // registry's version atomic moved — a flush in steady state costs one
   // relaxed load instead of a mutex acquisition.
@@ -135,19 +142,66 @@ void MicroBatcher::WorkerLoop() {
       model = registry_.Current(shard_index_);
     }
     queries.reserve(batch.size());
+    waits.clear();
     for (Request& request : batch) {
-      metrics_.queue_wait_seconds.Record(request.queued.ElapsedSeconds());
+      // Queue wait is read at dequeue; the histogram Record happens below so
+      // it can carry the query-log sequence id as its exemplar.
+      waits.push_back(request.queued.ElapsedSeconds());
       queries.push_back(std::move(request.query));
     }
     metrics_.batch_size.Record(static_cast<double>(batch.size()));
+    diags.assign(batch.size(), estimator::QueryDiagnostics{});
     Stopwatch exec;
     const std::vector<double> selectivities =
-        model->estimator->EstimateBatch(queries);
+        model->estimator->EstimateBatchDiagnosed(queries, diags);
     const double exec_seconds = exec.ElapsedSeconds();
+    const double per_query_exec =
+        exec_seconds / static_cast<double>(batch.size());
     metrics_.batch_exec_seconds.Record(exec_seconds);
-    metrics_.query_exec_seconds.Record(exec_seconds /
-                                       static_cast<double>(batch.size()));
+    metrics_.query_exec_seconds.Record(per_query_exec);
     totals_.batches.Add();
+
+    // One QueryRecord per request (DESIGN.md §17): the sampler diagnostics
+    // joined with the serving context. The latency histograms record with
+    // the assigned sequence id so tail buckets link back to these records.
+    obs::QueryLog& query_log = obs::QueryLog::Global();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const estimator::QueryDiagnostics& d = diags[i];
+      obs::QueryRecord rec;
+      rec.model_version = model->version;
+      rec.sampler_draws = d.sampler_draws;
+      rec.shard = shard_index_;
+      rec.batch_size = static_cast<int32_t>(batch.size());
+      rec.sample_rows = d.sample_rows;
+      rec.rounds = d.rounds;
+      rec.early_stop_round = d.early_stop_round;
+      rec.prefix_hits = d.prefix_hits;
+      rec.fallbacks = d.fallbacks;
+      rec.fallback_column = d.fallback_column;
+      rec.dead = d.dead ? 1 : 0;
+      rec.ci_half_width = d.ci_half_width;
+      rec.selectivity = selectivities[i];
+      rec.queue_wait_s = waits[i];
+      rec.exec_s = per_query_exec;
+      rec.total_s = waits[i] + per_query_exec;
+      const uint64_t seq = query_log.Append(rec);
+      metrics_.queue_wait_seconds.Record(waits[i], seq);
+      metrics_.query_total_seconds.Record(rec.total_s, seq);
+      if (options_.slow_query_log_s > 0.0 &&
+          rec.total_s >= options_.slow_query_log_s) {
+        std::fprintf(
+            stderr,
+            "iam_serve slow query: seq=%llu shard=%d batch=%d "
+            "total_ms=%.3f wait_ms=%.3f exec_ms=%.3f draws=%llu rounds=%d "
+            "early_stop=%d prefix_hits=%d fallbacks=%d sel=%.6g\n",
+            static_cast<unsigned long long>(seq), shard_index_,
+            rec.batch_size, rec.total_s * 1e3, rec.queue_wait_s * 1e3,
+            rec.exec_s * 1e3,
+            static_cast<unsigned long long>(rec.sampler_draws), rec.rounds,
+            rec.early_stop_round, rec.prefix_hits, rec.fallbacks,
+            rec.selectivity);
+      }
+    }
 
     // Callbacks run on the worker thread, outside every lock: they post
     // completions to the event loop (or wake a blocking Estimate waiter) and

@@ -37,6 +37,10 @@ struct BatcherOptions {
   // latency of *accepted* requests bounded when offered load exceeds
   // capacity.
   int queue_capacity = 512;
+  // > 0 logs every query whose end-to-end latency (queue wait + amortized
+  // execution) meets the threshold to stderr, one line per query with its
+  // query-log sequence id and sampler diagnostics (serve_cli --slow-ms).
+  double slow_query_log_s = 0.0;
 };
 
 // Process-wide serving totals, resolved once from the global registry
@@ -65,6 +69,10 @@ struct ShardMetrics {
   // cross-query sampler moves: coalescing now compounds with sampling
   // instead of only saving queueing overhead.
   obs::Histogram& query_exec_seconds;
+  // End-to-end per-query latency (queue wait + amortized execution), the
+  // distribution the query-log records reconstruct exactly; carries
+  // query-log exemplars so a tail bucket links to concrete records.
+  obs::Histogram& query_total_seconds;
 
   static ShardMetrics Get(int shard);
 };

@@ -152,6 +152,15 @@ Result<std::string> Client::Metrics() {
   return response->payload;
 }
 
+Result<std::string> Client::QueryLog(const std::string& filters) {
+  Result<Frame> response = RoundTrip(FrameType::kQueryLog, filters);
+  if (!response.ok()) return response.status();
+  if (response->type != FrameType::kOk) {
+    return Status::Internal("server error: " + response->payload);
+  }
+  return response->payload;
+}
+
 Status Client::RequestShutdown() {
   Result<Frame> response = RoundTrip(FrameType::kShutdown, "");
   if (!response.ok()) return response.status();

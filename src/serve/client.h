@@ -59,6 +59,11 @@ class Client {
   // The server's Prometheus metrics export.
   Result<std::string> Metrics();
 
+  // The server's query-log records as JSON. `filters` is the kQueryLog
+  // filter text, e.g. "last=16 min_ms=5"; empty returns every buffered
+  // record.
+  Result<std::string> QueryLog(const std::string& filters = "");
+
   // Asks the server to drain and exit (acknowledged before the drain).
   Status RequestShutdown();
 

@@ -33,6 +33,8 @@ enum class FrameType : uint8_t {
   kSwap = 2,      // payload: path of the model snapshot to hot-swap in
   kMetrics = 3,   // payload: empty; response carries the Prometheus export
   kShutdown = 4,  // payload: empty; server drains and exits
+  kQueryLog = 5,  // payload: optional filter text "last=N min_ms=X";
+                  // response: kOk with the query-log records as JSON
 
   // Responses.
   kEstimateOk = 65,  // payload: f64 selectivity | u64 model version (LE)

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "query/parser.h"
 #include "util/stopwatch.h"
 
@@ -360,11 +361,21 @@ void EstimatorServer::DispatchFrame(uint64_t id, Connection& conn,
       return;
     }
     case FrameType::kMetrics:
+      CompleteSlot(id, seq, Frame{FrameType::kOk, ScrapeMetrics()});
+      return;
+    case FrameType::kQueryLog: {
+      // Inline like kMetrics: a snapshot of the lock-free ring never blocks
+      // on the shard workers, so the loop thread can serve it directly.
+      const obs::QueryLogFilter filter =
+          obs::ParseQueryLogFilter(frame.payload);
+      obs::QueryLog& log = obs::QueryLog::Global();
       CompleteSlot(id, seq,
                    Frame{FrameType::kOk,
-                         obs::MetricsToPrometheus(
-                             obs::MetricRegistry::Global().Snapshot())});
+                         obs::QueryLogToJson(log.Snapshot(filter),
+                                             log.Appended(),
+                                             log.capacity())});
       return;
+    }
     case FrameType::kShutdown:
       shutdown_requested_.store(true, std::memory_order_release);
       CompleteSlot(id, seq, Frame{FrameType::kOk, "draining"});
@@ -387,6 +398,30 @@ void EstimatorServer::CompleteSlot(uint64_t id, uint64_t seq, Frame response) {
   if (index >= conn.pending.size()) return;
   conn.pending[index].done = true;
   conn.pending[index].response = std::move(response);
+}
+
+std::string EstimatorServer::ScrapeMetrics() {
+  // Refresh every gauge that is a projection of live state *before* the one
+  // registry snapshot: the previous per-family reads could tear — a gauge
+  // updated between families showed a mix of two scrapes. The handler runs
+  // inline on the loop thread, so conns_ needs no locking, and the shard
+  // depth gauges come from the same relaxed atomics admission uses.
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  LoopMetrics::Get().open_connections.Set(
+      static_cast<double>(conns_.size()));
+  for (int s = 0; s < shards_.num_shards(); ++s) {
+    reg.GetGauge("iam_serve_queue_depth", "shard", std::to_string(s))
+        .Set(static_cast<double>(shards_.shard(s).ApproxQueueDepth()));
+  }
+  const obs::QueryLog& log = obs::QueryLog::Global();
+  reg.GetGauge("iam_querylog_appended")
+      .Set(static_cast<double>(log.Appended()));
+  reg.GetGauge("iam_querylog_buffered")
+      .Set(static_cast<double>(
+          std::min<uint64_t>(log.Appended(), log.capacity())));
+  reg.GetGauge("iam_querylog_capacity")
+      .Set(static_cast<double>(log.capacity()));
+  return obs::MetricsToPrometheus(reg.Snapshot());
 }
 
 void EstimatorServer::PumpConnection(uint64_t id, Connection& conn) {

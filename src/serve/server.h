@@ -129,6 +129,10 @@ class EstimatorServer {
   // a read-shut connection has flushed its last response. May erase the
   // connection — callers must re-look-up `id` afterwards.
   void PumpConnection(uint64_t id, Connection& conn);
+  // kMetrics scrape: refreshes the loop / per-shard / query-log gauges, then
+  // takes exactly one registry snapshot so one scrape cannot tear across
+  // metric families. Runs inline on the loop thread (conns_ is loop-owned).
+  std::string ScrapeMetrics();
   void UpdateInterest(uint64_t id, Connection& conn);
   void CloseConnection(uint64_t id);
   void PostCompletion(Completion completion);

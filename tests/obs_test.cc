@@ -76,6 +76,28 @@ TEST(RegistryTest, SnapshotSortedAndResettable) {
   EXPECT_DOUBLE_EQ(snap.gauges[0].second, 0.0);
 }
 
+TEST(RegistryTest, ResetAllClearsLabeledSeries) {
+  MetricRegistry reg;
+  reg.GetCounter("iam_r_total", "column", "lat").Add(5);
+  reg.GetCounter("iam_r_total", "column", "lon").Add(7);
+  const std::vector<double> bounds = {1.0};
+  Histogram& h = reg.GetHistogram("iam_r_seconds", "shard", "0", bounds);
+  h.Record(0.5, 42);  // stamp an exemplar so Reset must clear it too
+
+  reg.ResetAll();
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].second, 0u);
+  EXPECT_EQ(snap.counters[1].second, 0u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+  EXPECT_TRUE(snap.histograms[0].exemplar_seq.empty());
+
+  // Handles stay valid after the reset and keep accumulating.
+  reg.GetCounter("iam_r_total", "column", "lat").Add(1);
+  EXPECT_EQ(reg.GetCounter("iam_r_total", "column", "lat").Total(), 1u);
+}
+
 TEST(HistogramTest, BucketsAndQuantiles) {
   const std::vector<double> bounds = {10.0, 20.0, 30.0};
   Histogram h(bounds);
@@ -109,6 +131,50 @@ HistogramSnapshot MakeSnap(const std::vector<uint64_t>& buckets, double sum) {
   for (uint64_t b : buckets) s.count += b;
   s.sum = sum;
   return s;
+}
+
+TEST(HistogramTest, ExemplarLinksBucketsToNewestSeq) {
+  const std::vector<double> bounds = {1.0, 10.0};
+  Histogram h(bounds);
+  // Plain Record never stamps an exemplar; the snapshot omits the vector.
+  h.Record(0.5);
+  EXPECT_TRUE(h.Snapshot().exemplar_seq.empty());
+
+  h.Record(0.5, 7);   // bucket 0
+  h.Record(5.0, 9);   // bucket 1
+  h.Record(0.6, 11);  // bucket 0 again: newest seq wins
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.exemplar_seq.size(), 3u);
+  EXPECT_EQ(snap.exemplar_seq[0], 11u);
+  EXPECT_EQ(snap.exemplar_seq[1], 9u);
+  EXPECT_EQ(snap.exemplar_seq[2], 0u);  // overflow bucket untouched
+  EXPECT_EQ(snap.count, 4u);
+
+  // Reset clears exemplars along with the counts.
+  h.Reset();
+  snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_TRUE(snap.exemplar_seq.empty());
+}
+
+TEST(HistogramTest, MergeTakesBucketWiseNewestExemplar) {
+  HistogramSnapshot a = MakeSnap({1, 0, 0, 0}, 1.0);
+  HistogramSnapshot b = MakeSnap({0, 1, 0, 0}, 2.0);
+  a.exemplar_seq = {4, 9, 0, 0};
+  b.exemplar_seq = {6, 2, 0, 0};
+  a.Merge(b);
+  ASSERT_EQ(a.exemplar_seq.size(), 4u);
+  EXPECT_EQ(a.exemplar_seq[0], 6u);
+  EXPECT_EQ(a.exemplar_seq[1], 9u);
+
+  // An exemplar-free snapshot merges as all-zeros in either direction.
+  HistogramSnapshot plain = MakeSnap({0, 0, 1, 0}, 3.0);
+  a.Merge(plain);
+  EXPECT_EQ(a.exemplar_seq[0], 6u);
+  HistogramSnapshot plain2 = MakeSnap({0, 0, 1, 0}, 3.0);
+  plain2.Merge(a);
+  ASSERT_EQ(plain2.exemplar_seq.size(), 4u);
+  EXPECT_EQ(plain2.exemplar_seq[1], 9u);
 }
 
 TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
@@ -208,6 +274,38 @@ TEST(ExportTest, PrometheusLabeledHistograms) {
   }
   EXPECT_EQ(type_lines, 1u);
   EXPECT_EQ(text.find("}_bucket"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusEscapesLabelValues) {
+  MetricRegistry reg;
+  // A label value containing both `"` and `\` must render with the
+  // exposition-format escapes, not leak raw into the series name.
+  reg.GetCounter("iam_esc_total", "column", R"(a"b\c)").Add(1);
+  const std::string text = MetricsToPrometheus(reg.Snapshot());
+  EXPECT_NE(text.find(std::string(R"(iam_esc_total{column="a\"b\\c"} 1)") +
+                      "\n"),
+            std::string::npos)
+      << text;
+
+  // The escaped series name round-trips through the JSON key escaping too.
+  const std::string json = MetricsToJson(reg.Snapshot());
+  EXPECT_NE(json.find(R"("iam_esc_total{column=\"a\\\"b\\\\c\"}":1)"),
+            std::string::npos)
+      << json;
+}
+
+TEST(ExportTest, JsonEmitsExemplarSeqWhenPresent) {
+  MetricRegistry reg;
+  const std::vector<double> bounds = {1.0, 10.0};
+  Histogram& h = reg.GetHistogram("iam_e_seconds", bounds);
+  h.Record(0.5);
+  // Exemplar-free histograms keep the legacy JSON shape.
+  EXPECT_EQ(MetricsToJson(reg.Snapshot()).find("exemplar_seq"),
+            std::string::npos);
+
+  h.Record(5.0, 17);
+  const std::string json = MetricsToJson(reg.Snapshot());
+  EXPECT_NE(json.find("\"exemplar_seq\":[0,17,0]"), std::string::npos) << json;
 }
 
 TEST(ExportTest, JsonShape) {

@@ -1,0 +1,217 @@
+// Tests for the request-scoped diagnostics ring (DESIGN.md §17): field
+// round-trips, wrap-around semantics, snapshot filters, the JSON payload
+// shape, and the acceptance contract that concurrent writers plus a reader
+// never produce a torn record (run under TSan by scripts/ci.sh).
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/query_log.h"
+
+namespace iam::obs {
+namespace {
+
+QueryRecord MakeRecord(uint64_t v) {
+  // Every field is a function of `v`, so a reader can verify any record is
+  // internally consistent without knowing which writer produced it.
+  QueryRecord rec;
+  rec.model_version = v + 1;
+  rec.sampler_draws = v * 3;
+  rec.shard = static_cast<int32_t>(v % 7);
+  rec.batch_size = static_cast<int32_t>(v % 129);
+  rec.sample_rows = static_cast<int32_t>(v % 257);
+  rec.rounds = static_cast<int32_t>(v % 5);
+  rec.early_stop_round = static_cast<int32_t>(v % 3) - 1;
+  rec.prefix_hits = static_cast<int32_t>(v % 11);
+  rec.fallbacks = static_cast<int32_t>(v % 2);
+  rec.fallback_column = static_cast<int32_t>(v % 4) - 1;
+  rec.dead = static_cast<int32_t>(v % 2);
+  rec.ci_half_width = static_cast<double>(v) * 0.25;
+  rec.selectivity = static_cast<double>(v % 100) / 100.0;
+  rec.queue_wait_s = static_cast<double>(v) * 1e-6;
+  rec.exec_s = static_cast<double>(v) * 2e-6;
+  rec.total_s = static_cast<double>(v) * 3e-6;
+  return rec;
+}
+
+bool ConsistentWith(const QueryRecord& rec, uint64_t v) {
+  const QueryRecord want = MakeRecord(v);
+  return rec.model_version == want.model_version &&
+         rec.sampler_draws == want.sampler_draws &&
+         rec.shard == want.shard && rec.batch_size == want.batch_size &&
+         rec.sample_rows == want.sample_rows && rec.rounds == want.rounds &&
+         rec.early_stop_round == want.early_stop_round &&
+         rec.prefix_hits == want.prefix_hits &&
+         rec.fallbacks == want.fallbacks &&
+         rec.fallback_column == want.fallback_column &&
+         rec.dead == want.dead &&
+         rec.ci_half_width == want.ci_half_width &&
+         rec.selectivity == want.selectivity &&
+         rec.queue_wait_s == want.queue_wait_s &&
+         rec.exec_s == want.exec_s && rec.total_s == want.total_s;
+}
+
+TEST(QueryLogTest, AppendAssignsSequenceAndRoundTripsEveryField) {
+  QueryLog log(16);
+  EXPECT_EQ(log.capacity(), 16u);
+  EXPECT_EQ(log.Appended(), 0u);
+  EXPECT_TRUE(log.Snapshot().empty());
+
+  const uint64_t seq = log.Append(MakeRecord(42));
+  EXPECT_EQ(seq, 1u);
+  EXPECT_EQ(log.Appended(), 1u);
+  EXPECT_EQ(log.TotalDraws(), 42u * 3);
+
+  const std::vector<QueryRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_TRUE(ConsistentWith(records[0], 42));
+}
+
+TEST(QueryLogTest, WrapAroundKeepsTheNewestCapacityRecords) {
+  QueryLog log(8);
+  for (uint64_t v = 1; v <= 20; ++v) log.Append(MakeRecord(v));
+  EXPECT_EQ(log.Appended(), 20u);
+
+  const std::vector<QueryRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 8u);
+  // Ascending by seq, and only the newest 8 survive the wrap.
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, 13 + i);
+    EXPECT_TRUE(ConsistentWith(records[i], 13 + i));
+  }
+}
+
+TEST(QueryLogTest, SnapshotFiltersByLastNAndMinLatency) {
+  QueryLog log(32);
+  for (uint64_t v = 1; v <= 10; ++v) log.Append(MakeRecord(v));
+
+  QueryLogFilter last3;
+  last3.last_n = 3;
+  const std::vector<QueryRecord> newest = log.Snapshot(last3);
+  ASSERT_EQ(newest.size(), 3u);
+  EXPECT_EQ(newest[0].seq, 8u);
+  EXPECT_EQ(newest[2].seq, 10u);
+
+  // MakeRecord(v).total_s = 3v microseconds; keep v >= 7.
+  QueryLogFilter slow;
+  slow.min_total_s = 20e-6;
+  const std::vector<QueryRecord> slow_records = log.Snapshot(slow);
+  ASSERT_EQ(slow_records.size(), 4u);
+  EXPECT_EQ(slow_records[0].seq, 7u);
+
+  QueryLogFilter both = slow;
+  both.last_n = 2;
+  const std::vector<QueryRecord> tail = log.Snapshot(both);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].seq, 9u);
+  EXPECT_EQ(tail[1].seq, 10u);
+}
+
+TEST(QueryLogTest, ParseFilterReadsTokensAndIgnoresJunk) {
+  const QueryLogFilter empty = ParseQueryLogFilter("");
+  EXPECT_EQ(empty.last_n, 0u);
+  EXPECT_DOUBLE_EQ(empty.min_total_s, 0.0);
+
+  const QueryLogFilter parsed = ParseQueryLogFilter("last=16 min_ms=2.5");
+  EXPECT_EQ(parsed.last_n, 16u);
+  EXPECT_DOUBLE_EQ(parsed.min_total_s, 2.5e-3);
+
+  // Unknown keys, malformed values and stray spaces are ignored, not fatal:
+  // the wire filter must stay forward-compatible.
+  const QueryLogFilter junk =
+      ParseQueryLogFilter("  bogus=1 last=abc min_ms=-4 last=5  frob ");
+  EXPECT_EQ(junk.last_n, 5u);
+  EXPECT_DOUBLE_EQ(junk.min_total_s, 0.0);
+}
+
+TEST(QueryLogTest, JsonPayloadShape) {
+  QueryLog log(8);
+  log.Append(MakeRecord(3));
+  const std::string json =
+      QueryLogToJson(log.Snapshot(), log.Appended(), log.capacity());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"records\":[{\"seq\":1"), std::string::npos);
+  for (const char* key :
+       {"\"shard\":", "\"batch_size\":", "\"model_version\":",
+        "\"sampler_draws\":", "\"sample_rows\":", "\"rounds\":",
+        "\"early_stop_round\":", "\"ci_half_width\":", "\"prefix_hits\":",
+        "\"fallbacks\":", "\"fallback_column\":", "\"dead\":",
+        "\"selectivity\":", "\"queue_wait_s\":", "\"exec_s\":",
+        "\"total_s\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"appended\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\":8"), std::string::npos);
+}
+
+// Acceptance contract (ci.sh TSan gate): concurrent writers and a reader,
+// no data race, and every snapshotted record is internally consistent —
+// the stamp protocol may *skip* a slot being overwritten but never returns
+// a torn mix of two records.
+TEST(QueryLogTest, ConcurrentWritersNeverTearRecords) {
+  QueryLog log(256);  // small enough that writers lap the ring constantly
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 20000;
+
+  std::atomic<bool> start{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&log, &start, w] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        log.Append(MakeRecord(static_cast<uint64_t>(w) * kPerWriter + i));
+      }
+    });
+  }
+
+  uint64_t snapshots = 0;
+  uint64_t records_seen = 0;
+  std::thread reader([&] {
+    // do-while: under heavy machine load the reader can be scheduled after
+    // every writer has finished; it must still validate at least one
+    // snapshot (then quiescent, which is fine — the assertions still hold).
+    do {
+      const std::vector<QueryRecord> records = log.Snapshot();
+      ++snapshots;
+      records_seen += records.size();
+      uint64_t last_seq = 0;
+      for (const QueryRecord& rec : records) {
+        // Strictly ascending, valid seq range, and the payload matches the
+        // self-describing MakeRecord relations for *some* v — i.e. the
+        // record equals exactly what one writer wrote, never a blend.
+        EXPECT_GT(rec.seq, last_seq);
+        last_seq = rec.seq;
+        EXPECT_LE(rec.seq, kWriters * kPerWriter);
+        // Recover v from fields: model_version = v + 1.
+        ASSERT_GE(rec.model_version, 1u);
+        EXPECT_TRUE(ConsistentWith(rec, rec.model_version - 1))
+            << "torn record at seq " << rec.seq;
+      }
+    } while (log.Appended() < kWriters * kPerWriter);
+  });
+
+  start.store(true, std::memory_order_release);
+  for (std::thread& t : writers) t.join();
+  reader.join();
+
+  EXPECT_EQ(log.Appended(), kWriters * kPerWriter);
+  EXPECT_GT(snapshots, 0u);
+
+  // Quiescent: a final snapshot returns a full, consistent ring.
+  const std::vector<QueryRecord> final_records = log.Snapshot();
+  EXPECT_EQ(final_records.size(), log.capacity());
+  uint64_t draws = 0;
+  for (uint64_t v = 0; v < kWriters * kPerWriter; ++v) draws += v * 3;
+  EXPECT_EQ(log.TotalDraws(), draws);
+}
+
+}  // namespace
+}  // namespace iam::obs

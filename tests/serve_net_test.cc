@@ -22,6 +22,7 @@
 
 #include "core/ar_density_estimator.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "query/parser.h"
 #include "serve/client.h"
 #include "serve/demo.h"
@@ -130,6 +131,78 @@ TEST(ServeEndToEndTest, MetricsFrameExportsPrometheus) {
   EXPECT_NE(text->find("# TYPE iam_serve_accepted_total counter"),
             std::string::npos);
   EXPECT_NE(text->find("iam_serve_batch_size"), std::string::npos);
+  server.Shutdown();
+}
+
+// --- kQueryLog wire surface (DESIGN.md §17). --------------------------------
+
+TEST(ServeQueryLogTest, WireFrameReturnsRecordsAndHonorsFilters) {
+  EstimatorServer server(SharedRegistry(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client client = ConnectedClient(server);
+
+  obs::QueryLog& log = obs::QueryLog::Global();
+  const uint64_t appended_before = log.Appended();
+  constexpr int kQueries = 3;
+  for (int i = 0; i < kQueries; ++i) {
+    const auto reply = client.Estimate(kPredicate);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_FALSE(reply->overloaded);
+  }
+  const uint64_t appended = appended_before + kQueries;
+  ASSERT_EQ(log.Appended(), appended);
+
+  // Unfiltered pull: every buffered record, plus the ring totals.
+  const auto json = client.QueryLog();
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_EQ(json->front(), '{');
+  EXPECT_NE(json->find("\"records\":[{\"seq\":"), std::string::npos);
+  EXPECT_NE(json->find("\"appended\":" + std::to_string(appended)),
+            std::string::npos);
+  EXPECT_NE(json->find("\"capacity\":"), std::string::npos);
+  size_t record_count = 0;
+  for (size_t pos = json->find("\"seq\":"); pos != std::string::npos;
+       pos = json->find("\"seq\":", pos + 1)) {
+    ++record_count;
+  }
+  EXPECT_EQ(record_count, std::min<uint64_t>(appended, log.capacity()));
+
+  // last=1 returns exactly the newest record.
+  const auto last1 = client.QueryLog("last=1");
+  ASSERT_TRUE(last1.ok()) << last1.status().ToString();
+  EXPECT_NE(last1->find("\"records\":[{\"seq\":" + std::to_string(appended)),
+            std::string::npos)
+      << *last1;
+  EXPECT_EQ(last1->find("\"seq\":", last1->find("\"seq\":") + 1),
+            std::string::npos);
+
+  // An impossible latency floor filters everything out but keeps the shape.
+  const auto none = client.QueryLog("min_ms=1e9");
+  ASSERT_TRUE(none.ok()) << none.status().ToString();
+  EXPECT_NE(none->find("\"records\":[]"), std::string::npos) << *none;
+  server.Shutdown();
+}
+
+// Satellite S1: the kMetrics scrape publishes the event-loop and ring gauges
+// refreshed in the same handler as the snapshot, so one scrape is one
+// consistent view.
+TEST(ServeQueryLogTest, MetricsScrapeIncludesLoopAndRingGauges) {
+  EstimatorServer server(SharedRegistry(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client client = ConnectedClient(server);
+  ASSERT_TRUE(client.Estimate(kPredicate).ok());
+
+  const auto text = client.Metrics();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // The scraping connection itself is open while the handler runs.
+  EXPECT_NE(text->find("iam_serve_open_connections 1\n"), std::string::npos);
+  EXPECT_NE(text->find("iam_serve_queue_depth{shard=\"0\"} "),
+            std::string::npos);
+  EXPECT_NE(text->find("iam_querylog_appended "), std::string::npos);
+  EXPECT_NE(text->find("iam_querylog_buffered "), std::string::npos);
+  EXPECT_NE(text->find("iam_querylog_capacity 4096\n"), std::string::npos);
+  EXPECT_NE(text->find("iam_serve_query_total_seconds_bucket{shard=\"0\","),
+            std::string::npos);
   server.Shutdown();
 }
 

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "query/parser.h"
 #include "serve/batcher.h"
 #include "serve/demo.h"
@@ -152,6 +153,49 @@ TEST(MicroBatcherTest, SoloRequestMatchesDirectEstimate) {
   EXPECT_FALSE(response.overloaded);
   EXPECT_EQ(response.selectivity, direct);
   EXPECT_EQ(response.model_version, SharedRegistry().Current()->version);
+}
+
+// Acceptance check (ISSUE 9): a served query's QueryLog record reconciles
+// exactly with the iam_sampler_samples_total delta it caused — the ring's
+// per-query attribution and the aggregate counter are two views of the same
+// draws, and a batch of one pins the delta to a single record.
+TEST(MicroBatcherTest, SoloRequestQueryLogReconcilesWithSamplerCounters) {
+  const query::Query q = DemoQuery();
+  obs::QueryLog& log = obs::QueryLog::Global();
+  obs::Counter& sampler_total =
+      obs::MetricRegistry::Global().GetCounter("iam_sampler_samples_total");
+  const uint64_t appended_before = log.Appended();
+  const uint64_t log_draws_before = log.TotalDraws();
+  const uint64_t sampler_before = sampler_total.Total();
+
+  MicroBatcher batcher(SharedRegistry(), BatcherOptions{});
+  const MicroBatcher::Response response = batcher.Estimate(q);
+  batcher.DrainAndStop();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_FALSE(response.overloaded);
+
+  ASSERT_EQ(log.Appended(), appended_before + 1);
+  obs::QueryLogFilter last1;
+  last1.last_n = 1;
+  const std::vector<obs::QueryRecord> records = log.Snapshot(last1);
+  ASSERT_EQ(records.size(), 1u);
+  const obs::QueryRecord& rec = records[0];
+  EXPECT_EQ(rec.seq, log.Appended());
+  EXPECT_EQ(rec.shard, 0);
+  EXPECT_EQ(rec.batch_size, 1);
+  EXPECT_EQ(rec.model_version, SharedRegistry().Current()->version);
+  EXPECT_EQ(rec.dead, 0);
+  EXPECT_EQ(rec.selectivity, response.selectivity);
+  EXPECT_GE(rec.rounds, 1);
+  EXPECT_GE(rec.queue_wait_s, 0.0);
+  EXPECT_GT(rec.exec_s, 0.0);
+  EXPECT_DOUBLE_EQ(rec.total_s, rec.queue_wait_s + rec.exec_s);
+
+  // Exact reconciliation: record == counter delta == ring aggregate delta.
+  const uint64_t sampler_delta = sampler_total.Total() - sampler_before;
+  EXPECT_GT(rec.sampler_draws, 0u);
+  EXPECT_EQ(rec.sampler_draws, sampler_delta);
+  EXPECT_EQ(log.TotalDraws() - log_draws_before, sampler_delta);
 }
 
 TEST(MicroBatcherTest, CoalescesConcurrentRequests) {
