@@ -15,6 +15,13 @@
 //       end-to-end latency reaches X ms to stderr with its sampler
 //       diagnostics and query-log sequence id.
 //
+//       --adapt enables the online-adaptation subsystem (DESIGN.md §18):
+//       kFeedback frames drive the per-region corrector and the drift
+//       window, kAppendData frames feed the retraining reservoir, and a
+//       windowed p90 q-error above --adapt-trigger retrains off-thread and
+//       hot-swaps the result. --adapt-trigger X, --adapt-window N,
+//       --adapt-min-rows N, --adapt-epochs N, --adapt-queue N tune it.
+//
 //   serve_cli estimate <port> "<predicates>"     one estimate round trip
 //   serve_cli burst    <port> "<predicates>" <n> n pipelined estimates on
 //                                                one connection
@@ -22,21 +29,31 @@
 //   serve_cli metrics  <port>                    Prometheus export
 //   serve_cli querylog <port> ["last=N min_ms=X"]  per-query diagnostics as
 //                                                JSON (DESIGN.md §17)
+//   serve_cli feedback <port> "seq=<N> actual=<sel>"
+//   serve_cli feedback <port> "actual=<sel> where <predicates>"
+//       Reports an observed true selectivity to the adaptation loop —
+//       either against a query-log record by sequence number, or inline.
+//   serve_cli append   <port> <rows.csv>         stream rows into the
+//                                                retraining reservoir
 //   serve_cli shutdown <port>                    ask the server to drain
 //
 // Client commands connect to 127.0.0.1. Predicates use the SQL-style grammar
 // of query::ParsePredicates, e.g.
 //   serve_cli estimate 7421 "latitude BETWEEN 35 AND 45 AND longitude <= -100"
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 
+#include "adapt/controller.h"
 #include "core/ar_density_estimator.h"
 #include "serve/client.h"
 #include "serve/demo.h"
@@ -70,12 +87,39 @@ int Serve(int argc, char** argv) {
   std::string model_path;
   std::string model_out;
   bool demo = false;
+  bool adapt = false;
+  iam::adapt::AdaptOptions adapt_options;
   iam::serve::ServerOptions options;
   int threads = 1;
   for (int i = 2; i < argc; ++i) {
     std::string value;
     if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
+    } else if (std::strcmp(argv[i], "--adapt") == 0) {
+      adapt = true;
+    } else if (FlagValue(argc, argv, &i, "--adapt-trigger", &value)) {
+      adapt = true;
+      adapt_options.trigger_p90_qerror = std::atof(value.c_str());
+    } else if (FlagValue(argc, argv, &i, "--adapt-window", &value)) {
+      adapt = true;
+      adapt_options.window = std::atoi(value.c_str());
+      adapt_options.min_window_fill =
+          std::max(1, adapt_options.window / 4);
+    } else if (FlagValue(argc, argv, &i, "--adapt-min-rows", &value)) {
+      adapt = true;
+      adapt_options.min_retrain_rows =
+          static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argc, argv, &i, "--adapt-epochs", &value)) {
+      adapt = true;
+      adapt_options.retrain_epochs = std::atoi(value.c_str());
+    } else if (FlagValue(argc, argv, &i, "--adapt-queue", &value)) {
+      adapt = true;
+      adapt_options.queue_capacity =
+          static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (FlagValue(argc, argv, &i, "--adapt-min-feedback", &value)) {
+      adapt = true;
+      adapt_options.min_feedback_between_retrains =
+          static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (FlagValue(argc, argv, &i, "--model", &model_path)) {
     } else if (FlagValue(argc, argv, &i, "--model-out", &model_out)) {
     } else if (FlagValue(argc, argv, &i, "--port", &value)) {
@@ -133,6 +177,19 @@ int Serve(int argc, char** argv) {
   // instead of serializing on one estimator's batch mutex.
   iam::serve::ModelRegistry registry(std::move(model), source, threads,
                                      options.num_shards);
+  // Declared before the server (destroyed after it): ServerOptions::adapt is
+  // a non-owning pointer the event loop calls into.
+  std::unique_ptr<iam::adapt::AdaptController> controller;
+  if (adapt) {
+    controller = std::make_unique<iam::adapt::AdaptController>(registry,
+                                                               adapt_options);
+    options.adapt = controller.get();
+    std::fprintf(stderr,
+                 "adaptation on: trigger p90 q-error %.3g, window %d, "
+                 "min retrain rows %zu\n",
+                 adapt_options.trigger_p90_qerror, adapt_options.window,
+                 adapt_options.min_retrain_rows);
+  }
   iam::serve::EstimatorServer server(registry, options);
   const iam::Status started = server.Start();
   if (!started.ok()) {
@@ -169,6 +226,9 @@ int Serve(int argc, char** argv) {
   std::printf("draining...\n");
   std::fflush(stdout);
   server.Shutdown();
+  // The server no longer references the hooks; stop the adaptation thread
+  // before the registry (whose install hook captures the controller) dies.
+  controller.reset();
   std::printf("shutdown complete\n");
   return 0;
 }
@@ -194,8 +254,60 @@ int Usage() {
                "       serve_cli swap <port> <model.iam>\n"
                "       serve_cli metrics <port>\n"
                "       serve_cli querylog <port> [\"last=N min_ms=X\"]\n"
+               "       serve_cli feedback <port> \"seq=<N> actual=<sel>\"\n"
+               "       serve_cli feedback <port> \"actual=<sel> where "
+               "<predicates>\"\n"
+               "       serve_cli append <port> <rows.csv>\n"
                "       serve_cli shutdown <port>\n");
   return 2;
+}
+
+// Streams a CSV file into the server's retraining reservoir, chunked so
+// every kAppendData frame stays well under the protocol's payload cap. A
+// file may lead with its own "cols=<n>" header; otherwise the column count
+// is derived from the first data row.
+int Append(iam::serve::Client& client, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string header;
+  std::string line;
+  std::string chunk;
+  int chunk_rows = 0;
+  size_t total_rows = 0;
+  constexpr int kRowsPerFrame = 2048;
+  const auto flush = [&]() -> int {
+    if (chunk_rows == 0) return 0;
+    const auto ack = client.AppendData(header + "\n" + chunk);
+    if (!ack.ok()) {
+      std::fprintf(stderr, "%s\n", ack.status().ToString().c_str());
+      return 1;
+    }
+    total_rows += static_cast<size_t>(chunk_rows);
+    chunk.clear();
+    chunk_rows = 0;
+    return 0;
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (header.empty()) {
+      if (line.rfind("cols=", 0) == 0) {
+        header = line;
+        continue;
+      }
+      // Derive the width from the first data row: fields = commas + 1.
+      const long commas = std::count(line.begin(), line.end(), ',');
+      header = "cols=" + std::to_string(commas + 1);
+    }
+    chunk += line;
+    chunk += '\n';
+    if (++chunk_rows >= kRowsPerFrame && flush() != 0) return 1;
+  }
+  if (flush() != 0) return 1;
+  std::printf("appended %zu rows\n", total_rows);
+  return 0;
 }
 
 // Pipelined burst: write all requests before reading any reply, exercising
@@ -324,6 +436,26 @@ int main(int argc, char** argv) {
                         return 0;
                       },
                       argc >= 4 ? argv[3] : "");
+  }
+  if (command == "feedback") {
+    if (argc < 4) return Usage();
+    return WithClient(port,
+                      [](iam::serve::Client& client,
+                         const std::string& payload) {
+                        const auto ack = client.Feedback(payload);
+                        if (!ack.ok()) {
+                          std::fprintf(stderr, "%s\n",
+                                       ack.status().ToString().c_str());
+                          return 1;
+                        }
+                        std::printf("%s\n", ack->c_str());
+                        return 0;
+                      },
+                      argv[3]);
+  }
+  if (command == "append") {
+    if (argc < 4) return Usage();
+    return WithClient(port, Append, argv[3]);
   }
   if (command == "shutdown") {
     return WithClient(port,

@@ -9,6 +9,10 @@
 //     DecodeFrame must be a pure function of the buffer prefix.
 //   * Re-encode identity — every accepted frame re-encodes to exactly the
 //     bytes the decoder consumed for it.
+//   * Adaptation-payload fixpoint — a kFeedback / kAppendData payload the
+//     adapt codec accepts must re-encode canonically: parsing the encoding
+//     of a parsed value reproduces that value exactly (adapt/feedback.h is
+//     the next parser an accepted frame's bytes reach in the server).
 
 #include <cstdint>
 #include <cstdio>
@@ -17,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "adapt/feedback.h"
 #include "serve/protocol.h"
 
 namespace {
@@ -25,6 +30,42 @@ using iam::Result;
 using iam::serve::DecodeFrame;
 using iam::serve::EncodeFrame;
 using iam::serve::Frame;
+using iam::serve::FrameType;
+
+// The adapt payload codecs sit directly behind the frame decoder on the
+// server's intake path; fuzz them on every accepted frame of their type.
+void CheckAdaptPayloadFixpoint(const Frame& frame) {
+  if (frame.type == FrameType::kFeedback) {
+    const Result<iam::adapt::FeedbackPayload> parsed =
+        iam::adapt::ParseFeedbackPayload(frame.payload);
+    if (!parsed.ok()) return;  // clean rejection is a valid outcome
+    const Result<iam::adapt::FeedbackPayload> reparsed =
+        iam::adapt::ParseFeedbackPayload(
+            iam::adapt::EncodeFeedbackPayload(*parsed));
+    if (!reparsed.ok() || reparsed->seq != parsed->seq ||
+        reparsed->actual != parsed->actual ||
+        reparsed->predicates != parsed->predicates) {
+      std::fprintf(stderr,
+                   "fuzz_frame_decoder: oracle violated: feedback payload "
+                   "is not an encode/parse fixpoint\n");
+      std::abort();
+    }
+  } else if (frame.type == FrameType::kAppendData) {
+    const Result<iam::adapt::AppendPayload> parsed =
+        iam::adapt::ParseAppendPayload(frame.payload);
+    if (!parsed.ok()) return;
+    const Result<iam::adapt::AppendPayload> reparsed =
+        iam::adapt::ParseAppendPayload(
+            iam::adapt::EncodeAppendPayload(*parsed));
+    if (!reparsed.ok() || reparsed->cols != parsed->cols ||
+        reparsed->values != parsed->values) {
+      std::fprintf(stderr,
+                   "fuzz_frame_decoder: oracle violated: append payload is "
+                   "not an encode/parse fixpoint\n");
+      std::abort();
+    }
+  }
+}
 
 [[noreturn]] void Fail(const char* message) {
   std::fprintf(stderr, "fuzz_frame_decoder: oracle violated: %s\n", message);
@@ -51,6 +92,7 @@ DecodeRun DecodeAll(std::string buffer) {
     if (EncodeFrame(frame) != buffer.substr(0, *consumed)) {
       Fail("accepted frame does not re-encode to the consumed bytes");
     }
+    CheckAdaptPayloadFixpoint(frame);
     run.frames.push_back(frame);
     buffer.erase(0, *consumed);
   }

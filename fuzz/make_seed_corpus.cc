@@ -58,6 +58,26 @@ void MakeFrameDecoderSeeds(const std::filesystem::path& dir) {
   WriteSeed(dir, "07_header_only.bin", valid.substr(0, 3));
   WriteSeed(dir, "08_zero_length.bin", std::string(4, '\0'));
   WriteSeed(dir, "09_oversized.bin", std::string(4, '\xff'));
+  // Adaptation frames (DESIGN.md §18): both feedback grammar forms, an
+  // append batch, and the adversarial variants — the payload codec behind
+  // the frame decoder must reject these cleanly (truncated feedback,
+  // non-finite values, short rows).
+  WriteSeed(dir, "10_feedback_seq.bin",
+            EncodeFrame({FrameType::kFeedback, "seq=42 actual=0.125"}));
+  WriteSeed(dir, "11_feedback_inline.bin",
+            EncodeFrame({FrameType::kFeedback,
+                         "actual=0.25 where x >= 0.5 AND c = 3"}));
+  WriteSeed(dir, "12_append.bin",
+            EncodeFrame({FrameType::kAppendData,
+                         "cols=3\n1.5,-2.25,3\n0.125,7,-1e3\n"}));
+  const std::string feedback_wire =
+      EncodeFrame({FrameType::kFeedback, "seq=42 actual=0.125"});
+  WriteSeed(dir, "13_feedback_truncated.bin",
+            feedback_wire.substr(0, feedback_wire.size() - 6));
+  WriteSeed(dir, "14_feedback_bad_actual.bin",
+            EncodeFrame({FrameType::kFeedback, "seq=42 actual=nan"}));
+  WriteSeed(dir, "15_append_short_row.bin",
+            EncodeFrame({FrameType::kAppendData, "cols=3\n1,2\n"}));
 }
 
 std::string EnvelopeSeed(uint8_t mode, const std::string& stream) {

@@ -9,7 +9,11 @@ a required field, or violates a committed bound:
   * BENCH_inference.json querylog_overhead.overhead_pct must stay <= 2.0
     (the always-on query-log overhead acceptance bound, DESIGN.md §17);
   * BENCH_serve.json serve_querylog records_match / draws_match must be true
-    (ring records == accepted requests, ring draws == sampler counter).
+    (ring records == accepted requests, ring draws == sampler counter);
+  * BENCH_serve.json serve_adapt must show the closed adaptation loop
+    (DESIGN.md §18) recovering: zero failed requests, post-retrain p90
+    q-error within 2x the pre-shift p90, feedback ingest <= 2% on the
+    served p50.
 
 Usage: python3 scripts/check_bench_json.py [repo-root]
 """
@@ -19,6 +23,8 @@ import os
 import sys
 
 QUERYLOG_OVERHEAD_BOUND_PCT = 2.0
+ADAPT_RECOVERY_RATIO_BOUND = 2.0
+ADAPT_FEEDBACK_OVERHEAD_BOUND_PCT = 2.0
 
 
 def fail(msg):
@@ -82,7 +88,7 @@ def check_serve(root):
         data = json.load(f)
     require(data, path, ["serve_sweep", "serve_batching", "serve_hot_swap",
                          "serve_pooled", "serve_shards", "serve_nodelay",
-                         "serve_querylog", "iam_metrics"])
+                         "serve_querylog", "serve_adapt", "iam_metrics"])
 
     swap = data["serve_hot_swap"]
     require(swap, f"{path}:serve_hot_swap",
@@ -102,9 +108,30 @@ def check_serve(root):
         fail(f"{path}: serve_querylog ring draws ({querylog['ring_draws']}) "
              f"!= iam_sampler_samples_total delta "
              f"({querylog['sampler_draws']})")
+    adapt = data["serve_adapt"]
+    require(adapt, f"{path}:serve_adapt",
+            ["qerror_p90_preshift", "qerror_p90_shift",
+             "qerror_p90_corrected", "qerror_p90_retrained",
+             "recovery_ratio", "retrains", "failed",
+             "feedback_overhead_pct"])
+    if adapt["failed"] != 0:
+        fail(f"{path}: adaptation run lost {adapt['failed']} requests")
+    if adapt["retrains"] < 1:
+        fail(f"{path}: serve_adapt drift trigger never retrained")
+    ratio = adapt["recovery_ratio"]
+    if ratio > ADAPT_RECOVERY_RATIO_BOUND:
+        fail(f"{path}: post-retrain p90 q-error is {ratio:.3f}x the "
+             f"pre-shift p90, above the committed "
+             f"{ADAPT_RECOVERY_RATIO_BOUND}x recovery bound")
+    fb_pct = adapt["feedback_overhead_pct"]
+    if fb_pct > ADAPT_FEEDBACK_OVERHEAD_BOUND_PCT:
+        fail(f"{path}: feedback ingest costs {fb_pct:.3f}% on the served "
+             f"p50, above the committed "
+             f"{ADAPT_FEEDBACK_OVERHEAD_BOUND_PCT}% bound")
     print(f"  BENCH_serve.json OK (querylog reconciled: "
           f"{querylog['ring_records']} records, "
-          f"{querylog['ring_draws']} draws)")
+          f"{querylog['ring_draws']} draws; adapt recovery "
+          f"{ratio:.3f}x, feedback overhead {fb_pct:.3f}%)")
 
 
 def check_kernels(root):

@@ -27,6 +27,10 @@
 #                  over the kQueryLog frame (record count must equal the
 #                  accepted count, filters must narrow it) and the --slow-ms
 #                  stderr log, and asserts a clean drain shutdown.
+#   8a. adapt smoke second server boot with --adapt: kAppendData rows, seq
+#                  and inline kFeedback, then asserts the drift trigger
+#                  fires exactly one background retrain-and-swap and the
+#                  adapt counters reconcile with the traffic (DESIGN.md §18).
 #   8b. bench json python3 (if present): scripts/check_bench_json.py
 #                  schema-checks the committed BENCH_*.json files.
 #   9. asan-net    ASan+UBSan over the `net`-labeled loopback serving tests —
@@ -117,12 +121,14 @@ fi
 # (MicroBatcherTest/ShardedBatcherTest/ServeShardTest/ServeSwapTest
 # are the serve concurrency suites — shard spill, the event loop's completion
 # queue, and the swap-under-load tests must stay TSan-clean;
-# ServePipelineTest exercises the loop's partial-read/partial-write paths.)
+# ServePipelineTest exercises the loop's partial-read/partial-write paths.
+# ServeAdaptTest/AdaptControllerTest cover the adaptation loop: concurrent
+# feedback + load racing a retrain-and-swap, DESIGN.md §18.)
 # IAM_SANITIZE=thread also arms the lock-rank checker (src/util/lock_rank.h),
 # so every ranked acquisition in these suites is order-checked and the
 # LockRank suites prove the checker itself catches inversions.
 run_config "${prefix}-tsan-obs" -LE slow -R \
-  '^(CounterTest|RegistryTest|HistogramTest|ExportTest|TraceTest|ObsDeterminismTest|QueryLogTest|RaceTest|ThreadPoolTest|MicroBatcherTest|ShardedBatcherTest|ServeShardTest|ServeSwapTest|ServePipelineTest|PooledSamplerTest|LockRankTest|LockRankDeathTest)\.' \
+  '^(CounterTest|RegistryTest|HistogramTest|ExportTest|TraceTest|ObsDeterminismTest|QueryLogTest|RaceTest|ThreadPoolTest|MicroBatcherTest|ShardedBatcherTest|ServeShardTest|ServeSwapTest|ServePipelineTest|ServeAdaptTest|AdaptControllerTest|PooledSamplerTest|LockRankTest|LockRankDeathTest)\.' \
   -- -DIAM_SANITIZE=thread
 
 # --- Stage 6b: pooled-sampler gate. ----------------------------------------
@@ -300,6 +306,114 @@ if ! grep -q '^shutdown complete$' "${serve_log}"; then
   exit 1
 fi
 echo "serve smoke OK (port ${serve_port})"
+
+# --- Stage 8a: adaptation smoke test (DESIGN.md §18). ----------------------
+# A second server boot with the adaptation loop armed: appends shifted rows
+# over kAppendData, sends one seq-form and a burst of biased inline feedback
+# records, and asserts the closed loop end to end — the intake counters
+# match the traffic exactly, the drift trigger fires exactly one
+# retrain-and-swap (the biased feedback keeps the windowed p90 above the
+# trigger; the back-off then holds further retrains), and the corrector
+# generation gauge tracks the swapped-in model version.
+echo "=== adapt smoke: serve_cli --adapt feedback/append/retrain ==="
+adapt_log="$(mktemp)"
+adapt_metrics="$(mktemp)"
+adapt_csv="$(mktemp)"
+trap 'rm -f "${metrics_file}" "${serve_log}" "${serve_err}" \
+            "${serve_metrics}" "${serve_model}" "${burst_log}" \
+            "${querylog_json}" "${adapt_log}" "${adapt_metrics}" \
+            "${adapt_csv}"' EXIT
+# 512 synthetic rows in the demo schema (latitude, longitude), spread over
+# the demo value range by a small Lehmer LCG — awk stays in exact-double
+# territory, so the CSV is deterministic.
+awk 'BEGIN {
+  s = 12345
+  for (i = 0; i < 512; i++) {
+    s = (s * 48271) % 2147483647; a = s / 2147483647
+    s = (s * 48271) % 2147483647; b = s / 2147483647
+    printf "%.6f,%.6f\n", 26.5 + 24 * a, -122.5 + 57 * b
+  }
+}' >"${adapt_csv}"
+"${prefix}-default/examples/serve_cli" serve --demo --port 0 --shards 2 \
+  --adapt --adapt-trigger 1.5 --adapt-window 16 --adapt-min-rows 256 \
+  --adapt-min-feedback 8 --adapt-epochs 1 >"${adapt_log}" 2>/dev/null &
+adapt_pid=$!
+adapt_port=""
+for _ in $(seq 1 600); do
+  adapt_port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+                  "${adapt_log}")"
+  [[ -n "${adapt_port}" ]] && break
+  if ! kill -0 "${adapt_pid}" 2>/dev/null; then
+    echo "ci: FATAL: serve_cli --adapt exited before listening" >&2
+    cat "${adapt_log}" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "${adapt_port}" ]]; then
+  echo "ci: FATAL: serve_cli --adapt never reported its port" >&2
+  kill "${adapt_pid}" 2>/dev/null || true
+  exit 1
+fi
+if ! "${prefix}-default/examples/serve_cli" append "${adapt_port}" \
+       "${adapt_csv}" >/dev/null; then
+  echo "ci: FATAL: kAppendData upload failed" >&2
+  exit 1
+fi
+"${prefix}-default/examples/serve_cli" estimate "${adapt_port}" \
+  "latitude >= 30 AND longitude <= -90" >/dev/null
+# Seq-form feedback against the query-log record the estimate just left.
+if ! "${prefix}-default/examples/serve_cli" feedback "${adapt_port}" \
+       "seq=1 actual=0.9" >/dev/null; then
+  echo "ci: FATAL: seq-form feedback rejected" >&2
+  exit 1
+fi
+# Oscillating inline feedback: alternating extreme actuals on one predicate
+# keep every feedback's q-error huge no matter how the corrector chases, so
+# the windowed p90 stays far above the 1.5 trigger deterministically.
+for i in $(seq 1 12); do
+  if (( i % 2 )); then adapt_actual=0.9; else adapt_actual=0.001; fi
+  "${prefix}-default/examples/serve_cli" feedback "${adapt_port}" \
+    "actual=${adapt_actual} where latitude >= 45 AND longitude <= -90" \
+    >/dev/null
+done
+# The retrain runs on the background adaptation thread; poll the metrics
+# export until the swap lands.
+adapt_retrained=""
+for _ in $(seq 1 600); do
+  "${prefix}-default/examples/serve_cli" metrics "${adapt_port}" \
+    >"${adapt_metrics}"
+  if grep -q '^iam_adapt_retrains_total 1$' "${adapt_metrics}"; then
+    adapt_retrained=1
+    break
+  fi
+  sleep 0.1
+done
+if [[ -z "${adapt_retrained}" ]]; then
+  echo "ci: FATAL: drift trigger never fired a retrain" >&2
+  grep 'iam_adapt' "${adapt_metrics}" >&2 || true
+  exit 1
+fi
+for series in '^iam_adapt_feedback_total 13$' \
+              '^iam_adapt_append_rows_total 512$' \
+              '^iam_adapt_feedback_rejected_total 0$' \
+              '^iam_adapt_feedback_dropped_total 0$' \
+              '^iam_adapt_retrain_failed_total 0$' \
+              '^iam_serve_model_swaps_total 1$' \
+              '^iam_adapt_corrector_generation 2$'; do
+  if ! grep -q "${series}" "${adapt_metrics}"; then
+    echo "ci: FATAL: adapt metrics missing/unexpected series ${series}:" >&2
+    grep 'iam_adapt\|iam_serve_model' "${adapt_metrics}" >&2 || true
+    exit 1
+  fi
+done
+"${prefix}-default/examples/serve_cli" shutdown "${adapt_port}" >/dev/null
+if ! wait "${adapt_pid}"; then
+  echo "ci: FATAL: serve_cli --adapt did not drain cleanly" >&2
+  cat "${adapt_log}" >&2
+  exit 1
+fi
+echo "adapt smoke OK (port ${adapt_port})"
 
 # --- Stage 8b: committed bench JSON schema check. --------------------------
 # The BENCH_*.json files at the repo root are commitments (overhead bounds,

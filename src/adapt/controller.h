@@ -1,0 +1,161 @@
+#ifndef IAM_ADAPT_CONTROLLER_H_
+#define IAM_ADAPT_CONTROLLER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapt/corrector.h"
+#include "adapt/feedback.h"
+#include "data/table.h"
+#include "serve/adapt_hooks.h"
+#include "serve/model_registry.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace iam::adapt {
+
+struct AdaptOptions {
+  // Apply the per-region corrector to served estimates. Off, the estimator's
+  // correction loop never runs and serving stays bit-identical to a server
+  // without adaptation.
+  bool enable_corrector = true;
+  CorrectorOptions corrector;
+
+  // Bounded intake queue (feedback + append records). Full -> kOverloaded.
+  size_t queue_capacity = 1024;
+
+  // Drift window: the last `window` feedback q-errors, p90'd. The trigger
+  // can only fire once at least `min_window_fill` q-errors accumulated.
+  int window = 128;
+  int min_window_fill = 32;
+  // Retrain trigger: windowed p90 q-error above this fires a retrain
+  // (provided enough appended rows accumulated). <= 0 disables retraining.
+  double trigger_p90_qerror = 8.0;
+  // 1/|T| floor used inside the q-error metric (query::QError).
+  size_t qerror_floor_rows = 1 << 20;
+
+  // Retraining. A triggered retrain builds a fresh estimator from the
+  // append reservoir with the serving model's options and `retrain_epochs`
+  // epochs of joint GMM+AR SGD, then ModelRegistry::Swap()s it in.
+  size_t min_retrain_rows = 512;     // reservoir rows required to retrain
+  size_t reservoir_capacity = 1 << 15;  // newest rows kept (ring)
+  int retrain_epochs = 2;
+  // Back-off: feedback records that must arrive after a retrain before the
+  // trigger may fire again (the post-swap window must refill anyway).
+  uint64_t min_feedback_between_retrains = 64;
+};
+
+// The closed-loop adaptation controller (DESIGN.md §18). Owns the bounded
+// intake queue (rank kAdaptQueue) and the single adaptation thread that
+// drains it; implements serve::AdaptationHooks so the event loop can hand it
+// kFeedback / kAppendData payloads without src/serve depending on this
+// library.
+//
+// Per feedback record, the adaptation thread resolves the served estimate
+// (query-log lookup by seq, or a diagnosed estimate for the inline form),
+// updates the RegionCorrector in arrival order — deterministic state for a
+// fixed feedback sequence regardless of shard count — and pushes the q-error
+// into the drift window. When the windowed p90 breaches the trigger and the
+// append reservoir holds enough rows, it retrains inline (it *is* the
+// background thread) and swaps the new generation into the ModelRegistry;
+// serving never blocks, a failed retrain keeps the old model, and the
+// registry install hook resets the corrector at the generation boundary.
+//
+// Lifetime: construct after the registry, destroy after the server that
+// references it via ServerOptions::adapt (declare the controller before the
+// server). The constructor registers the registry install hook; the
+// destructor stops the thread and unregisters the hook.
+class AdaptController : public serve::AdaptationHooks {
+ public:
+  AdaptController(serve::ModelRegistry& registry, AdaptOptions options);
+  ~AdaptController() override;
+
+  AdaptController(const AdaptController&) = delete;
+  AdaptController& operator=(const AdaptController&) = delete;
+
+  // serve::AdaptationHooks — called on the event-loop thread. Both parse and
+  // validate the payload inline (cheap, bounded by kMaxPayloadBytes) and
+  // enqueue the parsed record; a full queue yields an overloaded Ack.
+  Ack OnFeedback(std::string_view payload) override;
+  Ack OnAppendData(std::string_view payload) override;
+  void RefreshGauges() override;
+
+  // Blocks until every record enqueued so far has been processed (tests,
+  // CI, bench phase boundaries).
+  void Flush();
+  // Stops the adaptation thread after draining the queue. Idempotent;
+  // called by the destructor.
+  void Stop();
+
+  const RegionCorrector& corrector() const { return *corrector_; }
+  // Windowed p90 q-error (0 until min_window_fill feedback arrived).
+  double WindowP90() const;
+  uint64_t FeedbackProcessed() const {
+    return feedback_processed_.load(std::memory_order_relaxed);
+  }
+  uint64_t Retrains() const {
+    return retrains_done_.load(std::memory_order_relaxed);
+  }
+  uint64_t RetrainFailures() const {
+    return retrain_failures_.load(std::memory_order_relaxed);
+  }
+  size_t ReservoirRows() const {
+    return reservoir_rows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Record {
+    bool is_append = false;
+    FeedbackPayload feedback;  // !is_append
+    AppendPayload append;      // is_append
+  };
+
+  void WorkerLoop();
+  void ProcessFeedback(const FeedbackPayload& feedback);
+  void ProcessAppend(const AppendPayload& append);
+  // Adaptation-thread helpers.
+  void NoteQError(double qerror);
+  void MaybeRetrain();
+  data::Table BuildReservoirTable() const;
+
+  serve::ModelRegistry& registry_;
+  const AdaptOptions options_;
+  const std::shared_ptr<RegionCorrector> corrector_;
+  data::Table schema_;  // parse schema for inline feedback (same-schema swaps)
+
+  util::Mutex queue_mu_{util::LockRank::kAdaptQueue};
+  std::condition_variable work_cv_;
+  std::condition_variable flush_cv_;
+  std::deque<Record> queue_ IAM_GUARDED_BY(queue_mu_);
+  uint64_t enqueued_ IAM_GUARDED_BY(queue_mu_) = 0;
+  uint64_t processed_ IAM_GUARDED_BY(queue_mu_) = 0;
+  bool stop_ IAM_GUARDED_BY(queue_mu_) = false;
+
+  // Adaptation-thread-only state (no locking: one owner thread).
+  std::deque<double> window_qerrors_;
+  uint64_t last_generation_ = 0;
+  uint64_t feedback_since_retrain_ = 0;
+  std::vector<double> reservoir_;  // row-major ring, cols = schema width
+  size_t reservoir_next_row_ = 0;
+  size_t reservoir_filled_ = 0;
+
+  // Gauge projections (RefreshGauges reads these without any adapt lock).
+  std::atomic<int> queue_depth_{0};
+  std::atomic<uint64_t> window_p90_bits_{0};
+  std::atomic<size_t> reservoir_rows_{0};
+  std::atomic<uint64_t> feedback_processed_{0};
+  std::atomic<uint64_t> retrains_done_{0};
+  std::atomic<uint64_t> retrain_failures_{0};
+
+  std::thread worker_;
+};
+
+}  // namespace iam::adapt
+
+#endif  // IAM_ADAPT_CONTROLLER_H_

@@ -1,0 +1,99 @@
+#include "adapt/corrector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace iam::adapt {
+
+namespace {
+
+// FNV-1a over 8-byte words, matching the region-key hash convention.
+void MixWord(uint64_t& h, uint64_t v) {
+  constexpr uint64_t kFnvPrime = 1099511628211ull;
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+RegionCorrector::RegionCorrector(CorrectorOptions options)
+    : options_(options) {}
+
+double RegionCorrector::EffectiveLog(const Region& region,
+                                     uint64_t now) const {
+  if (options_.decay_per_feedback >= 1.0) return region.log_mult;
+  const double age = static_cast<double>(now - region.last_update);
+  return region.log_mult * std::pow(options_.decay_per_feedback, age);
+}
+
+double RegionCorrector::MultiplierForRegion(uint64_t region_key) const {
+  util::MutexLock lock(mu_);
+  const auto it = regions_.find(region_key);
+  if (it == regions_.end()) return 1.0;
+  return std::exp(EffectiveLog(it->second, observations_));
+}
+
+void RegionCorrector::Observe(uint64_t region_key, double raw_estimate,
+                              double actual) {
+  if (!std::isfinite(raw_estimate) || !std::isfinite(actual) || actual < 0.0) {
+    return;
+  }
+  const double ratio = std::max(actual, options_.min_estimate) /
+                       std::max(raw_estimate, options_.min_estimate);
+  const double target = std::clamp(std::log(ratio), -options_.max_abs_log,
+                                   options_.max_abs_log);
+  util::MutexLock lock(mu_);
+  ++observations_;
+  auto it = regions_.find(region_key);
+  if (it == regions_.end()) {
+    if (regions_.size() >= options_.max_regions) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    it = regions_.emplace(region_key, Region{}).first;
+    num_regions_.store(regions_.size(), std::memory_order_relaxed);
+  }
+  Region& region = it->second;
+  const double current = EffectiveLog(region, observations_);
+  region.log_mult = std::clamp(
+      (1.0 - options_.ema_alpha) * current + options_.ema_alpha * target,
+      -options_.max_abs_log, options_.max_abs_log);
+  region.last_update = observations_;
+  updates_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RegionCorrector::Reset(uint64_t generation) {
+  util::MutexLock lock(mu_);
+  regions_.clear();
+  observations_ = 0;
+  num_regions_.store(0, std::memory_order_relaxed);
+  generation_.store(generation, std::memory_order_release);
+}
+
+uint64_t RegionCorrector::StateDigest() const {
+  util::MutexLock lock(mu_);
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  entries.reserve(regions_.size());
+  for (const auto& [key, region] : regions_) {
+    // Quantize the effective log-multiplier onto a fixed grid so the digest
+    // compares semantic state, not accumulation round-off.
+    const double eff = EffectiveLog(region, observations_);
+    entries.emplace_back(
+        key, static_cast<uint64_t>(std::llround(eff * 1e12)) );
+  }
+  std::sort(entries.begin(), entries.end());
+  uint64_t h = 1469598103934665603ull;
+  MixWord(h, generation_.load(std::memory_order_relaxed));
+  MixWord(h, observations_);
+  MixWord(h, entries.size());
+  for (const auto& [key, quantized] : entries) {
+    MixWord(h, key);
+    MixWord(h, quantized);
+  }
+  return h;
+}
+
+}  // namespace iam::adapt

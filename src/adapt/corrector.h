@@ -1,0 +1,105 @@
+#ifndef IAM_ADAPT_CORRECTOR_H_
+#define IAM_ADAPT_CORRECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+
+#include "estimator/corrector.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace iam::adapt {
+
+struct CorrectorOptions {
+  // Bounded memory: at most this many regions ever hold state. Feedback for
+  // a new region past the cap is dropped (counted, deterministic — no LRU
+  // eviction, so corrector state is a pure function of the feedback
+  // sequence).
+  size_t max_regions = 4096;
+  // EMA weight of the newest log-ratio observation for a region.
+  double ema_alpha = 0.4;
+  // Per-feedback global decay toward 1x: a region's log-multiplier is
+  // scaled by decay^(observations since its last update) when read, so
+  // corrections a drifting workload stops refreshing wash out. 1.0 disables
+  // decay.
+  double decay_per_feedback = 0.999;
+  // Clamp on |log multiplier|: ln(16) bounds any single region's correction
+  // to [1/16, 16] no matter how extreme the feedback ratio is.
+  double max_abs_log = 2.772588722239781;
+  // Floor for the served estimate in the feedback ratio (a zero estimate
+  // with non-zero truth would otherwise produce an infinite log-ratio).
+  double min_estimate = 1e-12;
+};
+
+// QuickSel-style per-region multiplicative corrector (DESIGN.md §18). One
+// EMA-smoothed, globally decayed log-multiplier per corrector region
+// (core::ArDensityEstimator::CorrectorRegionKey). Observe() is called by the
+// single adaptation thread in feedback arrival order, which makes the state
+// a deterministic function of the feedback sequence — independent of shard
+// count or serving concurrency. MultiplierForRegion() is called from shard
+// workers under the estimator batch mutex; the internal lock ranks below it
+// (kCorrector), and below the registry mutex so Reset() can run inside the
+// generation install hook.
+class RegionCorrector : public estimator::SelectivityCorrector {
+ public:
+  explicit RegionCorrector(CorrectorOptions options = {});
+
+  // estimator::SelectivityCorrector. Returns 1.0 for unknown regions.
+  double MultiplierForRegion(uint64_t region_key) const override;
+
+  // One feedback observation: the served (raw, uncorrected) estimate and
+  // the observed true selectivity for a query in `region_key`. Must be
+  // called in feedback order from one thread at a time (the adaptation
+  // thread) for deterministic state.
+  void Observe(uint64_t region_key, double raw_estimate, double actual);
+
+  // Swap-boundary reset (DESIGN.md §18): drops every region and tags the
+  // state with the new model generation. Corrections learned against the
+  // old generation's estimates do not survive onto the retrained model.
+  void Reset(uint64_t generation);
+
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  // Live region count / total observations applied / feedback dropped at
+  // the region cap. Relaxed atomics: safe to read from the metrics path
+  // without taking the corrector lock.
+  size_t NumRegions() const {
+    return num_regions_.load(std::memory_order_relaxed);
+  }
+  uint64_t Updates() const {
+    return updates_.load(std::memory_order_relaxed);
+  }
+  uint64_t DroppedRegions() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Order-independent digest of the full corrector state (generation,
+  // per-region keys and effective multipliers, counters). Two correctors fed
+  // the same feedback sequence digest identically — the determinism tests'
+  // comparison handle across separate server processes/shard counts.
+  uint64_t StateDigest() const;
+
+ private:
+  struct Region {
+    double log_mult = 0.0;
+    uint64_t last_update = 0;  // global observation count at last write
+  };
+
+  double EffectiveLog(const Region& region, uint64_t now) const
+      IAM_REQUIRES(mu_);
+
+  const CorrectorOptions options_;
+  mutable util::Mutex mu_{util::LockRank::kCorrector};
+  std::unordered_map<uint64_t, Region> regions_ IAM_GUARDED_BY(mu_);
+  uint64_t observations_ IAM_GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<size_t> num_regions_{0};
+  std::atomic<uint64_t> updates_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace iam::adapt
+
+#endif  // IAM_ADAPT_CORRECTOR_H_

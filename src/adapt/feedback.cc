@@ -1,0 +1,200 @@
+#include "adapt/feedback.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace iam::adapt {
+
+namespace {
+
+// %.17g prints the shortest-but-exact decimal form: every finite double
+// survives an encode/parse round trip bitwise, which is what the fuzz
+// fixpoint oracle checks.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+}  // namespace
+
+Result<FeedbackPayload> ParseFeedbackPayload(std::string_view payload) {
+  // Embedded NULs would silently truncate the C-string scan below and let
+  // trailing garbage ride along; a text payload never carries them.
+  if (payload.find('\0') != std::string_view::npos) {
+    return Status::InvalidArgument("feedback: embedded NUL byte");
+  }
+  const std::string text(payload);
+  const char* p = text.c_str();
+  const auto skip_ws = [&p] {
+    while (IsSpace(*p)) ++p;
+  };
+  skip_ws();
+
+  FeedbackPayload feedback;
+  bool have_seq = false;
+  if (std::strncmp(p, "seq=", 4) == 0) {
+    p += 4;
+    if (!std::isdigit(static_cast<unsigned char>(*p))) {
+      return Status::InvalidArgument("feedback: seq wants an unsigned integer");
+    }
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long seq = std::strtoull(p, &end, 10);
+    if (end == p || errno == ERANGE) {
+      return Status::InvalidArgument("feedback: bad seq value");
+    }
+    if (seq == 0) {
+      return Status::InvalidArgument("feedback: seq is 1-based");
+    }
+    feedback.seq = seq;
+    have_seq = true;
+    p = end;
+    skip_ws();
+  }
+
+  if (std::strncmp(p, "actual=", 7) != 0) {
+    return Status::InvalidArgument(
+        "feedback: expected 'actual=<selectivity>'");
+  }
+  p += 7;
+  char* end = nullptr;
+  const double actual = std::strtod(p, &end);
+  if (end == p) {
+    return Status::InvalidArgument("feedback: bad actual value");
+  }
+  if (!std::isfinite(actual) || actual < 0.0 || actual > 1.0) {
+    return Status::InvalidArgument(
+        "feedback: actual must be a selectivity in [0, 1]");
+  }
+  feedback.actual = actual;
+  p = end;
+  skip_ws();
+
+  if (have_seq) {
+    if (*p != '\0') {
+      return Status::InvalidArgument("feedback: trailing bytes after actual");
+    }
+    return feedback;
+  }
+
+  if (std::strncmp(p, "where", 5) != 0 ||
+      (p[5] != '\0' && !IsSpace(p[5]))) {
+    return Status::InvalidArgument(
+        "feedback: inline form wants 'actual=<sel> where <predicates>'");
+  }
+  p += 5;
+  skip_ws();
+  std::string predicates(p);
+  while (!predicates.empty() && IsSpace(predicates.back())) {
+    predicates.pop_back();
+  }
+  if (predicates.empty()) {
+    return Status::InvalidArgument("feedback: empty predicate text");
+  }
+  feedback.predicates = std::move(predicates);
+  return feedback;
+}
+
+std::string EncodeFeedbackPayload(const FeedbackPayload& feedback) {
+  if (feedback.seq > 0) {
+    return "seq=" + std::to_string(feedback.seq) +
+           " actual=" + FormatDouble(feedback.actual);
+  }
+  return "actual=" + FormatDouble(feedback.actual) + " where " +
+         feedback.predicates;
+}
+
+Result<AppendPayload> ParseAppendPayload(std::string_view payload) {
+  if (payload.find('\0') != std::string_view::npos) {
+    return Status::InvalidArgument("append: embedded NUL byte");
+  }
+  constexpr std::string_view kHeader = "cols=";
+  if (payload.substr(0, kHeader.size()) != kHeader) {
+    return Status::InvalidArgument("append: expected 'cols=<n>' header");
+  }
+  size_t pos = kHeader.size();
+  size_t line_end = payload.find('\n', pos);
+  if (line_end == std::string_view::npos) {
+    return Status::InvalidArgument("append: header line is not terminated");
+  }
+  const std::string header(payload.substr(pos, line_end - pos));
+  char* end = nullptr;
+  errno = 0;
+  const long cols = std::strtol(header.c_str(), &end, 10);
+  if (end == header.c_str() || *end != '\0' || errno == ERANGE || cols < 1 ||
+      cols > 4096) {
+    return Status::InvalidArgument("append: bad column count");
+  }
+  AppendPayload append;
+  append.cols = static_cast<int>(cols);
+  pos = line_end + 1;
+
+  std::string field;
+  while (pos < payload.size()) {
+    line_end = payload.find('\n', pos);
+    const std::string_view line = payload.substr(
+        pos, line_end == std::string_view::npos ? std::string_view::npos
+                                                : line_end - pos);
+    pos = line_end == std::string_view::npos ? payload.size() : line_end + 1;
+    if (line.empty()) {
+      // A blank line is only legal as the trailing newline artifact.
+      if (pos < payload.size()) {
+        return Status::InvalidArgument("append: blank row");
+      }
+      break;
+    }
+    int fields = 0;
+    size_t field_pos = 0;
+    while (field_pos <= line.size()) {
+      size_t comma = line.find(',', field_pos);
+      if (comma == std::string_view::npos) comma = line.size();
+      field.assign(line.substr(field_pos, comma - field_pos));
+      field_pos = comma + 1;
+      // Trim the field; strtod must consume it entirely.
+      size_t b = 0, e = field.size();
+      while (b < e && IsSpace(field[b])) ++b;
+      while (e > b && IsSpace(field[e - 1])) --e;
+      field = field.substr(b, e - b);
+      char* field_end = nullptr;
+      const double v = std::strtod(field.c_str(), &field_end);
+      if (field.empty() || field_end != field.c_str() + field.size() ||
+          !std::isfinite(v)) {
+        return Status::InvalidArgument("append: bad value in row");
+      }
+      append.values.push_back(v);
+      ++fields;
+    }
+    if (fields != append.cols) {
+      return Status::InvalidArgument(
+          "append: row has " + std::to_string(fields) + " values, header " +
+          "declared " + std::to_string(append.cols));
+    }
+  }
+  return append;
+}
+
+std::string EncodeAppendPayload(const AppendPayload& append) {
+  std::string out = "cols=" + std::to_string(append.cols) + "\n";
+  const size_t rows = append.rows();
+  for (size_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < append.cols; ++c) {
+      if (c > 0) out += ',';
+      out += FormatDouble(
+          append.values[r * static_cast<size_t>(append.cols) +
+                        static_cast<size_t>(c)]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace iam::adapt

@@ -1,0 +1,62 @@
+#ifndef IAM_ADAPT_FEEDBACK_H_
+#define IAM_ADAPT_FEEDBACK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace iam::adapt {
+
+// Payload codecs of the adaptation wire frames (DESIGN.md §18). The frame
+// layer (serve/protocol.h) is payload-agnostic; these are the first parsers
+// that touch kFeedback / kAppendData payload bytes from an untrusted socket,
+// so they are shared between the server-side intake, the client/CLI
+// encoders, and the fuzz harness (fuzz_frame_decoder re-encode oracle): any
+// byte string must parse to a value or a clean Status, and an accepted
+// payload must survive an encode/parse round trip unchanged.
+
+// One kFeedback payload: the observed true selectivity of a served query,
+// identified either by its query-log sequence number
+//
+//   seq=<N> actual=<selectivity>
+//
+// or inline by its predicate text (query::ParsePredicates grammar)
+//
+//   actual=<selectivity> where <predicates>
+//
+// `actual` must be a finite selectivity in [0, 1]; the seq form requires
+// seq >= 1 (query-log sequence numbers are 1-based).
+struct FeedbackPayload {
+  uint64_t seq = 0;        // 0 = inline form
+  double actual = 0.0;     // observed true selectivity
+  std::string predicates;  // inline form only; verbatim predicate text
+};
+
+Result<FeedbackPayload> ParseFeedbackPayload(std::string_view payload);
+std::string EncodeFeedbackPayload(const FeedbackPayload& feedback);
+
+// One kAppendData payload: a batch of new rows for the retraining
+// reservoir, as a column-count header followed by CSV rows
+//
+//   cols=<n>\n<v1>,...,<vn>\n...
+//
+// Every row must carry exactly n finite values; n must match the serving
+// schema (validated by the intake hook, not the codec).
+struct AppendPayload {
+  int cols = 0;
+  std::vector<double> values;  // row-major, values.size() % cols == 0
+
+  size_t rows() const {
+    return cols > 0 ? values.size() / static_cast<size_t>(cols) : 0;
+  }
+};
+
+Result<AppendPayload> ParseAppendPayload(std::string_view payload);
+std::string EncodeAppendPayload(const AppendPayload& append);
+
+}  // namespace iam::adapt
+
+#endif  // IAM_ADAPT_FEEDBACK_H_

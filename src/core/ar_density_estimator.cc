@@ -688,6 +688,21 @@ std::vector<double> ArDensityEstimator::EstimateBatchDiagnosed(
       batch_metrics.query_seconds.Record(query_watch.ElapsedSeconds());
     });
   }
+  if (options_.enable_corrector && corrector_ != nullptr) {
+    // Post-estimate correction (DESIGN.md §18): multiply each raw estimate
+    // by the corrector's multiplier for the query's region. When disabled
+    // this loop never executes, so the uncorrected path stays bit-identical
+    // to a build without a corrector (the pooled bit-exactness gates).
+    for (size_t qi = 0; qi < qs.size(); ++qi) {
+      const uint64_t key = CorrectorRegionKey(qs[qi]);
+      const double mult = corrector_->MultiplierForRegion(key);
+      estimates[qi] = Clamp(estimates[qi] * mult, 0.0, 1.0);
+      if (!diags.empty()) {
+        diags[qi].region_key = key;
+        diags[qi].corrector_multiplier = mult;
+      }
+    }
+  }
   batch_metrics.queries.Add(qs.size());
   batch_metrics.batches.Add();
   batch_metrics.batch_seconds.Record(batch_watch.ElapsedSeconds());
@@ -985,6 +1000,75 @@ void ArDensityEstimator::set_sampler_mode(bool pooled, bool prefix_sharing,
   options_.pooled_sampler = pooled;
   options_.prefix_sharing = prefix_sharing;
   options_.adaptive_min_samples = adaptive_min_samples;
+}
+
+void ArDensityEstimator::set_corrector(
+    std::shared_ptr<const estimator::SelectivityCorrector> corrector,
+    bool enable) {
+  util::MutexLock lock(batch_mu_);
+  corrector_ = std::move(corrector);
+  options_.enable_corrector = enable && corrector_ != nullptr;
+}
+
+uint64_t ArDensityEstimator::CorrectorRegionKey(const query::Query& q) const {
+  // Merge predicates per table column exactly like BuildConstraints, then
+  // hash the quantized interval coordinates. FNV-1a over 8-byte words.
+  constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+  constexpr uint64_t kFnvPrime = 1099511628211ull;
+  uint64_t h = kFnvOffset;
+  const auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= kFnvPrime;
+    }
+  };
+  std::vector<double> lo(columns_.size(),
+                         -std::numeric_limits<double>::infinity());
+  std::vector<double> hi(columns_.size(),
+                         std::numeric_limits<double>::infinity());
+  std::vector<bool> touched(columns_.size(), false);
+  for (const query::Predicate& p : q.predicates) {
+    IAM_CHECK(p.column >= 0 && p.column < static_cast<int>(columns_.size()));
+    lo[p.column] = std::max(lo[p.column], p.lo);
+    hi[p.column] = std::min(hi[p.column], p.hi);
+    touched[p.column] = true;
+  }
+  // Cell sentinels: 0 = -inf bound, 1 = +inf bound, 2 = empty/impossible;
+  // real bucket/code coordinates start at 3.
+  constexpr uint64_t kCellNegInf = 0;
+  constexpr uint64_t kCellPosInf = 1;
+  constexpr uint64_t kCellEmpty = 2;
+  constexpr uint64_t kCellBase = 3;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (!touched[c]) continue;
+    mix(c + 1);
+    const TableColumn& col = columns_[c];
+    if (hi[c] < lo[c]) {
+      mix(kCellEmpty);
+      continue;
+    }
+    if (col.kind == TableColumn::Kind::kReduced) {
+      // The reducer's bucket grid — for the paper's configuration, the GMM
+      // component each interval endpoint is assigned to.
+      const auto cell = [&](double bound, uint64_t inf_cell) {
+        if (std::isinf(bound)) return inf_cell;
+        return kCellBase + static_cast<uint64_t>(col.reducer->Assign(bound));
+      };
+      mix(cell(lo[c], kCellNegInf));
+      mix(cell(hi[c], kCellPosInf));
+    } else {
+      // Raw / factorized columns: coarse per-column buckets from the
+      // dictionary code range (small domains by construction for kRaw).
+      const auto range = col.dict.EncodeRange(lo[c], hi[c]);
+      if (range.empty()) {
+        mix(kCellEmpty);
+      } else {
+        mix(kCellBase + static_cast<uint64_t>(range.first));
+        mix(kCellBase + static_cast<uint64_t>(range.last));
+      }
+    }
+  }
+  return h;
 }
 
 ArDensityEstimator::AggregateResult ArDensityEstimator::EstimateAggregate(

@@ -12,6 +12,7 @@
 #include "bucketize/gmm_reducer.h"
 #include "data/dictionary.h"
 #include "data/table.h"
+#include "estimator/corrector.h"
 #include "estimator/estimator.h"
 #include "gmm/gmm1d.h"
 #include "nn/adam.h"
@@ -102,6 +103,14 @@ struct ArEstimatorOptions {
   // 0 disables the floor bitwise; the zero-mass fallback regression tests
   // use it as a deterministic trigger.
   double min_conditional_prob = 0.0;
+  // Post-estimate feedback correction (DESIGN.md §18): when true and a
+  // corrector is installed (set_corrector), every estimate is multiplied by
+  // the corrector's multiplier for the query's region key before being
+  // returned. When false the correction loop never executes, so estimates
+  // are bit-identical to a build without a corrector. Serving-side runtime
+  // state — not persisted by Save/Load; the adapt subsystem re-installs the
+  // corrector on every registry generation.
+  bool enable_corrector = false;
   // Ablation switch: when true, the next coordinate of a reduced column is
   // drawn from the *uncorrected* AR conditional (the vanilla progressive
   // sampler the paper proves biased on IAM in Section 5.2) instead of the
@@ -192,6 +201,21 @@ class ArDensityEstimator : public estimator::Estimator {
   // comparisons). Serialized against in-flight batches by the batch mutex.
   void set_sampler_mode(bool pooled, bool prefix_sharing,
                         int adaptive_min_samples);
+  // Installs (or, with nullptr, removes) the post-estimate corrector and
+  // sets options().enable_corrector to `enable`. Serialized against
+  // in-flight batches by the batch mutex; the corrector outlives every batch
+  // that can observe it via the shared_ptr. With enable == false (or no
+  // corrector) the estimate path is bit-identical to an uncorrected build.
+  void set_corrector(
+      std::shared_ptr<const estimator::SelectivityCorrector> corrector,
+      bool enable);
+  // The corrector region key of a query (DESIGN.md §18): an FNV-1a hash of
+  // the query's merged per-column intervals quantized onto the model's
+  // grids — GMM/reducer bucket indices of the interval endpoints for reduced
+  // columns, dictionary code ranges for raw/factorized columns. A pure
+  // function of the query and the immutable model structure, so the same
+  // query maps to the same region on every replica of a generation.
+  uint64_t CorrectorRegionKey(const query::Query& q) const;
   // Source-table schema (names/types), preserved through Save/Load so a
   // reloaded model can parse predicate strings without the original data.
   const std::vector<std::string>& column_names() const {
@@ -364,6 +388,9 @@ class ArDensityEstimator : public estimator::Estimator {
   std::vector<InferenceScratch> scratch_ IAM_GUARDED_BY(batch_mu_);
   // Pooled-sampler buffers, reused across batches (same guard as scratch_).
   PooledScratch pooled_ IAM_GUARDED_BY(batch_mu_);
+  // Post-estimate corrector; consulted only when options_.enable_corrector.
+  std::shared_ptr<const estimator::SelectivityCorrector> corrector_
+      IAM_GUARDED_BY(batch_mu_);
 };
 
 }  // namespace iam::core

@@ -1,0 +1,32 @@
+#ifndef IAM_ESTIMATOR_CORRECTOR_H_
+#define IAM_ESTIMATOR_CORRECTOR_H_
+
+#include <cstdint>
+
+namespace iam::estimator {
+
+// Post-estimate multiplicative corrector (DESIGN.md §18). An estimator that
+// supports correction maps each query to a stable region key — a pure
+// function of the query and the immutable model structure — and multiplies
+// the raw estimate by MultiplierForRegion(key) before returning it. The
+// concrete corrector (adapt::RegionCorrector) learns the multipliers from
+// query feedback, QuickSel-style; this interface keeps the estimator layer
+// free of any dependency on the adaptation subsystem.
+//
+// Implementations must be safe to call concurrently with their own update
+// path: MultiplierForRegion is called under the estimator's batch mutex
+// (LockRank::kEstimatorBatch) while feedback lands from the adaptation
+// thread, so the implementation's internal lock must rank below it
+// (LockRank::kCorrector).
+class SelectivityCorrector {
+ public:
+  virtual ~SelectivityCorrector() = default;
+
+  // Multiplier applied to the raw estimate of a query in `region_key`;
+  // 1.0 for regions with no feedback. Must be positive and finite.
+  virtual double MultiplierForRegion(uint64_t region_key) const = 0;
+};
+
+}  // namespace iam::estimator
+
+#endif  // IAM_ESTIMATOR_CORRECTOR_H_

@@ -49,6 +49,13 @@ struct QueryDiagnostics {
   int32_t fallback_column = -1;   // column of the last fallback (-1 none)
   bool dead = false;              // provably empty (contradictory ranges)
   double ci_half_width = 0.0;     // CI half-width at stop (0 if never tested)
+  // Post-estimate correction (DESIGN.md §18): the query's corrector region
+  // key and the multiplier applied to the raw estimate. Defaults (0, 1.0)
+  // when the estimator has no corrector or correction is disabled — unlike
+  // the sampler fields above these describe a behavior change, so they are
+  // only non-default when the returned estimate already includes them.
+  uint64_t region_key = 0;
+  double corrector_multiplier = 1.0;
 };
 
 // Common interface of every selectivity estimator in the evaluation

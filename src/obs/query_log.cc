@@ -137,6 +137,26 @@ std::vector<QueryRecord> QueryLog::Snapshot(
   return out;
 }
 
+std::optional<QueryRecord> QueryLog::Find(uint64_t seq) const {
+  if (seq == 0 || seq > next_seq_.load(std::memory_order_acquire)) {
+    return std::nullopt;
+  }
+  const Slot& slot = slots_[(seq - 1) & mask_];
+  const uint64_t before = slot.stamp.load(std::memory_order_acquire);
+  if (before != 2 * seq) return std::nullopt;  // overwritten or mid-write
+  uint64_t words[kQueryRecordWords];
+  for (size_t w = 0; w < kQueryRecordWords; ++w) {
+    words[w] = slot.words[w].load(std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.stamp.load(std::memory_order_relaxed) != before) {
+    return std::nullopt;  // a writer lapped the slot mid-copy
+  }
+  QueryRecord rec;
+  std::memcpy(&rec, words, sizeof(rec));
+  return rec;
+}
+
 std::string QueryLogToJson(const std::vector<QueryRecord>& records,
                            uint64_t appended, size_t capacity) {
   std::string out = "{\"records\":[";
@@ -158,6 +178,8 @@ std::string QueryLogToJson(const std::vector<QueryRecord>& records,
            ",\"fallback_column\":" + std::to_string(r.fallback_column) +
            ",\"dead\":" + std::to_string(r.dead) +
            ",\"selectivity\":" + JsonDouble(r.selectivity) +
+           ",\"region_key\":" + std::to_string(r.region_key) +
+           ",\"corrector_mult\":" + JsonDouble(r.corrector_mult) +
            ",\"queue_wait_s\":" + JsonDouble(r.queue_wait_s) +
            ",\"exec_s\":" + JsonDouble(r.exec_s) +
            ",\"total_s\":" + JsonDouble(r.total_s) + "}";

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,6 +45,13 @@ struct QueryRecord {
   double queue_wait_s = 0.0;      // serve only: dequeue minus enqueue
   double exec_s = 0.0;            // estimator time attributed to the query
   double total_s = 0.0;           // queue_wait_s + exec_s
+  // Post-estimate correction (DESIGN.md §18): the query's corrector region
+  // key and the multiplier folded into `selectivity`. (0, 1.0) when the
+  // corrector is off. The adaptation thread resolves seq-form feedback
+  // against these fields, recovering the raw estimate as
+  // selectivity / corrector_mult.
+  uint64_t region_key = 0;
+  double corrector_mult = 1.0;
 };
 
 static_assert(sizeof(QueryRecord) % sizeof(uint64_t) == 0,
@@ -100,6 +108,13 @@ class QueryLog {
   // Records mid-write or overwritten during the copy are skipped.
   std::vector<QueryRecord> Snapshot(
       const QueryLogFilter& filter = QueryLogFilter{}) const;
+
+  // Direct lookup of the record with sequence number `seq`: one seqlock-
+  // validated slot read (the slot a live seq must occupy is (seq-1) & mask).
+  // nullopt when the record was never appended, has been overwritten by a
+  // later lap, or is mid-write. The adaptation feedback path resolves
+  // "seq=<N>" feedback through this.
+  std::optional<QueryRecord> Find(uint64_t seq) const;
 
   // Total records ever appended (monotone; snapshot deltas reconcile with
   // iam_serve_accepted_total).

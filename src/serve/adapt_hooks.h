@@ -1,0 +1,46 @@
+#ifndef IAM_SERVE_ADAPT_HOOKS_H_
+#define IAM_SERVE_ADAPT_HOOKS_H_
+
+#include <string>
+#include <string_view>
+
+namespace iam::serve {
+
+// Event-loop-side surface of the adaptation subsystem (DESIGN.md §18). The
+// server owns the sockets and the frame decoder; the adaptation controller
+// (adapt::AdaptController) owns the feedback queue, corrector, and retrain
+// thread. This interface keeps the dependency one-way: src/adapt links
+// against iam_serve, never the reverse.
+//
+// All three methods are called inline on the event-loop thread, so they must
+// be cheap and never block: intake does bounded parsing + a bounded-queue
+// enqueue, gauge refresh copies relaxed atomics. The hooks object must
+// outlive the server.
+class AdaptationHooks {
+ public:
+  virtual ~AdaptationHooks() = default;
+
+  // Intake verdict for one frame. accepted -> kOk carrying `message`;
+  // !accepted && overloaded -> kOverloaded (queue full, retry later);
+  // !accepted && !overloaded -> kError carrying `message`.
+  struct Ack {
+    bool accepted = false;
+    bool overloaded = false;
+    std::string message;
+  };
+
+  // One kFeedback payload (adapt::ParseFeedbackPayload grammar).
+  virtual Ack OnFeedback(std::string_view payload) = 0;
+  // One kAppendData payload (adapt::ParseAppendPayload grammar).
+  virtual Ack OnAppendData(std::string_view payload) = 0;
+
+  // Refreshes the adapt gauges (queue depth, window p90, corrector regions)
+  // from the controller's atomics. Called by EstimatorServer::ScrapeMetrics
+  // before its single registry snapshot, preserving the one-snapshot-per-
+  // scrape discipline for the adapt family too.
+  virtual void RefreshGauges() = 0;
+};
+
+}  // namespace iam::serve
+
+#endif  // IAM_SERVE_ADAPT_HOOKS_H_

@@ -181,6 +181,8 @@ void MicroBatcher::WorkerLoop() {
       rec.dead = d.dead ? 1 : 0;
       rec.ci_half_width = d.ci_half_width;
       rec.selectivity = selectivities[i];
+      rec.region_key = d.region_key;
+      rec.corrector_mult = d.corrector_multiplier;
       rec.queue_wait_s = waits[i];
       rec.exec_s = per_query_exec;
       rec.total_s = waits[i] + per_query_exec;

@@ -161,6 +161,37 @@ Result<std::string> Client::QueryLog(const std::string& filters) {
   return response->payload;
 }
 
+namespace {
+
+// Shared kOk/kOverloaded/kError mapping of the adaptation acknowledgements.
+Result<std::string> DecodeAdaptAck(const Frame& response) {
+  switch (response.type) {
+    case FrameType::kOk:
+      return response.payload;
+    case FrameType::kOverloaded:
+      return Status::FailedPrecondition("adaptation queue is full");
+    case FrameType::kError:
+      return Status::Internal("server error: " + response.payload);
+    default:
+      return Status::Internal("unexpected response frame type " +
+                              std::to_string(static_cast<int>(response.type)));
+  }
+}
+
+}  // namespace
+
+Result<std::string> Client::Feedback(const std::string& payload) {
+  Result<Frame> response = RoundTrip(FrameType::kFeedback, payload);
+  if (!response.ok()) return response.status();
+  return DecodeAdaptAck(*response);
+}
+
+Result<std::string> Client::AppendData(const std::string& payload) {
+  Result<Frame> response = RoundTrip(FrameType::kAppendData, payload);
+  if (!response.ok()) return response.status();
+  return DecodeAdaptAck(*response);
+}
+
 Status Client::RequestShutdown() {
   Result<Frame> response = RoundTrip(FrameType::kShutdown, "");
   if (!response.ok()) return response.status();

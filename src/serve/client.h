@@ -64,6 +64,19 @@ class Client {
   // record.
   Result<std::string> QueryLog(const std::string& filters = "");
 
+  // Reports an observed true selectivity to the server's adaptation loop
+  // (kFeedback). `payload` is the feedback grammar of adapt/feedback.h:
+  // "seq=<N> actual=<sel>" referencing a query-log record, or
+  // "actual=<sel> where <predicates>". Returns the server's acknowledgement
+  // text; kFailedPrecondition when the feedback queue was full, kInternal
+  // when the server rejected the payload or has adaptation disabled.
+  Result<std::string> Feedback(const std::string& payload);
+
+  // Streams rows into the server's retraining reservoir (kAppendData).
+  // `payload` is "cols=<n>\n" + CSV rows. Same response mapping as
+  // Feedback().
+  Result<std::string> AppendData(const std::string& payload);
+
   // Asks the server to drain and exit (acknowledged before the drain).
   Status RequestShutdown();
 

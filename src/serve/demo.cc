@@ -24,6 +24,18 @@ std::unique_ptr<core::ArDensityEstimator> TrainDemoEstimator(size_t rows,
   return model;
 }
 
+data::Table DemoTable(size_t rows, uint64_t seed) {
+  return data::MakeSynTwi(rows, seed);
+}
+
+data::Table ShiftedDemoTable(size_t rows, uint64_t seed, double shift) {
+  data::Table table = data::MakeSynTwi(rows, seed);
+  for (int c = 0; c < table.num_columns(); ++c) {
+    for (double& v : table.mutable_column(c).values) v += shift;
+  }
+  return table;
+}
+
 std::vector<std::string> DemoPredicates(int count, uint64_t seed) {
   // A small table with the demo schema is enough for the generator; the
   // bounds it draws stay inside the demo model's value range.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/ar_density_estimator.h"
+#include "data/table.h"
 
 namespace iam::serve {
 
@@ -20,6 +21,17 @@ std::unique_ptr<core::ArDensityEstimator> TrainDemoEstimator(
 // query::ToString so every consumer also exercises the printer->parser round
 // trip on the wire.
 std::vector<std::string> DemoPredicates(int count, uint64_t seed);
+
+// The table TrainDemoEstimator trains on (same generator, same defaults) —
+// ground truth for feedback in the adaptation tests and bench.
+data::Table DemoTable(size_t rows = 3000, uint64_t seed = 5);
+
+// A drifted variant of the demo table: every value translated by `shift`
+// native units (degrees for the TWI analogue — every city cluster moves
+// north-east). A shift of 1-2 degrees changes the true selectivity of most
+// DemoPredicates queries materially, which is the workload-drift scenario
+// the adaptation subsystem exists for (DESIGN.md §18).
+data::Table ShiftedDemoTable(size_t rows, uint64_t seed, double shift);
 
 }  // namespace iam::serve
 

@@ -92,6 +92,16 @@ uint64_t ModelRegistry::Swap(std::unique_ptr<core::ArDensityEstimator> model,
   return Install(std::move(models), std::move(source));
 }
 
+void ModelRegistry::SetInstallHook(std::function<void(LoadedModel&)> hook) {
+  util::MutexLock lock(mu_);
+  install_hook_ = std::move(hook);
+  if (!install_hook_) return;
+  // Retroactive application: the already-installed generation must match
+  // what a just-installed one would look like, or the hook's owner would
+  // start with an unhooked current model.
+  for (auto& replica : current_) install_hook_(*replica);
+}
+
 uint64_t ModelRegistry::Install(
     std::vector<std::unique_ptr<core::ArDensityEstimator>> models,
     std::string source) {
@@ -110,7 +120,12 @@ uint64_t ModelRegistry::Install(
   {
     util::MutexLock lock(mu_);
     version = ++versions_issued_;
-    for (auto& replica : generation) replica->version = version;
+    for (auto& replica : generation) {
+      replica->version = version;
+      // Hook before publish: a shard snapshotting the new version can never
+      // observe a replica the hook has not prepared (DESIGN.md §18).
+      if (install_hook_) install_hook_(*replica);
+    }
     // Keep the old generation alive past the lock: its destructor may tear
     // down a thread pool, which must not run under mu_.
     replaced = std::move(current_);

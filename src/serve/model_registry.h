@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -88,6 +89,17 @@ class ModelRegistry {
   uint64_t Swap(std::unique_ptr<core::ArDensityEstimator> model,
                 std::string source) IAM_EXCLUDES(mu_);
 
+  // Per-replica install hook (the adaptation subsystem's attachment point,
+  // DESIGN.md §18). Runs under the registry mutex on every replica of each
+  // installed generation *before* the generation's version is published, and
+  // immediately on the current replicas when registered — so no generation is
+  // ever visible to shard workers without the hook applied. The hook must be
+  // cheap and must only take locks ranked below kRegistry (it runs with mu_
+  // held). Pass an empty function to unregister; callers whose hook captures
+  // `this` must unregister before destruction.
+  void SetInstallHook(std::function<void(LoadedModel&)> hook)
+      IAM_EXCLUDES(mu_);
+
  private:
   uint64_t Install(
       std::vector<std::unique_ptr<core::ArDensityEstimator>> models,
@@ -101,6 +113,7 @@ class ModelRegistry {
   // One LoadedModel per replica, all carrying the generation's version.
   std::vector<std::shared_ptr<LoadedModel>> current_ IAM_GUARDED_BY(mu_);
   uint64_t versions_issued_ IAM_GUARDED_BY(mu_) = 0;
+  std::function<void(LoadedModel&)> install_hook_ IAM_GUARDED_BY(mu_);
 };
 
 }  // namespace iam::serve

@@ -35,6 +35,12 @@ enum class FrameType : uint8_t {
   kShutdown = 4,  // payload: empty; server drains and exits
   kQueryLog = 5,  // payload: optional filter text "last=N min_ms=X";
                   // response: kOk with the query-log records as JSON
+  kFeedback = 6,  // payload: observed-truth text, "seq=<N> actual=<sel>" or
+                  // "actual=<sel> where <predicates>" (adapt/feedback.h);
+                  // response: kOk once queued, kOverloaded when the
+                  // feedback queue is full, kError when adaptation is off
+  kAppendData = 7,  // payload: "cols=<n>\n" + CSV rows for the retraining
+                    // reservoir (adapt/feedback.h); responses as kFeedback
 
   // Responses.
   kEstimateOk = 65,  // payload: f64 selectivity | u64 model version (LE)

@@ -376,6 +376,29 @@ void EstimatorServer::DispatchFrame(uint64_t id, Connection& conn,
                                              log.capacity())});
       return;
     }
+    case FrameType::kFeedback:
+    case FrameType::kAppendData: {
+      // Inline like kMetrics: the hooks parse and enqueue (bounded by
+      // kMaxPayloadBytes) — the adaptation thread does the heavy work.
+      if (options_.adapt == nullptr) {
+        CompleteSlot(id, seq,
+                     Frame{FrameType::kError,
+                           "adaptation is not enabled on this server"});
+        return;
+      }
+      const AdaptationHooks::Ack ack =
+          frame.type == FrameType::kFeedback
+              ? options_.adapt->OnFeedback(frame.payload)
+              : options_.adapt->OnAppendData(frame.payload);
+      if (ack.accepted) {
+        CompleteSlot(id, seq, Frame{FrameType::kOk, ack.message});
+      } else if (ack.overloaded) {
+        CompleteSlot(id, seq, Frame{FrameType::kOverloaded, ""});
+      } else {
+        CompleteSlot(id, seq, Frame{FrameType::kError, ack.message});
+      }
+      return;
+    }
     case FrameType::kShutdown:
       shutdown_requested_.store(true, std::memory_order_release);
       CompleteSlot(id, seq, Frame{FrameType::kOk, "draining"});
@@ -421,6 +444,9 @@ std::string EstimatorServer::ScrapeMetrics() {
           std::min<uint64_t>(log.Appended(), log.capacity())));
   reg.GetGauge("iam_querylog_capacity")
       .Set(static_cast<double>(log.capacity()));
+  // Adapt gauges join the same single-snapshot discipline: refreshed here,
+  // before the one Snapshot(), never between families.
+  if (options_.adapt != nullptr) options_.adapt->RefreshGauges();
   return obs::MetricsToPrometheus(reg.Snapshot());
 }
 

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serve/adapt_hooks.h"
 #include "serve/batcher.h"
 #include "serve/model_registry.h"
 #include "serve/protocol.h"
@@ -41,6 +42,12 @@ struct ServerOptions {
   // responses are force-closed after this long during Shutdown.
   double drain_timeout_s = 10.0;
   BatcherOptions batcher;
+  // Online-adaptation hooks (src/adapt's AdaptController, DESIGN.md §18).
+  // Null: kFeedback / kAppendData frames answer kError. Non-null: the loop
+  // hands those payloads to the hooks inline (they parse and enqueue,
+  // bounded work) and the kMetrics scrape refreshes the adapt gauges before
+  // its single snapshot. Not owned; must outlive the server.
+  AdaptationHooks* adapt = nullptr;
 };
 
 // The long-lived estimator service (DESIGN.md §15): one epoll event-loop

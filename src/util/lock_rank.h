@@ -26,11 +26,14 @@
 //
 //   kShutdown        server.h shutdown_mu_   joins everything below it
 //   kSwap            server.h swap_mu_       taken under shutdown_mu_
+//   kAdaptQueue      adapt/controller.h queue_mu_  feedback/append intake
 //   kBatcherQueue    batcher.h mu_           admission / worker queue
 //   kBatcherJoin     batcher.h join_mu_      DrainAndStop worker join
 //   kCompletionQueue server.h completions_mu_
 //   kRegistry        model_registry.h mu_    snapshot load/swap
 //   kEstimatorBatch  estimator.h batch_mu_   serializes EstimateBatch
+//   kCorrector       adapt/corrector.h mu_   read under batch_mu_,
+//                                            reset under registry mu_
 //   kThreadPool      thread_pool.h mutex_    taken under batch_mu_
 //   kTraceRegistry   trace.h mu_             iterates the buffers below
 //   kTraceBuffer     trace.h ThreadBuffer::mu
@@ -48,11 +51,13 @@ enum class LockRank : int32_t {
   kTraceBuffer = 150,
   kTraceRegistry = 200,
   kThreadPool = 300,
+  kCorrector = 350,
   kEstimatorBatch = 400,
   kRegistry = 500,
   kCompletionQueue = 600,
   kBatcherJoin = 650,
   kBatcherQueue = 700,
+  kAdaptQueue = 750,
   kSwap = 800,
   kShutdown = 900,
 };

@@ -20,6 +20,9 @@
 
 #include <gtest/gtest.h>
 
+#include "adapt/controller.h"
+#include "adapt/corrector.h"
+#include "adapt/feedback.h"
 #include "core/ar_density_estimator.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
@@ -578,6 +581,243 @@ TEST(AdversarialFrameRegressionTest, GarbageAfterValidFrameKillsConnection) {
   SendAll(fd, burst.data(), burst.size());
   DrainUntilEof(fd);
   ::close(fd);
+  ExpectStillServing(server);
+  server.Shutdown();
+}
+
+// --- Online adaptation over the wire (DESIGN.md §18). ------------------------
+
+TEST(ServeAdaptTest, FeedbackWithoutAdaptationAnswersTypedError) {
+  EstimatorServer server(SharedRegistry(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client client = ConnectedClient(server);
+  const auto ack = client.Feedback("seq=1 actual=0.5");
+  EXPECT_FALSE(ack.ok());
+  EXPECT_EQ(ack.status().code(), StatusCode::kInternal);
+  // The connection survives; so does the append path's rejection.
+  EXPECT_FALSE(client.AppendData("cols=2\n1,2\n").ok());
+  EXPECT_TRUE(client.Estimate(kPredicate).ok());
+  server.Shutdown();
+}
+
+TEST(ServeAdaptTest, FeedbackRoundTripUpdatesCorrector) {
+  ModelRegistry registry(TrainDemoEstimator(800, 5), "");
+  adapt::AdaptOptions adapt_options;
+  adapt_options.trigger_p90_qerror = 0.0;  // corrector only
+  adapt::AdaptController controller(registry, adapt_options);
+  ServerOptions options;
+  options.adapt = &controller;
+  EstimatorServer server(registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  Client client = ConnectedClient(server);
+
+  // Serve one estimate, resolve its query-log record by sequence number,
+  // then feed back a truth 4x the served value.
+  const auto reply = client.Estimate(kPredicate);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const uint64_t seq = obs::QueryLog::Global().Appended();
+  const auto rec = obs::QueryLog::Global().Find(seq);
+  ASSERT_TRUE(rec.has_value());
+  ASSERT_EQ(rec->selectivity, reply->selectivity);
+
+  const double actual = std::min(1.0, reply->selectivity * 4.0);
+  const auto ack = client.Feedback("seq=" + std::to_string(seq) + " actual=" +
+                                   std::to_string(actual));
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(*ack, "queued");
+  controller.Flush();
+  EXPECT_EQ(controller.FeedbackProcessed(), 1u);
+  EXPECT_GT(controller.corrector().MultiplierForRegion(rec->region_key), 1.0);
+
+  // The corrected region now answers higher than the raw model did.
+  const auto corrected = client.Estimate(kPredicate);
+  ASSERT_TRUE(corrected.ok());
+  EXPECT_GT(corrected->selectivity, reply->selectivity);
+
+  // Inline feedback (no query-log reference) works on the same connection,
+  // and the metrics scrape exports the adapt family in one snapshot.
+  const auto inline_ack =
+      client.Feedback("actual=0.5 where " + std::string(kPredicate));
+  ASSERT_TRUE(inline_ack.ok()) << inline_ack.status().ToString();
+  controller.Flush();
+  EXPECT_EQ(controller.FeedbackProcessed(), 2u);
+  const auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("iam_adapt_feedback_total"), std::string::npos);
+  EXPECT_NE(metrics->find("iam_adapt_corrector_generation"),
+            std::string::npos);
+  server.Shutdown();
+}
+
+TEST(AdversarialFrameRegressionTest, TruncatedFeedbackFrameLeavesServerUp) {
+  ModelRegistry registry(TrainDemoEstimator(800, 5), "");
+  adapt::AdaptOptions adapt_options;
+  adapt_options.trigger_p90_qerror = 0.0;
+  adapt::AdaptController controller(registry, adapt_options);
+  ServerOptions options;
+  options.adapt = &controller;
+  EstimatorServer server(registry, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A kFeedback frame promising 60 payload bytes, truncated mid-payload.
+  const int fd = RawConnect(server.port());
+  const std::string wire =
+      EncodeFrame({FrameType::kFeedback, std::string(59, 'a')});
+  SendAll(fd, wire.data(), 12);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ::close(fd);
+  ExpectStillServing(server);
+
+  // A malformed-but-complete feedback payload answers kError and keeps the
+  // connection; an oversized header on the same socket then kills it.
+  const int fd2 = RawConnect(server.port());
+  const std::string bad =
+      EncodeFrame({FrameType::kFeedback, "actual=banana"});
+  SendAll(fd2, bad.data(), bad.size());
+  Frame response;
+  ASSERT_TRUE(ReadFrame(fd2, &response).ok());
+  EXPECT_EQ(response.type, FrameType::kError);
+  const std::string oversized(4, '\xff');
+  SendAll(fd2, oversized.data(), oversized.size());
+  DrainUntilEof(fd2);
+  ::close(fd2);
+  ExpectStillServing(server);
+  server.Shutdown();
+}
+
+TEST(ServeAdaptTest, CorrectorStateIsDeterministicAcrossShardCounts) {
+  // Identical feedback sequences against identical models must produce
+  // identical corrector state whatever the serving parallelism: corrector
+  // updates are applied by one adaptation thread in arrival order, and
+  // inline feedback estimates on replica 0, which every shard count loads
+  // from the same serialized bytes.
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "iam_adapt_determinism_model.iam";
+  ASSERT_TRUE(TrainDemoEstimator(800, 5)->Save(path.string()).ok());
+
+  const std::vector<std::string> predicates = DemoPredicates(12, 41);
+  std::vector<uint64_t> digests;
+  for (const int shards : {1, 2, 8}) {
+    auto loaded = core::ArDensityEstimator::Load(path.string());
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ModelRegistry registry(std::move(loaded.value()), path.string(), 1,
+                           shards);
+    adapt::AdaptOptions adapt_options;
+    adapt_options.trigger_p90_qerror = 0.0;
+    adapt::AdaptController controller(registry, adapt_options);
+    ServerOptions options;
+    options.adapt = &controller;
+    options.num_shards = shards;
+    EstimatorServer server(registry, options);
+    ASSERT_TRUE(server.Start().ok());
+    Client client = ConnectedClient(server);
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      adapt::FeedbackPayload feedback;
+      feedback.actual = 0.05 + 0.07 * static_cast<double>(i % 8);
+      feedback.predicates = predicates[i];
+      const auto ack =
+          client.Feedback(adapt::EncodeFeedbackPayload(feedback));
+      ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+    }
+    controller.Flush();
+    EXPECT_EQ(controller.FeedbackProcessed(), predicates.size());
+    digests.push_back(controller.corrector().StateDigest());
+    server.Shutdown();
+  }
+  std::error_code ec;
+  fs::remove(path, ec);
+  ASSERT_EQ(digests.size(), 3u);
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+}
+
+// The adaptation analogue of HotSwapUnderLoadAcrossShardsLosesNothing, and
+// the TSan serve gate's closed-loop race: pipelined estimate load across two
+// shards while concurrent feedback drives the corrector and a deliberately
+// low drift trigger forces a background retrain-and-swap mid-burst. Zero
+// lost requests, and the corrector generation must land coherent with the
+// registry version.
+TEST(ServeAdaptTest, FeedbackRetrainSwapUnderLoadLosesNothing) {
+  ModelRegistry registry(TrainDemoEstimator(800, 5), "", 1, 2);
+  adapt::AdaptOptions adapt_options;
+  adapt_options.trigger_p90_qerror = 1.5;
+  adapt_options.window = 16;
+  adapt_options.min_window_fill = 8;
+  adapt_options.min_feedback_between_retrains = 8;
+  adapt_options.min_retrain_rows = 256;
+  adapt_options.retrain_epochs = 1;
+  adapt::AdaptController controller(registry, adapt_options);
+  ServerOptions options;
+  options.adapt = &controller;
+  options.num_shards = 2;
+  options.batcher.max_delay_s = 1e-4;
+  EstimatorServer server(registry, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Seed the retrain reservoir over the wire.
+  {
+    Client client = ConnectedClient(server);
+    const data::Table shifted = ShiftedDemoTable(512, 11, 1.5);
+    adapt::AppendPayload append;
+    append.cols = shifted.num_columns();
+    for (size_t r = 0; r < shifted.num_rows(); ++r) {
+      for (int c = 0; c < shifted.num_columns(); ++c) {
+        append.values.push_back(shifted.value(r, c));
+      }
+    }
+    const auto ack = client.AppendData(adapt::EncodeAppendPayload(append));
+    ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  }
+
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> load;
+  load.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    load.emplace_back([&] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        failures.fetch_add(kRequestsPerClient);
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const auto reply = client.Estimate(kPredicate);
+        if (!reply.ok() || reply->overloaded) failures.fetch_add(1);
+      }
+    });
+  }
+  // Feedback runs concurrently with the load: systematically wrong
+  // estimates trip the drift trigger while estimates are in flight.
+  std::thread feedback([&] {
+    Client client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    const std::vector<std::string> predicates = DemoPredicates(24, 43);
+    for (const std::string& text : predicates) {
+      adapt::FeedbackPayload payload;
+      payload.actual = 0.9;
+      payload.predicates = text;
+      const auto ack =
+          client.Feedback(adapt::EncodeFeedbackPayload(payload));
+      if (!ack.ok()) failures.fetch_add(1);
+    }
+  });
+  for (std::thread& t : load) t.join();
+  feedback.join();
+  controller.Flush();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(controller.Retrains(), 1u);
+  EXPECT_EQ(controller.RetrainFailures(), 0u);
+  // Generation coherence across the swap: the corrector is tagged with the
+  // generation currently serving.
+  EXPECT_EQ(controller.corrector().generation(), registry.current_version());
+  EXPECT_EQ(registry.Current()->source, "adapt-retrain");
+  // And the post-swap server still answers.
   ExpectStillServing(server);
   server.Shutdown();
 }
